@@ -1,0 +1,774 @@
+//! A `.cat` relational DSL, sufficient for the paper's model files
+//! (Figs. 15 and 16).
+//!
+//! Supported statements:
+//!
+//! ```text
+//! let name = expr                  (relation definition)
+//! let name(param) = expr           (parameterised definition)
+//! acyclic expr as name             (acyclicity check)
+//! irreflexive expr as name         (irreflexivity check)
+//! empty expr as name               (emptiness check)
+//! ```
+//!
+//! Expressions combine identifiers with union `|`, intersection `&`,
+//! difference `\`, sequence `;`, inverse `^-1`, closures `+` `*` `?`,
+//! function application `f(e)`, and the sort filters `WW(e)`, `WR(e)`,
+//! `RW(e)`, `RR(e)` which restrict a relation to write→write, write→read,
+//! read→write and read→read pairs respectively. Line comments start with
+//! `//`; `(* … *)` block comments are also accepted.
+//!
+//! A model *allows* an execution iff every check passes
+//! ([`CatProgram::check`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::relation::{EventSet, Relation};
+
+/// Expressions of the `.cat` language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A named relation (base or `let`-bound).
+    Id(String),
+    /// `f(e)` — user function or builtin filter application.
+    App(String, Box<Expr>),
+    /// `a | b`.
+    Union(Box<Expr>, Box<Expr>),
+    /// `a & b`.
+    Inter(Box<Expr>, Box<Expr>),
+    /// `a \ b`.
+    Diff(Box<Expr>, Box<Expr>),
+    /// `a ; b`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// `e^-1`.
+    Inverse(Box<Expr>),
+    /// `e+`.
+    Plus(Box<Expr>),
+    /// `e*`.
+    Star(Box<Expr>),
+    /// `e?`.
+    Opt(Box<Expr>),
+    /// `0` — the empty relation.
+    Zero,
+}
+
+/// The three check forms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckKind {
+    /// `acyclic e as n` — `e` must have no cycles.
+    Acyclic,
+    /// `irreflexive e as n` — `e` must have no self-pairs.
+    Irreflexive,
+    /// `empty e as n` — `e` must have no pairs.
+    Empty,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckKind::Acyclic => write!(f, "acyclic"),
+            CheckKind::Irreflexive => write!(f, "irreflexive"),
+            CheckKind::Empty => write!(f, "empty"),
+        }
+    }
+}
+
+/// One statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `let name[(param)] = body`.
+    Let {
+        /// Bound name.
+        name: String,
+        /// Parameter, for function definitions.
+        param: Option<String>,
+        /// Right-hand side.
+        body: Expr,
+    },
+    /// A named check.
+    Check {
+        /// Which property.
+        kind: CheckKind,
+        /// The relation expression checked.
+        expr: Expr,
+        /// The check's name (after `as`).
+        name: String,
+    },
+}
+
+/// A parsed `.cat` program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CatProgram {
+    stmts: Vec<Stmt>,
+}
+
+/// Result of one named check on one execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckOutcome {
+    /// The check's name.
+    pub name: String,
+    /// Which property was checked.
+    pub kind: CheckKind,
+    /// Whether the execution satisfied it.
+    pub passed: bool,
+}
+
+/// `.cat` parse or evaluation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CatError(pub String);
+
+impl fmt::Display for CatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cat error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CatError {}
+
+// ---------------------------------------------------------------- lexing
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Let,
+    As,
+    Acyclic,
+    Irreflexive,
+    Empty,
+    Pipe,
+    Amp,
+    Backslash,
+    Semi,
+    LParen,
+    RParen,
+    Eq,
+    Inv,
+    Plus,
+    Star,
+    Question,
+    Zero,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, CatError> {
+    let mut toks = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' if b.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == ')') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            '|' => {
+                toks.push(Tok::Pipe);
+                i += 1;
+            }
+            '&' => {
+                toks.push(Tok::Amp);
+                i += 1;
+            }
+            '\\' => {
+                toks.push(Tok::Backslash);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '?' => {
+                toks.push(Tok::Question);
+                i += 1;
+            }
+            '^' => {
+                if b.get(i + 1) == Some(&'-') && b.get(i + 2) == Some(&'1') {
+                    toks.push(Tok::Inv);
+                    i += 3;
+                } else {
+                    return Err(CatError(format!("stray '^' at offset {i}")));
+                }
+            }
+            '0' if !b
+                .get(i + 1)
+                .is_some_and(|c| c.is_alphanumeric() || *c == '.' || *c == '-') =>
+            {
+                toks.push(Tok::Zero);
+                i += 1;
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.' || b[i] == '-')
+                {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                toks.push(match word.as_str() {
+                    "let" => Tok::Let,
+                    "as" => Tok::As,
+                    "acyclic" => Tok::Acyclic,
+                    "irreflexive" => Tok::Irreflexive,
+                    "empty" => Tok::Empty,
+                    _ => Tok::Ident(word),
+                });
+            }
+            other => return Err(CatError(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CatError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(CatError(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CatError> {
+        match self.next() {
+            Some(Tok::Let) => {
+                let name = self.expect_ident()?;
+                let param = if self.eat(&Tok::LParen) {
+                    let p = self.expect_ident()?;
+                    if !self.eat(&Tok::RParen) {
+                        return Err(CatError("expected ')' after parameter".into()));
+                    }
+                    Some(p)
+                } else {
+                    None
+                };
+                if !self.eat(&Tok::Eq) {
+                    return Err(CatError(format!("expected '=' in let {name}")));
+                }
+                let body = self.expr()?;
+                Ok(Stmt::Let { name, param, body })
+            }
+            Some(tok @ (Tok::Acyclic | Tok::Irreflexive | Tok::Empty)) => {
+                let kind = match tok {
+                    Tok::Acyclic => CheckKind::Acyclic,
+                    Tok::Irreflexive => CheckKind::Irreflexive,
+                    _ => CheckKind::Empty,
+                };
+                let expr = self.expr()?;
+                if !self.eat(&Tok::As) {
+                    return Err(CatError("expected 'as' after check expression".into()));
+                }
+                let name = self.expect_ident()?;
+                Ok(Stmt::Check { kind, expr, name })
+            }
+            other => Err(CatError(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    // Precedence (loosest→tightest): | ; ; ; \ ; & ; postfix ; atom.
+    fn expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.seq_expr()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.seq_expr()?;
+            e = Expr::Union(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn seq_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.diff_expr()?;
+        while self.eat(&Tok::Semi) {
+            let rhs = self.diff_expr()?;
+            e = Expr::Seq(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn diff_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.inter_expr()?;
+        while self.eat(&Tok::Backslash) {
+            let rhs = self.inter_expr()?;
+            e = Expr::Diff(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn inter_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.postfix_expr()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.postfix_expr()?;
+            e = Expr::Inter(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.atom()?;
+        loop {
+            if self.eat(&Tok::Inv) {
+                e = Expr::Inverse(Box::new(e));
+            } else if self.eat(&Tok::Plus) {
+                e = Expr::Plus(Box::new(e));
+            } else if self.eat(&Tok::Star) {
+                e = Expr::Star(Box::new(e));
+            } else if self.eat(&Tok::Question) {
+                e = Expr::Opt(Box::new(e));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, CatError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LParen) {
+                    let arg = self.expr()?;
+                    if !self.eat(&Tok::RParen) {
+                        return Err(CatError(format!("expected ')' after {name}(…")));
+                    }
+                    Ok(Expr::App(name, Box::new(arg)))
+                } else {
+                    Ok(Expr::Id(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(CatError("expected ')'".into()));
+                }
+                Ok(e)
+            }
+            Some(Tok::Zero) => Ok(Expr::Zero),
+            other => Err(CatError(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+impl CatProgram {
+    /// Parses a `.cat` source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] on lexical or syntactic problems.
+    pub fn parse(src: &str) -> Result<Self, CatError> {
+        let toks = lex(src)?;
+        let mut p = Parser { toks, pos: 0 };
+        let mut stmts = Vec::new();
+        while p.peek().is_some() {
+            stmts.push(p.stmt()?);
+        }
+        Ok(CatProgram { stmts })
+    }
+
+    /// The parsed statements.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// Names of all checks, in order.
+    pub fn check_names(&self) -> Vec<&str> {
+        self.stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Check { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Evaluates every check against the given base relations and event
+    /// sorts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] for unbound identifiers, applying a
+    /// non-function, or using a function where a relation is expected.
+    pub fn check(
+        &self,
+        base: &BTreeMap<String, Relation>,
+        reads: &EventSet,
+        writes: &EventSet,
+    ) -> Result<Vec<CheckOutcome>, CatError> {
+        let n = base
+            .values()
+            .next()
+            .map(Relation::universe)
+            .unwrap_or(0);
+        let mut env = Env {
+            base,
+            lets: BTreeMap::new(),
+            reads,
+            writes,
+            n,
+        };
+        let mut outcomes = Vec::new();
+        for stmt in &self.stmts {
+            match stmt {
+                Stmt::Let { name, param, body } => {
+                    let v = match param {
+                        None => Binding::Rel(env.eval(body)?),
+                        Some(p) => Binding::Fun {
+                            param: p.clone(),
+                            body: body.clone(),
+                        },
+                    };
+                    env.lets.insert(name.clone(), v);
+                }
+                Stmt::Check { kind, expr, name } => {
+                    let rel = env.eval(expr)?;
+                    let passed = match kind {
+                        CheckKind::Acyclic => rel.is_acyclic(),
+                        CheckKind::Irreflexive => rel.is_irreflexive(),
+                        CheckKind::Empty => rel.is_empty(),
+                    };
+                    outcomes.push(CheckOutcome {
+                        name: name.clone(),
+                        kind: *kind,
+                        passed,
+                    });
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// `true` iff every check passes.
+    ///
+    /// # Errors
+    ///
+    /// See [`CatProgram::check`].
+    pub fn allows(
+        &self,
+        base: &BTreeMap<String, Relation>,
+        reads: &EventSet,
+        writes: &EventSet,
+    ) -> Result<bool, CatError> {
+        Ok(self.check(base, reads, writes)?.iter().all(|c| c.passed))
+    }
+}
+
+#[derive(Clone)]
+enum Binding {
+    Rel(Relation),
+    Fun { param: String, body: Expr },
+}
+
+struct Env<'a> {
+    base: &'a BTreeMap<String, Relation>,
+    lets: BTreeMap<String, Binding>,
+    reads: &'a EventSet,
+    writes: &'a EventSet,
+    n: usize,
+}
+
+impl Env<'_> {
+    fn lookup(&self, name: &str) -> Result<Binding, CatError> {
+        if let Some(b) = self.lets.get(name) {
+            return Ok(b.clone());
+        }
+        if let Some(r) = self.base.get(name) {
+            return Ok(Binding::Rel(r.clone()));
+        }
+        Err(CatError(format!("unbound identifier {name:?}")))
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Relation, CatError> {
+        match e {
+            Expr::Zero => Ok(Relation::empty(self.n)),
+            Expr::Id(name) => match self.lookup(name)? {
+                Binding::Rel(r) => Ok(r),
+                Binding::Fun { .. } => {
+                    Err(CatError(format!("{name:?} is a function, not a relation")))
+                }
+            },
+            Expr::App(name, arg) => {
+                let argv = self.eval(arg)?;
+                match name.as_str() {
+                    // Sort filters.
+                    "WW" => Ok(argv.restrict(self.writes, self.writes)),
+                    "WR" => Ok(argv.restrict(self.writes, self.reads)),
+                    "RW" => Ok(argv.restrict(self.reads, self.writes)),
+                    "RR" => Ok(argv.restrict(self.reads, self.reads)),
+                    _ => match self.lookup(name)? {
+                        Binding::Fun { param, body } => {
+                            // Bind the parameter, evaluate, restore.
+                            let saved = self.lets.insert(param.clone(), Binding::Rel(argv));
+                            let result = self.eval(&body);
+                            match saved {
+                                Some(v) => {
+                                    self.lets.insert(param, v);
+                                }
+                                None => {
+                                    self.lets.remove(&param);
+                                }
+                            }
+                            result
+                        }
+                        Binding::Rel(_) => Err(CatError(format!(
+                            "{name:?} is a relation, cannot be applied"
+                        ))),
+                    },
+                }
+            }
+            Expr::Union(a, b) => Ok(self.eval(a)?.union(&self.eval(b)?)),
+            Expr::Inter(a, b) => Ok(self.eval(a)?.inter(&self.eval(b)?)),
+            Expr::Diff(a, b) => Ok(self.eval(a)?.diff(&self.eval(b)?)),
+            Expr::Seq(a, b) => Ok(self.eval(a)?.seq(&self.eval(b)?)),
+            Expr::Inverse(a) => Ok(self.eval(a)?.inverse()),
+            Expr::Plus(a) => Ok(self.eval(a)?.transitive_closure()),
+            Expr::Star(a) => Ok(self.eval(a)?.reflexive_transitive_closure()),
+            Expr::Opt(a) => Ok(self.eval(a)?.optional()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Pretty-prints with explicit parentheses around every binary
+    /// operation, so output re-parses to the same tree regardless of
+    /// precedence.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Zero => write!(f, "0"),
+            Expr::Id(name) => write!(f, "{name}"),
+            Expr::App(name, arg) => write!(f, "{name}({arg})"),
+            Expr::Union(a, b) => write!(f, "({a} | {b})"),
+            Expr::Inter(a, b) => write!(f, "({a} & {b})"),
+            Expr::Diff(a, b) => write!(f, "({a} \\ {b})"),
+            Expr::Seq(a, b) => write!(f, "({a} ; {b})"),
+            Expr::Inverse(a) => write!(f, "({a})^-1"),
+            Expr::Plus(a) => write!(f, "({a})+"),
+            Expr::Star(a) => write!(f, "({a})*"),
+            Expr::Opt(a) => write!(f, "({a})?"),
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Let {
+                name,
+                param: None,
+                body,
+            } => write!(f, "let {name} = {body}"),
+            Stmt::Let {
+                name,
+                param: Some(p),
+                body,
+            } => write!(f, "let {name}({p}) = {body}"),
+            Stmt::Check { kind, expr, name } => write!(f, "{kind} {expr} as {name}"),
+        }
+    }
+}
+
+impl fmt::Display for CatProgram {
+    /// Renders the program one statement per line; the output re-parses
+    /// to an equal program.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for stmt in &self.stmts {
+            writeln!(f, "{stmt}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base3() -> (BTreeMap<String, Relation>, EventSet, EventSet) {
+        // Universe {0,1,2}: 0 is a write, 1 a read, 2 a write.
+        let mut m = BTreeMap::new();
+        m.insert("po".to_string(), Relation::from_pairs(3, [(0, 1), (1, 2), (0, 2)]));
+        m.insert("rf".to_string(), Relation::from_pairs(3, [(2, 1)]));
+        let writes = EventSet::from_iter_n(3, [0, 2]);
+        let reads = EventSet::from_iter_n(3, [1]);
+        (m, reads, writes)
+    }
+
+    #[test]
+    fn parses_paper_fig15() {
+        let src = "
+let com = rf | co | fr
+let po-loc-llh = WW(po-loc) | WR(po-loc) | RW(po-loc)
+acyclic (po-loc-llh | com) as sc-per-loc-llh
+let dp = addr | data | ctrl
+acyclic (dp | rf) as no-thin-air
+let rmo(fence) = dp | fence | rfe | co | fr
+";
+        let p = CatProgram::parse(src).unwrap();
+        assert_eq!(p.stmts().len(), 6);
+        assert_eq!(p.check_names(), vec!["sc-per-loc-llh", "no-thin-air"]);
+        // `rmo` is a function definition.
+        assert!(matches!(
+            &p.stmts()[5],
+            Stmt::Let {
+                name,
+                param: Some(param),
+                ..
+            } if name == "rmo" && param == "fence"
+        ));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// line comment\n(* block *) let x = po\nacyclic x as c1";
+        let p = CatProgram::parse(src).unwrap();
+        assert_eq!(p.stmts().len(), 2);
+    }
+
+    #[test]
+    fn filters_restrict_by_sort() {
+        let (base, reads, writes) = base3();
+        let p = CatProgram::parse("empty WW(po) as onlyww").unwrap();
+        // po pairs: (0,1) W→R, (1,2) R→W, (0,2) W→W ⇒ WW(po) nonempty.
+        let out = p.check(&base, &reads, &writes).unwrap();
+        assert!(!out[0].passed);
+        let p2 = CatProgram::parse("empty RR(po) as onlyrr").unwrap();
+        assert!(p2.check(&base, &reads, &writes).unwrap()[0].passed);
+    }
+
+    #[test]
+    fn function_application_substitutes() {
+        let (base, reads, writes) = base3();
+        let src = "
+let f(x) = x | rf
+acyclic f(po) as c
+";
+        let p = CatProgram::parse(src).unwrap();
+        // po ∪ rf has cycle 1→2→1.
+        let out = p.check(&base, &reads, &writes).unwrap();
+        assert!(!out[0].passed);
+    }
+
+    #[test]
+    fn operators_and_postfix() {
+        let (base, reads, writes) = base3();
+        let checks = [
+            ("empty po & rf as c", true),       // disjoint
+            ("empty po \\ po as c", true),      // difference with self
+            ("empty (po ; rf) as c", false),    // (0,1);(… ) — po;rf has (1,1)? po(1,2), rf(2,1) ⇒ (1,1)
+            ("irreflexive (po ; rf) as c", false),
+            ("empty rf^-1 as c", false),
+            ("acyclic po+ as c", true),
+            ("irreflexive po* as c", false), // reflexive closure has self-pairs
+            ("empty 0 as c", true),
+            ("acyclic po? as c", false),     // id pairs are self-loops
+        ];
+        for (src, expect) in checks {
+            let p = CatProgram::parse(src).unwrap();
+            let out = p.check(&base, &reads, &writes).unwrap();
+            assert_eq!(out[0].passed, expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn unbound_identifier_reported() {
+        let (base, reads, writes) = base3();
+        let p = CatProgram::parse("acyclic nosuch as c").unwrap();
+        let err = p.check(&base, &reads, &writes).unwrap_err();
+        assert!(err.0.contains("unbound"), "{err}");
+    }
+
+    #[test]
+    fn applying_relation_is_an_error() {
+        let (base, reads, writes) = base3();
+        let p = CatProgram::parse("acyclic po(rf) as c").unwrap();
+        assert!(p.check(&base, &reads, &writes).is_err());
+    }
+
+    #[test]
+    fn function_as_relation_is_an_error() {
+        let (base, reads, writes) = base3();
+        let p = CatProgram::parse("let f(x) = x\nacyclic f as c").unwrap();
+        assert!(p.check(&base, &reads, &writes).is_err());
+    }
+
+    #[test]
+    fn hyphenated_and_dotted_identifiers() {
+        let src = "let cta-fence = membar.cta | membar.gl\nacyclic cta-fence as c";
+        let p = CatProgram::parse(src).unwrap();
+        let mut base = BTreeMap::new();
+        base.insert("membar.cta".to_string(), Relation::from_pairs(2, [(0, 1)]));
+        base.insert("membar.gl".to_string(), Relation::empty(2));
+        let out = p
+            .check(&base, &EventSet::empty(2), &EventSet::empty(2))
+            .unwrap();
+        assert!(out[0].passed);
+    }
+
+    #[test]
+    fn allows_requires_all_checks() {
+        let (base, reads, writes) = base3();
+        let src = "acyclic po as good\nacyclic (po | rf) as bad";
+        let p = CatProgram::parse(src).unwrap();
+        assert!(!p.allows(&base, &reads, &writes).unwrap());
+        let out = p.check(&base, &reads, &writes).unwrap();
+        assert!(out[0].passed && !out[1].passed);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(CatProgram::parse("let = po").is_err());
+        assert!(CatProgram::parse("acyclic po").is_err()); // missing as
+        assert!(CatProgram::parse("let f(x = x").is_err());
+        assert!(CatProgram::parse("bogus po as c").is_err());
+        assert!(CatProgram::parse("let x = po ^ 2").is_err()); // stray ^
+    }
+}

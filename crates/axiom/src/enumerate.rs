@@ -1,0 +1,513 @@
+//! Enumeration of candidate executions (paper Sec. 5.1.2).
+//!
+//! A litmus test's candidate executions are generated in three stages:
+//!
+//! 1. **Value domains** — a small fixed point computes, per location, the
+//!    values a read could possibly return (the initial value plus every
+//!    value any write could produce, iterated to cover value-chained RMWs).
+//! 2. **Thread traces** — each thread is unwound symbolically under every
+//!    oracle drawn from the domains ([`crate::symbolic`]).
+//! 3. **Communication** — for every combination of traces, every consistent
+//!    read-from assignment (each read sourced from a same-location,
+//!    same-value write, or the initial state) and every coherence order per
+//!    location is enumerated.
+//!
+//! The result is the complete set of candidate [`Execution`]s with their
+//! observable [`Outcome`]s; a [`crate::model::Model`] implementation then partitions
+//! them into allowed and forbidden.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use weakgpu_litmus::{FinalExpr, LitmusTest, Loc, Outcome, Reg};
+
+use crate::event::Event;
+use crate::exec::Execution;
+use crate::model::Model;
+use crate::relation::Relation;
+use crate::symbolic::{enumerate_thread_traces, SymError, ThreadTrace};
+
+/// Bounds for the enumeration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EnumConfig {
+    /// Instruction budget per thread (loops unroll up to this).
+    pub max_steps_per_thread: usize,
+    /// Fixed-point iterations for read-value domains. 3 covers every paper
+    /// test (constant stores plus one RMW increment chain).
+    pub domain_iters: usize,
+    /// Bound on the traces enumerated per thread.
+    pub max_traces_per_thread: usize,
+    /// Bound on the total number of candidate executions.
+    pub max_executions: usize,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig {
+            max_steps_per_thread: 128,
+            domain_iters: 3,
+            max_traces_per_thread: 4096,
+            max_executions: 1_000_000,
+        }
+    }
+}
+
+/// Enumeration failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EnumError {
+    /// Symbolic execution failed.
+    Sym(SymError),
+    /// More than [`EnumConfig::max_executions`] candidates.
+    TooManyExecutions,
+}
+
+impl fmt::Display for EnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumError::Sym(e) => write!(f, "symbolic execution failed: {e}"),
+            EnumError::TooManyExecutions => write!(f, "too many candidate executions"),
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+impl From<SymError> for EnumError {
+    fn from(e: SymError) -> Self {
+        EnumError::Sym(e)
+    }
+}
+
+/// Computes the per-location read-value domains by fixed point.
+fn value_domains(
+    test: &LitmusTest,
+    cfg: &EnumConfig,
+) -> Result<BTreeMap<Loc, BTreeSet<i64>>, EnumError> {
+    let mut domains: BTreeMap<Loc, BTreeSet<i64>> = test
+        .memory()
+        .iter()
+        .map(|(l, mi)| (l.clone(), [mi.init].into_iter().collect()))
+        .collect();
+    for _ in 0..cfg.domain_iters {
+        let mut changed = false;
+        for (tid, code) in test.threads().iter().enumerate() {
+            let init = |r: &Reg| test.reg_init_value(tid, r);
+            let traces = enumerate_thread_traces(
+                tid,
+                code,
+                &init,
+                &domains,
+                cfg.max_steps_per_thread,
+                cfg.max_traces_per_thread,
+            )?;
+            for tr in &traces {
+                for e in &tr.events {
+                    if e.kind.is_write() {
+                        let loc = e.loc.clone().expect("writes have locations");
+                        if domains.entry(loc).or_default().insert(e.value) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(domains)
+}
+
+/// One candidate execution together with its observable outcome.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Candidate {
+    /// The execution graph.
+    pub execution: Execution,
+    /// The values of the test's observed registers/locations.
+    pub outcome: Outcome,
+}
+
+/// Enumerates all candidate executions of `test`.
+///
+/// # Errors
+///
+/// Fails if symbolic execution fails (bad addresses, unbounded loops) or the
+/// candidate count exceeds [`EnumConfig::max_executions`].
+pub fn enumerate_executions(
+    test: &LitmusTest,
+    cfg: &EnumConfig,
+) -> Result<Vec<Candidate>, EnumError> {
+    let domains = value_domains(test, cfg)?;
+    let mut per_thread: Vec<Vec<ThreadTrace>> = Vec::new();
+    for (tid, code) in test.threads().iter().enumerate() {
+        let init = |r: &Reg| test.reg_init_value(tid, r);
+        per_thread.push(enumerate_thread_traces(
+            tid,
+            code,
+            &init,
+            &domains,
+            cfg.max_steps_per_thread,
+            cfg.max_traces_per_thread,
+        )?);
+    }
+
+    let thread_cta: Vec<usize> = (0..test.num_threads())
+        .map(|t| test.scope_tree().placement(t).cta)
+        .collect();
+    let init_mem: BTreeMap<Loc, i64> = test
+        .memory()
+        .iter()
+        .map(|(l, mi)| (l.clone(), mi.init))
+        .collect();
+    let observed = test.observed();
+
+    let mut out = Vec::new();
+    let mut combo = vec![0usize; per_thread.len()];
+    'combos: loop {
+        let traces: Vec<&ThreadTrace> = combo
+            .iter()
+            .zip(&per_thread)
+            .map(|(&i, ts)| &ts[i])
+            .collect();
+        expand_communications(
+            test,
+            &traces,
+            &thread_cta,
+            &init_mem,
+            &observed,
+            cfg,
+            &mut out,
+        )?;
+
+        // Advance the mixed-radix counter over thread traces.
+        for t in (0..combo.len()).rev() {
+            combo[t] += 1;
+            if combo[t] < per_thread[t].len() {
+                continue 'combos;
+            }
+            combo[t] = 0;
+        }
+        break;
+    }
+    Ok(out)
+}
+
+/// Builds the global event list for one trace combination and enumerates
+/// rf/co choices.
+fn expand_communications(
+    test: &LitmusTest,
+    traces: &[&ThreadTrace],
+    thread_cta: &[usize],
+    init_mem: &BTreeMap<Loc, i64>,
+    observed: &[FinalExpr],
+    cfg: &EnumConfig,
+    out: &mut Vec<Candidate>,
+) -> Result<(), EnumError> {
+    // Global event ids: thread events concatenated.
+    let mut events: Vec<Event> = Vec::new();
+    let mut offsets = Vec::with_capacity(traces.len());
+    for tr in traces {
+        offsets.push(events.len());
+        for (i, e) in tr.events.iter().enumerate() {
+            events.push(Event {
+                id: events.len(),
+                tid: tr.tid,
+                po_idx: i,
+                kind: e.kind,
+                loc: e.loc.clone(),
+                value: e.value,
+                cache: e.cache,
+                volatile: e.volatile,
+                atomic: e.atomic,
+                instr_idx: e.instr_idx,
+            });
+        }
+    }
+    let n = events.len();
+
+    let mut addr = Relation::empty(n);
+    let mut data = Relation::empty(n);
+    let mut ctrl = Relation::empty(n);
+    let mut rmw = Relation::empty(n);
+    for (tr, &off) in traces.iter().zip(&offsets) {
+        for (i, e) in tr.events.iter().enumerate() {
+            for &d in &e.addr_deps {
+                addr.add(off + d, off + i);
+            }
+            for &d in &e.data_deps {
+                data.add(off + d, off + i);
+            }
+            for &d in &e.ctrl_deps {
+                ctrl.add(off + d, off + i);
+            }
+        }
+        for &(r, w) in &tr.rmw_pairs {
+            rmw.add(off + r, off + w);
+        }
+    }
+
+    // Read-from candidates per read.
+    let reads: Vec<usize> = events.iter().filter(|e| e.is_read()).map(|e| e.id).collect();
+    let mut rf_choices: Vec<Vec<Option<usize>>> = Vec::with_capacity(reads.len());
+    for &r in &reads {
+        let loc = events[r].loc.as_ref().expect("reads have locations");
+        let v = events[r].value;
+        let mut cands: Vec<Option<usize>> = Vec::new();
+        if init_mem.get(loc).copied().unwrap_or(0) == v {
+            cands.push(None);
+        }
+        for e in &events {
+            if e.is_write() && e.accesses(loc) && e.value == v {
+                cands.push(Some(e.id));
+            }
+        }
+        if cands.is_empty() {
+            return Ok(()); // this trace combination is unrealisable
+        }
+        rf_choices.push(cands);
+    }
+
+    // Coherence: permutations of writes per location.
+    let mut writes_by_loc: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
+    for e in &events {
+        if e.is_write() {
+            writes_by_loc
+                .entry(e.loc.clone().expect("writes have locations"))
+                .or_default()
+                .push(e.id);
+        }
+    }
+    let co_orders: Vec<(Loc, Vec<Vec<usize>>)> = writes_by_loc
+        .into_iter()
+        .map(|(l, ws)| (l, permutations(&ws)))
+        .collect();
+
+    // Product: rf assignment × co choice.
+    let mut rf_idx = vec![0usize; reads.len()];
+    'rf: loop {
+        let mut rf = vec![None; n];
+        for (k, &r) in reads.iter().enumerate() {
+            rf[r] = rf_choices[k][rf_idx[k]];
+        }
+
+        let mut co_idx = vec![0usize; co_orders.len()];
+        'co: loop {
+            let co: BTreeMap<Loc, Vec<usize>> = co_orders
+                .iter()
+                .zip(&co_idx)
+                .map(|((l, perms), &i)| (l.clone(), perms[i].clone()))
+                .collect();
+
+            let execution = Execution {
+                events: events.clone(),
+                thread_cta: thread_cta.to_vec(),
+                rf: rf.clone(),
+                co,
+                init: init_mem.clone(),
+                addr: addr.clone(),
+                data: data.clone(),
+                ctrl: ctrl.clone(),
+                rmw: rmw.clone(),
+            };
+            let outcome = outcome_of(test, traces, &execution, observed);
+            out.push(Candidate { execution, outcome });
+            if out.len() > cfg.max_executions {
+                return Err(EnumError::TooManyExecutions);
+            }
+
+            for i in (0..co_idx.len()).rev() {
+                co_idx[i] += 1;
+                if co_idx[i] < co_orders[i].1.len() {
+                    continue 'co;
+                }
+                co_idx[i] = 0;
+            }
+            break;
+        }
+
+        for k in (0..rf_idx.len()).rev() {
+            rf_idx[k] += 1;
+            if rf_idx[k] < rf_choices[k].len() {
+                continue 'rf;
+            }
+            rf_idx[k] = 0;
+        }
+        break;
+    }
+    Ok(())
+}
+
+fn outcome_of(
+    _test: &LitmusTest,
+    traces: &[&ThreadTrace],
+    execution: &Execution,
+    observed: &[FinalExpr],
+) -> Outcome {
+    let mut o = Outcome::new();
+    for expr in observed {
+        let v = match expr {
+            FinalExpr::Reg(tid, reg) => traces
+                .get(*tid)
+                .map(|tr| tr.final_int(reg))
+                .unwrap_or(0),
+            FinalExpr::Mem(loc) => execution.final_memory(loc),
+        };
+        o.set(expr.clone(), v);
+    }
+    o
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, x);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// The model-level verdict on a litmus test.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModelOutcomes {
+    /// Every outcome of every candidate execution.
+    pub all_outcomes: BTreeSet<Outcome>,
+    /// Outcomes of model-allowed executions.
+    pub allowed_outcomes: BTreeSet<Outcome>,
+    /// Number of candidate executions examined.
+    pub num_candidates: usize,
+    /// Number of allowed executions.
+    pub num_allowed: usize,
+    /// `true` if the final condition is witnessed by some *allowed*
+    /// execution (for `exists`: the model permits the listed outcome).
+    pub condition_witnessed: bool,
+}
+
+impl ModelOutcomes {
+    /// `true` if `outcome` is allowed by the model.
+    pub fn allows(&self, outcome: &Outcome) -> bool {
+        self.allowed_outcomes.contains(outcome)
+    }
+}
+
+/// Runs `model` over all candidates of `test`.
+///
+/// # Errors
+///
+/// Propagates [`EnumError`]s from the enumeration.
+pub fn model_outcomes(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+) -> Result<ModelOutcomes, EnumError> {
+    let candidates = enumerate_executions(test, cfg)?;
+    let mut all = BTreeSet::new();
+    let mut allowed = BTreeSet::new();
+    let mut num_allowed = 0;
+    let mut witnessed = false;
+    for c in &candidates {
+        all.insert(c.outcome.clone());
+        if model.allows(&c.execution) {
+            num_allowed += 1;
+            if test.cond().witnessed_by(&c.outcome) {
+                witnessed = true;
+            }
+            allowed.insert(c.outcome.clone());
+        }
+    }
+    Ok(ModelOutcomes {
+        all_outcomes: all,
+        allowed_outcomes: allowed,
+        num_candidates: candidates.len(),
+        num_allowed,
+        condition_witnessed: witnessed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakgpu_litmus::corpus;
+    use weakgpu_litmus::ThreadScope;
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(&[]).len(), 1);
+        assert_eq!(permutations(&[1]).len(), 1);
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        let ps = permutations(&[1, 2]);
+        assert!(ps.contains(&vec![1, 2]) && ps.contains(&vec![2, 1]));
+    }
+
+    #[test]
+    fn corr_candidates_include_weak_outcome() {
+        let test = corpus::corr();
+        let cands = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+        assert!(!cands.is_empty());
+        // The weak outcome r1=1, r2=0 appears among candidates.
+        let weak = cands.iter().any(|c| test.cond().witnessed_by(&c.outcome));
+        assert!(weak);
+        // And the SC outcome r1=1, r2=1 too.
+        let mut sc = Outcome::new();
+        sc.set(FinalExpr::reg(1, "r1"), 1);
+        sc.set(FinalExpr::reg(1, "r2"), 1);
+        assert!(cands.iter().any(|c| c.outcome == sc));
+    }
+
+    #[test]
+    fn domains_cover_increment_chains() {
+        // dlb-mp has `t := load t + 1`, needing iterated domains.
+        let test = corpus::dlb_mp(false);
+        let cfg = EnumConfig::default();
+        let domains = value_domains(&test, &cfg).unwrap();
+        let t = domains.get(&Loc::new("t")).unwrap();
+        assert!(t.contains(&0) && t.contains(&1));
+    }
+
+    #[test]
+    fn unrealisable_reads_prune_candidates() {
+        // sb: reads of x/y can only be 0 or 1; no candidate gives r2=7.
+        let test = corpus::sb(ThreadScope::InterCta, None);
+        let cands = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+        assert!(cands
+            .iter()
+            .all(|c| c.outcome.iter().all(|(_, v)| v == 0 || v == 1)));
+    }
+
+    #[test]
+    fn rf_sources_match_location_and_value() {
+        let test = corpus::corr();
+        for c in enumerate_executions(&test, &EnumConfig::default()).unwrap() {
+            let ex = &c.execution;
+            for (r, src) in ex.rf.iter().enumerate() {
+                if let Some(w) = src {
+                    assert!(ex.events[*w].is_write());
+                    assert_eq!(ex.events[*w].loc, ex.events[r].loc);
+                    assert_eq!(ex.events[*w].value, ex.events[r].value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn execution_count_is_bounded_and_deterministic() {
+        let test = corpus::corr();
+        let a = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+        let b = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+        assert_eq!(a.len(), b.len());
+        let tiny = EnumConfig {
+            max_executions: 1,
+            ..EnumConfig::default()
+        };
+        assert_eq!(
+            enumerate_executions(&test, &tiny).unwrap_err(),
+            EnumError::TooManyExecutions
+        );
+    }
+}

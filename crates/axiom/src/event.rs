@@ -1,0 +1,156 @@
+//! Memory events — the nodes of candidate-execution graphs (paper
+//! Sec. 5.1.1).
+
+use std::fmt;
+
+use weakgpu_litmus::{CacheOp, FenceScope, Loc};
+
+/// What an event does.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    /// A read of memory (loads; the read half of atomics).
+    Read,
+    /// A write to memory (stores; the write half of atomics).
+    Write,
+    /// A `membar` fence of the given scope.
+    Fence(FenceScope),
+}
+
+impl EventKind {
+    /// `true` for reads.
+    pub fn is_read(self) -> bool {
+        matches!(self, EventKind::Read)
+    }
+
+    /// `true` for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, EventKind::Write)
+    }
+
+    /// `true` for memory accesses (reads or writes).
+    pub fn is_access(self) -> bool {
+        !matches!(self, EventKind::Fence(_))
+    }
+}
+
+/// One memory event of a candidate execution.
+///
+/// Atomic operations (`atom.cas`, `atom.exch`, `atom.inc`) produce a read
+/// event and (on success) a write event, linked by the execution's `rmw`
+/// relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Global event id — the index into [`crate::Execution::events`].
+    pub id: usize,
+    /// Owning thread.
+    pub tid: usize,
+    /// Position in the thread's event sequence (program order).
+    pub po_idx: usize,
+    /// Read, write or fence.
+    pub kind: EventKind,
+    /// Accessed location (`None` for fences).
+    pub loc: Option<Loc>,
+    /// Value read or written (0 for fences).
+    pub value: i64,
+    /// The access's cache operator.
+    pub cache: CacheOp,
+    /// `.volatile` marker.
+    pub volatile: bool,
+    /// `true` when the event comes from an atomic instruction.
+    pub atomic: bool,
+    /// Index of the originating instruction in the thread's code (for
+    /// diagnostics and optcheck cross-referencing).
+    pub instr_idx: usize,
+}
+
+impl Event {
+    /// `true` for reads.
+    pub fn is_read(&self) -> bool {
+        self.kind.is_read()
+    }
+
+    /// `true` for writes.
+    pub fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+
+    /// `true` for fences.
+    pub fn is_fence(&self) -> bool {
+        matches!(self.kind, EventKind::Fence(_))
+    }
+
+    /// `true` if the event accesses `loc`.
+    pub fn accesses(&self, loc: &Loc) -> bool {
+        self.loc.as_ref() == Some(loc)
+    }
+
+    /// A compact label like `a: W.cg x=1` (cf. the paper's Fig. 14).
+    pub fn label(&self) -> String {
+        let letter = (b'a' + (self.id % 26) as u8) as char;
+        match self.kind {
+            EventKind::Fence(scope) => format!("{letter}: F{scope} (T{})", self.tid),
+            kind => {
+                let k = if kind.is_read() { "R" } else { "W" };
+                let vol = if self.volatile { ".vol" } else { "" };
+                format!(
+                    "{letter}: {k}{}{vol} {}={} (T{})",
+                    self.cache,
+                    self.loc.as_ref().map(|l| l.as_str()).unwrap_or("?"),
+                    self.value,
+                    self.tid
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> Event {
+        Event {
+            id: 0,
+            tid: 1,
+            po_idx: 0,
+            kind,
+            loc: (kind.is_access()).then(|| Loc::new("x")),
+            value: 1,
+            cache: CacheOp::Cg,
+            volatile: false,
+            atomic: false,
+            instr_idx: 0,
+        }
+    }
+
+    #[test]
+    fn kinds() {
+        assert!(ev(EventKind::Read).is_read());
+        assert!(!ev(EventKind::Read).is_write());
+        assert!(ev(EventKind::Write).is_write());
+        assert!(ev(EventKind::Fence(FenceScope::Gl)).is_fence());
+        assert!(!EventKind::Fence(FenceScope::Cta).is_access());
+    }
+
+    #[test]
+    fn labels_render() {
+        let e = ev(EventKind::Write);
+        assert_eq!(e.label(), "a: W.cg x=1 (T1)");
+        let f = ev(EventKind::Fence(FenceScope::Sys));
+        assert_eq!(f.label(), "a: F.sys (T1)");
+    }
+
+    #[test]
+    fn accesses_checks_location() {
+        let e = ev(EventKind::Read);
+        assert!(e.accesses(&Loc::new("x")));
+        assert!(!e.accesses(&Loc::new("y")));
+        assert!(!ev(EventKind::Fence(FenceScope::Gl)).accesses(&Loc::new("x")));
+    }
+}

@@ -1,0 +1,185 @@
+//! The [`Model`] trait and the `.cat`-backed [`CatModel`] implementation.
+//!
+//! Concrete models (the paper's PTX model, SC, TSO, RMO, the operational
+//! baseline) live in the `weakgpu-models` crate; this module provides the
+//! machinery plus a minimal [`sc_model`] used in documentation and tests.
+
+use crate::cat::{CatError, CatProgram, CheckOutcome};
+use crate::exec::Execution;
+pub use crate::exec::RmwAtomicity;
+
+/// A memory consistency model: a predicate on candidate executions
+/// (paper Sec. 5.2).
+pub trait Model {
+    /// Human-readable model name.
+    fn name(&self) -> &str;
+
+    /// `true` iff the model allows this execution.
+    fn allows(&self, exec: &Execution) -> bool;
+}
+
+/// A model defined by a `.cat` program plus an RMW-atomicity mode.
+///
+/// ```
+/// use weakgpu_axiom::{CatModel, RmwAtomicity};
+///
+/// let sc = CatModel::new("sc", "acyclic (po | rf | co | fr) as sc")
+///     .unwrap()
+///     .with_rmw_atomicity(RmwAtomicity::Full);
+/// assert_eq!(weakgpu_axiom::Model::name(&sc), "sc");
+/// ```
+#[derive(Clone, Debug)]
+pub struct CatModel {
+    name: String,
+    program: CatProgram,
+    rmw: RmwAtomicity,
+}
+
+impl CatModel {
+    /// Parses `src` as a `.cat` program and wraps it as a model, with
+    /// [`RmwAtomicity::AmongAtomics`] (the PTX default).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`CatError`] if `src` does not parse.
+    pub fn new(name: impl Into<String>, src: &str) -> Result<Self, CatError> {
+        Ok(CatModel {
+            name: name.into(),
+            program: CatProgram::parse(src)?,
+            rmw: RmwAtomicity::AmongAtomics,
+        })
+    }
+
+    /// Sets the RMW-atomicity mode.
+    pub fn with_rmw_atomicity(mut self, rmw: RmwAtomicity) -> Self {
+        self.rmw = rmw;
+        self
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &CatProgram {
+        &self.program
+    }
+
+    /// The RMW-atomicity mode.
+    pub fn rmw_atomicity(&self) -> RmwAtomicity {
+        self.rmw
+    }
+
+    /// Evaluates all named checks on `exec` (without the RMW side
+    /// condition).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] if the program references unbound relations.
+    pub fn check(&self, exec: &Execution) -> Result<Vec<CheckOutcome>, CatError> {
+        let base = exec.base_relations();
+        self.program
+            .check(&base, &exec.read_set(), &exec.write_set())
+    }
+}
+
+impl Model for CatModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the `.cat` program references relations that are not in
+    /// the base environment — a defect in the model source, not in the
+    /// execution under test.
+    fn allows(&self, exec: &Execution) -> bool {
+        if !exec.rmw_atomicity_holds(self.rmw) {
+            return false;
+        }
+        let base = exec.base_relations();
+        self.program
+            .allows(&base, &exec.read_set(), &exec.write_set())
+            .unwrap_or_else(|e| panic!("model {:?} failed to evaluate: {e}", self.name))
+    }
+}
+
+/// A plain sequential-consistency model: `acyclic (po | rf | co | fr)`,
+/// with full RMW atomicity.
+pub fn sc_model() -> CatModel {
+    CatModel::new(
+        "SC",
+        "let com = rf | co | fr\nacyclic (po | com) as sc",
+    )
+    .expect("embedded model parses")
+    .with_rmw_atomicity(RmwAtomicity::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_executions, model_outcomes, EnumConfig};
+    use weakgpu_litmus::{corpus, ThreadScope};
+
+    #[test]
+    fn sc_forbids_all_weak_idioms() {
+        let sc = sc_model();
+        let cfg = EnumConfig::default();
+        for test in [
+            corpus::corr(),
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::sb(ThreadScope::InterCta, None),
+            corpus::lb(ThreadScope::InterCta, None),
+        ] {
+            let out = model_outcomes(&test, &sc, &cfg).unwrap();
+            assert!(
+                !out.condition_witnessed,
+                "SC must forbid the weak outcome of {}",
+                test.name()
+            );
+            assert!(out.num_allowed > 0, "SC allows some execution of {}", test.name());
+        }
+    }
+
+    #[test]
+    fn sc_allows_the_mp_strong_outcomes() {
+        let sc = sc_model();
+        let test = corpus::mp(ThreadScope::InterCta, None);
+        let out = model_outcomes(&test, &sc, &EnumConfig::default()).unwrap();
+        // r1=1 ∧ r2=1, r1=0 outcomes are all SC; only r1=1 ∧ r2=0 is weak.
+        assert_eq!(out.allowed_outcomes.len(), 3);
+        assert_eq!(out.all_outcomes.len(), 4);
+    }
+
+    #[test]
+    fn cat_model_counts_candidate_verdicts() {
+        let sc = sc_model();
+        let test = corpus::corr();
+        let cands = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+        let allowed = cands.iter().filter(|c| sc.allows(&c.execution)).count();
+        assert!(allowed > 0 && allowed < cands.len());
+    }
+
+    #[test]
+    fn check_reports_named_outcomes() {
+        let sc = sc_model();
+        let test = corpus::corr();
+        let cands = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+        let outcomes = sc.check(&cands[0].execution).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].name, "sc");
+    }
+
+    #[test]
+    fn rmw_atomicity_mode_matters() {
+        // dlb-lb uses CASes; under None vs Full the allowed sets differ in
+        // general. This is a smoke test that the mode is plumbed through.
+        let relaxed = CatModel::new("r", "acyclic rf & 0 as trivial")
+            .unwrap()
+            .with_rmw_atomicity(RmwAtomicity::None);
+        let strict = CatModel::new("s", "acyclic rf & 0 as trivial")
+            .unwrap()
+            .with_rmw_atomicity(RmwAtomicity::Full);
+        let test = corpus::dlb_lb(false);
+        let out_relaxed = model_outcomes(&test, &relaxed, &EnumConfig::default()).unwrap();
+        let out_strict = model_outcomes(&test, &strict, &EnumConfig::default()).unwrap();
+        assert!(out_relaxed.num_allowed >= out_strict.num_allowed);
+        assert!(out_strict.num_allowed > 0);
+    }
+}

@@ -1,0 +1,455 @@
+//! Finite binary relations over event ids, as dense bit matrices, plus the
+//! relational algebra the `.cat` language needs: union, intersection,
+//! difference, composition, inverse, closures, sort filters and acyclicity.
+//!
+//! Litmus executions have at most a few dozen events, so an `n × n` bit
+//! matrix (one `u64` row segment per 64 events) is both the simplest and the
+//! fastest representation.
+
+use std::fmt;
+
+/// A set of event ids in `0..n`, as a bitset.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EventSet {
+    n: usize,
+    bits: Vec<u64>,
+}
+
+impl EventSet {
+    /// The empty set over a universe of `n` events.
+    pub fn empty(n: usize) -> Self {
+        EventSet {
+            n,
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The full set over a universe of `n` events.
+    pub fn full(n: usize) -> Self {
+        let mut s = EventSet::empty(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from the ids yielded by `iter`.
+    pub fn from_iter_n(n: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = EventSet::empty(n);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.n, "event id {i} out of universe {}", self.n);
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.n && self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no members.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(|&i| self.contains(i))
+    }
+}
+
+/// A binary relation over event ids `0..n`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    n: usize,
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl Relation {
+    /// The empty relation over `n` events.
+    pub fn empty(n: usize) -> Self {
+        let words = n.div_ceil(64).max(1);
+        Relation {
+            n,
+            words,
+            rows: vec![0; n * words],
+        }
+    }
+
+    /// The identity relation over `n` events.
+    pub fn identity(n: usize) -> Self {
+        let mut r = Relation::empty(n);
+        for i in 0..n {
+            r.add(i, i);
+        }
+        r
+    }
+
+    /// The full (universal) relation over `n` events.
+    pub fn full(n: usize) -> Self {
+        let mut r = Relation::empty(n);
+        for i in 0..n {
+            for j in 0..n {
+                r.add(i, j);
+            }
+        }
+        r
+    }
+
+    /// Builds a relation from pairs.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut r = Relation::empty(n);
+        for (a, b) in pairs {
+            r.add(a, b);
+        }
+        r
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the pair `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is outside the universe.
+    pub fn add(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "pair ({a},{b}) out of universe {}", self.n);
+        self.rows[a * self.words + b / 64] |= 1 << (b % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        a < self.n && b < self.n && self.rows[a * self.words + b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates pairs in row-major order.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |a| (0..self.n).filter(move |&b| self.contains(a, b)).map(move |b| (a, b)))
+    }
+
+    fn zip_with(&self, rhs: &Relation, f: impl Fn(u64, u64) -> u64) -> Relation {
+        assert_eq!(self.n, rhs.n, "relation universes differ");
+        Relation {
+            n: self.n,
+            words: self.words,
+            rows: self
+                .rows
+                .iter()
+                .zip(&rhs.rows)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Union.
+    pub fn union(&self, rhs: &Relation) -> Relation {
+        self.zip_with(rhs, |a, b| a | b)
+    }
+
+    /// Intersection.
+    pub fn inter(&self, rhs: &Relation) -> Relation {
+        self.zip_with(rhs, |a, b| a & b)
+    }
+
+    /// Difference (`self \ rhs`).
+    pub fn diff(&self, rhs: &Relation) -> Relation {
+        self.zip_with(rhs, |a, b| a & !b)
+    }
+
+    /// Relational composition `self ; rhs`.
+    pub fn seq(&self, rhs: &Relation) -> Relation {
+        assert_eq!(self.n, rhs.n, "relation universes differ");
+        let mut out = Relation::empty(self.n);
+        for a in 0..self.n {
+            // out[a] = ⋃ { rhs[b] : (a,b) ∈ self }
+            for b in 0..self.n {
+                if self.contains(a, b) {
+                    let (dst, src) = (a * self.words, b * self.words);
+                    for w in 0..self.words {
+                        out.rows[dst + w] |= rhs.rows[src + w];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse (`r^-1`).
+    pub fn inverse(&self) -> Relation {
+        let mut out = Relation::empty(self.n);
+        for (a, b) in self.iter_pairs() {
+            out.add(b, a);
+        }
+        out
+    }
+
+    /// Transitive closure (`r+`).
+    pub fn transitive_closure(&self) -> Relation {
+        let mut out = self.clone();
+        // Floyd–Warshall on bits: via repeated squaring until fixpoint.
+        loop {
+            let next = out.union(&out.seq(&out));
+            if next == out {
+                return out;
+            }
+            out = next;
+        }
+    }
+
+    /// Reflexive-transitive closure (`r*`).
+    pub fn reflexive_transitive_closure(&self) -> Relation {
+        self.transitive_closure().union(&Relation::identity(self.n))
+    }
+
+    /// Optional closure (`r?` = r ∪ id).
+    pub fn optional(&self) -> Relation {
+        self.union(&Relation::identity(self.n))
+    }
+
+    /// Restriction to pairs with source in `dom` and target in `rng`.
+    pub fn restrict(&self, dom: &EventSet, rng: &EventSet) -> Relation {
+        let mut out = Relation::empty(self.n);
+        for (a, b) in self.iter_pairs() {
+            if dom.contains(a) && rng.contains(b) {
+                out.add(a, b);
+            }
+        }
+        out
+    }
+
+    /// `true` if the relation contains no cycle (self-loops are cycles).
+    ///
+    /// Uses an iterative depth-first search with white/grey/black colouring.
+    pub fn is_acyclic(&self) -> bool {
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut colour = vec![WHITE; self.n];
+        // Stack frames: (node, next successor index to examine).
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for start in 0..self.n {
+            if colour[start] != WHITE {
+                continue;
+            }
+            colour[start] = GREY;
+            stack.push((start, 0));
+            while let Some(&(node, frame_next)) = stack.last() {
+                let mut next = frame_next;
+                let mut pushed = false;
+                while next < self.n {
+                    let succ = next;
+                    next += 1;
+                    if self.contains(node, succ) {
+                        match colour[succ] {
+                            GREY => return false,
+                            WHITE => {
+                                colour[succ] = GREY;
+                                stack.last_mut().expect("frame exists").1 = next;
+                                stack.push((succ, 0));
+                                pushed = true;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if !pushed {
+                    colour[node] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if no pair `(a, a)` is present.
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|i| !self.contains(i, i))
+    }
+
+    /// Finds one cycle, as the list of nodes along it (first node not
+    /// repeated), or `None` if the relation is acyclic. Used to explain
+    /// *why* a model forbids an execution.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        // DFS with an explicit path stack.
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut colour = vec![WHITE; self.n];
+        let mut path: Vec<usize> = Vec::new();
+
+        fn dfs(
+            rel: &Relation,
+            node: usize,
+            colour: &mut [u8],
+            path: &mut Vec<usize>,
+        ) -> Option<Vec<usize>> {
+            colour[node] = GREY;
+            path.push(node);
+            for succ in 0..rel.n {
+                if !rel.contains(node, succ) {
+                    continue;
+                }
+                match colour[succ] {
+                    GREY => {
+                        // Cycle: the path suffix from succ's position.
+                        let start = path
+                            .iter()
+                            .position(|&x| x == succ)
+                            .expect("grey nodes are on the path");
+                        return Some(path[start..].to_vec());
+                    }
+                    WHITE => {
+                        if let Some(c) = dfs(rel, succ, colour, path) {
+                            return Some(c);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            colour[node] = BLACK;
+            path.pop();
+            None
+        }
+
+        for s in 0..self.n {
+            if colour[s] == WHITE {
+                if let Some(c) = dfs(self, s, &mut colour, &mut path) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(n={}, {:?})", self.n, self.iter_pairs().collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_basics() {
+        let mut s = EventSet::empty(70);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(69);
+        assert!(s.contains(0) && s.contains(69) && !s.contains(33));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 69]);
+        assert_eq!(EventSet::full(70).len(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn set_insert_out_of_range() {
+        EventSet::empty(3).insert(3);
+    }
+
+    #[test]
+    fn relation_ops() {
+        let a = Relation::from_pairs(4, [(0, 1), (1, 2)]);
+        let b = Relation::from_pairs(4, [(1, 2), (2, 3)]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.inter(&b).len(), 1);
+        assert!(a.inter(&b).contains(1, 2));
+        assert_eq!(a.diff(&b).iter_pairs().collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn composition() {
+        let a = Relation::from_pairs(4, [(0, 1), (1, 2)]);
+        let b = Relation::from_pairs(4, [(1, 3), (2, 3)]);
+        let c = a.seq(&b);
+        assert_eq!(c.iter_pairs().collect::<Vec<_>>(), vec![(0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn inverse_and_closures() {
+        let a = Relation::from_pairs(4, [(0, 1), (1, 2)]);
+        assert_eq!(a.inverse().iter_pairs().collect::<Vec<_>>(), vec![(1, 0), (2, 1)]);
+        let t = a.transitive_closure();
+        assert!(t.contains(0, 2));
+        assert_eq!(t.len(), 3);
+        let rt = a.reflexive_transitive_closure();
+        assert!(rt.contains(3, 3));
+        assert_eq!(a.optional().len(), 2 + 4);
+    }
+
+    #[test]
+    fn acyclicity() {
+        assert!(Relation::from_pairs(4, [(0, 1), (1, 2), (2, 3)]).is_acyclic());
+        assert!(!Relation::from_pairs(4, [(0, 1), (1, 2), (2, 0)]).is_acyclic());
+        assert!(!Relation::from_pairs(4, [(2, 2)]).is_acyclic());
+        assert!(Relation::empty(0).is_acyclic());
+        assert!(Relation::empty(4).is_acyclic());
+        // Two disjoint components, one cyclic.
+        assert!(!Relation::from_pairs(6, [(0, 1), (4, 5), (5, 4)]).is_acyclic());
+    }
+
+    #[test]
+    fn irreflexivity() {
+        assert!(Relation::from_pairs(3, [(0, 1)]).is_irreflexive());
+        assert!(!Relation::from_pairs(3, [(0, 1), (1, 1)]).is_irreflexive());
+    }
+
+    #[test]
+    fn restriction() {
+        let r = Relation::full(3);
+        let dom = EventSet::from_iter_n(3, [0]);
+        let rng = EventSet::from_iter_n(3, [1, 2]);
+        let s = r.restrict(&dom, &rng);
+        assert_eq!(s.iter_pairs().collect::<Vec<_>>(), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn large_universe_crosses_word_boundaries() {
+        let mut r = Relation::empty(130);
+        r.add(0, 129);
+        r.add(129, 64);
+        assert!(r.contains(0, 129) && r.contains(129, 64));
+        assert_eq!(r.len(), 2);
+        let t = r.transitive_closure();
+        assert!(t.contains(0, 64));
+        assert!(t.is_acyclic());
+    }
+}

@@ -1,0 +1,918 @@
+//! Symbolic per-thread execution.
+//!
+//! To enumerate candidate executions (paper Sec. 5.1.2) each thread's code
+//! is unwound into a sequence of memory events. Loads receive their values
+//! from an **oracle** (a list of integers consumed in order); given an
+//! oracle, execution is deterministic, so enumerating oracles enumerates the
+//! thread's possible event sequences — including which predicated
+//! instructions execute and whether a CAS succeeds.
+//!
+//! During execution we track, per register, the set of load events whose
+//! values flowed into it; this yields the address (`addr`), data (`data`)
+//! and control (`ctrl`) dependency edges of the paper's model (Sec. 5.1.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use weakgpu_litmus::{CacheOp, Instr, Label, Loc, Operand, Reg, Value};
+
+use crate::event::EventKind;
+
+/// A thread-local event: like [`crate::Event`] but with thread-local ids
+/// and explicit dependency edges.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ThreadEvent {
+    /// Read, write or fence.
+    pub kind: EventKind,
+    /// Accessed location (`None` for fences).
+    pub loc: Option<Loc>,
+    /// Value read/written.
+    pub value: i64,
+    /// Cache operator.
+    pub cache: CacheOp,
+    /// `.volatile` marker.
+    pub volatile: bool,
+    /// From an atomic instruction.
+    pub atomic: bool,
+    /// Originating instruction index.
+    pub instr_idx: usize,
+    /// Local indices of read events this event address-depends on.
+    pub addr_deps: Vec<usize>,
+    /// Local indices of read events this event data-depends on.
+    pub data_deps: Vec<usize>,
+    /// Local indices of read events this event control-depends on.
+    pub ctrl_deps: Vec<usize>,
+}
+
+/// The result of unwinding one thread under one oracle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ThreadTrace {
+    /// Thread id.
+    pub tid: usize,
+    /// Events in program order.
+    pub events: Vec<ThreadEvent>,
+    /// Read/write event pairs of successful atomics.
+    pub rmw_pairs: Vec<(usize, usize)>,
+    /// Final register file.
+    pub final_regs: BTreeMap<Reg, Value>,
+    /// The oracle consumed (one entry per read event, in order).
+    pub oracle: Vec<i64>,
+}
+
+impl ThreadTrace {
+    /// The final integer value of `reg` (pointers and unset registers
+    /// read as 0, the hardware reset value).
+    pub fn final_int(&self, reg: &Reg) -> i64 {
+        match self.final_regs.get(reg) {
+            Some(Value::Int(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// Read events (location, local index) in order — the oracle's shape.
+    pub fn reads(&self) -> impl Iterator<Item = (usize, &Loc)> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind.is_read())
+            .map(|(i, e)| (i, e.loc.as_ref().expect("reads have locations")))
+    }
+}
+
+/// Why a symbolic run could not complete.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymError {
+    /// A memory access's address operand did not evaluate to a location.
+    BadAddress {
+        /// Thread id.
+        tid: usize,
+        /// Offending instruction index.
+        instr_idx: usize,
+    },
+    /// A store attempted to write a pointer value.
+    StoreOfPointer {
+        /// Thread id.
+        tid: usize,
+        /// Offending instruction index.
+        instr_idx: usize,
+    },
+    /// The step limit was exceeded (unbounded loop).
+    StepLimit {
+        /// Thread id.
+        tid: usize,
+    },
+    /// Trace enumeration exceeded its configured bound.
+    TooManyTraces,
+}
+
+impl fmt::Display for SymError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymError::BadAddress { tid, instr_idx } => {
+                write!(f, "thread {tid}, instruction {instr_idx}: address is not a location")
+            }
+            SymError::StoreOfPointer { tid, instr_idx } => {
+                write!(f, "thread {tid}, instruction {instr_idx}: cannot store a pointer")
+            }
+            SymError::StepLimit { tid } => write!(f, "thread {tid}: step limit exceeded"),
+            SymError::TooManyTraces => write!(f, "trace enumeration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SymError {}
+
+/// Outcome of [`run_thread`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymResult {
+    /// The thread ran to completion.
+    Complete(ThreadTrace),
+    /// The oracle is too short: the next read (of the given location) needs
+    /// a value. Extend the oracle and re-run.
+    NeedValue {
+        /// Location the pending read accesses.
+        loc: Loc,
+    },
+    /// The run failed.
+    Error(SymError),
+}
+
+#[derive(Clone, Default)]
+struct Tainted {
+    value: Value,
+    taint: BTreeSet<usize>,
+}
+
+struct ThreadState<'a> {
+    tid: usize,
+    regs: BTreeMap<Reg, Tainted>,
+    events: Vec<ThreadEvent>,
+    rmw_pairs: Vec<(usize, usize)>,
+    oracle: &'a [i64],
+    oracle_pos: usize,
+    /// Reads that every subsequent event control-depends on (conditional
+    /// branches taken so far).
+    path_taint: BTreeSet<usize>,
+}
+
+impl ThreadState<'_> {
+    fn eval(&self, op: &Operand) -> Tainted {
+        match op {
+            Operand::Reg(r) => self.regs.get(r).cloned().unwrap_or_default(),
+            Operand::Imm(n) => Tainted {
+                value: Value::Int(*n),
+                taint: BTreeSet::new(),
+            },
+            Operand::Sym(l) => Tainted {
+                value: Value::ptr(l.as_str()),
+                taint: BTreeSet::new(),
+            },
+        }
+    }
+
+    fn set(&mut self, reg: &Reg, t: Tainted) {
+        self.regs.insert(reg.clone(), t);
+    }
+
+    fn resolve_addr(&self, op: &Operand, instr_idx: usize) -> Result<(Loc, Vec<usize>), SymError> {
+        let t = self.eval(op);
+        match t.value {
+            Value::Ptr { loc, offset: 0 } => Ok((loc, t.taint.iter().copied().collect())),
+            _ => Err(SymError::BadAddress {
+                tid: self.tid,
+                instr_idx,
+            }),
+        }
+    }
+}
+
+/// Unwinds thread `tid` under the given oracle.
+///
+/// `reg_init` supplies initial register values (default integer 0);
+/// `max_steps` bounds the number of executed instructions (loops unroll up
+/// to this bound, after which [`SymError::StepLimit`] is reported).
+pub fn run_thread(
+    tid: usize,
+    instrs: &[Instr],
+    reg_init: &dyn Fn(&Reg) -> Value,
+    oracle: &[i64],
+    max_steps: usize,
+) -> SymResult {
+    // Resolve labels.
+    let mut labels: BTreeMap<&Label, usize> = BTreeMap::new();
+    for (i, instr) in instrs.iter().enumerate() {
+        if let Instr::LabelDef(l) = instr {
+            labels.insert(l, i);
+        }
+    }
+
+    let mut st = ThreadState {
+        tid,
+        regs: BTreeMap::new(),
+        events: Vec::new(),
+        rmw_pairs: Vec::new(),
+        oracle,
+        oracle_pos: 0,
+        path_taint: BTreeSet::new(),
+    };
+
+    // Pre-seed registers mentioned by instructions with their initial
+    // values so `final_regs` is total over used registers.
+    for instr in instrs {
+        for r in instr
+            .read_regs()
+            .into_iter()
+            .chain(instr.written_reg().cloned())
+        {
+            st.regs.entry(r.clone()).or_insert_with(|| Tainted {
+                value: reg_init(&r),
+                taint: BTreeSet::new(),
+            });
+        }
+    }
+
+    let mut pc = 0usize;
+    let mut steps = 0usize;
+    while pc < instrs.len() {
+        steps += 1;
+        if steps > max_steps {
+            return SymResult::Error(SymError::StepLimit { tid });
+        }
+        let instr = &instrs[pc];
+        match step(&mut st, instr, pc, &labels) {
+            Ok(Flow::Next) => pc += 1,
+            Ok(Flow::Jump(target)) => pc = target,
+            Err(StepFail::NeedValue(loc)) => return SymResult::NeedValue { loc },
+            Err(StepFail::Error(e)) => return SymResult::Error(e),
+        }
+    }
+
+    SymResult::Complete(ThreadTrace {
+        tid,
+        events: st.events,
+        rmw_pairs: st.rmw_pairs,
+        final_regs: st
+            .regs
+            .into_iter()
+            .map(|(r, t)| (r, t.value))
+            .collect(),
+        oracle: oracle[..st.oracle_pos].to_vec(),
+    })
+}
+
+enum Flow {
+    Next,
+    Jump(usize),
+}
+
+enum StepFail {
+    NeedValue(Loc),
+    Error(SymError),
+}
+
+impl From<SymError> for StepFail {
+    fn from(e: SymError) -> Self {
+        StepFail::Error(e)
+    }
+}
+
+fn step(
+    st: &mut ThreadState<'_>,
+    instr: &Instr,
+    pc: usize,
+    labels: &BTreeMap<&Label, usize>,
+) -> Result<Flow, StepFail> {
+    step_guarded(st, instr, pc, labels, &BTreeSet::new())
+}
+
+fn step_guarded(
+    st: &mut ThreadState<'_>,
+    instr: &Instr,
+    pc: usize,
+    labels: &BTreeMap<&Label, usize>,
+    guard_taint: &BTreeSet<usize>,
+) -> Result<Flow, StepFail> {
+    let ctrl_now = |st: &ThreadState<'_>| -> Vec<usize> {
+        st.path_taint.union(guard_taint).copied().collect()
+    };
+    match instr {
+        Instr::Guard {
+            pred,
+            expect,
+            inner,
+        } => {
+            let p = st.eval(&Operand::Reg(pred.clone()));
+            let truth = matches!(p.value, Value::Int(n) if n != 0);
+            if truth != *expect {
+                // Skipped; a conditional *branch* not taken still taints the
+                // suffix (the decision was made either way).
+                if matches!(**inner, Instr::Bra { .. }) {
+                    st.path_taint.extend(p.taint.iter().copied());
+                }
+                return Ok(Flow::Next);
+            }
+            if matches!(**inner, Instr::Bra { .. }) {
+                st.path_taint.extend(p.taint.iter().copied());
+            }
+            let mut gt = guard_taint.clone();
+            gt.extend(p.taint.iter().copied());
+            step_guarded(st, inner, pc, labels, &gt)
+        }
+        Instr::LabelDef(_) => Ok(Flow::Next),
+        Instr::Bra { target } => {
+            let dst = labels
+                .get(target)
+                .copied()
+                .expect("labels validated at build time");
+            Ok(Flow::Jump(dst))
+        }
+        Instr::Ld {
+            dst,
+            addr,
+            cache,
+            volatile,
+        } => {
+            let (loc, addr_deps) = st.resolve_addr(addr, pc)?;
+            if st.oracle_pos >= st.oracle.len() {
+                return Err(StepFail::NeedValue(loc));
+            }
+            let v = st.oracle[st.oracle_pos];
+            st.oracle_pos += 1;
+            let idx = st.events.len();
+            st.events.push(ThreadEvent {
+                kind: EventKind::Read,
+                loc: Some(loc),
+                value: v,
+                cache: *cache,
+                volatile: *volatile,
+                atomic: false,
+                instr_idx: pc,
+                addr_deps,
+                data_deps: Vec::new(),
+                ctrl_deps: ctrl_now(st),
+            });
+            st.set(
+                dst,
+                Tainted {
+                    value: Value::Int(v),
+                    taint: [idx].into_iter().collect(),
+                },
+            );
+            Ok(Flow::Next)
+        }
+        Instr::St {
+            addr,
+            src,
+            cache,
+            volatile,
+        } => {
+            let (loc, addr_deps) = st.resolve_addr(addr, pc)?;
+            let sv = st.eval(src);
+            let n = match sv.value {
+                Value::Int(n) => n,
+                Value::Ptr { .. } => {
+                    return Err(SymError::StoreOfPointer {
+                        tid: st.tid,
+                        instr_idx: pc,
+                    }
+                    .into())
+                }
+            };
+            st.events.push(ThreadEvent {
+                kind: EventKind::Write,
+                loc: Some(loc),
+                value: n,
+                cache: *cache,
+                volatile: *volatile,
+                atomic: false,
+                instr_idx: pc,
+                addr_deps,
+                data_deps: sv.taint.iter().copied().collect(),
+                ctrl_deps: ctrl_now(st),
+            });
+            Ok(Flow::Next)
+        }
+        Instr::Cas {
+            dst,
+            addr,
+            expected,
+            desired,
+        } => {
+            let (loc, addr_deps) = st.resolve_addr(addr, pc)?;
+            if st.oracle_pos >= st.oracle.len() {
+                return Err(StepFail::NeedValue(loc));
+            }
+            let old = st.oracle[st.oracle_pos];
+            st.oracle_pos += 1;
+            let exp = st.eval(expected);
+            let des = st.eval(desired);
+            let (exp_n, des_n) = match (exp.value, des.value) {
+                (Value::Int(a), Value::Int(b)) => (a, b),
+                _ => {
+                    return Err(SymError::StoreOfPointer {
+                        tid: st.tid,
+                        instr_idx: pc,
+                    }
+                    .into())
+                }
+            };
+            let ridx = st.events.len();
+            st.events.push(ThreadEvent {
+                kind: EventKind::Read,
+                loc: Some(loc.clone()),
+                value: old,
+                cache: CacheOp::Cg,
+                volatile: false,
+                atomic: true,
+                instr_idx: pc,
+                addr_deps: addr_deps.clone(),
+                data_deps: Vec::new(),
+                ctrl_deps: ctrl_now(st),
+            });
+            if old == exp_n {
+                let widx = st.events.len();
+                let mut ctrl: Vec<usize> = ctrl_now(st);
+                // The write is conditional on the read's value.
+                if !ctrl.contains(&ridx) {
+                    ctrl.push(ridx);
+                }
+                let mut data: Vec<usize> = des.taint.iter().copied().collect();
+                data.extend(exp.taint.iter().copied());
+                st.events.push(ThreadEvent {
+                    kind: EventKind::Write,
+                    loc: Some(loc),
+                    value: des_n,
+                    cache: CacheOp::Cg,
+                    volatile: false,
+                    atomic: true,
+                    instr_idx: pc,
+                    addr_deps,
+                    data_deps: data,
+                    ctrl_deps: ctrl,
+                });
+                st.rmw_pairs.push((ridx, widx));
+            }
+            st.set(
+                dst,
+                Tainted {
+                    value: Value::Int(old),
+                    taint: [ridx].into_iter().collect(),
+                },
+            );
+            Ok(Flow::Next)
+        }
+        Instr::Exch { dst, addr, src } => {
+            let (loc, addr_deps) = st.resolve_addr(addr, pc)?;
+            if st.oracle_pos >= st.oracle.len() {
+                return Err(StepFail::NeedValue(loc));
+            }
+            let old = st.oracle[st.oracle_pos];
+            st.oracle_pos += 1;
+            let sv = st.eval(src);
+            let n = match sv.value {
+                Value::Int(n) => n,
+                Value::Ptr { .. } => {
+                    return Err(SymError::StoreOfPointer {
+                        tid: st.tid,
+                        instr_idx: pc,
+                    }
+                    .into())
+                }
+            };
+            let ridx = st.events.len();
+            st.events.push(ThreadEvent {
+                kind: EventKind::Read,
+                loc: Some(loc.clone()),
+                value: old,
+                cache: CacheOp::Cg,
+                volatile: false,
+                atomic: true,
+                instr_idx: pc,
+                addr_deps: addr_deps.clone(),
+                data_deps: Vec::new(),
+                ctrl_deps: ctrl_now(st),
+            });
+            let widx = st.events.len();
+            st.events.push(ThreadEvent {
+                kind: EventKind::Write,
+                loc: Some(loc),
+                value: n,
+                cache: CacheOp::Cg,
+                volatile: false,
+                atomic: true,
+                instr_idx: pc,
+                addr_deps,
+                data_deps: sv.taint.iter().copied().collect(),
+                ctrl_deps: ctrl_now(st),
+            });
+            st.rmw_pairs.push((ridx, widx));
+            st.set(
+                dst,
+                Tainted {
+                    value: Value::Int(old),
+                    taint: [ridx].into_iter().collect(),
+                },
+            );
+            Ok(Flow::Next)
+        }
+        Instr::Inc { dst, addr } => {
+            let (loc, addr_deps) = st.resolve_addr(addr, pc)?;
+            if st.oracle_pos >= st.oracle.len() {
+                return Err(StepFail::NeedValue(loc));
+            }
+            let old = st.oracle[st.oracle_pos];
+            st.oracle_pos += 1;
+            let ridx = st.events.len();
+            st.events.push(ThreadEvent {
+                kind: EventKind::Read,
+                loc: Some(loc.clone()),
+                value: old,
+                cache: CacheOp::Cg,
+                volatile: false,
+                atomic: true,
+                instr_idx: pc,
+                addr_deps: addr_deps.clone(),
+                data_deps: Vec::new(),
+                ctrl_deps: ctrl_now(st),
+            });
+            let widx = st.events.len();
+            st.events.push(ThreadEvent {
+                kind: EventKind::Write,
+                loc: Some(loc),
+                value: old.wrapping_add(1),
+                cache: CacheOp::Cg,
+                volatile: false,
+                atomic: true,
+                instr_idx: pc,
+                addr_deps,
+                // The written value is derived from the read.
+                data_deps: vec![ridx],
+                ctrl_deps: ctrl_now(st),
+            });
+            st.rmw_pairs.push((ridx, widx));
+            st.set(
+                dst,
+                Tainted {
+                    value: Value::Int(old),
+                    taint: [ridx].into_iter().collect(),
+                },
+            );
+            Ok(Flow::Next)
+        }
+        Instr::Membar { scope } => {
+            st.events.push(ThreadEvent {
+                kind: EventKind::Fence(*scope),
+                loc: None,
+                value: 0,
+                cache: CacheOp::Cg,
+                volatile: false,
+                atomic: false,
+                instr_idx: pc,
+                addr_deps: Vec::new(),
+                data_deps: Vec::new(),
+                ctrl_deps: ctrl_now(st),
+            });
+            Ok(Flow::Next)
+        }
+        Instr::Mov { dst, src } | Instr::Cvt { dst, src } => {
+            let t = st.eval(src);
+            st.set(dst, t);
+            Ok(Flow::Next)
+        }
+        Instr::Add { dst, a, b } => {
+            alu(st, dst, a, b, |x, y| x.wrapping_add(y));
+            Ok(Flow::Next)
+        }
+        Instr::And { dst, a, b } => {
+            alu(st, dst, a, b, |x, y| x.bitand(y));
+            Ok(Flow::Next)
+        }
+        Instr::Xor { dst, a, b } => {
+            alu(st, dst, a, b, |x, y| x.bitxor(y));
+            Ok(Flow::Next)
+        }
+        Instr::SetpEq { dst, a, b } => {
+            setp(st, dst, a, b, true);
+            Ok(Flow::Next)
+        }
+        Instr::SetpNe { dst, a, b } => {
+            setp(st, dst, a, b, false);
+            Ok(Flow::Next)
+        }
+    }
+}
+
+fn alu(
+    st: &mut ThreadState<'_>,
+    dst: &Reg,
+    a: &Operand,
+    b: &Operand,
+    f: impl Fn(&Value, &Value) -> Value,
+) {
+    let ta = st.eval(a);
+    let tb = st.eval(b);
+    let mut taint = ta.taint;
+    taint.extend(tb.taint.iter().copied());
+    st.set(
+        dst,
+        Tainted {
+            value: f(&ta.value, &tb.value),
+            taint,
+        },
+    );
+}
+
+fn setp(st: &mut ThreadState<'_>, dst: &Reg, a: &Operand, b: &Operand, eq: bool) {
+    let ta = st.eval(a);
+    let tb = st.eval(b);
+    let same = ta.value == tb.value;
+    let truth = if eq { same } else { !same };
+    let mut taint = ta.taint;
+    taint.extend(tb.taint.iter().copied());
+    st.set(
+        dst,
+        Tainted {
+            value: Value::Int(truth as i64),
+            taint,
+        },
+    );
+}
+
+/// Enumerates every trace of a thread by extending oracles depth-first.
+///
+/// `domains` gives, per location, the candidate values a read of that
+/// location may return (the enumerator computes these from the test's
+/// writes; see [`crate::enumerate`]).
+///
+/// # Errors
+///
+/// Propagates [`SymError`]s; reports [`SymError::TooManyTraces`] if more
+/// than `max_traces` complete traces arise.
+pub fn enumerate_thread_traces(
+    tid: usize,
+    instrs: &[Instr],
+    reg_init: &dyn Fn(&Reg) -> Value,
+    domains: &BTreeMap<Loc, BTreeSet<i64>>,
+    max_steps: usize,
+    max_traces: usize,
+) -> Result<Vec<ThreadTrace>, SymError> {
+    let mut traces = Vec::new();
+    let mut stack: Vec<Vec<i64>> = vec![Vec::new()];
+    while let Some(oracle) = stack.pop() {
+        match run_thread(tid, instrs, reg_init, &oracle, max_steps) {
+            SymResult::Complete(tr) => {
+                traces.push(tr);
+                if traces.len() > max_traces {
+                    return Err(SymError::TooManyTraces);
+                }
+            }
+            SymResult::NeedValue { loc } => {
+                let dom = domains.get(&loc).cloned().unwrap_or_default();
+                // Push in reverse so smaller values explore first.
+                for v in dom.into_iter().rev() {
+                    let mut ext = oracle.clone();
+                    ext.push(v);
+                    stack.push(ext);
+                }
+            }
+            SymResult::Error(e) => return Err(e),
+        }
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakgpu_litmus::build::*;
+    use weakgpu_litmus::FenceScope;
+
+    fn zero_init(_: &Reg) -> Value {
+        Value::Int(0)
+    }
+
+    fn domains(pairs: &[(&str, &[i64])]) -> BTreeMap<Loc, BTreeSet<i64>> {
+        pairs
+            .iter()
+            .map(|(l, vs)| (Loc::new(l), vs.iter().copied().collect()))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_store_thread() {
+        let code = vec![st("x", 1), membar(FenceScope::Gl), st("y", 1)];
+        let r = run_thread(0, &code, &zero_init, &[], 64);
+        let tr = match r {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr.events.len(), 3);
+        assert!(tr.events[0].kind.is_write());
+        assert!(matches!(tr.events[1].kind, EventKind::Fence(FenceScope::Gl)));
+        assert_eq!(tr.events[2].value, 1);
+        assert!(tr.rmw_pairs.is_empty());
+    }
+
+    #[test]
+    fn load_requests_oracle_value() {
+        let code = vec![ld("r1", "x")];
+        match run_thread(0, &code, &zero_init, &[], 64) {
+            SymResult::NeedValue { loc } => assert_eq!(loc, Loc::new("x")),
+            other => panic!("{other:?}"),
+        }
+        match run_thread(0, &code, &zero_init, &[7], 64) {
+            SymResult::Complete(tr) => {
+                assert_eq!(tr.events[0].value, 7);
+                assert_eq!(tr.final_int(&Reg::new("r1")), 7);
+                assert_eq!(tr.oracle, vec![7]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_dependency_tracked() {
+        // r2 := load x; store y := r2 + 1  ⇒ data dep from read to write.
+        let code = vec![ld("r2", "x"), add("r2", reg("r2"), imm(1)), st_reg("y", "r2")];
+        let tr = match run_thread(0, &code, &zero_init, &[3], 64) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr.events[1].value, 4);
+        assert_eq!(tr.events[1].data_deps, vec![0]);
+    }
+
+    #[test]
+    fn address_dependency_tracked() {
+        // Manufactured address dependency (paper Fig. 13b).
+        let code = vec![
+            ld("r1", "x"),
+            and("r2", reg("r1"), imm(0x8000_0000)),
+            cvt("r3", reg("r2")),
+            add("r4", reg("r4"), reg("r3")),
+            ld("r5", reg("r4")),
+        ];
+        let init = |r: &Reg| {
+            if r.as_str() == "r4" {
+                Value::ptr("y")
+            } else {
+                Value::Int(0)
+            }
+        };
+        let tr = match run_thread(0, &code, &init, &[1, 9], 64) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr.events.len(), 2);
+        assert_eq!(tr.events[1].loc, Some(Loc::new("y")));
+        assert_eq!(tr.events[1].addr_deps, vec![0]);
+        assert_eq!(tr.events[1].value, 9);
+    }
+
+    #[test]
+    fn control_dependency_from_guard() {
+        // setp from a load, guarded load ⇒ ctrl dep.
+        let code = vec![
+            ld("r0", "t"),
+            setp_eq("p4", reg("r0"), imm(0)),
+            membar_gl().guarded("p4", false),
+            ld("r1", "d").guarded("p4", false),
+        ];
+        // r0 = 1 ⇒ p4 false ⇒ @!p4 executes.
+        let tr = match run_thread(1, &code, &zero_init, &[1, 0], 64) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr.events.len(), 3);
+        assert_eq!(tr.events[1].kind, EventKind::Fence(FenceScope::Gl));
+        assert_eq!(tr.events[2].ctrl_deps, vec![0]);
+        // r0 = 0 ⇒ guarded instructions skipped.
+        let tr2 = match run_thread(1, &code, &zero_init, &[0], 64) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr2.events.len(), 1);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let code = vec![cas("r1", "m", 0, 1)];
+        // Success: reads 0, writes 1, rmw pair.
+        let tr = match run_thread(0, &code, &zero_init, &[0], 64) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr.events.len(), 2);
+        assert_eq!(tr.rmw_pairs, vec![(0, 1)]);
+        assert_eq!(tr.events[1].value, 1);
+        assert!(tr.events[1].ctrl_deps.contains(&0));
+        assert_eq!(tr.final_int(&Reg::new("r1")), 0);
+        // Failure: reads 1, no write.
+        let tr2 = match run_thread(0, &code, &zero_init, &[1], 64) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr2.events.len(), 1);
+        assert!(tr2.rmw_pairs.is_empty());
+        assert_eq!(tr2.final_int(&Reg::new("r1")), 1);
+    }
+
+    #[test]
+    fn exch_and_inc() {
+        let code = vec![exch("r0", "m", 5)];
+        let tr = match run_thread(0, &code, &zero_init, &[2], 64) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr.events[1].value, 5);
+        assert_eq!(tr.rmw_pairs.len(), 1);
+
+        let code = vec![inc("r0", "c")];
+        let tr = match run_thread(0, &code, &zero_init, &[9], 64) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr.events[1].value, 10);
+        assert_eq!(tr.events[1].data_deps, vec![0]);
+    }
+
+    #[test]
+    fn loop_hits_step_limit() {
+        let code = vec![label("L"), bra("L")];
+        match run_thread(0, &code, &zero_init, &[], 32) {
+            SymResult::Error(SymError::StepLimit { tid: 0 }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spin_loop_terminates_when_oracle_allows() {
+        // while (CAS(m,0,1) != 0) {} — succeeds on second try.
+        let code = vec![
+            label("SPIN"),
+            cas("r0", "m", 0, 1),
+            setp_ne("p", reg("r0"), imm(0)),
+            bra("SPIN").guarded("p", true),
+        ];
+        let tr = match run_thread(0, &code, &zero_init, &[1, 0], 256) {
+            SymResult::Complete(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        // Two CAS reads, one successful write.
+        assert_eq!(tr.events.len(), 3);
+        assert_eq!(tr.rmw_pairs, vec![(1, 2)]);
+        // The suffix is control-tainted by the first (failed) CAS read.
+        assert!(tr.events[2].ctrl_deps.contains(&0));
+    }
+
+    #[test]
+    fn bad_address_reported() {
+        let code = vec![ld("r1", reg("r9"))]; // r9 = 0, not a pointer
+        match run_thread(3, &code, &zero_init, &[0], 64) {
+            SymResult::Error(SymError::BadAddress { tid: 3, instr_idx: 0 }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn enumerate_traces_of_corr_reader() {
+        let code = vec![ld("r1", "x"), ld("r2", "x")];
+        let traces = enumerate_thread_traces(
+            1,
+            &code,
+            &zero_init,
+            &domains(&[("x", &[0, 1])]),
+            64,
+            1024,
+        )
+        .unwrap();
+        // 2 × 2 oracle choices.
+        assert_eq!(traces.len(), 4);
+        let weird: Vec<_> = traces
+            .iter()
+            .filter(|t| t.oracle == vec![1, 0])
+            .collect();
+        assert_eq!(weird.len(), 1);
+    }
+
+    #[test]
+    fn enumerate_traces_with_guards_varies_event_count() {
+        let code = vec![
+            cas("r1", "m", 0, 1),
+            setp_eq("p", reg("r1"), imm(0)),
+            ld("r3", "x").guarded("p", true),
+        ];
+        let traces = enumerate_thread_traces(
+            1,
+            &code,
+            &zero_init,
+            &domains(&[("m", &[0, 1]), ("x", &[0, 1])]),
+            64,
+            1024,
+        )
+        .unwrap();
+        // m=0 ⇒ CAS succeeds ⇒ guarded load runs (x ∈ {0,1}): 2 traces.
+        // m=1 ⇒ CAS fails ⇒ no load: 1 trace. Total 3.
+        assert_eq!(traces.len(), 3);
+    }
+}

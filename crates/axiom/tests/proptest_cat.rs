@@ -1,0 +1,123 @@
+//! Property tests for the `.cat` DSL: random programs round-trip through
+//! the pretty-printer, and evaluation respects basic algebraic identities
+//! regardless of how expressions are written.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use weakgpu_axiom::cat::{CatProgram, CheckKind, Expr, Stmt};
+use weakgpu_axiom::relation::{EventSet, Relation};
+
+const N: usize = 6;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("po".to_owned()),
+        Just("rf".to_owned()),
+        Just("co".to_owned()),
+        Just("po-loc".to_owned()),
+        Just("membar.gl".to_owned()),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![arb_ident().prop_map(Expr::Id), Just(Expr::Zero)];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Inter(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Inverse(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Plus(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Opt(Box::new(a))),
+            (Just("WW".to_owned()), inner.clone())
+                .prop_map(|(n, a)| Expr::App(n, Box::new(a))),
+            (Just("RR".to_owned()), inner).prop_map(|(n, a)| Expr::App(n, Box::new(a))),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = CatProgram> {
+    prop::collection::vec((arb_expr(), 0..3usize), 1..5).prop_map(|items| {
+        let mut src = String::new();
+        for (i, (expr, kind)) in items.iter().enumerate() {
+            let stmt = match kind {
+                0 => Stmt::Let {
+                    name: format!("d{i}"),
+                    param: None,
+                    body: expr.clone(),
+                },
+                1 => Stmt::Check {
+                    kind: CheckKind::Acyclic,
+                    expr: expr.clone(),
+                    name: format!("c{i}"),
+                },
+                _ => Stmt::Check {
+                    kind: CheckKind::Irreflexive,
+                    expr: expr.clone(),
+                    name: format!("c{i}"),
+                },
+            };
+            src.push_str(&stmt.to_string());
+            src.push('\n');
+        }
+        CatProgram::parse(&src).expect("printed statements parse")
+    })
+}
+
+fn env() -> (BTreeMap<String, Relation>, EventSet, EventSet) {
+    let mut base = BTreeMap::new();
+    base.insert("po".to_owned(), Relation::from_pairs(N, [(0, 1), (1, 2), (0, 2)]));
+    base.insert("rf".to_owned(), Relation::from_pairs(N, [(2, 3), (5, 4)]));
+    base.insert("co".to_owned(), Relation::from_pairs(N, [(0, 5)]));
+    base.insert("po-loc".to_owned(), Relation::from_pairs(N, [(0, 1)]));
+    base.insert("membar.gl".to_owned(), Relation::from_pairs(N, [(3, 4)]));
+    let reads = EventSet::from_iter_n(N, [1, 3, 4]);
+    let writes = EventSet::from_iter_n(N, [0, 2, 5]);
+    (base, reads, writes)
+}
+
+proptest! {
+    #[test]
+    fn programs_roundtrip_through_display(prog in arb_program()) {
+        let printed = prog.to_string();
+        let back = CatProgram::parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(prog.stmts(), back.stmts());
+    }
+
+    #[test]
+    fn roundtripped_programs_evaluate_identically(prog in arb_program()) {
+        let (base, reads, writes) = env();
+        let printed = prog.to_string();
+        let back = CatProgram::parse(&printed).unwrap();
+        let a = prog.check(&base, &reads, &writes).unwrap();
+        let b = back.check(&base, &reads, &writes).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_with_zero_is_identity(e in arb_expr()) {
+        let (base, reads, writes) = env();
+        let plain = format!("acyclic {e} as c");
+        let zeroed = format!("acyclic ({e} | 0) as c");
+        let a = CatProgram::parse(&plain).unwrap().check(&base, &reads, &writes).unwrap();
+        let b = CatProgram::parse(&zeroed).unwrap().check(&base, &reads, &writes).unwrap();
+        prop_assert_eq!(a[0].passed, b[0].passed);
+    }
+
+    #[test]
+    fn double_inverse_preserves_checks(e in arb_expr()) {
+        let (base, reads, writes) = env();
+        let plain = format!("irreflexive {e} as c");
+        let doubled = format!("irreflexive (({e})^-1)^-1 as c");
+        let a = CatProgram::parse(&plain).unwrap().check(&base, &reads, &writes).unwrap();
+        let b = CatProgram::parse(&doubled).unwrap().check(&base, &reads, &writes).unwrap();
+        prop_assert_eq!(a[0].passed, b[0].passed);
+    }
+}

@@ -1,0 +1,136 @@
+//! Criterion benchmarks for the engine itself: simulator throughput,
+//! harness batches, candidate-execution enumeration, `.cat` evaluation vs
+//! the native model (ablation, DESIGN.md §5.3), and diy generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use weakgpu_axiom::enumerate::{enumerate_executions, EnumConfig};
+use weakgpu_axiom::Model;
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_harness::runner::{run_test, RunConfig};
+use weakgpu_litmus::{corpus, parser, ThreadScope};
+use weakgpu_models::{native::NativePtxModel, ptx_model};
+use weakgpu_sim::chip::{Chip, Incantations};
+use weakgpu_sim::machine::Simulator;
+
+fn bench_sim_run_once(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_run_once");
+    for (name, test) in [
+        ("corr", corpus::corr()),
+        ("mp", corpus::mp(ThreadScope::InterCta, None)),
+        ("dlb_lb", corpus::dlb_lb(false)),
+    ] {
+        let sim = Simulator::compile(&test, Chip::GtxTitan).unwrap();
+        let weights = Chip::GtxTitan
+            .profile()
+            .weights(&Incantations::best_inter_cta());
+        g.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| {
+                black_box(
+                    sim.run_once_with_weights(&weights, true, &mut rng)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_harness_batch(c: &mut Criterion) {
+    let test = corpus::mp(ThreadScope::InterCta, None);
+    let cfg = RunConfig {
+        iterations: 1_000,
+        incantations: Incantations::best_inter_cta(),
+        seed: 3,
+        parallelism: Some(1),
+    };
+    c.bench_function("harness_1k_runs", |b| {
+        b.iter(|| black_box(run_test(&test, Chip::GtxTitan, &cfg).unwrap()))
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumerate_candidates");
+    for (name, test) in [
+        ("corr", corpus::corr()),
+        ("mp", corpus::mp(ThreadScope::InterCta, None)),
+        ("sb", corpus::sb(ThreadScope::InterCta, None)),
+        ("dlb_lb", corpus::dlb_lb(false)),
+        ("sl_future_fixed", corpus::sl_future(true)),
+    ] {
+        let cfg = EnumConfig::default();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(enumerate_executions(&test, &cfg).unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cat_vs_native(c: &mut Criterion) {
+    // Ablation: interpreted .cat model vs the hard-coded native model.
+    let test = corpus::dlb_lb(false);
+    let cands = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+    let cat = ptx_model();
+    let native = NativePtxModel::new();
+    let mut g = c.benchmark_group("model_eval");
+    g.bench_function("cat_interpreted", |b| {
+        b.iter_batched(
+            || cands.clone(),
+            |cs| {
+                cs.iter()
+                    .filter(|cand| cat.allows(&cand.execution))
+                    .count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("native", |b| {
+        b.iter_batched(
+            || cands.clone(),
+            |cs| {
+                cs.iter()
+                    .filter(|cand| native.allows(&cand.execution))
+                    .count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_diy_generation(c: &mut Criterion) {
+    c.bench_function("diy_generate_small", |b| {
+        b.iter(|| black_box(generate(&GenConfig::small()).len()))
+    });
+}
+
+fn bench_parse_print(c: &mut Criterion) {
+    let text = corpus::dlb_mp(true).to_string();
+    c.bench_function("parse_litmus", |b| {
+        b.iter(|| black_box(parser::parse(&text).unwrap()))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+        bench_sim_run_once,
+        bench_harness_batch,
+        bench_enumeration,
+        bench_cat_vs_native,
+        bench_diy_generation,
+        bench_parse_print
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig. 11 — `sl-future`: the He–Yu transaction lock lets a critical
+//! section read a value written by the *next* critical section, breaking
+//! isolation.
+//!
+//! Shape to reproduce: future reads on Fermi (TesC) and Kepler; none on
+//! GTX5/Maxwell; AMD untestable (the OpenCL compiler places fences
+//! automatically); the corrected lock (fences at entry/exit, exchange
+//! release) eliminates the behaviour.
+
+use weakgpu_bench::paper::{CHIP_COLUMNS, FIG11_SL_FUTURE};
+use weakgpu_bench::{obs_row, print_experiment, BenchArgs, Cell};
+use weakgpu_litmus::corpus;
+use weakgpu_sim::chip::Chip;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut rows = Vec::new();
+    let buggy = obs_row(&corpus::sl_future(false), &Chip::TABLED, &args);
+    rows.push((
+        "sl-future".to_owned(),
+        FIG11_SL_FUTURE.iter().map(|&v| Cell::from(v)).collect(),
+        buggy
+            .into_iter()
+            .zip(CHIP_COLUMNS)
+            .map(|(v, col)| {
+                // The paper could not test AMD here.
+                if col.starts_with("HD") {
+                    Cell::Na
+                } else {
+                    Cell::Obs(v)
+                }
+            })
+            .collect(),
+    ));
+    let fixed = obs_row(&corpus::sl_future(true), &Chip::TABLED, &args);
+    rows.push((
+        "sl-future (fixed)".to_owned(),
+        vec![
+            Cell::Obs(0),
+            Cell::Obs(0),
+            Cell::Obs(0),
+            Cell::Obs(0),
+            Cell::Obs(0),
+            Cell::Na,
+            Cell::Na,
+        ],
+        fixed.into_iter().map(Cell::Obs).collect(),
+    ));
+    print_experiment(
+        "Fig. 11: sl-future (inter-CTA) — lock reads future values",
+        &CHIP_COLUMNS,
+        rows,
+    );
+}

@@ -1,0 +1,40 @@
+//! Sec. 6 — the operational model of Sorensen et al. is unsound: it
+//! forbids inter-CTA `lb+membar.ctas`, which hardware exhibits (586/100k
+//! on GTX Titan, 19/100k on GTX 660). The paper's axiomatic model allows
+//! it.
+
+use weakgpu_axiom::enumerate::model_outcomes;
+use weakgpu_bench::paper::SEC6_LB_CTAS;
+use weakgpu_bench::{obs_cell, BenchArgs};
+use weakgpu_litmus::{corpus, FenceScope, ThreadScope};
+use weakgpu_models::{operational_baseline, ptx_model};
+use weakgpu_sim::chip::{Chip, Incantations};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let test = corpus::lb(ThreadScope::InterCta, Some(FenceScope::Cta));
+    println!("== Sec. 6: inter-CTA lb+membar.ctas ==\n");
+
+    let ptx = model_outcomes(&test, &ptx_model(), &Default::default()).unwrap();
+    let op = model_outcomes(&test, &operational_baseline(), &Default::default()).unwrap();
+    println!(
+        "paper's axiomatic model: {}",
+        if ptx.condition_witnessed { "ALLOWED" } else { "FORBIDDEN" }
+    );
+    println!(
+        "operational baseline:    {}",
+        if op.condition_witnessed { "ALLOWED" } else { "FORBIDDEN" }
+    );
+
+    println!("\nobservations (obs/100k):");
+    for ((name, paper), chip) in SEC6_LB_CTAS.iter().zip([Chip::GtxTitan, Chip::Gtx660]) {
+        let measured = obs_cell(&test, chip, Incantations::best_inter_cta(), &args);
+        println!("  {name:<8} paper {paper:>6}   sim {measured:>6}");
+    }
+    println!(
+        "\n=> the behaviour is observed, so the operational baseline is unsound \
+         (paper model allows it: {})",
+        ptx.condition_witnessed
+    );
+    assert!(ptx.condition_witnessed && !op.condition_witnessed);
+}

@@ -1,0 +1,84 @@
+//! Sec. 5.4 — validation of the PTX model: run a diy-generated test
+//! family on the Nvidia chip profiles and verify that every observed
+//! behaviour is allowed by the model ("experimentally sound w.r.t. our
+//! 10 930 tests").
+//!
+//! Default: the small family (hundreds of tests) at reduced iteration
+//! counts. `--full` escalates to the paper-scale family (≈ 18k tests,
+//! hours of CPU time).
+
+use weakgpu_axiom::enumerate::EnumConfig;
+use weakgpu_bench::BenchArgs;
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_harness::runner::{run_test, RunConfig};
+use weakgpu_harness::soundness::check_soundness;
+use weakgpu_models::ptx_model;
+use weakgpu_sim::chip::{Chip, Incantations};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let gen_cfg = if args.full {
+        GenConfig::paper()
+    } else {
+        GenConfig::small()
+    };
+    let tests = generate(&gen_cfg);
+    let iterations = if args.full {
+        args.iterations
+    } else {
+        args.iterations.min(2_000)
+    };
+    println!(
+        "== Sec. 5.4: model validation — {} generated tests × {} runs × {} chips ==",
+        tests.len(),
+        iterations,
+        Chip::NVIDIA_TABLED.len()
+    );
+
+    let model = ptx_model();
+    let enum_cfg = EnumConfig::default();
+    let mut sound = 0usize;
+    let mut unsound = Vec::new();
+    let mut observations = 0u64;
+    for (i, test) in tests.iter().enumerate() {
+        let mut merged = weakgpu_harness::Histogram::new();
+        for &chip in &Chip::NVIDIA_TABLED {
+            let inc = match test.thread_scope() {
+                Some(weakgpu_litmus::ThreadScope::InterCta) => Incantations::best_inter_cta(),
+                _ => Incantations::all_on(),
+            };
+            let cfg = RunConfig {
+                iterations,
+                incantations: inc,
+                seed: args.seed ^ (i as u64),
+                parallelism: None,
+            };
+            let report = run_test(test, chip, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+            observations += report.histogram.total();
+            merged.merge(report.histogram);
+        }
+        match check_soundness(test, &merged, &model, &enum_cfg) {
+            Ok(r) if r.is_sound() => sound += 1,
+            Ok(r) => unsound.push((test.name().to_owned(), r.violations)),
+            Err(e) => panic!("{}: enumeration failed: {e}", test.name()),
+        }
+        if (i + 1) % 100 == 0 {
+            println!("  … {}/{} tests checked", i + 1, tests.len());
+        }
+    }
+
+    println!(
+        "\nsound: {sound}/{} tests ({observations} total runs)",
+        tests.len()
+    );
+    if unsound.is_empty() {
+        println!("RESULT: the PTX model is experimentally sound w.r.t. this family");
+    } else {
+        println!("RESULT: UNSOUND — {} tests with forbidden observations:", unsound.len());
+        for (name, violations) in unsound.iter().take(20) {
+            println!("  {name}: {violations:?}");
+        }
+        std::process::exit(1);
+    }
+}

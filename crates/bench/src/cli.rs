@@ -1,0 +1,89 @@
+//! A tiny argument parser shared by the experiment binaries.
+
+/// Common options: `--iterations N`, `--seed N`, `--full`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BenchArgs {
+    /// Runs per cell (default 100 000, the paper's count).
+    pub iterations: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Escalate to the full/paper-scale variant where an experiment has
+    /// one (e.g. the validation sweep).
+    pub full: bool,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            iterations: 100_000,
+            seed: 0x5eed,
+            full: false,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, exiting with usage on malformed input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags or malformed numbers (acceptable for
+    /// developer-facing binaries).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--iterations" | "-n" => {
+                    let v = it.next().expect("--iterations needs a value");
+                    out.iterations = v.parse().expect("--iterations must be a number");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be a number");
+                }
+                "--full" => out.full = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: [--iterations N] [--seed N] [--full]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = BenchArgs::parse_from(Vec::new());
+        assert_eq!(a.iterations, 100_000);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = BenchArgs::parse_from(
+            ["--iterations", "5000", "--seed", "9", "--full"]
+                .map(String::from),
+        );
+        assert_eq!(a.iterations, 5000);
+        assert_eq!(a.seed, 9);
+        assert!(a.full);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        let _ = BenchArgs::parse_from(["--bogus".to_string()]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared machinery for the experiment binaries in `src/bin/`: the paper's
+//! reference numbers, a tiny CLI, row runners and side-by-side printing.
+//!
+//! Every binary regenerates one table or figure of the paper. Absolute
+//! counts come from the simulator's calibrated chip profiles; the claims
+//! to check are the *shapes* — which chips exhibit a behaviour, which
+//! fences suppress it, and rough orders of magnitude (DESIGN.md §3).
+
+pub mod cli;
+pub mod naive;
+pub mod paper;
+pub mod run;
+
+pub use cli::BenchArgs;
+pub use run::{obs_cell, obs_row, print_experiment, Cell};

@@ -1,0 +1,150 @@
+//! Reference `obs/100k` numbers transcribed from the paper, used to print
+//! paper-vs-measured tables. `None` marks the paper's `n/a` cells.
+
+/// Chip column order of the paper's figures:
+/// GTX5, TesC, GTX6, Titan, GTX7, HD6570, HD7970.
+pub const CHIP_COLUMNS: [&str; 7] = ["GTX5", "TesC", "GTX6", "Titan", "GTX7", "HD6570", "HD7970"];
+
+/// Nvidia-only column order (Figs. 3–5).
+pub const NVIDIA_COLUMNS: [&str; 5] = ["GTX5", "TesC", "GTX6", "Titan", "GTX7"];
+
+/// Fig. 1 — coRR.
+pub const FIG1_CORR: [Option<u64>; 7] = [
+    Some(11642),
+    Some(8879),
+    Some(9599),
+    Some(9787),
+    Some(0),
+    Some(0),
+    Some(0),
+];
+
+/// Fig. 3 — mp-L1, rows (fence, Nvidia counts).
+pub const FIG3_MP_L1: [(&str, [u64; 5]); 4] = [
+    ("no-op", [4979, 10581, 3635, 6011, 3]),
+    ("membar.cta", [0, 308, 14, 1696, 0]),
+    ("membar.gl", [0, 187, 0, 0, 0]),
+    ("membar.sys", [0, 162, 0, 0, 0]),
+];
+
+/// Fig. 4 — coRR-L2-L1, rows (fence, Nvidia counts).
+pub const FIG4_CORR_L2_L1: [(&str, [u64; 5]); 4] = [
+    ("no-op", [2556, 2982, 2, 141, 0]),
+    ("membar.cta", [1934, 2180, 0, 0, 0]),
+    ("membar.gl", [0, 1496, 0, 0, 0]),
+    ("membar.sys", [0, 1428, 0, 0, 0]),
+];
+
+/// Fig. 5 — mp-volatile (Nvidia).
+pub const FIG5_MP_VOLATILE: [u64; 5] = [6301, 4977, 2753, 2188, 0];
+
+/// Fig. 7 — dlb-mp.
+pub const FIG7_DLB_MP: [Option<u64>; 7] = [
+    Some(0),
+    Some(4),
+    Some(36),
+    Some(65),
+    Some(0),
+    Some(0),
+    Some(0),
+];
+
+/// Fig. 8 — dlb-lb (`None` = the paper's "n/a": the TeraScale 2 compiler
+/// reorders the load and the CAS).
+pub const FIG8_DLB_LB: [Option<u64>; 7] = [
+    Some(0),
+    Some(750),
+    Some(399),
+    Some(2292),
+    Some(0),
+    None,
+    Some(13591),
+];
+
+/// Fig. 9 — cas-sl.
+pub const FIG9_CAS_SL: [Option<u64>; 7] = [
+    Some(0),
+    Some(47),
+    Some(43),
+    Some(512),
+    Some(0),
+    Some(508),
+    Some(748),
+];
+
+/// Fig. 11 — sl-future (AMD untestable: the OpenCL compiler auto-places
+/// fences, Sec. 3.2).
+pub const FIG11_SL_FUTURE: [Option<u64>; 7] = [
+    Some(0),
+    Some(99),
+    Some(41),
+    Some(58),
+    Some(0),
+    None,
+    None,
+];
+
+/// Sec. 3.1.2 — OpenCL mp on AMD without fences.
+pub const AMD_MP_UNFENCED: [(&str, u64); 2] = [("HD6570", 9327), ("HD7970", 2956)];
+
+/// Sec. 6 — inter-CTA `lb+membar.ctas`, observed although the operational
+/// model forbids it.
+pub const SEC6_LB_CTAS: [(&str, u64); 2] = [("Titan", 586), ("GTX6", 19)];
+
+/// Tab. 6 — GTX Titan rows (16 incantation columns each).
+pub const TAB6_TITAN: [(&str, [u64; 16]); 4] = [
+    (
+        "coRR (intra-CTA)",
+        [0, 0, 0, 0, 0, 1235, 0, 9774, 161, 118, 847, 362, 632, 3384, 3993, 9985],
+    ),
+    (
+        "lb (inter-CTA)",
+        [0, 0, 0, 0, 0, 0, 0, 0, 181, 1067, 1555, 2247, 4, 37, 83, 486],
+    ),
+    (
+        "mp (inter-CTA)",
+        [0, 0, 0, 0, 0, 621, 0, 2921, 315, 1128, 2372, 4347, 7, 94, 442, 2888],
+    ),
+    (
+        "sb (inter-CTA)",
+        [0, 0, 0, 0, 0, 0, 0, 0, 462, 1403, 3308, 6673, 3, 50, 88, 749],
+    ),
+];
+
+/// Tab. 6 — Radeon HD 7970 rows.
+pub const TAB6_HD7970: [(&str, [u64; 16]); 4] = [
+    ("coRR (intra-CTA)", [0; 16]),
+    (
+        "lb (inter-CTA)",
+        [
+            10959, 8979, 31895, 29092, 13510, 12729, 29779, 26737, 5094, 9360, 37624, 38664,
+            5321, 10054, 32796, 34196,
+        ],
+    ),
+    (
+        "mp (inter-CTA)",
+        [212, 31, 243, 158, 277, 46, 318, 247, 473, 217, 1289, 563, 611, 339, 2542, 1628],
+    ),
+    (
+        "sb (inter-CTA)",
+        [0, 0, 0, 0, 2, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_data_shapes() {
+        assert_eq!(CHIP_COLUMNS.len(), FIG1_CORR.len());
+        assert_eq!(FIG3_MP_L1.len(), 4);
+        for (_, row) in TAB6_TITAN.iter().chain(TAB6_HD7970.iter()) {
+            assert_eq!(row.len(), 16);
+        }
+        // Known headline numbers.
+        assert_eq!(FIG1_CORR[0], Some(11642));
+        assert_eq!(FIG8_DLB_LB[5], None);
+        assert_eq!(TAB6_TITAN[3].1[11], 6673);
+    }
+}

@@ -1,0 +1,135 @@
+//! Row runners and paper-vs-measured printing.
+
+use weakgpu_harness::report::ObsTable;
+use weakgpu_harness::runner::{run_test, RunConfig};
+use weakgpu_litmus::LitmusTest;
+use weakgpu_sim::chip::{Chip, Incantations};
+
+use crate::cli::BenchArgs;
+
+/// A table cell: a count or `n/a`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cell {
+    /// An observation count (per 100k).
+    Obs(u64),
+    /// Not applicable (compiler invalidates the test).
+    Na,
+}
+
+impl Cell {
+    /// Renders the cell.
+    pub fn render(self) -> String {
+        match self {
+            Cell::Obs(n) => n.to_string(),
+            Cell::Na => "n/a".to_owned(),
+        }
+    }
+}
+
+impl From<Option<u64>> for Cell {
+    fn from(v: Option<u64>) -> Self {
+        match v {
+            Some(n) => Cell::Obs(n),
+            None => Cell::Na,
+        }
+    }
+}
+
+/// Runs `test` on one chip and returns the witness count normalised to
+/// 100k runs.
+///
+/// # Panics
+///
+/// Panics on harness errors — experiment binaries treat those as fatal.
+pub fn obs_cell(test: &LitmusTest, chip: Chip, inc: Incantations, args: &BenchArgs) -> u64 {
+    let cfg = RunConfig {
+        iterations: args.iterations,
+        incantations: inc,
+        seed: args.seed,
+        parallelism: None,
+    };
+    run_test(test, chip, &cfg)
+        .unwrap_or_else(|e| panic!("{} on {chip}: {e}", test.name()))
+        .obs_per_100k()
+}
+
+/// Runs `test` across `chips` with per-chip incantations chosen by the
+/// test's placement (best inter-CTA column for inter-CTA tests, all-on for
+/// intra-CTA, as in the paper).
+pub fn obs_row(test: &LitmusTest, chips: &[Chip], args: &BenchArgs) -> Vec<u64> {
+    let inc = default_incantations(test);
+    chips
+        .iter()
+        .map(|&c| obs_cell(test, c, inc, args))
+        .collect()
+}
+
+/// The paper's "most effective incantations" per placement.
+pub fn default_incantations(test: &LitmusTest) -> Incantations {
+    match test.thread_scope() {
+        Some(weakgpu_litmus::ThreadScope::InterCta) => Incantations::best_inter_cta(),
+        _ => Incantations::all_on(),
+    }
+}
+
+/// Prints one experiment: for every row, the paper's reference counts and
+/// the measured counts side by side.
+pub fn print_experiment(
+    title: &str,
+    columns: &[&str],
+    rows: Vec<(String, Vec<Cell>, Vec<Cell>)>,
+) {
+    println!("== {title} ==");
+    let mut table = ObsTable::new("obs/100k", columns.iter().map(|s| (*s).to_owned()));
+    for (label, paper, measured) in rows {
+        table.row_text(
+            format!("{label} (paper)"),
+            paper.into_iter().map(Cell::render),
+        );
+        table.row_text(
+            format!("{label} (sim)"),
+            measured.into_iter().map(Cell::render),
+        );
+    }
+    println!("{table}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakgpu_litmus::corpus;
+
+    #[test]
+    fn obs_cell_runs() {
+        let args = BenchArgs {
+            iterations: 500,
+            ..BenchArgs::default()
+        };
+        let v = obs_cell(
+            &corpus::corr(),
+            Chip::Gtx280,
+            Incantations::all_on(),
+            &args,
+        );
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn default_incantations_by_placement() {
+        assert_eq!(
+            default_incantations(&corpus::corr()),
+            Incantations::all_on()
+        );
+        assert_eq!(
+            default_incantations(&corpus::cas_sl(false)),
+            Incantations::best_inter_cta()
+        );
+    }
+
+    #[test]
+    fn cells_render() {
+        assert_eq!(Cell::Obs(42).render(), "42");
+        assert_eq!(Cell::Na.render(), "n/a");
+        assert_eq!(Cell::from(None), Cell::Na);
+    }
+}

@@ -1,0 +1,28 @@
+//! Core facade for the `weakgpu` workspace: every subsystem re-exported
+//! under a short module name, plus the high-level [`Session`] API.
+//!
+//! ```
+//! use weakgpu_core::{Session, litmus::corpus, sim::Chip};
+//!
+//! let session = Session::new()
+//!     .chip(Chip::GtxTitan)
+//!     .iterations(5_000);
+//! let report = session.run(&corpus::corr()).unwrap();
+//! assert_eq!(report.histogram.total(), 5_000);
+//!
+//! // The paper's PTX model allows everything the chip exhibited.
+//! let soundness = session.check_soundness(&corpus::corr()).unwrap();
+//! assert!(soundness.is_sound());
+//! ```
+
+pub use weakgpu_axiom as axiom;
+pub use weakgpu_diy as diy;
+pub use weakgpu_harness as harness;
+pub use weakgpu_litmus as litmus;
+pub use weakgpu_models as models;
+pub use weakgpu_optcheck as optcheck;
+pub use weakgpu_sim as sim;
+
+pub mod session;
+
+pub use session::{Session, SessionError};

@@ -1,0 +1,32 @@
+//! The litmus-testing harness (paper Sec. 4): run a test many times on a
+//! simulated chip under chosen incantations, histogram the outcomes, and
+//! compare observations against a memory model.
+//!
+//! ```
+//! use weakgpu_harness::{RunConfig, run_test};
+//! use weakgpu_sim::chip::{Chip, Incantations};
+//! use weakgpu_litmus::corpus;
+//!
+//! let cfg = RunConfig {
+//!     iterations: 2_000,
+//!     incantations: Incantations::all_on(),
+//!     seed: 7,
+//!     ..RunConfig::default()
+//! };
+//! let report = run_test(&corpus::corr(), Chip::GtxTitan, &cfg).unwrap();
+//! assert_eq!(report.histogram.total(), 2_000);
+//! // Kepler exhibits read-read coherence violations (Fig. 1).
+//! assert!(report.witnesses > 0);
+//! ```
+
+pub mod histogram;
+pub mod report;
+pub mod runner;
+pub mod soundness;
+pub mod tuning;
+
+pub use histogram::Histogram;
+pub use report::ObsTable;
+pub use runner::{run_test, RunConfig, TestReport};
+pub use soundness::{check_soundness, SoundnessReport};
+pub use tuning::{tune, TuningReport};

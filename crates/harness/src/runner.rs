@@ -1,0 +1,243 @@
+//! The iteration runner: executes a litmus test thousands of times on a
+//! simulated chip, in parallel batches, and histograms the outcomes.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use weakgpu_litmus::LitmusTest;
+use weakgpu_sim::chip::{Chip, Incantations};
+use weakgpu_sim::machine::{RunError, Simulator};
+use weakgpu_sim::program::CompileError;
+
+use crate::histogram::Histogram;
+
+/// Configuration of one harness invocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunConfig {
+    /// Number of runs (the paper uses 100 000).
+    pub iterations: usize,
+    /// Incantation combination.
+    pub incantations: Incantations,
+    /// Base RNG seed; each worker derives its own stream from it.
+    pub seed: u64,
+    /// Worker threads (`None` = all available cores).
+    pub parallelism: Option<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            iterations: 100_000,
+            incantations: Incantations::all_on(),
+            seed: 0x5eed,
+            parallelism: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Paper-scale config: 100k iterations at the given incantations.
+    pub fn paper(incantations: Incantations) -> Self {
+        RunConfig {
+            incantations,
+            ..RunConfig::default()
+        }
+    }
+
+    /// A quick config for tests and examples.
+    pub fn quick(iterations: usize) -> Self {
+        RunConfig {
+            iterations,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Harness failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HarnessError {
+    /// The test failed to compile for the simulator.
+    Compile(CompileError),
+    /// A run failed.
+    Run(RunError),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Compile(e) => write!(f, "compile error: {e}"),
+            HarnessError::Run(e) => write!(f, "run error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<CompileError> for HarnessError {
+    fn from(e: CompileError) -> Self {
+        HarnessError::Compile(e)
+    }
+}
+
+impl From<RunError> for HarnessError {
+    fn from(e: RunError) -> Self {
+        HarnessError::Run(e)
+    }
+}
+
+/// The result of running one test on one chip.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TestReport {
+    /// Test name.
+    pub test: String,
+    /// Chip it ran on.
+    pub chip: Chip,
+    /// Incantations used.
+    pub incantations: Incantations,
+    /// Full outcome histogram.
+    pub histogram: Histogram,
+    /// Runs witnessing the final condition (the paper's `obs` number).
+    pub witnesses: u64,
+}
+
+impl TestReport {
+    /// Witnesses normalised to the paper's `obs/100k` scale.
+    pub fn obs_per_100k(&self) -> u64 {
+        let total = self.histogram.total();
+        if total == 0 {
+            0
+        } else {
+            (self.witnesses as u128 * 100_000 / total as u128) as u64
+        }
+    }
+}
+
+/// Runs `test` on `chip` for `cfg.iterations` runs and histograms the
+/// outcomes.
+///
+/// Runs are split across worker threads; each worker seeds its own
+/// [`SmallRng`] from `cfg.seed` and its worker index, so results are
+/// reproducible for a fixed `(seed, parallelism)` pair regardless of
+/// thread scheduling.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] if the test cannot be compiled or a run
+/// fails (e.g. a livelocked spin loop).
+pub fn run_test(test: &LitmusTest, chip: Chip, cfg: &RunConfig) -> Result<TestReport, HarnessError> {
+    let sim = Simulator::compile(test, chip)?;
+    let weights = chip.profile().weights(&cfg.incantations);
+    let workers = cfg
+        .parallelism
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(cfg.iterations.max(1));
+
+    let chunk = cfg.iterations / workers;
+    let remainder = cfg.iterations % workers;
+    let thread_rand = cfg.incantations.thread_rand;
+
+    let results: Vec<Result<Histogram, RunError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let n = chunk + usize::from(w < remainder);
+            let sim = &sim;
+            let weights = &weights;
+            let seed = cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+            handles.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut h = Histogram::new();
+                for _ in 0..n {
+                    let outcome = sim.run_once_with_weights(weights, thread_rand, &mut rng)?;
+                    h.record(outcome);
+                }
+                Ok(h)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut histogram = Histogram::new();
+    for r in results {
+        histogram.merge(r?);
+    }
+    let witnesses = histogram.witnesses(test.cond());
+    Ok(TestReport {
+        test: test.name().to_owned(),
+        chip,
+        incantations: cfg.incantations,
+        histogram,
+        witnesses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakgpu_litmus::corpus;
+    use weakgpu_litmus::ThreadScope;
+
+    #[test]
+    fn totals_match_iterations() {
+        let cfg = RunConfig::quick(1234);
+        let r = run_test(&corpus::corr(), Chip::GtxTitan, &cfg).unwrap();
+        assert_eq!(r.histogram.total(), 1234);
+        assert_eq!(r.test, "coRR");
+        assert_eq!(r.chip, Chip::GtxTitan);
+    }
+
+    #[test]
+    fn reproducible_across_invocations() {
+        let cfg = RunConfig {
+            iterations: 3000,
+            parallelism: Some(4),
+            ..RunConfig::default()
+        };
+        let test = corpus::mp(ThreadScope::InterCta, None);
+        let a = run_test(&test, Chip::GtxTitan, &cfg).unwrap();
+        let b = run_test(&test, Chip::GtxTitan, &cfg).unwrap();
+        assert_eq!(a.histogram, b.histogram);
+    }
+
+    #[test]
+    fn obs_normalisation() {
+        let cfg = RunConfig {
+            iterations: 50_000,
+            incantations: Incantations::all_on(),
+            ..RunConfig::default()
+        };
+        let r = run_test(&corpus::corr(), Chip::GtxTitan, &cfg).unwrap();
+        assert!(r.witnesses > 0);
+        let per100k = r.obs_per_100k();
+        assert!(per100k >= r.witnesses, "normalising 50k to 100k doubles");
+    }
+
+    #[test]
+    fn zero_iterations_is_empty() {
+        let cfg = RunConfig::quick(0);
+        let r = run_test(&corpus::corr(), Chip::Gtx280, &cfg).unwrap();
+        assert_eq!(r.histogram.total(), 0);
+        assert_eq!(r.obs_per_100k(), 0);
+    }
+
+    #[test]
+    fn single_worker_matches_multi_worker_totals() {
+        let test = corpus::sb(ThreadScope::InterCta, None);
+        let mk = |par| RunConfig {
+            iterations: 2000,
+            parallelism: Some(par),
+            ..RunConfig::default()
+        };
+        let one = run_test(&test, Chip::GtxTitan, &mk(1)).unwrap();
+        let four = run_test(&test, Chip::GtxTitan, &mk(4)).unwrap();
+        assert_eq!(one.histogram.total(), four.histogram.total());
+    }
+}

@@ -1,0 +1,265 @@
+//! Ergonomic constructors for [`Instr`], used heavily by the [`crate::corpus`]
+//! and by the `weakgpu-diy` test generator.
+//!
+//! Address arguments accept either a location name (`"x"`, becoming a `Sym`
+//! operand) or a pointer-holding register via [`reg`].
+//!
+//! ```
+//! use weakgpu_litmus::build::*;
+//! use weakgpu_litmus::FenceScope;
+//!
+//! let thread0 = vec![st("x", 1), membar(FenceScope::Gl), st("y", 1)];
+//! assert_eq!(thread0.len(), 3);
+//! ```
+
+use crate::instr::{CacheOp, FenceScope, Instr, Label, Operand, Reg};
+use crate::value::Loc;
+
+/// A register operand, for use where an address or source operand is needed.
+pub fn reg(name: &str) -> Operand {
+    Operand::Reg(Reg::new(name))
+}
+
+/// An immediate operand.
+pub fn imm(n: i64) -> Operand {
+    Operand::Imm(n)
+}
+
+/// A symbolic address operand (the address of location `name`).
+pub fn sym(name: &str) -> Operand {
+    Operand::Sym(Loc::new(name))
+}
+
+fn addr_of(a: impl Into<AddrArg>) -> Operand {
+    a.into().0
+}
+
+/// Anything acceptable as an address: a location name or an [`Operand`].
+pub struct AddrArg(Operand);
+
+impl From<&str> for AddrArg {
+    fn from(s: &str) -> Self {
+        AddrArg(Operand::Sym(Loc::new(s)))
+    }
+}
+
+impl From<Operand> for AddrArg {
+    fn from(o: Operand) -> Self {
+        AddrArg(o)
+    }
+}
+
+/// `ld.cg dst,[addr]` — the default (L2-targeting) load.
+pub fn ld(dst: &str, addr: impl Into<AddrArg>) -> Instr {
+    Instr::Ld {
+        dst: Reg::new(dst),
+        addr: addr_of(addr),
+        cache: CacheOp::Cg,
+        volatile: false,
+    }
+}
+
+/// `ld.ca dst,[addr]` — an L1-targeting load (paper Sec. 3.1.2).
+pub fn ld_ca(dst: &str, addr: impl Into<AddrArg>) -> Instr {
+    Instr::Ld {
+        dst: Reg::new(dst),
+        addr: addr_of(addr),
+        cache: CacheOp::Ca,
+        volatile: false,
+    }
+}
+
+/// `ld.volatile dst,[addr]`.
+pub fn ld_volatile(dst: &str, addr: impl Into<AddrArg>) -> Instr {
+    Instr::Ld {
+        dst: Reg::new(dst),
+        addr: addr_of(addr),
+        cache: CacheOp::Cg,
+        volatile: true,
+    }
+}
+
+/// `st.cg [addr],imm`.
+pub fn st(addr: impl Into<AddrArg>, value: i64) -> Instr {
+    Instr::St {
+        addr: addr_of(addr),
+        src: Operand::Imm(value),
+        cache: CacheOp::Cg,
+        volatile: false,
+    }
+}
+
+/// `st.cg [addr],reg`.
+pub fn st_reg(addr: impl Into<AddrArg>, src: &str) -> Instr {
+    Instr::St {
+        addr: addr_of(addr),
+        src: Operand::Reg(Reg::new(src)),
+        cache: CacheOp::Cg,
+        volatile: false,
+    }
+}
+
+/// `st.volatile [addr],imm`.
+pub fn st_volatile(addr: impl Into<AddrArg>, value: i64) -> Instr {
+    Instr::St {
+        addr: addr_of(addr),
+        src: Operand::Imm(value),
+        cache: CacheOp::Cg,
+        volatile: true,
+    }
+}
+
+/// `st.volatile [addr],reg`.
+pub fn st_volatile_reg(addr: impl Into<AddrArg>, src: &str) -> Instr {
+    Instr::St {
+        addr: addr_of(addr),
+        src: Operand::Reg(Reg::new(src)),
+        cache: CacheOp::Cg,
+        volatile: true,
+    }
+}
+
+/// `atom.cas dst,[addr],expected,desired`.
+pub fn cas(dst: &str, addr: impl Into<AddrArg>, expected: i64, desired: i64) -> Instr {
+    Instr::Cas {
+        dst: Reg::new(dst),
+        addr: addr_of(addr),
+        expected: Operand::Imm(expected),
+        desired: Operand::Imm(desired),
+    }
+}
+
+/// `atom.exch dst,[addr],src`.
+pub fn exch(dst: &str, addr: impl Into<AddrArg>, value: i64) -> Instr {
+    Instr::Exch {
+        dst: Reg::new(dst),
+        addr: addr_of(addr),
+        src: Operand::Imm(value),
+    }
+}
+
+/// `atom.inc dst,[addr]` — the paper's mapping of `atomicAdd(…, 1)`.
+pub fn inc(dst: &str, addr: impl Into<AddrArg>) -> Instr {
+    Instr::Inc {
+        dst: Reg::new(dst),
+        addr: addr_of(addr),
+    }
+}
+
+/// `membar.scope`.
+pub fn membar(scope: FenceScope) -> Instr {
+    Instr::Membar { scope }
+}
+
+/// `membar.cta`.
+pub fn membar_cta() -> Instr {
+    membar(FenceScope::Cta)
+}
+
+/// `membar.gl`.
+pub fn membar_gl() -> Instr {
+    membar(FenceScope::Gl)
+}
+
+/// `membar.sys`.
+pub fn membar_sys() -> Instr {
+    membar(FenceScope::Sys)
+}
+
+/// `mov dst,src`.
+pub fn mov(dst: &str, src: impl Into<Operand>) -> Instr {
+    Instr::Mov {
+        dst: Reg::new(dst),
+        src: src.into(),
+    }
+}
+
+/// `add dst,a,b`.
+pub fn add(dst: &str, a: impl Into<Operand>, b: impl Into<Operand>) -> Instr {
+    Instr::Add {
+        dst: Reg::new(dst),
+        a: a.into(),
+        b: b.into(),
+    }
+}
+
+/// `and dst,a,b`.
+pub fn and(dst: &str, a: impl Into<Operand>, b: impl Into<Operand>) -> Instr {
+    Instr::And {
+        dst: Reg::new(dst),
+        a: a.into(),
+        b: b.into(),
+    }
+}
+
+/// `xor dst,a,b`.
+pub fn xor(dst: &str, a: impl Into<Operand>, b: impl Into<Operand>) -> Instr {
+    Instr::Xor {
+        dst: Reg::new(dst),
+        a: a.into(),
+        b: b.into(),
+    }
+}
+
+/// `cvt dst,src`.
+pub fn cvt(dst: &str, src: impl Into<Operand>) -> Instr {
+    Instr::Cvt {
+        dst: Reg::new(dst),
+        src: src.into(),
+    }
+}
+
+/// `setp.eq dst,a,b`.
+pub fn setp_eq(dst: &str, a: impl Into<Operand>, b: impl Into<Operand>) -> Instr {
+    Instr::SetpEq {
+        dst: Reg::new(dst),
+        a: a.into(),
+        b: b.into(),
+    }
+}
+
+/// `setp.ne dst,a,b`.
+pub fn setp_ne(dst: &str, a: impl Into<Operand>, b: impl Into<Operand>) -> Instr {
+    Instr::SetpNe {
+        dst: Reg::new(dst),
+        a: a.into(),
+        b: b.into(),
+    }
+}
+
+/// `bra target`.
+pub fn bra(target: &str) -> Instr {
+    Instr::Bra {
+        target: Label::new(target),
+    }
+}
+
+/// A label definition `name:`.
+pub fn label(name: &str) -> Instr {
+    Instr::LabelDef(Label::new(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_from_location_name() {
+        let i = ld("r1", "x");
+        assert_eq!(i.address().unwrap(), &sym("x"));
+    }
+
+    #[test]
+    fn address_from_register() {
+        let i = ld("r1", reg("r9"));
+        assert_eq!(i.address().unwrap(), &reg("r9"));
+    }
+
+    #[test]
+    fn default_cache_operator_is_cg() {
+        match ld("r1", "x") {
+            Instr::Ld { cache, .. } => assert_eq!(cache, CacheOp::Cg),
+            _ => unreachable!(),
+        }
+    }
+}

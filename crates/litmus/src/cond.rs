@@ -1,0 +1,378 @@
+//! Final conditions and outcomes.
+//!
+//! A litmus test ends with a quantified assertion over the final state of
+//! registers and memory, e.g. `exists (0:r2=0 /\ 1:r2=0)` (paper Fig. 12,
+//! line 12). Running a test produces an [`Outcome`] — the observed values of
+//! the inspected registers/locations — and the harness counts how often the
+//! condition's body holds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::instr::Reg;
+use crate::value::Loc;
+
+/// Something inspected by a final condition: a thread's register or a
+/// memory location.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FinalExpr {
+    /// `t:r` — register `r` of thread `t` after the test.
+    Reg(usize, Reg),
+    /// `x` — the final value of memory location `x`.
+    Mem(Loc),
+}
+
+impl FinalExpr {
+    /// Convenience constructor for `t:r`.
+    pub fn reg(tid: usize, r: impl Into<Reg>) -> Self {
+        FinalExpr::Reg(tid, r.into())
+    }
+
+    /// Convenience constructor for a memory location.
+    pub fn mem(loc: impl Into<Loc>) -> Self {
+        FinalExpr::Mem(loc.into())
+    }
+}
+
+impl fmt::Display for FinalExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FinalExpr::Reg(t, r) => write!(f, "{t}:{r}"),
+            FinalExpr::Mem(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A boolean combination of equalities over final values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Predicate {
+    /// `expr = n`.
+    Eq(FinalExpr, i64),
+    /// `expr != n`.
+    Ne(FinalExpr, i64),
+    /// Conjunction, `/\`.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction, `\/`.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation, `not (…)`.
+    Not(Box<Predicate>),
+    /// The trivially true predicate.
+    True,
+}
+
+impl Predicate {
+    /// `t:r = n`.
+    pub fn reg_eq(tid: usize, r: impl Into<Reg>, n: i64) -> Self {
+        Predicate::Eq(FinalExpr::reg(tid, r), n)
+    }
+
+    /// `loc = n` (final memory value).
+    pub fn mem_eq(loc: impl Into<Loc>, n: i64) -> Self {
+        Predicate::Eq(FinalExpr::mem(loc), n)
+    }
+
+    /// `self /\ rhs`.
+    pub fn and(self, rhs: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self \/ rhs`.
+    pub fn or(self, rhs: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `not (self)`.
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Conjunction of an iterator of predicates ([`Predicate::True`] when
+    /// empty).
+    pub fn all(preds: impl IntoIterator<Item = Predicate>) -> Self {
+        preds
+            .into_iter()
+            .reduce(Predicate::and)
+            .unwrap_or(Predicate::True)
+    }
+
+    /// Evaluates the predicate against an outcome.
+    ///
+    /// Inspected values missing from the outcome are treated as 0, the
+    /// hardware's register/memory reset value — this matches the behaviour
+    /// of the paper's harness for threads whose predicated instructions did
+    /// not execute.
+    pub fn eval(&self, outcome: &Outcome) -> bool {
+        match self {
+            Predicate::Eq(e, n) => outcome.get(e).unwrap_or(0) == *n,
+            Predicate::Ne(e, n) => outcome.get(e).unwrap_or(0) != *n,
+            Predicate::And(a, b) => a.eval(outcome) && b.eval(outcome),
+            Predicate::Or(a, b) => a.eval(outcome) || b.eval(outcome),
+            Predicate::Not(p) => !p.eval(outcome),
+            Predicate::True => true,
+        }
+    }
+
+    /// All [`FinalExpr`]s mentioned, in first-mention order without
+    /// duplicates. These are the values a harness must record.
+    pub fn exprs(&self) -> Vec<FinalExpr> {
+        fn walk(p: &Predicate, out: &mut Vec<FinalExpr>) {
+            match p {
+                Predicate::Eq(e, _) | Predicate::Ne(e, _) => {
+                    if !out.contains(e) {
+                        out.push(e.clone());
+                    }
+                }
+                Predicate::And(a, b) | Predicate::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Predicate::Not(p) => walk(p, out),
+                Predicate::True => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Eq(e, n) => write!(f, "{e}={n}"),
+            Predicate::Ne(e, n) => write!(f, "{e}!={n}"),
+            Predicate::And(a, b) => write!(f, "{a} /\\ {b}"),
+            Predicate::Or(a, b) => write!(f, "({a} \\/ {b})"),
+            Predicate::Not(p) => write!(f, "not ({p})"),
+            Predicate::True => write!(f, "true"),
+        }
+    }
+}
+
+/// The quantifier of a final condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Quantifier {
+    /// `exists` — the interesting (often weak) outcome is reachable.
+    #[default]
+    Exists,
+    /// `~exists` — the outcome must never be observed.
+    NotExists,
+    /// `forall` — every execution satisfies the body.
+    Forall,
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Exists => write!(f, "exists"),
+            Quantifier::NotExists => write!(f, "~exists"),
+            Quantifier::Forall => write!(f, "forall"),
+        }
+    }
+}
+
+/// A quantified final condition.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FinalCond {
+    /// The quantifier.
+    pub quantifier: Quantifier,
+    /// The body predicate.
+    pub pred: Predicate,
+}
+
+impl FinalCond {
+    /// `exists (pred)`, the common case.
+    pub fn exists(pred: Predicate) -> Self {
+        FinalCond {
+            quantifier: Quantifier::Exists,
+            pred,
+        }
+    }
+
+    /// `~exists (pred)`.
+    pub fn not_exists(pred: Predicate) -> Self {
+        FinalCond {
+            quantifier: Quantifier::NotExists,
+            pred,
+        }
+    }
+
+    /// `forall (pred)`.
+    pub fn forall(pred: Predicate) -> Self {
+        FinalCond {
+            quantifier: Quantifier::Forall,
+            pred,
+        }
+    }
+
+    /// `true` if this outcome is a *witness* for the condition body
+    /// (the outcome the paper's `obs` counts tally).
+    ///
+    /// For `exists`/`~exists`, a witness satisfies the body; for `forall`, a
+    /// witness *violates* it.
+    pub fn witnessed_by(&self, outcome: &Outcome) -> bool {
+        match self.quantifier {
+            Quantifier::Exists | Quantifier::NotExists => self.pred.eval(outcome),
+            Quantifier::Forall => !self.pred.eval(outcome),
+        }
+    }
+}
+
+impl fmt::Display for FinalCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.quantifier, self.pred)
+    }
+}
+
+/// One observed final state: values of the inspected registers/locations.
+///
+/// Outcomes order and render canonically (`0:r1=1; 1:r2=0;`), so they can
+/// key histograms.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Outcome {
+    values: BTreeMap<FinalExpr, i64>,
+}
+
+impl Outcome {
+    /// An empty outcome.
+    pub fn new() -> Self {
+        Outcome::default()
+    }
+
+    /// Records `expr = value`, replacing any previous binding.
+    pub fn set(&mut self, expr: FinalExpr, value: i64) -> &mut Self {
+        self.values.insert(expr, value);
+        self
+    }
+
+    /// The recorded value of `expr`, if present.
+    pub fn get(&self, expr: &FinalExpr) -> Option<i64> {
+        self.values.get(expr).copied()
+    }
+
+    /// Number of recorded bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates bindings in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FinalExpr, i64)> {
+        self.values.iter().map(|(e, v)| (e, *v))
+    }
+}
+
+impl FromIterator<(FinalExpr, i64)> for Outcome {
+    fn from_iter<I: IntoIterator<Item = (FinalExpr, i64)>>(iter: I) -> Self {
+        Outcome {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (e, v) in &self.values {
+            write!(f, "{e}={v}; ")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mp_outcome(r1: i64, r2: i64) -> Outcome {
+        [
+            (FinalExpr::reg(1, "r1"), r1),
+            (FinalExpr::reg(1, "r2"), r2),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn eval_conjunction() {
+        let cond = Predicate::reg_eq(1, "r1", 1).and(Predicate::reg_eq(1, "r2", 0));
+        assert!(cond.eval(&mp_outcome(1, 0)));
+        assert!(!cond.eval(&mp_outcome(1, 1)));
+        assert!(!cond.eval(&mp_outcome(0, 0)));
+    }
+
+    #[test]
+    fn missing_values_default_to_zero() {
+        let cond = Predicate::reg_eq(0, "r9", 0);
+        assert!(cond.eval(&Outcome::new()));
+        let ne = Predicate::Ne(FinalExpr::reg(0, "r9"), 0);
+        assert!(!ne.eval(&Outcome::new()));
+    }
+
+    #[test]
+    fn not_and_or() {
+        let p = Predicate::reg_eq(1, "r1", 1)
+            .or(Predicate::reg_eq(1, "r2", 1))
+            .negate();
+        assert!(p.eval(&mp_outcome(0, 0)));
+        assert!(!p.eval(&mp_outcome(1, 0)));
+    }
+
+    #[test]
+    fn exprs_deduplicated_in_order() {
+        let p = Predicate::reg_eq(1, "r1", 1)
+            .and(Predicate::reg_eq(1, "r2", 0))
+            .and(Predicate::reg_eq(1, "r1", 0));
+        let exprs = p.exprs();
+        assert_eq!(
+            exprs,
+            vec![FinalExpr::reg(1, "r1"), FinalExpr::reg(1, "r2")]
+        );
+    }
+
+    #[test]
+    fn witness_semantics() {
+        let body = Predicate::reg_eq(1, "r1", 1);
+        let exists = FinalCond::exists(body.clone());
+        let forall = FinalCond::forall(body);
+        assert!(exists.witnessed_by(&mp_outcome(1, 0)));
+        assert!(!exists.witnessed_by(&mp_outcome(0, 0)));
+        // forall witnesses are violations.
+        assert!(!forall.witnessed_by(&mp_outcome(1, 0)));
+        assert!(forall.witnessed_by(&mp_outcome(0, 0)));
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let cond = FinalCond::exists(
+            Predicate::reg_eq(0, "r2", 0).and(Predicate::reg_eq(1, "r2", 0)),
+        );
+        assert_eq!(cond.to_string(), "exists (0:r2=0 /\\ 1:r2=0)");
+        assert_eq!(mp_outcome(1, 0).to_string(), "1:r1=1; 1:r2=0; ");
+    }
+
+    #[test]
+    fn all_combines_predicates() {
+        let p = Predicate::all(vec![
+            Predicate::reg_eq(0, "r0", 1),
+            Predicate::reg_eq(1, "r1", 2),
+        ]);
+        let mut o = Outcome::new();
+        o.set(FinalExpr::reg(0, "r0"), 1);
+        o.set(FinalExpr::reg(1, "r1"), 2);
+        assert!(p.eval(&o));
+        assert_eq!(Predicate::all(vec![]), Predicate::True);
+    }
+
+    #[test]
+    fn mem_exprs() {
+        let p = Predicate::mem_eq("x", 2);
+        let mut o = Outcome::new();
+        o.set(FinalExpr::mem("x"), 2);
+        assert!(p.eval(&o));
+        assert_eq!(p.exprs(), vec![FinalExpr::mem("x")]);
+    }
+}

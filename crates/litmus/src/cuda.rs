@@ -1,0 +1,494 @@
+//! A miniature CUDA-like source layer and the paper's Tab. 5 mapping to
+//! PTX.
+//!
+//! The paper's programming-assumption studies start from CUDA snippets
+//! (Figs. 2, 6 and 10) and distil them to PTX litmus threads through the
+//! compilation mapping of Tab. 5 (discovered by examining CUDA 5.5
+//! output with `-Xptxas -dlcm=cg`):
+//!
+//! | CUDA | PTX |
+//! |---|---|
+//! | `atomicCAS` | `atom.cas` |
+//! | `atomicExch` | `atom.exch` |
+//! | `atomicAdd(…, 1)` | `atom.inc` |
+//! | `__threadfence()` | `membar.gl` |
+//! | `__threadfence_block()` | `membar.cta` |
+//! | store/load of global `int` | `st.cg` / `ld.cg` |
+//! | store/load of `volatile int` | `st.volatile` / `ld.volatile` |
+//! | control flow | jumps and predicated instructions |
+//!
+//! [`CudaStmt`] models exactly the statement forms those snippets use;
+//! [`compile_thread`] applies Tab. 5.
+
+use crate::build;
+use crate::instr::{Instr, Operand, Reg};
+use crate::value::Loc;
+
+/// A value expression in the mini-CUDA fragment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CudaExpr {
+    /// An integer literal.
+    Lit(i64),
+    /// A local variable.
+    Var(String),
+    /// `a + b`.
+    Add(Box<CudaExpr>, Box<CudaExpr>),
+}
+
+impl CudaExpr {
+    /// A variable reference.
+    pub fn var(name: &str) -> Self {
+        CudaExpr::Var(name.to_owned())
+    }
+}
+
+/// A condition in the fragment: equality/inequality against a literal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CudaCond {
+    /// `var == lit`.
+    Eq(String, i64),
+    /// `var != lit`.
+    Ne(String, i64),
+}
+
+/// The statement forms used by the paper's CUDA snippets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CudaStmt {
+    /// `var = *loc;` — a load from a global (or volatile global) int.
+    Load {
+        /// Local variable receiving the value.
+        var: String,
+        /// Source location.
+        loc: Loc,
+        /// Declared `volatile`.
+        volatile: bool,
+    },
+    /// `*loc = expr;` — a store.
+    Store {
+        /// Target location.
+        loc: Loc,
+        /// Stored expression.
+        value: CudaExpr,
+        /// Declared `volatile`.
+        volatile: bool,
+    },
+    /// `var = atomicCAS(loc, expected, desired);`.
+    AtomicCas {
+        /// Receives the old value.
+        var: String,
+        /// Target location.
+        loc: Loc,
+        /// Comparison value.
+        expected: i64,
+        /// Swapped-in value.
+        desired: i64,
+    },
+    /// `var = atomicExch(loc, value);`.
+    AtomicExch {
+        /// Receives the old value.
+        var: String,
+        /// Target location.
+        loc: Loc,
+        /// New value.
+        value: i64,
+    },
+    /// `var = atomicAdd(loc, 1);`.
+    AtomicInc {
+        /// Receives the old value.
+        var: String,
+        /// Target location.
+        loc: Loc,
+    },
+    /// `__threadfence();`.
+    Threadfence,
+    /// `__threadfence_block();`.
+    ThreadfenceBlock,
+    /// `if (cond) { … }`.
+    If {
+        /// The branch condition.
+        cond: CudaCond,
+        /// The guarded body.
+        body: Vec<CudaStmt>,
+    },
+    /// `while (cond) { body }` — compiled, like the CUDA compiler does,
+    /// to a label/branch loop with predicated exit.
+    While {
+        /// The loop condition (re-evaluated per iteration).
+        cond: CudaCond,
+        /// The loop body.
+        body: Vec<CudaStmt>,
+    },
+}
+
+/// Compilation state: fresh register/label allocation and the variable →
+/// register map.
+struct Compiler {
+    var_regs: std::collections::BTreeMap<String, Reg>,
+    fresh: usize,
+    labels: usize,
+    out: Vec<Instr>,
+}
+
+impl Compiler {
+    fn reg_for(&mut self, var: &str) -> Reg {
+        if let Some(r) = self.var_regs.get(var) {
+            return r.clone();
+        }
+        let r = Reg::new(format!("r{}", self.fresh));
+        self.fresh += 1;
+        self.var_regs.insert(var.to_owned(), r.clone());
+        r
+    }
+
+    fn fresh_pred(&mut self) -> Reg {
+        let r = Reg::new(format!("p{}", self.fresh));
+        self.fresh += 1;
+        r
+    }
+
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.labels += 1;
+        format!("{stem}{}", self.labels)
+    }
+
+    fn expr(&mut self, e: &CudaExpr) -> Operand {
+        match e {
+            CudaExpr::Lit(n) => Operand::Imm(*n),
+            CudaExpr::Var(v) => Operand::Reg(self.reg_for(v)),
+            CudaExpr::Add(a, b) => {
+                let (oa, ob) = (self.expr(a), self.expr(b));
+                let dst = Reg::new(format!("r{}", self.fresh));
+                self.fresh += 1;
+                self.out.push(Instr::Add {
+                    dst: dst.clone(),
+                    a: oa,
+                    b: ob,
+                });
+                Operand::Reg(dst)
+            }
+        }
+    }
+
+    fn cond_pred(&mut self, cond: &CudaCond) -> Reg {
+        let p = self.fresh_pred();
+        let (var, lit, eq) = match cond {
+            CudaCond::Eq(v, n) => (v, *n, true),
+            CudaCond::Ne(v, n) => (v, *n, false),
+        };
+        let r = self.reg_for(var);
+        let instr = if eq {
+            Instr::SetpEq {
+                dst: p.clone(),
+                a: Operand::Reg(r),
+                b: Operand::Imm(lit),
+            }
+        } else {
+            Instr::SetpNe {
+                dst: p.clone(),
+                a: Operand::Reg(r),
+                b: Operand::Imm(lit),
+            }
+        };
+        self.out.push(instr);
+        p
+    }
+
+    fn stmt(&mut self, s: &CudaStmt) {
+        match s {
+            CudaStmt::Load { var, loc, volatile } => {
+                let dst = self.reg_for(var);
+                self.out.push(Instr::Ld {
+                    dst,
+                    addr: Operand::Sym(loc.clone()),
+                    cache: crate::instr::CacheOp::Cg,
+                    volatile: *volatile,
+                });
+            }
+            CudaStmt::Store { loc, value, volatile } => {
+                let src = self.expr(value);
+                self.out.push(Instr::St {
+                    addr: Operand::Sym(loc.clone()),
+                    src,
+                    cache: crate::instr::CacheOp::Cg,
+                    volatile: *volatile,
+                });
+            }
+            CudaStmt::AtomicCas {
+                var,
+                loc,
+                expected,
+                desired,
+            } => {
+                let dst = self.reg_for(var);
+                self.out.push(Instr::Cas {
+                    dst,
+                    addr: Operand::Sym(loc.clone()),
+                    expected: Operand::Imm(*expected),
+                    desired: Operand::Imm(*desired),
+                });
+            }
+            CudaStmt::AtomicExch { var, loc, value } => {
+                let dst = self.reg_for(var);
+                self.out.push(Instr::Exch {
+                    dst,
+                    addr: Operand::Sym(loc.clone()),
+                    src: Operand::Imm(*value),
+                });
+            }
+            CudaStmt::AtomicInc { var, loc } => {
+                let dst = self.reg_for(var);
+                self.out.push(Instr::Inc {
+                    dst,
+                    addr: Operand::Sym(loc.clone()),
+                });
+            }
+            CudaStmt::Threadfence => self.out.push(build::membar_gl()),
+            CudaStmt::ThreadfenceBlock => self.out.push(build::membar_cta()),
+            CudaStmt::If { cond, body } => {
+                // Predicate every instruction of the body (the CUDA
+                // compiler predicates short bodies rather than branching).
+                let p = self.cond_pred(cond);
+                let mark = self.out.len();
+                for inner in body {
+                    self.stmt(inner);
+                }
+                for instr in self.out[mark..].iter_mut() {
+                    let taken = std::mem::replace(instr, build::membar_gl());
+                    *instr = match taken {
+                        guard @ Instr::Guard { .. } => guard, // nested ifs already guarded
+                        Instr::LabelDef(l) => Instr::LabelDef(l),
+                        other => other.guarded(p.clone(), true),
+                    };
+                }
+            }
+            CudaStmt::While { cond, body } => {
+                // LOOP: body; re-evaluate; @p bra LOOP
+                let label = self.fresh_label("LOOP");
+                self.out.push(build::label(&label));
+                for inner in body {
+                    self.stmt(inner);
+                }
+                let p = self.cond_pred(cond);
+                self.out.push(build::bra(&label).guarded(p, true));
+            }
+        }
+    }
+}
+
+/// Compiles a mini-CUDA thread body to PTX instructions via Tab. 5.
+pub fn compile_thread(body: &[CudaStmt]) -> Vec<Instr> {
+    let mut c = Compiler {
+        var_regs: std::collections::BTreeMap::new(),
+        fresh: 0,
+        labels: 0,
+        out: Vec::new(),
+    };
+    for s in body {
+        c.stmt(s);
+    }
+    c.out
+}
+
+/// The register a variable compiled to, for wiring final conditions.
+pub fn var_register(body: &[CudaStmt]) -> std::collections::BTreeMap<String, Reg> {
+    let mut c = Compiler {
+        var_regs: std::collections::BTreeMap::new(),
+        fresh: 0,
+        labels: 0,
+        out: Vec::new(),
+    };
+    for s in body {
+        c.stmt(s);
+    }
+    c.var_regs
+}
+
+/// The `lock()`/`unlock()` of the paper's Fig. 2 (CUDA by Example), as
+/// mini-CUDA. `fenced` adds the erratum's `__threadfence()` calls.
+pub fn cuda_by_example_lock(fenced: bool) -> Vec<CudaStmt> {
+    let mut body = vec![CudaStmt::While {
+        cond: CudaCond::Ne("old".into(), 0),
+        body: vec![CudaStmt::AtomicCas {
+            var: "old".into(),
+            loc: Loc::new("mutex"),
+            expected: 0,
+            desired: 1,
+        }],
+    }];
+    if fenced {
+        body.push(CudaStmt::Threadfence);
+    }
+    body
+}
+
+/// The matching `unlock()`.
+pub fn cuda_by_example_unlock(fenced: bool) -> Vec<CudaStmt> {
+    let mut body = Vec::new();
+    if fenced {
+        body.push(CudaStmt::Threadfence);
+    }
+    body.push(CudaStmt::AtomicExch {
+        var: "ignored".into(),
+        loc: Loc::new("mutex"),
+        value: 0,
+    });
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::FenceScope;
+
+    type InstrCheck = fn(&Instr) -> bool;
+
+    #[test]
+    fn tab5_primitive_mappings() {
+        let loc = Loc::new("x");
+        let cases: Vec<(CudaStmt, InstrCheck)> = vec![
+            (
+                CudaStmt::Load {
+                    var: "v".into(),
+                    loc: loc.clone(),
+                    volatile: false,
+                },
+                |i| matches!(i, Instr::Ld { volatile: false, .. }),
+            ),
+            (
+                CudaStmt::Store {
+                    loc: loc.clone(),
+                    value: CudaExpr::Lit(1),
+                    volatile: true,
+                },
+                |i| matches!(i, Instr::St { volatile: true, .. }),
+            ),
+            (
+                CudaStmt::AtomicCas {
+                    var: "v".into(),
+                    loc: loc.clone(),
+                    expected: 0,
+                    desired: 1,
+                },
+                |i| matches!(i, Instr::Cas { .. }),
+            ),
+            (
+                CudaStmt::AtomicExch {
+                    var: "v".into(),
+                    loc: loc.clone(),
+                    value: 0,
+                },
+                |i| matches!(i, Instr::Exch { .. }),
+            ),
+            (
+                CudaStmt::AtomicInc {
+                    var: "v".into(),
+                    loc,
+                },
+                |i| matches!(i, Instr::Inc { .. }),
+            ),
+            (CudaStmt::Threadfence, |i| {
+                matches!(i, Instr::Membar { scope: FenceScope::Gl })
+            }),
+            (CudaStmt::ThreadfenceBlock, |i| {
+                matches!(i, Instr::Membar { scope: FenceScope::Cta })
+            }),
+        ];
+        for (stmt, check) in cases {
+            let compiled = compile_thread(std::slice::from_ref(&stmt));
+            assert_eq!(compiled.len(), 1, "{stmt:?}");
+            assert!(check(&compiled[0]), "{stmt:?} → {:?}", compiled[0]);
+        }
+    }
+
+    #[test]
+    fn while_compiles_to_label_and_predicated_branch() {
+        let body = cuda_by_example_lock(false);
+        let compiled = compile_thread(&body);
+        assert!(matches!(compiled[0], Instr::LabelDef(_)));
+        assert!(matches!(compiled[1], Instr::Cas { .. }));
+        assert!(matches!(compiled[2], Instr::SetpNe { .. }));
+        assert!(matches!(
+            compiled[3],
+            Instr::Guard { expect: true, .. }
+        ));
+        assert!(!compiled[3].unguarded().is_fence());
+    }
+
+    #[test]
+    fn if_predicates_the_body() {
+        let prog = vec![
+            CudaStmt::Load {
+                var: "v".into(),
+                loc: Loc::new("m"),
+                volatile: false,
+            },
+            CudaStmt::If {
+                cond: CudaCond::Eq("v".into(), 0),
+                body: vec![CudaStmt::Store {
+                    loc: Loc::new("x"),
+                    value: CudaExpr::Lit(1),
+                    volatile: false,
+                }],
+            },
+        ];
+        let compiled = compile_thread(&prog);
+        // ld, setp, @p st.
+        assert_eq!(compiled.len(), 3);
+        assert!(matches!(compiled[2], Instr::Guard { expect: true, .. }));
+        assert!(compiled[2].is_memory_access());
+    }
+
+    #[test]
+    fn expressions_lower_through_add() {
+        let prog = vec![
+            CudaStmt::Load {
+                var: "t".into(),
+                loc: Loc::new("tail"),
+                volatile: true,
+            },
+            CudaStmt::Store {
+                loc: Loc::new("tail"),
+                value: CudaExpr::Add(Box::new(CudaExpr::var("t")), Box::new(CudaExpr::Lit(1))),
+                volatile: true,
+            },
+        ];
+        let compiled = compile_thread(&prog);
+        // ld.volatile, add, st.volatile — the dlb-mp writer of Fig. 7.
+        assert_eq!(compiled.len(), 3);
+        assert!(matches!(compiled[1], Instr::Add { .. }));
+    }
+
+    #[test]
+    fn lock_and_unlock_build_a_runnable_test() {
+        use crate::{LitmusTest, Predicate, ThreadScope};
+        // T0: store data, unlock. T1: lock, read data — Fig. 2/Fig. 9.
+        let mut t0 = vec![CudaStmt::Store {
+            loc: Loc::new("x"),
+            value: CudaExpr::Lit(1),
+            volatile: false,
+        }];
+        t0.extend(cuda_by_example_unlock(true));
+        let mut t1 = cuda_by_example_lock(true);
+        t1.push(CudaStmt::Load {
+            var: "data".into(),
+            loc: Loc::new("x"),
+            volatile: false,
+        });
+        let t1_regs = var_register(&t1);
+        let data_reg = t1_regs.get("data").expect("data compiled").clone();
+        let test = LitmusTest::builder("cuda-lock")
+            .global("x", 0)
+            .global("mutex", 1)
+            .thread(compile_thread(&t0))
+            .thread(compile_thread(&t1))
+            .scope(ThreadScope::InterCta)
+            .exists(Predicate::Eq(crate::FinalExpr::Reg(1, data_reg), 0))
+            .build()
+            .expect("compiled CUDA test is valid");
+        assert_eq!(test.num_threads(), 2);
+        // The spin loop made it through: a label and a guarded branch.
+        assert!(test.threads()[1]
+            .iter()
+            .any(|i| matches!(i, Instr::LabelDef(_))));
+    }
+}

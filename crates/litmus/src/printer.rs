@@ -1,0 +1,213 @@
+//! Rendering litmus tests in the textual format of the paper's Fig. 12.
+//!
+//! The output of [`write_test`] (also available via `LitmusTest`'s
+//! [`std::fmt::Display`] impl) is accepted by [`crate::parser::parse`];
+//! round-tripping is covered by property tests.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::instr::{Instr, Reg};
+use crate::program::LitmusTest;
+use crate::value::Value;
+
+/// Writes `test` in the textual litmus format.
+pub fn write_test(test: &LitmusTest, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    writeln!(f, "GPU_PTX {}", test.name())?;
+    if !test.doc().is_empty() {
+        writeln!(f, "(* {} *)", test.doc())?;
+    }
+
+    // Register declaration block: declare every register used per thread,
+    // with initialisations where present. Declarations let the parser
+    // distinguish `[r1]` (register-held address) from `[x]` (location).
+    let mut decls: Vec<String> = Vec::new();
+    for (tid, thread) in test.threads().iter().enumerate() {
+        let mut regs: BTreeSet<Reg> = BTreeSet::new();
+        for instr in thread {
+            regs.extend(instr.read_regs());
+            if let Some(r) = instr.written_reg() {
+                regs.insert(r.clone());
+            }
+        }
+        let preds = predicate_regs(thread);
+        for r in regs {
+            let init = test.reg_init_value(tid, &r);
+            let ty = if preds.contains(&r) {
+                ".pred"
+            } else if matches!(init, Value::Ptr { .. }) {
+                ".b64"
+            } else {
+                ".s32"
+            };
+            let mut d = format!("{tid}:.reg {ty} {r}");
+            match init {
+                Value::Int(0) => {}
+                Value::Int(n) => d.push_str(&format!(" = {n}")),
+                Value::Ptr { loc, offset: 0 } => d.push_str(&format!(" = {loc}")),
+                Value::Ptr { loc, offset } => d.push_str(&format!(" = {loc}+{offset}")),
+            }
+            decls.push(d);
+        }
+    }
+    if !decls.is_empty() {
+        writeln!(f, "{{{}}}", decls.join("; "))?;
+    }
+
+    // Column header.
+    let header: Vec<String> = (0..test.num_threads()).map(|t| format!("T{t}")).collect();
+    writeln!(f, "{} ;", header.join(" | "))?;
+
+    // Instruction rows, padded to the longest thread.
+    let rows = test.threads().iter().map(Vec::len).max().unwrap_or(0);
+    for row in 0..rows {
+        let cells: Vec<String> = test
+            .threads()
+            .iter()
+            .map(|t| t.get(row).map(render_instr).unwrap_or_default())
+            .collect();
+        writeln!(f, "{} ;", cells.join(" | "))?;
+    }
+
+    writeln!(f, "{}", test.scope_tree())?;
+    if !test.memory().is_empty() {
+        writeln!(f, "{}", test.memory())?;
+    }
+    write!(f, "{}", test.cond())
+}
+
+fn predicate_regs(thread: &[Instr]) -> BTreeSet<Reg> {
+    let mut preds = BTreeSet::new();
+    for instr in thread {
+        if let Instr::Guard { pred, .. } = instr {
+            preds.insert(pred.clone());
+        }
+        if let Instr::SetpEq { dst, .. } | Instr::SetpNe { dst, .. } = instr.unguarded() {
+            preds.insert(dst.clone());
+        }
+    }
+    preds
+}
+
+/// Renders a single instruction in PTX-style syntax, e.g. `st.cg [x],1`.
+pub fn render_instr(instr: &Instr) -> String {
+    match instr {
+        Instr::Ld {
+            dst,
+            addr,
+            cache,
+            volatile,
+        } => {
+            if *volatile {
+                format!("ld.volatile {dst},[{addr}]")
+            } else {
+                format!("ld{cache} {dst},[{addr}]")
+            }
+        }
+        Instr::St {
+            addr,
+            src,
+            cache,
+            volatile,
+        } => {
+            if *volatile {
+                format!("st.volatile [{addr}],{src}")
+            } else {
+                format!("st{cache} [{addr}],{src}")
+            }
+        }
+        Instr::Cas {
+            dst,
+            addr,
+            expected,
+            desired,
+        } => format!("atom.cas {dst},[{addr}],{expected},{desired}"),
+        Instr::Exch { dst, addr, src } => format!("atom.exch {dst},[{addr}],{src}"),
+        Instr::Inc { dst, addr } => format!("atom.inc {dst},[{addr}]"),
+        Instr::Membar { scope } => format!("membar{scope}"),
+        Instr::Mov { dst, src } => format!("mov {dst},{src}"),
+        Instr::Add { dst, a, b } => format!("add {dst},{a},{b}"),
+        Instr::And { dst, a, b } => format!("and {dst},{a},{b}"),
+        Instr::Xor { dst, a, b } => format!("xor {dst},{a},{b}"),
+        Instr::Cvt { dst, src } => format!("cvt {dst},{src}"),
+        Instr::SetpEq { dst, a, b } => format!("setp.eq {dst},{a},{b}"),
+        Instr::SetpNe { dst, a, b } => format!("setp.ne {dst},{a},{b}"),
+        Instr::Bra { target } => format!("bra {target}"),
+        Instr::Guard {
+            pred,
+            expect,
+            inner,
+        } => {
+            let bang = if *expect { "" } else { "!" };
+            format!("@{bang}{pred} {}", render_instr(inner))
+        }
+        Instr::LabelDef(l) => format!("{l}:"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::cond::Predicate;
+    use crate::instr::FenceScope;
+    use crate::scope::ScopeTree;
+    use crate::LitmusTest;
+
+    #[test]
+    fn renders_instructions() {
+        assert_eq!(render_instr(&st("x", 1)), "st.cg [x],1");
+        assert_eq!(render_instr(&ld_ca("r1", "y")), "ld.ca r1,[y]");
+        assert_eq!(render_instr(&ld_volatile("r1", "y")), "ld.volatile r1,[y]");
+        assert_eq!(render_instr(&membar(FenceScope::Gl)), "membar.gl");
+        assert_eq!(render_instr(&cas("r0", "m", 0, 1)), "atom.cas r0,[m],0,1");
+        assert_eq!(render_instr(&exch("r0", "m", 0)), "atom.exch r0,[m],0");
+        assert_eq!(render_instr(&inc("r0", "c")), "atom.inc r0,[c]");
+        assert_eq!(
+            render_instr(&ld("r3", "x").guarded("p", true)),
+            "@p ld.cg r3,[x]"
+        );
+        assert_eq!(
+            render_instr(&membar_gl().guarded("p4", false)),
+            "@!p4 membar.gl"
+        );
+        assert_eq!(render_instr(&label("LOOP")), "LOOP:");
+        assert_eq!(render_instr(&bra("LOOP")), "bra LOOP");
+        assert_eq!(render_instr(&setp_eq("p", reg("r0"), imm(0))), "setp.eq p,r0,0");
+    }
+
+    #[test]
+    fn full_test_rendering() {
+        let t = LitmusTest::builder("sb")
+            .global("x", 0)
+            .global("y", 0)
+            .thread([mov("r0", 1), st_reg("x", "r0"), ld("r2", "y")])
+            .thread([mov("r0", 1), st_reg("y", "r0"), ld("r2", "x")])
+            .scope_tree(ScopeTree::intra_cta(2))
+            .exists(Predicate::reg_eq(0, "r2", 0).and(Predicate::reg_eq(1, "r2", 0)))
+            .build()
+            .unwrap();
+        let s = t.to_string();
+        assert!(s.starts_with("GPU_PTX sb\n"), "{s}");
+        assert!(s.contains("T0 | T1 ;"), "{s}");
+        assert!(s.contains("st.cg [x],r0 | st.cg [y],r0 ;"), "{s}");
+        assert!(s.contains("ScopeTree(grid(cta(warp T0)(warp T1)))"), "{s}");
+        assert!(s.contains("x: global, y: global"), "{s}");
+        assert!(s.ends_with("exists (0:r2=0 /\\ 1:r2=0)"), "{s}");
+        // registers declared
+        assert!(s.contains("0:.reg .s32 r0"), "{s}");
+    }
+
+    #[test]
+    fn uneven_threads_padded() {
+        let t = LitmusTest::builder("t")
+            .global("x", 0)
+            .thread([st("x", 1)])
+            .thread([ld("r1", "x"), ld("r2", "x")])
+            .exists(Predicate::reg_eq(1, "r1", 1))
+            .build()
+            .unwrap();
+        let s = t.to_string();
+        assert!(s.contains(" | ld.cg r2,[x] ;"), "{s}");
+    }
+}

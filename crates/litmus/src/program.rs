@@ -1,0 +1,591 @@
+//! The [`LitmusTest`] type: a complete GPU litmus test, with builder and
+//! validation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::cond::{FinalCond, FinalExpr, Predicate};
+use crate::instr::{Instr, Label, Operand, Reg};
+use crate::memmap::{MemMap, Region};
+use crate::scope::{ScopeTree, ThreadScope};
+use crate::value::{Loc, Value};
+
+/// A complete GPU litmus test (paper Sec. 4.1, Fig. 12).
+///
+/// Construct with [`LitmusTest::builder`]:
+///
+/// ```
+/// use weakgpu_litmus::{build::*, LitmusTest, Predicate, ScopeTree};
+///
+/// let mp = LitmusTest::builder("mp")
+///     .global("x", 0)
+///     .global("y", 0)
+///     .thread([st("x", 1), st("y", 1)])
+///     .thread([ld("r1", "y"), ld("r2", "x")])
+///     .scope_tree(ScopeTree::inter_cta(2))
+///     .exists(Predicate::reg_eq(1, "r1", 1).and(Predicate::reg_eq(1, "r2", 0)))
+///     .build()
+///     .unwrap();
+/// assert_eq!(mp.num_threads(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LitmusTest {
+    name: String,
+    doc: String,
+    threads: Vec<Vec<Instr>>,
+    reg_init: BTreeMap<(usize, Reg), Value>,
+    mem: MemMap,
+    scope_tree: ScopeTree,
+    cond: FinalCond,
+}
+
+impl LitmusTest {
+    /// Starts building a test with the given name.
+    pub fn builder(name: impl Into<String>) -> LitmusTestBuilder {
+        LitmusTestBuilder {
+            name: name.into(),
+            doc: String::new(),
+            threads: Vec::new(),
+            reg_init: BTreeMap::new(),
+            mem: MemMap::new(),
+            scope_tree: None,
+            cond: None,
+        }
+    }
+
+    /// The test's name (e.g. `"coRR"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A one-line description (may be empty).
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// The per-thread instruction lists.
+    pub fn threads(&self) -> &[Vec<Instr>] {
+        &self.threads
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Initial register bindings (`(thread, reg) → value`); registers not
+    /// listed start at integer 0.
+    pub fn reg_init(&self) -> impl Iterator<Item = (usize, &Reg, &Value)> {
+        self.reg_init.iter().map(|((t, r), v)| (*t, r, v))
+    }
+
+    /// The initial value of `(thread, reg)`, defaulting to integer 0.
+    pub fn reg_init_value(&self, tid: usize, reg: &Reg) -> Value {
+        self.reg_init
+            .get(&(tid, reg.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The memory map.
+    pub fn memory(&self) -> &MemMap {
+        &self.mem
+    }
+
+    /// The scope tree.
+    pub fn scope_tree(&self) -> &ScopeTree {
+        &self.scope_tree
+    }
+
+    /// The final condition.
+    pub fn cond(&self) -> &FinalCond {
+        &self.cond
+    }
+
+    /// The values a harness must record per run: every expression the final
+    /// condition inspects.
+    pub fn observed(&self) -> Vec<FinalExpr> {
+        self.cond.pred.exprs()
+    }
+
+    /// The named placement of the test's threads, if it is a standard
+    /// two-thread shape.
+    pub fn thread_scope(&self) -> Option<ThreadScope> {
+        self.scope_tree.classify()
+    }
+
+    /// All locations referenced by instructions or the final condition.
+    pub fn referenced_locs(&self) -> BTreeSet<Loc> {
+        let mut locs = BTreeSet::new();
+        for thread in &self.threads {
+            for instr in thread {
+                collect_locs(instr, &mut locs);
+            }
+        }
+        for (_, v) in self.reg_init.iter() {
+            if let Value::Ptr { loc, .. } = v {
+                locs.insert(loc.clone());
+            }
+        }
+        for e in self.cond.pred.exprs() {
+            if let FinalExpr::Mem(l) = e {
+                locs.insert(l);
+            }
+        }
+        locs
+    }
+
+    /// Renames the test (used by generators to attach canonical names).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Attaches a one-line description.
+    pub fn with_doc(mut self, doc: impl Into<String>) -> Self {
+        self.doc = doc.into();
+        self
+    }
+}
+
+fn collect_locs(instr: &Instr, locs: &mut BTreeSet<Loc>) {
+    if let Some(Operand::Sym(l)) = instr.address() {
+        locs.insert(l.clone());
+    }
+    if let Instr::Guard { inner, .. } = instr {
+        collect_locs(inner, locs);
+    }
+}
+
+impl fmt::Display for LitmusTest {
+    /// Renders the textual litmus format; parseable by
+    /// [`crate::parser::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::printer::write_test(self, f)
+    }
+}
+
+/// Errors detected by [`LitmusTestBuilder::build`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidateError {
+    /// The test has no threads.
+    NoThreads,
+    /// The final condition was never set.
+    NoCond,
+    /// An instruction or the condition references an unmapped location.
+    UnmappedLoc(Loc),
+    /// The condition references a thread index out of range.
+    BadThreadRef(usize),
+    /// The scope tree's thread count disagrees with the program's.
+    ScopeTreeMismatch {
+        /// Threads in the program.
+        program: usize,
+        /// Threads in the scope tree.
+        tree: usize,
+    },
+    /// A `bra` targets an undefined label.
+    UndefinedLabel(usize, Label),
+    /// The same label is defined twice in one thread.
+    DuplicateLabel(usize, Label),
+    /// A register-initialisation entry names a thread out of range.
+    BadRegInitThread(usize),
+    /// Shared-memory locations used by threads in different CTAs (each CTA
+    /// would see a distinct instance, so the test would be vacuous).
+    SharedAcrossCtas(Loc),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NoThreads => write!(f, "litmus test has no threads"),
+            ValidateError::NoCond => write!(f, "litmus test has no final condition"),
+            ValidateError::UnmappedLoc(l) => {
+                write!(f, "location {l} is referenced but not in the memory map")
+            }
+            ValidateError::BadThreadRef(t) => {
+                write!(f, "final condition references unknown thread {t}")
+            }
+            ValidateError::ScopeTreeMismatch { program, tree } => write!(
+                f,
+                "scope tree has {tree} threads but the program has {program}"
+            ),
+            ValidateError::UndefinedLabel(t, l) => {
+                write!(f, "thread {t} branches to undefined label {l}")
+            }
+            ValidateError::DuplicateLabel(t, l) => {
+                write!(f, "thread {t} defines label {l} twice")
+            }
+            ValidateError::BadRegInitThread(t) => {
+                write!(f, "register initialisation references unknown thread {t}")
+            }
+            ValidateError::SharedAcrossCtas(l) => write!(
+                f,
+                "shared location {l} is accessed from multiple CTAs; each CTA has its own instance"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Builder for [`LitmusTest`]; see [`LitmusTest::builder`].
+#[derive(Clone, Debug)]
+pub struct LitmusTestBuilder {
+    name: String,
+    doc: String,
+    threads: Vec<Vec<Instr>>,
+    reg_init: BTreeMap<(usize, Reg), Value>,
+    mem: MemMap,
+    scope_tree: Option<ScopeTree>,
+    cond: Option<FinalCond>,
+}
+
+impl LitmusTestBuilder {
+    /// Attaches a one-line description.
+    pub fn doc(mut self, doc: impl Into<String>) -> Self {
+        self.doc = doc.into();
+        self
+    }
+
+    /// Appends a thread with the given instructions.
+    pub fn thread(mut self, instrs: impl IntoIterator<Item = Instr>) -> Self {
+        self.threads.push(instrs.into_iter().collect());
+        self
+    }
+
+    /// Maps a global-memory location with an initial value.
+    pub fn global(mut self, loc: impl Into<Loc>, init: i64) -> Self {
+        self.mem.insert_global(loc, init);
+        self
+    }
+
+    /// Maps a shared-memory location with an initial value.
+    pub fn shared(mut self, loc: impl Into<Loc>, init: i64) -> Self {
+        self.mem.insert_shared(loc, init);
+        self
+    }
+
+    /// Initialises a register of a thread (e.g. to a pointer:
+    /// `0:.reg .b64 r1 = x`).
+    pub fn reg_init(mut self, tid: usize, reg: impl Into<Reg>, value: Value) -> Self {
+        self.reg_init.insert((tid, reg.into()), value);
+        self
+    }
+
+    /// Sets the scope tree. Defaults to [`ScopeTree::inter_cta`] over the
+    /// thread count if unset.
+    pub fn scope_tree(mut self, tree: ScopeTree) -> Self {
+        self.scope_tree = Some(tree);
+        self
+    }
+
+    /// Places the threads with one of the canonical scopes.
+    pub fn scope(self, scope: ThreadScope) -> Self {
+        let n = self.threads.len();
+        self.scope_tree(ScopeTree::for_scope(scope, n))
+    }
+
+    /// Sets the final condition to `exists (pred)`.
+    pub fn exists(mut self, pred: Predicate) -> Self {
+        self.cond = Some(FinalCond::exists(pred));
+        self
+    }
+
+    /// Sets an arbitrary final condition.
+    pub fn cond(mut self, cond: FinalCond) -> Self {
+        self.cond = Some(cond);
+        self
+    }
+
+    /// Validates and builds the test.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] when the test is structurally broken —
+    /// missing threads or condition, dangling locations/labels/threads, a
+    /// scope-tree size mismatch, or shared memory used across CTAs.
+    pub fn build(self) -> Result<LitmusTest, ValidateError> {
+        if self.threads.is_empty() {
+            return Err(ValidateError::NoThreads);
+        }
+        let cond = self.cond.ok_or(ValidateError::NoCond)?;
+        let n = self.threads.len();
+        let scope_tree = self
+            .scope_tree
+            .unwrap_or_else(|| ScopeTree::inter_cta(n));
+        if scope_tree.num_threads() != n {
+            return Err(ValidateError::ScopeTreeMismatch {
+                program: n,
+                tree: scope_tree.num_threads(),
+            });
+        }
+
+        for (t, _) in self.reg_init.keys().map(|(t, r)| (*t, r)) {
+            if t >= n {
+                return Err(ValidateError::BadRegInitThread(t));
+            }
+        }
+
+        // Label well-formedness per thread.
+        for (tid, thread) in self.threads.iter().enumerate() {
+            let mut defined = BTreeSet::new();
+            for instr in thread {
+                if let Instr::LabelDef(l) = instr {
+                    if !defined.insert(l.clone()) {
+                        return Err(ValidateError::DuplicateLabel(tid, l.clone()));
+                    }
+                }
+            }
+            for instr in thread {
+                if let Instr::Bra { target } = instr.unguarded() {
+                    if !defined.contains(target) {
+                        return Err(ValidateError::UndefinedLabel(tid, target.clone()));
+                    }
+                }
+            }
+        }
+
+        let test = LitmusTest {
+            name: self.name,
+            doc: self.doc,
+            threads: self.threads,
+            reg_init: self.reg_init,
+            mem: self.mem,
+            scope_tree,
+            cond,
+        };
+
+        // Location coverage.
+        for loc in test.referenced_locs() {
+            if !test.mem.contains(&loc) {
+                return Err(ValidateError::UnmappedLoc(loc));
+            }
+        }
+
+        // Condition thread references.
+        for e in test.cond.pred.exprs() {
+            if let FinalExpr::Reg(t, _) = e {
+                if t >= n {
+                    return Err(ValidateError::BadThreadRef(t));
+                }
+            }
+        }
+
+        // Shared locations must stay within one CTA.
+        let mut shared_users: BTreeMap<Loc, BTreeSet<usize>> = BTreeMap::new();
+        for (tid, thread) in test.threads.iter().enumerate() {
+            let mut locs = BTreeSet::new();
+            for instr in thread {
+                collect_locs(instr, &mut locs);
+            }
+            for loc in locs {
+                if test.mem.region(&loc) == Some(Region::Shared) {
+                    shared_users
+                        .entry(loc)
+                        .or_default()
+                        .insert(test.scope_tree.placement(tid).cta);
+                }
+            }
+        }
+        for (loc, ctas) in shared_users {
+            if ctas.len() > 1 {
+                return Err(ValidateError::SharedAcrossCtas(loc));
+            }
+        }
+
+        Ok(test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    fn mp_builder() -> LitmusTestBuilder {
+        LitmusTest::builder("mp")
+            .global("x", 0)
+            .global("y", 0)
+            .thread([st("x", 1), st("y", 1)])
+            .thread([ld("r1", "y"), ld("r2", "x")])
+            .exists(Predicate::reg_eq(1, "r1", 1).and(Predicate::reg_eq(1, "r2", 0)))
+    }
+
+    #[test]
+    fn builds_valid_test() {
+        let t = mp_builder().build().unwrap();
+        assert_eq!(t.name(), "mp");
+        assert_eq!(t.num_threads(), 2);
+        assert_eq!(t.thread_scope(), Some(ThreadScope::InterCta));
+        assert_eq!(t.observed().len(), 2);
+        let locs = t.referenced_locs();
+        assert!(locs.contains(&Loc::new("x")) && locs.contains(&Loc::new("y")));
+    }
+
+    #[test]
+    fn default_scope_is_inter_cta() {
+        let t = mp_builder().build().unwrap();
+        assert!(!t.scope_tree().same_cta(0, 1));
+    }
+
+    #[test]
+    fn missing_cond_rejected() {
+        let err = LitmusTest::builder("t")
+            .global("x", 0)
+            .thread([st("x", 1)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::NoCond);
+    }
+
+    #[test]
+    fn no_threads_rejected() {
+        let err = LitmusTest::builder("t")
+            .exists(Predicate::True)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::NoThreads);
+    }
+
+    #[test]
+    fn unmapped_location_rejected() {
+        let err = LitmusTest::builder("t")
+            .thread([st("x", 1)])
+            .exists(Predicate::True)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::UnmappedLoc(Loc::new("x")));
+    }
+
+    #[test]
+    fn unmapped_condition_location_rejected() {
+        let err = LitmusTest::builder("t")
+            .global("x", 0)
+            .thread([st("x", 1)])
+            .exists(Predicate::mem_eq("z", 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::UnmappedLoc(Loc::new("z")));
+    }
+
+    #[test]
+    fn bad_thread_ref_rejected() {
+        let err = LitmusTest::builder("t")
+            .global("x", 0)
+            .thread([ld("r1", "x")])
+            .exists(Predicate::reg_eq(3, "r1", 0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::BadThreadRef(3));
+    }
+
+    #[test]
+    fn scope_tree_size_mismatch_rejected() {
+        let err = mp_builder()
+            .scope_tree(ScopeTree::inter_cta(3))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ValidateError::ScopeTreeMismatch {
+                program: 2,
+                tree: 3
+            }
+        );
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let err = LitmusTest::builder("t")
+            .global("x", 0)
+            .thread([bra("LOOP"), st("x", 1)])
+            .exists(Predicate::True)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::UndefinedLabel(0, Label::new("LOOP")));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = LitmusTest::builder("t")
+            .global("x", 0)
+            .thread([label("L"), label("L")])
+            .exists(Predicate::True)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::DuplicateLabel(0, Label::new("L")));
+    }
+
+    #[test]
+    fn labelled_loop_accepted() {
+        let t = LitmusTest::builder("spin")
+            .global("m", 1)
+            .thread([
+                label("SPIN"),
+                cas("r0", "m", 0, 1),
+                setp_ne("p", reg("r0"), imm(0)),
+                bra("SPIN").guarded("p", true),
+            ])
+            .exists(Predicate::reg_eq(0, "r0", 0))
+            .build()
+            .unwrap();
+        assert_eq!(t.num_threads(), 1);
+    }
+
+    #[test]
+    fn shared_across_ctas_rejected() {
+        let err = LitmusTest::builder("t")
+            .shared("x", 0)
+            .thread([st("x", 1)])
+            .thread([ld("r1", "x")])
+            .scope(ThreadScope::InterCta)
+            .exists(Predicate::reg_eq(1, "r1", 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::SharedAcrossCtas(Loc::new("x")));
+    }
+
+    #[test]
+    fn shared_intra_cta_accepted() {
+        let t = LitmusTest::builder("t")
+            .shared("x", 0)
+            .thread([st("x", 1)])
+            .thread([ld("r1", "x")])
+            .scope(ThreadScope::IntraCta)
+            .exists(Predicate::reg_eq(1, "r1", 1))
+            .build()
+            .unwrap();
+        assert_eq!(t.thread_scope(), Some(ThreadScope::IntraCta));
+    }
+
+    #[test]
+    fn reg_init_defaults_to_zero() {
+        let t = mp_builder().build().unwrap();
+        assert_eq!(t.reg_init_value(1, &Reg::new("r1")), Value::Int(0));
+    }
+
+    #[test]
+    fn reg_init_pointer() {
+        let t = LitmusTest::builder("t")
+            .global("x", 0)
+            .reg_init(0, "r9", Value::ptr("x"))
+            .thread([ld("r1", reg("r9"))])
+            .exists(Predicate::reg_eq(0, "r1", 0))
+            .build()
+            .unwrap();
+        assert_eq!(t.reg_init_value(0, &Reg::new("r9")), Value::ptr("x"));
+        assert!(t.referenced_locs().contains(&Loc::new("x")));
+    }
+
+    #[test]
+    fn bad_reg_init_thread_rejected() {
+        let err = LitmusTest::builder("t")
+            .global("x", 0)
+            .reg_init(7, "r9", Value::ptr("x"))
+            .thread([st("x", 1)])
+            .exists(Predicate::True)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::BadRegInitThread(7));
+    }
+}

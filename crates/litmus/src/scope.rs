@@ -1,0 +1,240 @@
+//! Scope trees: the placement of litmus-test threads in the GPU execution
+//! hierarchy (warps inside CTAs inside a grid; paper Secs. 2.1 and 4.1).
+
+use std::fmt;
+
+/// Where a thread sits in the hierarchy: `(cta, warp)` indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ThreadPlacement {
+    /// Index of the thread's CTA within the grid.
+    pub cta: usize,
+    /// Index of the thread's warp within its CTA.
+    pub warp: usize,
+}
+
+/// The classic placements used throughout the paper's tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ThreadScope {
+    /// All threads in the same warp (not exercised by the paper's tests).
+    IntraWarp,
+    /// Same CTA, different warps — "intra-CTA" in the tables.
+    IntraCta,
+    /// Same grid, different CTAs — "inter-CTA" in the tables.
+    InterCta,
+}
+
+impl fmt::Display for ThreadScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadScope::IntraWarp => write!(f, "intra-warp"),
+            ThreadScope::IntraCta => write!(f, "intra-CTA"),
+            ThreadScope::InterCta => write!(f, "inter-CTA"),
+        }
+    }
+}
+
+/// A scope tree for a single grid: CTAs containing warps containing thread
+/// ids. Thread ids must be exactly `0..n` across the tree, in any order.
+///
+/// ```
+/// use weakgpu_litmus::ScopeTree;
+///
+/// let st = ScopeTree::inter_cta(2);
+/// assert!(!st.same_cta(0, 1));
+/// assert!(st.to_string().contains("grid"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ScopeTree {
+    ctas: Vec<Vec<Vec<usize>>>,
+}
+
+impl ScopeTree {
+    /// Builds a scope tree from explicit nesting: `ctas[c][w]` is the list
+    /// of thread ids in warp `w` of CTA `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the thread ids across all warps are exactly `0..n`
+    /// with no duplicates, and no CTA or warp is empty.
+    pub fn new(ctas: Vec<Vec<Vec<usize>>>) -> Self {
+        let mut seen: Vec<usize> = ctas
+            .iter()
+            .flat_map(|c| c.iter())
+            .flat_map(|w| w.iter().copied())
+            .collect();
+        assert!(!seen.is_empty(), "scope tree must contain threads");
+        assert!(
+            ctas.iter().all(|c| !c.is_empty() && c.iter().all(|w| !w.is_empty())),
+            "scope tree must not contain empty CTAs or warps"
+        );
+        seen.sort_unstable();
+        assert!(
+            seen.iter().copied().eq(0..seen.len()),
+            "thread ids must be exactly 0..n, got {seen:?}"
+        );
+        ScopeTree { ctas }
+    }
+
+    /// `n` threads in one warp of one CTA.
+    pub fn intra_warp(n: usize) -> Self {
+        ScopeTree::new(vec![vec![(0..n).collect()]])
+    }
+
+    /// `n` threads in one CTA, one warp each (the paper's "intra-CTA").
+    pub fn intra_cta(n: usize) -> Self {
+        ScopeTree::new(vec![(0..n).map(|t| vec![t]).collect()])
+    }
+
+    /// `n` threads in distinct CTAs (the paper's "inter-CTA").
+    pub fn inter_cta(n: usize) -> Self {
+        ScopeTree::new((0..n).map(|t| vec![vec![t]]).collect())
+    }
+
+    /// Builds the canonical tree for one of the named placements.
+    pub fn for_scope(scope: ThreadScope, n: usize) -> Self {
+        match scope {
+            ThreadScope::IntraWarp => ScopeTree::intra_warp(n),
+            ThreadScope::IntraCta => ScopeTree::intra_cta(n),
+            ThreadScope::InterCta => ScopeTree::inter_cta(n),
+        }
+    }
+
+    /// Number of threads in the tree.
+    pub fn num_threads(&self) -> usize {
+        self.ctas.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Number of CTAs in the tree.
+    pub fn num_ctas(&self) -> usize {
+        self.ctas.len()
+    }
+
+    /// The `(cta, warp)` placement of thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not in the tree.
+    pub fn placement(&self, t: usize) -> ThreadPlacement {
+        for (c, cta) in self.ctas.iter().enumerate() {
+            for (w, warp) in cta.iter().enumerate() {
+                if warp.contains(&t) {
+                    return ThreadPlacement { cta: c, warp: w };
+                }
+            }
+        }
+        panic!("thread {t} not in scope tree");
+    }
+
+    /// `true` if threads `a` and `b` are in the same CTA (including `a = b`).
+    pub fn same_cta(&self, a: usize, b: usize) -> bool {
+        self.placement(a).cta == self.placement(b).cta
+    }
+
+    /// `true` if threads `a` and `b` are in the same warp (including `a = b`).
+    pub fn same_warp(&self, a: usize, b: usize) -> bool {
+        let (pa, pb) = (self.placement(a), self.placement(b));
+        pa.cta == pb.cta && pa.warp == pb.warp
+    }
+
+    /// Classifies a two-thread tree into the named placements; `None` for
+    /// trees with other shapes.
+    pub fn classify(&self) -> Option<ThreadScope> {
+        if self.num_threads() != 2 {
+            return None;
+        }
+        Some(if self.same_warp(0, 1) {
+            ThreadScope::IntraWarp
+        } else if self.same_cta(0, 1) {
+            ThreadScope::IntraCta
+        } else {
+            ThreadScope::InterCta
+        })
+    }
+
+    /// Iterates over `(cta_index, warp_index, thread_id)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.ctas.iter().enumerate().flat_map(|(c, cta)| {
+            cta.iter()
+                .enumerate()
+                .flat_map(move |(w, warp)| warp.iter().map(move |&t| (c, w, t)))
+        })
+    }
+}
+
+impl fmt::Display for ScopeTree {
+    /// Renders the paper's syntax, e.g.
+    /// `ScopeTree(grid(cta(warp T0)(warp T1)))`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScopeTree(grid")?;
+        for cta in &self.ctas {
+            write!(f, "(cta")?;
+            for warp in cta {
+                write!(f, "(warp")?;
+                for t in warp {
+                    write!(f, " T{t}")?;
+                }
+                write!(f, ")")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_trees() {
+        let w = ScopeTree::intra_warp(2);
+        assert!(w.same_warp(0, 1));
+        assert_eq!(w.classify(), Some(ThreadScope::IntraWarp));
+
+        let c = ScopeTree::intra_cta(2);
+        assert!(c.same_cta(0, 1));
+        assert!(!c.same_warp(0, 1));
+        assert_eq!(c.classify(), Some(ThreadScope::IntraCta));
+
+        let g = ScopeTree::inter_cta(2);
+        assert!(!g.same_cta(0, 1));
+        assert_eq!(g.classify(), Some(ThreadScope::InterCta));
+        assert_eq!(g.num_ctas(), 2);
+        assert_eq!(g.num_threads(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(
+            ScopeTree::intra_cta(2).to_string(),
+            "ScopeTree(grid(cta(warp T0)(warp T1)))"
+        );
+        assert_eq!(
+            ScopeTree::inter_cta(2).to_string(),
+            "ScopeTree(grid(cta(warp T0))(cta(warp T1)))"
+        );
+    }
+
+    #[test]
+    fn mixed_tree_three_threads() {
+        // T0 and T1 intra-CTA, T2 in its own CTA.
+        let t = ScopeTree::new(vec![vec![vec![0], vec![1]], vec![vec![2]]]);
+        assert!(t.same_cta(0, 1));
+        assert!(!t.same_cta(0, 2));
+        assert_eq!(t.classify(), None);
+        assert_eq!(t.iter().count(), 3);
+        assert_eq!(t.placement(2), ThreadPlacement { cta: 1, warp: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "thread ids must be exactly")]
+    fn rejects_gaps() {
+        let _ = ScopeTree::new(vec![vec![vec![0, 2]]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_warp() {
+        let _ = ScopeTree::new(vec![vec![vec![0], vec![]]]);
+    }
+}

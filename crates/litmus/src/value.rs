@@ -1,0 +1,243 @@
+//! Memory locations and runtime values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A named shared-memory location appearing in a litmus test (`x`, `y`, …).
+///
+/// Locations are cheap to clone (reference counted) and ordered
+/// lexicographically, which fixes a canonical order for reports.
+///
+/// ```
+/// use weakgpu_litmus::Loc;
+/// let x = Loc::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x.to_string(), "x");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(Arc<str>);
+
+impl Loc {
+    /// Creates a location with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or contains whitespace, brackets or commas,
+    /// which would make the textual litmus format ambiguous.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        assert!(
+            !name.is_empty()
+                && !name
+                    .chars()
+                    .any(|c| c.is_whitespace() || "[],:;()=".contains(c)),
+            "invalid location name {name:?}"
+        );
+        Loc(Arc::from(name))
+    }
+
+    /// The location's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Loc({})", self.0)
+    }
+}
+
+impl From<&str> for Loc {
+    fn from(s: &str) -> Self {
+        Loc::new(s)
+    }
+}
+
+/// A runtime value: either a machine integer or a pointer to a location.
+///
+/// Pointers arise from register initialisations such as `0:.reg .b64 r1 = x`
+/// in the litmus format: register `r1` holds the *address* of `x`. Address
+/// arithmetic (used by manufactured address dependencies, paper Fig. 13)
+/// keeps the pointer's base location and accumulates a byte offset.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// A signed 32/64-bit integer (litmus tests use small constants).
+    Int(i64),
+    /// The address of `loc` plus `offset` (in elements; 0 in practice).
+    Ptr {
+        /// Base location.
+        loc: Loc,
+        /// Element offset from the base (non-zero offsets denote distinct
+        /// cells of an array rooted at `loc`).
+        offset: i64,
+    },
+}
+
+impl Value {
+    /// A pointer to `loc` with offset 0.
+    pub fn ptr(loc: impl Into<Loc>) -> Self {
+        Value::Ptr {
+            loc: loc.into(),
+            offset: 0,
+        }
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Ptr { .. } => None,
+        }
+    }
+
+    /// The pointed-to cell, if this is a [`Value::Ptr`].
+    pub fn as_ptr(&self) -> Option<(&Loc, i64)> {
+        match self {
+            Value::Int(_) => None,
+            Value::Ptr { loc, offset } => Some((loc, *offset)),
+        }
+    }
+
+    /// Two's-complement addition; pointer + integer moves the offset.
+    ///
+    /// Adding two pointers has no meaning in a litmus test; the operands are
+    /// combined by treating the right pointer as offset 0 (this situation is
+    /// rejected earlier by [`crate::LitmusTest`] validation in practice).
+    pub fn wrapping_add(&self, rhs: &Value) -> Value {
+        match (self, rhs) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+            (Value::Ptr { loc, offset }, Value::Int(n))
+            | (Value::Int(n), Value::Ptr { loc, offset }) => Value::Ptr {
+                loc: loc.clone(),
+                offset: offset.wrapping_add(*n),
+            },
+            (Value::Ptr { loc, offset }, Value::Ptr { .. }) => Value::Ptr {
+                loc: loc.clone(),
+                offset: *offset,
+            },
+        }
+    }
+
+    /// Bitwise AND; pointers degrade to their offset (only ever used by
+    /// manufactured-dependency chains where the result feeds an add by 0).
+    pub fn bitand(&self, rhs: &Value) -> Value {
+        Value::Int(self.to_bits() & rhs.to_bits())
+    }
+
+    /// Bitwise XOR, as used by `xor r2, r1, r1` false dependencies.
+    pub fn bitxor(&self, rhs: &Value) -> Value {
+        Value::Int(self.to_bits() ^ rhs.to_bits())
+    }
+
+    fn to_bits(&self) -> i64 {
+        match self {
+            Value::Int(n) => *n,
+            Value::Ptr { offset, .. } => *offset,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Ptr { loc, offset } if *offset == 0 => write!(f, "{loc}"),
+            Value::Ptr { loc, offset } => write!(f, "{loc}+{offset}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_display_and_order() {
+        let x = Loc::new("x");
+        let y = Loc::new("y");
+        assert!(x < y);
+        assert_eq!(x.to_string(), "x");
+        assert_eq!(x, Loc::from("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid location name")]
+    fn loc_rejects_brackets() {
+        let _ = Loc::new("a[0]");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid location name")]
+    fn loc_rejects_empty() {
+        let _ = Loc::new("");
+    }
+
+    #[test]
+    fn int_arithmetic_wraps() {
+        let a = Value::Int(i64::MAX);
+        let b = Value::Int(1);
+        assert_eq!(a.wrapping_add(&b), Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn pointer_arithmetic_keeps_base() {
+        let p = Value::ptr("x");
+        let q = p.wrapping_add(&Value::Int(0));
+        assert_eq!(q, Value::ptr("x"));
+        let r = q.wrapping_add(&Value::Int(2));
+        assert_eq!(
+            r,
+            Value::Ptr {
+                loc: Loc::new("x"),
+                offset: 2
+            }
+        );
+    }
+
+    #[test]
+    fn xor_self_is_zero() {
+        let v = Value::Int(0x7f3a);
+        assert_eq!(v.bitxor(&v), Value::Int(0));
+    }
+
+    #[test]
+    fn and_high_bit_of_small_value_is_zero() {
+        // The manufactured-dependency scheme of Fig. 13b: small positive
+        // values ANDed with 0x8000_0000 yield 0.
+        let v = Value::Int(1);
+        assert_eq!(v.bitand(&Value::Int(0x8000_0000)), Value::Int(0));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::ptr("x").to_string(), "x");
+        assert_eq!(
+            Value::Ptr {
+                loc: Loc::new("x"),
+                offset: 1
+            }
+            .to_string(),
+            "x+1"
+        );
+    }
+}

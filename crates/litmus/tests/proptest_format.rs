@@ -1,0 +1,166 @@
+//! Property tests for the litmus representation layer: the textual format
+//! round-trips, predicates behave like boolean algebra, and scope trees
+//! classify consistently.
+
+use proptest::prelude::*;
+use weakgpu_litmus::{
+    build, parser, printer, FinalExpr, Instr, LitmusTest, Outcome, Predicate, ScopeTree,
+    ThreadScope,
+};
+
+fn arb_operand_reg() -> impl Strategy<Value = String> {
+    (0..6u32).prop_map(|i| format!("r{i}"))
+}
+
+fn arb_loc() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("x"), Just("y"), Just("z")]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_operand_reg(), arb_loc()).prop_map(|(r, l)| build::ld(&r, l)),
+        (arb_operand_reg(), arb_loc()).prop_map(|(r, l)| build::ld_ca(&r, l)),
+        (arb_operand_reg(), arb_loc()).prop_map(|(r, l)| build::ld_volatile(&r, l)),
+        (arb_loc(), -4i64..5).prop_map(|(l, v)| build::st(l, v)),
+        (arb_loc(), -4i64..5).prop_map(|(l, v)| build::st_volatile(l, v)),
+        Just(build::membar_cta()),
+        Just(build::membar_gl()),
+        Just(build::membar_sys()),
+        (arb_operand_reg(), arb_loc(), 0i64..3, 1i64..4)
+            .prop_map(|(r, l, e, d)| build::cas(&r, l, e, d)),
+        (arb_operand_reg(), arb_loc(), 0i64..4).prop_map(|(r, l, v)| build::exch(&r, l, v)),
+        (arb_operand_reg(), arb_loc()).prop_map(|(r, l)| build::inc(&r, l)),
+        (arb_operand_reg(), -4i64..5).prop_map(|(r, v)| build::mov(&r, v)),
+        (arb_operand_reg(), arb_operand_reg(), -4i64..5)
+            .prop_map(|(d, a, b)| build::add(&d, build::reg(&a), build::imm(b))),
+        (arb_operand_reg(), arb_operand_reg(), 0i64..3)
+            .prop_map(|(d, a, b)| build::setp_eq(&d, build::reg(&a), build::imm(b))),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = LitmusTest> {
+    (
+        prop::collection::vec(arb_instr(), 1..5),
+        prop::collection::vec(arb_instr(), 1..5),
+        prop::bool::ANY,
+    )
+        .prop_map(|(t0, t1, inter)| {
+            let mut pred = Predicate::True;
+            for (tid, thread) in [&t0, &t1].into_iter().enumerate() {
+                for i in thread {
+                    if let Some(r) = i.written_reg() {
+                        pred = pred.and(Predicate::Eq(FinalExpr::Reg(tid, r.clone()), 0));
+                    }
+                }
+            }
+            LitmusTest::builder("prop")
+                .global("x", 0)
+                .global("y", 1)
+                .global("z", 0)
+                .thread(t0)
+                .thread(t1)
+                .scope(if inter {
+                    ThreadScope::InterCta
+                } else {
+                    ThreadScope::IntraCta
+                })
+                .exists(pred)
+                .build()
+                .expect("generated programs are structurally valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn tests_roundtrip_through_the_textual_format(test in arb_program()) {
+        let text = test.to_string();
+        let back = parser::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(test.threads(), back.threads());
+        prop_assert_eq!(test.memory(), back.memory());
+        prop_assert_eq!(test.scope_tree(), back.scope_tree());
+        prop_assert_eq!(test.cond(), back.cond());
+        prop_assert_eq!(test.reg_init().count(), back.reg_init().count());
+    }
+
+    #[test]
+    fn individual_instructions_roundtrip(instr in arb_instr()) {
+        // Render one instruction and re-parse it in a one-thread skeleton.
+        let text = format!(
+            "GPU_PTX one\n{{0:.reg .s32 r0; 0:.reg .s32 r1; 0:.reg .s32 r2; \
+             0:.reg .s32 r3; 0:.reg .s32 r4; 0:.reg .s32 r5}}\nT0 ;\n{} ;\n\
+             x: global, y: global, z: global\nexists (true)\n",
+            printer::render_instr(&instr)
+        );
+        let parsed = parser::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(&parsed.threads()[0][0], &instr);
+    }
+
+    #[test]
+    fn predicate_negation_flips_eval(
+        vals in prop::collection::vec(-3i64..4, 3),
+        probe in -3i64..4,
+    ) {
+        let mut outcome = Outcome::new();
+        for (i, v) in vals.iter().enumerate() {
+            outcome.set(FinalExpr::reg(0, format!("r{i}").as_str()), *v);
+        }
+        let p = Predicate::reg_eq(0, "r0", probe)
+            .or(Predicate::reg_eq(0, "r1", probe));
+        prop_assert_eq!(p.eval(&outcome), !p.clone().negate().eval(&outcome));
+        // De Morgan against the other connective.
+        let q = Predicate::Ne(FinalExpr::reg(0, "r0"), probe)
+            .and(Predicate::Ne(FinalExpr::reg(0, "r1"), probe));
+        prop_assert_eq!(p.eval(&outcome), !q.eval(&outcome));
+    }
+
+    #[test]
+    fn scope_trees_classify_consistently(n in 2usize..6, scope_kind in 0..3usize) {
+        let scope = [ThreadScope::IntraWarp, ThreadScope::IntraCta, ThreadScope::InterCta][scope_kind];
+        let tree = ScopeTree::for_scope(scope, n);
+        prop_assert_eq!(tree.num_threads(), n);
+        for a in 0..n {
+            for b in 0..n {
+                // same_warp ⊆ same_cta.
+                if tree.same_warp(a, b) {
+                    prop_assert!(tree.same_cta(a, b));
+                }
+            }
+        }
+        match scope {
+            ThreadScope::IntraWarp => prop_assert!(tree.same_warp(0, n - 1)),
+            ThreadScope::IntraCta => {
+                prop_assert!(tree.same_cta(0, n - 1));
+                prop_assert!(!tree.same_warp(0, n - 1));
+            }
+            ThreadScope::InterCta => prop_assert!(!tree.same_cta(0, n - 1)),
+        }
+        // Display round-trips through the parser as part of a test.
+        if n == 2 {
+            prop_assert_eq!(tree.classify(), Some(scope));
+        }
+    }
+
+    #[test]
+    fn outcome_ordering_is_total_and_stable(
+        a in prop::collection::btree_map(0..4usize, -3i64..4, 1..4),
+        b in prop::collection::btree_map(0..4usize, -3i64..4, 1..4),
+    ) {
+        let mk = |m: &std::collections::BTreeMap<usize, i64>| -> Outcome {
+            m.iter()
+                .map(|(i, v)| (FinalExpr::reg(0, format!("r{i}").as_str()), *v))
+                .collect()
+        };
+        let (oa, ob) = (mk(&a), mk(&b));
+        // Total order: exactly one of <, ==, > holds.
+        let lt = oa < ob;
+        let gt = oa > ob;
+        let eq = oa == ob;
+        prop_assert_eq!(lt as u8 + gt as u8 + eq as u8, 1);
+        // Display keys canonically: equal outcomes render identically.
+        if eq {
+            prop_assert_eq!(oa.to_string(), ob.to_string());
+        }
+    }
+}

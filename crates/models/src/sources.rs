@@ -1,0 +1,124 @@
+//! The `.cat` sources of the shipped models.
+//!
+//! [`PTX_CAT`] is the concatenation of the paper's Fig. 15 (SPARC RMO with
+//! the load-load hazard) and Fig. 16 (RMO per scope), transliterated with
+//! long keyword spellings (`acyclic`, `ctrl`, `com`).
+
+/// The paper's PTX model (Figs. 15 + 16).
+pub const PTX_CAT: &str = "\
+(* Fig. 15: SPARC RMO with load-load hazard *)
+let com = rf | co | fr
+let po-loc-llh = WW(po-loc) | WR(po-loc) | RW(po-loc)
+acyclic (po-loc-llh | com) as sc-per-loc-llh
+let dp = addr | data | ctrl
+acyclic (dp | rf) as no-thin-air
+let rmo(fence) = dp | fence | rfe | co | fr
+(* Fig. 16: RMO per scope *)
+let sys-fence = membar.sys
+let gl-fence = membar.gl | sys-fence
+let cta-fence = membar.cta | gl-fence
+let rmo-cta = rmo(cta-fence) & cta
+let rmo-gl = rmo(gl-fence) & gl
+let rmo-sys = rmo(sys-fence) & sys
+acyclic rmo-cta as cta-constraint
+acyclic rmo-gl as gl-constraint
+acyclic rmo-sys as sys-constraint
+";
+
+/// Lamport sequential consistency.
+pub const SC_CAT: &str = "\
+let com = rf | co | fr
+acyclic (po | com) as sc
+";
+
+/// x86-TSO-style total store order: write→read pairs may reorder unless
+/// fenced; everything else is preserved.
+pub const TSO_CAT: &str = "\
+let com = rf | co | fr
+acyclic (po-loc | com) as sc-per-loc
+let fence = membar.cta | membar.gl | membar.sys
+let ppo = po \\ WR(po)
+acyclic (ppo | fence | rfe | co | fr) as tso
+";
+
+/// Plain (unscoped) SPARC RMO: Fig. 15 with all fences global.
+pub const RMO_CAT: &str = "\
+let com = rf | co | fr
+let po-loc-llh = WW(po-loc) | WR(po-loc) | RW(po-loc)
+acyclic (po-loc-llh | com) as sc-per-loc-llh
+let dp = addr | data | ctrl
+acyclic (dp | rf) as no-thin-air
+let rmo(fence) = dp | fence | rfe | co | fr
+let all-fence = membar.cta | membar.gl | membar.sys
+acyclic rmo(all-fence) as rmo-constraint
+";
+
+/// The PTX model *without* the load-load hazard: SC-per-location keeps
+/// read-read pairs (`acyclic (po-loc | com)`), as nearly all CPU models
+/// do. Forbids `coRR` — which Fermi/Kepler exhibit — so this variant is
+/// unsound; it demonstrates that excluding read-read pairs (Fig. 15,
+/// line 3) is *necessary*, not stylistic.
+pub const PTX_NO_LLH_CAT: &str = "\
+let com = rf | co | fr
+acyclic (po-loc | com) as sc-per-loc
+let dp = addr | data | ctrl
+acyclic (dp | rf) as no-thin-air
+let rmo(fence) = dp | fence | rfe | co | fr
+let sys-fence = membar.sys
+let gl-fence = membar.gl | sys-fence
+let cta-fence = membar.cta | gl-fence
+let rmo-cta = rmo(cta-fence) & cta
+let rmo-gl = rmo(gl-fence) & gl
+let rmo-sys = rmo(sys-fence) & sys
+acyclic rmo-cta as cta-constraint
+acyclic rmo-gl as gl-constraint
+acyclic rmo-sys as sys-constraint
+";
+
+/// The operational baseline of Sorensen et al. (Sec. 6), rendered
+/// axiomatically: RMO in which a fence of *any* scope orders accesses for
+/// all observers. Unsound w.r.t. hardware on inter-CTA `lb+membar.ctas`.
+pub const OPERATIONAL_CAT: &str = "\
+let com = rf | co | fr
+let po-loc-llh = WW(po-loc) | WR(po-loc) | RW(po-loc)
+acyclic (po-loc-llh | com) as sc-per-loc-llh
+let dp = addr | data | ctrl
+acyclic (dp | rf) as no-thin-air
+let anyfence = membar.cta | membar.gl | membar.sys
+acyclic (dp | anyfence | rfe | co | fr) as op-constraint
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakgpu_axiom::cat::CatProgram;
+
+    #[test]
+    fn all_sources_parse() {
+        for (name, src) in [
+            ("ptx", PTX_CAT),
+            ("sc", SC_CAT),
+            ("tso", TSO_CAT),
+            ("rmo", RMO_CAT),
+            ("operational", OPERATIONAL_CAT),
+        ] {
+            let p = CatProgram::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!p.check_names().is_empty(), "{name} has no checks");
+        }
+    }
+
+    #[test]
+    fn ptx_has_the_paper_checks() {
+        let p = CatProgram::parse(PTX_CAT).unwrap();
+        assert_eq!(
+            p.check_names(),
+            vec![
+                "sc-per-loc-llh",
+                "no-thin-air",
+                "cta-constraint",
+                "gl-constraint",
+                "sys-constraint"
+            ]
+        );
+    }
+}

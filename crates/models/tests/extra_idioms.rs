@@ -1,0 +1,123 @@
+//! Model verdicts on the extended idiom corpus (wrc, isa2, iriw, rwc,
+//! 2+2w, S, R) — the families the paper's generated validation covers.
+//! These pin the scoped-RMO semantics on shapes beyond the paper's own
+//! figures.
+
+use weakgpu_axiom::{model_outcomes, EnumConfig, Model};
+use weakgpu_litmus::corpus_extra as extra;
+use weakgpu_litmus::{FenceScope, LitmusTest, ThreadScope};
+use weakgpu_models::{ptx_model, rmo_model, sc_model, tso_model};
+
+fn witnessed(test: &LitmusTest, model: &dyn Model) -> bool {
+    model_outcomes(test, model, &EnumConfig::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()))
+        .condition_witnessed
+}
+
+#[test]
+fn sc_forbids_every_extra_idiom() {
+    let sc = sc_model();
+    for scope in [ThreadScope::IntraCta, ThreadScope::InterCta] {
+        for test in [
+            extra::wrc(scope, None),
+            extra::isa2(scope, None),
+            extra::iriw(scope, None),
+            extra::rwc(scope, None),
+            extra::two_plus_two_w(scope, None),
+            extra::s_shape(scope, None),
+            extra::r_shape(scope, None),
+        ] {
+            assert!(!witnessed(&test, &sc), "SC must forbid {}", test.name());
+        }
+    }
+}
+
+#[test]
+fn ptx_allows_unfenced_extra_idioms() {
+    let ptx = ptx_model();
+    for test in [
+        extra::wrc(ThreadScope::InterCta, None),
+        extra::isa2(ThreadScope::InterCta, None),
+        extra::iriw(ThreadScope::InterCta, None),
+        extra::rwc(ThreadScope::InterCta, None),
+        extra::two_plus_two_w(ThreadScope::InterCta, None),
+        extra::s_shape(ThreadScope::InterCta, None),
+        extra::r_shape(ThreadScope::InterCta, None),
+    ] {
+        assert!(witnessed(&test, &ptx), "PTX must allow {}", test.name());
+    }
+}
+
+#[test]
+fn gl_fences_forbid_extra_idioms_under_ptx() {
+    let ptx = ptx_model();
+    for scope in [ThreadScope::IntraCta, ThreadScope::InterCta] {
+        for test in [
+            extra::wrc(scope, Some(FenceScope::Gl)),
+            extra::isa2(scope, Some(FenceScope::Gl)),
+            extra::iriw(scope, Some(FenceScope::Gl)),
+            extra::rwc(scope, Some(FenceScope::Gl)),
+            extra::two_plus_two_w(scope, Some(FenceScope::Gl)),
+            extra::s_shape(scope, Some(FenceScope::Gl)),
+            extra::r_shape(scope, Some(FenceScope::Gl)),
+        ] {
+            assert!(
+                !witnessed(&test, &ptx),
+                "gl fences must forbid {} ({scope})",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cta_fences_work_intra_but_not_inter_cta() {
+    let ptx = ptx_model();
+    for (mk, name) in [
+        (extra::wrc as fn(ThreadScope, Option<FenceScope>) -> LitmusTest, "wrc"),
+        (extra::iriw, "iriw"),
+        (extra::two_plus_two_w, "2+2w"),
+    ] {
+        let intra = mk(ThreadScope::IntraCta, Some(FenceScope::Cta));
+        let inter = mk(ThreadScope::InterCta, Some(FenceScope::Cta));
+        assert!(!witnessed(&intra, &ptx), "{name}: cta fence works intra-CTA");
+        assert!(witnessed(&inter, &ptx), "{name}: cta fence leaks inter-CTA");
+    }
+}
+
+#[test]
+fn tso_verdicts_on_extra_idioms() {
+    let tso = tso_model();
+    // TSO forbids the multi-copy-atomicity violations …
+    assert!(!witnessed(&extra::wrc(ThreadScope::InterCta, None), &tso));
+    assert!(!witnessed(&extra::iriw(ThreadScope::InterCta, None), &tso));
+    assert!(!witnessed(&extra::two_plus_two_w(ThreadScope::InterCta, None), &tso));
+    // … but allows R (its write→read relaxation can hide the store).
+    assert!(witnessed(&extra::r_shape(ThreadScope::InterCta, None), &tso));
+}
+
+#[test]
+fn rmo_allows_unfenced_and_respects_any_fence() {
+    let rmo = rmo_model();
+    assert!(witnessed(&extra::iriw(ThreadScope::InterCta, None), &rmo));
+    // Plain RMO has no scopes: even cta fences forbid inter-CTA wrc.
+    assert!(!witnessed(
+        &extra::wrc(ThreadScope::InterCta, Some(FenceScope::Cta)),
+        &rmo
+    ));
+}
+
+#[test]
+fn model_strength_ordering_holds_on_extra_corpus() {
+    let (sc, tso, rmo, ptx) = (sc_model(), tso_model(), rmo_model(), ptx_model());
+    let cfg = EnumConfig::default();
+    for test in extra::all_extra() {
+        let s = model_outcomes(&test, &sc, &cfg).unwrap().allowed_outcomes;
+        let t = model_outcomes(&test, &tso, &cfg).unwrap().allowed_outcomes;
+        let r = model_outcomes(&test, &rmo, &cfg).unwrap().allowed_outcomes;
+        let p = model_outcomes(&test, &ptx, &cfg).unwrap().allowed_outcomes;
+        assert!(s.is_subset(&t), "SC ⊄ TSO on {}", test.name());
+        assert!(t.is_subset(&r), "TSO ⊄ RMO on {}", test.name());
+        assert!(r.is_subset(&p), "RMO ⊄ PTX on {}", test.name());
+    }
+}

@@ -1,0 +1,177 @@
+//! Source-level transforms modelling the AMD OpenCL compiler's observed
+//! behaviour (paper Secs. 2.3, 3.1.2, 3.2.1 and 4.4).
+//!
+//! On AMD, the paper could not write ISA directly — tests pass through
+//! the vendor OpenCL compiler, which was caught (a) removing fences
+//! between loads on GCN 1.0, (b) reordering a load and a CAS on
+//! TeraScale 2, and (c) fusing repeated loads from the same location.
+//! [`amd_compile`] applies the target's transforms to a litmus test and
+//! reports what it did — driving the `n/a` entries and compiler rows of
+//! the paper's tables.
+
+use std::fmt;
+
+use weakgpu_litmus::{Instr, LitmusTest};
+
+/// An AMD compilation target (Tab. 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AmdTarget {
+    /// Radeon HD 6570 — Evergreen ISA.
+    TeraScale2,
+    /// Radeon HD 7970 — Southern Islands ISA.
+    Gcn10,
+}
+
+impl fmt::Display for AmdTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmdTarget::TeraScale2 => write!(f, "TeraScale 2 (Evergreen)"),
+            AmdTarget::Gcn10 => write!(f, "GCN 1.0 (Southern Islands)"),
+        }
+    }
+}
+
+/// What the compiler did to the test.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AmdCompileReport {
+    /// Fences removed between load pairs (GCN 1.0).
+    pub fences_removed: usize,
+    /// Load/CAS pairs reordered (TeraScale 2) — invalidates the test.
+    pub load_cas_reordered: usize,
+    /// Duplicate loads fused (suppressed by the online-material
+    /// workaround, which we always apply, like the paper).
+    pub loads_fused: usize,
+}
+
+impl AmdCompileReport {
+    /// `true` when the compiled test still measures what the source
+    /// intended (the paper writes `n/a` otherwise, Fig. 8).
+    pub fn test_is_meaningful(&self) -> bool {
+        self.load_cas_reordered == 0
+    }
+}
+
+/// Compiles `test` for an AMD target: applies the documented compiler
+/// transforms and reports them. The returned test is what actually runs
+/// on the chip.
+pub fn amd_compile(test: &LitmusTest, target: AmdTarget) -> (LitmusTest, AmdCompileReport) {
+    let mut report = AmdCompileReport::default();
+    let mut threads: Vec<Vec<Instr>> = test.threads().to_vec();
+
+    match target {
+        AmdTarget::Gcn10 => {
+            for thread in &mut threads {
+                let mut i = 0;
+                while i < thread.len() {
+                    if thread[i].is_fence() {
+                        let prev_is_load = thread[..i]
+                            .iter()
+                            .rev()
+                            .find(|x| x.is_memory_access())
+                            .is_some_and(|x| matches!(x.unguarded(), Instr::Ld { .. }));
+                        let next_is_load = thread[i + 1..]
+                            .iter()
+                            .find(|x| x.is_memory_access())
+                            .is_some_and(|x| matches!(x.unguarded(), Instr::Ld { .. }));
+                        if prev_is_load && next_is_load {
+                            thread.remove(i);
+                            report.fences_removed += 1;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        AmdTarget::TeraScale2 => {
+            for thread in &mut threads {
+                // Reorder an adjacent (load, CAS) pair: the Sec. 3.2.1
+                // miscompilation.
+                for i in 0..thread.len().saturating_sub(1) {
+                    let is_pair = matches!(thread[i].unguarded(), Instr::Ld { .. })
+                        && matches!(thread[i + 1].unguarded(), Instr::Cas { .. });
+                    if is_pair {
+                        thread.swap(i, i + 1);
+                        report.load_cas_reordered += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Rebuild the test with the transformed threads.
+    let mut builder = LitmusTest::builder(format!("{}@{target}", test.name()))
+        .doc(test.doc().to_owned());
+    for (loc, mi) in test.memory().iter() {
+        builder = match mi.region {
+            weakgpu_litmus::Region::Global => builder.global(loc.clone(), mi.init),
+            weakgpu_litmus::Region::Shared => builder.shared(loc.clone(), mi.init),
+        };
+    }
+    for thread in threads {
+        builder = builder.thread(thread);
+    }
+    for (tid, reg, value) in test.reg_init() {
+        builder = builder.reg_init(tid, reg.clone(), value.clone());
+    }
+    builder = builder.scope_tree(test.scope_tree().clone());
+    builder = builder.cond(test.cond().clone());
+    let compiled = builder.build().expect("transform preserves validity");
+    (compiled, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakgpu_litmus::{corpus, FenceScope, ThreadScope};
+
+    #[test]
+    fn gcn_removes_fence_between_loads_only() {
+        let test = corpus::mp(ThreadScope::InterCta, Some(FenceScope::Gl));
+        let (compiled, report) = amd_compile(&test, AmdTarget::Gcn10);
+        assert_eq!(report.fences_removed, 1, "the reader-side fence goes");
+        // Writer-side fence (between stores) survives.
+        let fences: usize = compiled
+            .threads()
+            .iter()
+            .flatten()
+            .filter(|i| i.is_fence())
+            .count();
+        assert_eq!(fences, 1);
+        assert!(report.test_is_meaningful());
+    }
+
+    #[test]
+    fn terascale_invalidates_dlb_lb() {
+        let (compiled, report) = amd_compile(&corpus::dlb_lb(false), AmdTarget::TeraScale2);
+        assert_eq!(report.load_cas_reordered, 1);
+        assert!(!report.test_is_meaningful(), "the paper writes n/a here");
+        // T1 now starts with the CAS.
+        assert!(matches!(
+            compiled.threads()[1][0].unguarded(),
+            Instr::Cas { .. }
+        ));
+    }
+
+    #[test]
+    fn terascale_leaves_fences_alone() {
+        let test = corpus::mp(ThreadScope::InterCta, Some(FenceScope::Gl));
+        let (compiled, report) = amd_compile(&test, AmdTarget::TeraScale2);
+        assert_eq!(report.fences_removed, 0);
+        let fences: usize = compiled
+            .threads()
+            .iter()
+            .flatten()
+            .filter(|i| i.is_fence())
+            .count();
+        assert_eq!(fences, 2);
+    }
+
+    #[test]
+    fn unfenced_tests_compile_unchanged_on_gcn() {
+        let test = corpus::cas_sl(false);
+        let (compiled, report) = amd_compile(&test, AmdTarget::Gcn10);
+        assert_eq!(report, AmdCompileReport::default());
+        assert_eq!(compiled.threads(), test.threads());
+    }
+}

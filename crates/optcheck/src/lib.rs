@@ -1,0 +1,46 @@
+//! `optcheck` — detecting unwanted compiler optimisations in compiled
+//! litmus tests (paper Secs. 4.4 and 4.5).
+//!
+//! The paper compiles PTX to SASS with `ptxas`, disassembles with
+//! `cuobjdump`, and statically checks that the assembler did not reorder
+//! or remove the test's memory accesses. The trick: a *specification* of
+//! the intended access sequence is embedded into the code itself as `xor`
+//! instructions whose immediate operands encode each access's register,
+//! instruction type and position.
+//!
+//! Here the whole pipeline is reproduced against a simulated assembler:
+//!
+//! * [`sass`] — a SASS-like target IR;
+//! * [`lower`] — the assembler, with `-O0`/`-O3` behaviours and the
+//!   *injectable* miscompilations of Tab. 2 (CUDA 5.5's volatile-load
+//!   reordering, GCN's fence removal between loads, TeraScale 2's
+//!   load/CAS reordering, duplicate-load fusion);
+//! * [`spec`] — the xor-instruction specification;
+//! * [`checker`] — the static consistency check;
+//! * [`deps`] — manufactured dependencies (Fig. 13): the xor-based scheme
+//!   that `-O3` destroys and the and-high-bit scheme that survives;
+//! * [`amd`] — source-level transforms modelling the AMD OpenCL compiler,
+//!   producing the transformed tests the AMD rows of Figs. 3 and 8 ran.
+//!
+//! ```
+//! use weakgpu_optcheck::{lower::{compile_thread, CompilerConfig}, checker::check_thread};
+//! use weakgpu_litmus::corpus;
+//!
+//! let test = corpus::corr();
+//! let cfg = CompilerConfig::o3();
+//! let sass = compile_thread(&test.threads()[1], &cfg);
+//! let report = check_thread(&sass);
+//! assert!(report.consistent, "{:?}", report.issues);
+//! ```
+
+pub mod amd;
+pub mod checker;
+pub mod deps;
+pub mod lower;
+pub mod sass;
+pub mod spec;
+
+pub use amd::{amd_compile, AmdCompileReport, AmdTarget};
+pub use checker::{check_test, check_thread, CheckReport, OptIssue};
+pub use lower::{compile_test, compile_thread, CompilerBug, CompilerConfig, OptLevel};
+pub use sass::{SassInstr, SassOp};

@@ -1,0 +1,443 @@
+//! The simulated assembler: lowers PTX litmus threads to the SASS-like IR
+//! at `-O0` or `-O3`, optionally injecting the documented vendor
+//! miscompilations (Tab. 2), and embedding the xor specification.
+
+use weakgpu_litmus::{Instr, LitmusTest, Operand};
+
+use crate::sass::{AccessType, SassInstr, SassOp};
+use crate::spec::SpecEntry;
+
+/// Optimisation level of the simulated `ptxas`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OptLevel {
+    /// `-O0`: every access survives, but address computations are not
+    /// folded — adjacent PTX accesses end up separated by several SASS
+    /// instructions (undesirable for testing, Sec. 4.4).
+    O0,
+    /// `-O3`: tight code, with dead-code elimination that removes
+    /// xor-based false dependencies (Fig. 13a).
+    #[default]
+    O3,
+}
+
+/// Injectable miscompilations (paper Tab. 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompilerBug {
+    /// CUDA 5.5 on Maxwell: volatile loads to the same address reordered
+    /// (Sec. 4.4).
+    ReorderVolatileLoads,
+    /// AMD GCN 1.0: the fence between two loads is removed (Sec. 3.1.2).
+    RemoveFenceBetweenLoads,
+    /// AMD TeraScale 2: a load and a later CAS are reordered (Sec. 3.2.1).
+    ReorderLoadCas,
+    /// AMD: repeated loads from one location fused into a single load
+    /// (Sec. 4.4).
+    FuseDuplicateLoads,
+}
+
+/// Assembler configuration.
+#[derive(Clone, Debug, Default)]
+pub struct CompilerConfig {
+    /// Optimisation level.
+    pub opt_level: OptLevel,
+    /// Active miscompilations.
+    pub bugs: Vec<CompilerBug>,
+    /// Embed the xor specification (on by default via [`CompilerConfig::o3`]).
+    pub embed_spec: bool,
+}
+
+impl CompilerConfig {
+    /// Plain `-O3` with the specification embedded — the paper's testing
+    /// configuration.
+    pub fn o3() -> Self {
+        CompilerConfig {
+            opt_level: OptLevel::O3,
+            bugs: Vec::new(),
+            embed_spec: true,
+        }
+    }
+
+    /// Plain `-O0` with the specification embedded.
+    pub fn o0() -> Self {
+        CompilerConfig {
+            opt_level: OptLevel::O0,
+            bugs: Vec::new(),
+            embed_spec: true,
+        }
+    }
+
+    /// Adds a miscompilation.
+    pub fn with_bug(mut self, bug: CompilerBug) -> Self {
+        self.bugs.push(bug);
+        self
+    }
+}
+
+fn data_reg(instr: &Instr) -> String {
+    match instr.written_reg() {
+        Some(r) => r.as_str().to_owned(),
+        None => match instr.unguarded() {
+            Instr::St { src: Operand::Reg(r), .. } => r.as_str().to_owned(),
+            _ => "rz".to_owned(),
+        },
+    }
+}
+
+fn loc_of(instr: &Instr) -> Option<weakgpu_litmus::Loc> {
+    match instr.address() {
+        Some(Operand::Sym(l)) => Some(l.clone()),
+        _ => None,
+    }
+}
+
+/// Lowers one thread.
+pub fn compile_thread(thread: &[Instr], cfg: &CompilerConfig) -> Vec<SassInstr> {
+    // Dead-code elimination of xor-based false dependencies at -O3:
+    // `xor d,a,a` makes d = 0, so the downstream cvt/add chain is folded
+    // away (Fig. 13a) — erasing the dependency.
+    let mut dead_regs: Vec<String> = Vec::new();
+    if cfg.opt_level == OptLevel::O3 {
+        for instr in thread {
+            match instr.unguarded() {
+                Instr::Xor { dst, a, b } if a == b => {
+                    dead_regs.push(dst.as_str().to_owned());
+                }
+                Instr::Cvt { dst, src: Operand::Reg(r) }
+                    if dead_regs.contains(&r.as_str().to_owned()) =>
+                {
+                    dead_regs.push(dst.as_str().to_owned());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut out: Vec<SassInstr> = Vec::new();
+    for (i, instr) in thread.iter().enumerate() {
+        let inner = instr.unguarded();
+        match inner {
+            Instr::Ld { cache, volatile, .. } => {
+                pad(&mut out, cfg);
+                out.push(SassInstr {
+                    op: SassOp::Access {
+                        ty: AccessType::load(*cache, *volatile),
+                        reg: data_reg(instr),
+                        loc: loc_of(instr),
+                    },
+                    ptx_index: Some(i),
+                });
+            }
+            Instr::St { volatile, .. } => {
+                pad(&mut out, cfg);
+                out.push(SassInstr {
+                    op: SassOp::Access {
+                        ty: AccessType::store(*volatile),
+                        reg: data_reg(instr),
+                        loc: loc_of(instr),
+                    },
+                    ptx_index: Some(i),
+                });
+            }
+            Instr::Cas { .. } | Instr::Exch { .. } | Instr::Inc { .. } => {
+                pad(&mut out, cfg);
+                out.push(SassInstr {
+                    op: SassOp::Access {
+                        ty: AccessType::Atomic,
+                        reg: data_reg(instr),
+                        loc: loc_of(instr),
+                    },
+                    ptx_index: Some(i),
+                });
+            }
+            Instr::Membar { scope } => out.push(SassInstr {
+                op: SassOp::Membar(*scope),
+                ptx_index: Some(i),
+            }),
+            Instr::Xor { dst, a, b } if cfg.opt_level == OptLevel::O3 && a == b => {
+                // Folded away; mark the register chain dead (done above).
+                let _ = dst;
+            }
+            Instr::Cvt { dst, src: Operand::Reg(r) }
+                if cfg.opt_level == OptLevel::O3
+                    && dead_regs.contains(&r.as_str().to_owned()) =>
+            {
+                let _ = dst;
+            }
+            Instr::Add { a, b, .. }
+                if cfg.opt_level == OptLevel::O3
+                    && [a, b].iter().any(|o| match o {
+                        Operand::Reg(r) => dead_regs.contains(&r.as_str().to_owned()),
+                        _ => false,
+                    }) => {}
+            Instr::LabelDef(_) => {}
+            other => out.push(SassInstr {
+                op: SassOp::Alu {
+                    mnemonic: mnemonic(other),
+                },
+                ptx_index: Some(i),
+            }),
+        }
+    }
+
+    apply_bugs(&mut out, cfg);
+
+    if cfg.embed_spec {
+        // The specification reflects the *intended* (PTX) access order —
+        // embedded before optimisation in the real pipeline, so derived
+        // from the source thread here.
+        let mut pos = 0;
+        for instr in thread {
+            let inner = instr.unguarded();
+            let ty = match inner {
+                Instr::Ld { cache, volatile, .. } => Some(AccessType::load(*cache, *volatile)),
+                Instr::St { volatile, .. } => Some(AccessType::store(*volatile)),
+                Instr::Cas { .. } | Instr::Exch { .. } | Instr::Inc { .. } => {
+                    Some(AccessType::Atomic)
+                }
+                _ => None,
+            };
+            if let Some(ty) = ty {
+                out.push(
+                    SpecEntry {
+                        reg: data_reg(instr),
+                        ty,
+                        position: pos,
+                    }
+                    .to_sass(),
+                );
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+fn pad(out: &mut Vec<SassInstr>, cfg: &CompilerConfig) {
+    if cfg.opt_level == OptLevel::O0 {
+        // Unfolded address computation before every access.
+        for mnemonic in ["MOV32I", "SHL", "IADD"] {
+            out.push(SassInstr {
+                op: SassOp::Alu {
+                    mnemonic: mnemonic.to_owned(),
+                },
+                ptx_index: None,
+            });
+        }
+    }
+}
+
+fn mnemonic(instr: &Instr) -> String {
+    match instr {
+        Instr::Mov { .. } => "MOV".to_owned(),
+        Instr::Add { .. } => "IADD".to_owned(),
+        Instr::And { .. } => "LOP.AND".to_owned(),
+        Instr::Xor { .. } => "LOP.XOR".to_owned(),
+        Instr::Cvt { .. } => "I2I".to_owned(),
+        Instr::SetpEq { .. } | Instr::SetpNe { .. } => "ISETP".to_owned(),
+        Instr::Bra { .. } => "BRA".to_owned(),
+        other => format!("{other:?}").split(' ').next().unwrap_or("NOP").to_owned(),
+    }
+}
+
+fn apply_bugs(out: &mut Vec<SassInstr>, cfg: &CompilerConfig) {
+    for bug in &cfg.bugs {
+        match bug {
+            CompilerBug::ReorderVolatileLoads => {
+                // Swap adjacent volatile loads of the same location.
+                for i in 0..out.len().saturating_sub(1) {
+                    let same = matches!(
+                        (&out[i].op, &out[i + 1].op),
+                        (
+                            SassOp::Access { ty: a, loc: la, .. },
+                            SassOp::Access { ty: b, loc: lb, .. },
+                        ) if *a == AccessType::LoadVolatile
+                            && *b == AccessType::LoadVolatile
+                            && la == lb
+                    );
+                    if same {
+                        out.swap(i, i + 1);
+                    }
+                }
+            }
+            CompilerBug::RemoveFenceBetweenLoads => {
+                // Remove a MEMBAR whose neighbouring accesses are loads.
+                let mut i = 0;
+                while i < out.len() {
+                    if matches!(out[i].op, SassOp::Membar(_)) {
+                        let prev_load = prev_access(out, i).is_some_and(AccessType::is_load);
+                        let next_load = next_access(out, i).is_some_and(AccessType::is_load);
+                        if prev_load && next_load {
+                            out.remove(i);
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            CompilerBug::ReorderLoadCas => {
+                // Move an atomic before a preceding (different-location)
+                // load.
+                for i in 0..out.len().saturating_sub(1) {
+                    let reorder = matches!(
+                        (&out[i].op, &out[i + 1].op),
+                        (
+                            SassOp::Access { ty: a, loc: la, .. },
+                            SassOp::Access { ty: b, loc: lb, .. },
+                        ) if a.is_load() && *b == AccessType::Atomic && la != lb
+                    );
+                    if reorder {
+                        out.swap(i, i + 1);
+                    }
+                }
+            }
+            CompilerBug::FuseDuplicateLoads => {
+                // Drop a load whose location matches the previous load.
+                let mut i = 1;
+                while i < out.len() {
+                    let fuse = matches!(
+                        (&out[i - 1].op, &out[i].op),
+                        (
+                            SassOp::Access { ty: a, loc: la @ Some(_), .. },
+                            SassOp::Access { ty: b, loc: lb, .. },
+                        ) if a.is_load() && b.is_load() && la == lb
+                    );
+                    if fuse {
+                        out.remove(i);
+                        continue;
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn prev_access(out: &[SassInstr], i: usize) -> Option<AccessType> {
+    out[..i].iter().rev().find_map(|x| match &x.op {
+        SassOp::Access { ty, .. } => Some(*ty),
+        _ => None,
+    })
+}
+
+fn next_access(out: &[SassInstr], i: usize) -> Option<AccessType> {
+    out[i + 1..].iter().find_map(|x| match &x.op {
+        SassOp::Access { ty, .. } => Some(*ty),
+        _ => None,
+    })
+}
+
+/// Lowers every thread of a test.
+pub fn compile_test(test: &LitmusTest, cfg: &CompilerConfig) -> Vec<Vec<SassInstr>> {
+    test.threads()
+        .iter()
+        .map(|t| compile_thread(t, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakgpu_litmus::corpus;
+
+    #[test]
+    fn o3_is_tight_o0_is_padded() {
+        let test = corpus::corr();
+        let o3 = compile_thread(&test.threads()[1], &CompilerConfig::o3());
+        let o0 = compile_thread(&test.threads()[1], &CompilerConfig::o0());
+        assert!(o0.len() > o3.len(), "O0 must pad ({} vs {})", o0.len(), o3.len());
+        // Both keep the two loads.
+        let loads = |s: &[SassInstr]| {
+            s.iter()
+                .filter(|i| matches!(&i.op, SassOp::Access { ty, .. } if ty.is_load()))
+                .count()
+        };
+        assert_eq!(loads(&o3), 2);
+        assert_eq!(loads(&o0), 2);
+    }
+
+    #[test]
+    fn spec_embedded_per_access() {
+        let test = corpus::cas_sl(true);
+        let sass = compile_thread(&test.threads()[0], &CompilerConfig::o3());
+        let spec = crate::spec::extract(&sass);
+        // st + exch = 2 accesses.
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec[0].ty, AccessType::StoreCg);
+        assert_eq!(spec[1].ty, AccessType::Atomic);
+    }
+
+    #[test]
+    fn volatile_load_reordering_bug() {
+        // Two volatile loads from x (the coRR shape that exposed CUDA 5.5).
+        use weakgpu_litmus::build::*;
+        let thread = vec![ld_volatile("r1", "x"), ld_volatile("r2", "x")];
+        let clean = compile_thread(&thread, &CompilerConfig::o3());
+        let buggy = compile_thread(
+            &thread,
+            &CompilerConfig::o3().with_bug(CompilerBug::ReorderVolatileLoads),
+        );
+        let regs = |s: &[SassInstr]| -> Vec<String> {
+            s.iter()
+                .filter_map(|i| match &i.op {
+                    SassOp::Access { reg, .. } => Some(reg.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(regs(&clean), ["r1", "r2"]);
+        assert_eq!(regs(&buggy), ["r2", "r1"]);
+    }
+
+    #[test]
+    fn gcn_fence_removal_bug() {
+        use weakgpu_litmus::build::*;
+        let thread = vec![ld("r1", "y"), membar_gl(), ld("r2", "x")];
+        let buggy = compile_thread(
+            &thread,
+            &CompilerConfig::o3().with_bug(CompilerBug::RemoveFenceBetweenLoads),
+        );
+        assert!(
+            !buggy.iter().any(|i| matches!(i.op, SassOp::Membar(_))),
+            "fence between loads must be removed"
+        );
+        // But a fence between stores survives.
+        let stores = vec![st("x", 1), membar_gl(), st("y", 1)];
+        let kept = compile_thread(
+            &stores,
+            &CompilerConfig::o3().with_bug(CompilerBug::RemoveFenceBetweenLoads),
+        );
+        assert!(kept.iter().any(|i| matches!(i.op, SassOp::Membar(_))));
+    }
+
+    #[test]
+    fn terascale_load_cas_reordering_bug() {
+        let test = corpus::dlb_lb(false);
+        // T1: ld t; cas h — the TeraScale 2 compiler reorders them.
+        let buggy = compile_thread(
+            &test.threads()[1],
+            &CompilerConfig::o3().with_bug(CompilerBug::ReorderLoadCas),
+        );
+        let tys: Vec<AccessType> = buggy
+            .iter()
+            .filter_map(|i| match &i.op {
+                SassOp::Access { ty, .. } => Some(*ty),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tys, [AccessType::Atomic, AccessType::LoadCg]);
+    }
+
+    #[test]
+    fn duplicate_load_fusion_bug() {
+        let test = corpus::corr();
+        let buggy = compile_thread(
+            &test.threads()[1],
+            &CompilerConfig::o3().with_bug(CompilerBug::FuseDuplicateLoads),
+        );
+        let loads = buggy
+            .iter()
+            .filter(|i| matches!(&i.op, SassOp::Access { ty, .. } if ty.is_load()))
+            .count();
+        assert_eq!(loads, 1, "second load from x must be fused");
+    }
+}

@@ -1,0 +1,197 @@
+//! A SASS-like target IR — the output of the simulated assembler.
+//!
+//! Only the structure the checker cares about is modelled: the kind of
+//! each instruction, which register a memory access uses, its location,
+//! and the cross-reference to the originating PTX instruction.
+
+use std::fmt;
+
+use weakgpu_litmus::{CacheOp, FenceScope, Loc};
+
+/// Type codes used both by SASS classification and the embedded
+/// specification (paper Sec. 4.4: "which register it uses, what type of
+/// instruction it is (e.g. 00 for a load with cache operator .cg), and its
+/// position").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessType {
+    /// `ld.cg` → `LDG.CG`.
+    LoadCg,
+    /// `ld.ca` → `LDG.CA`.
+    LoadCa,
+    /// `ld.volatile` → `LDG.CV`.
+    LoadVolatile,
+    /// `st.cg` → `STG.CG`.
+    StoreCg,
+    /// `st.volatile` → `STG.CV`.
+    StoreVolatile,
+    /// Any `atom.*` → `ATOM`.
+    Atomic,
+}
+
+impl AccessType {
+    /// The numeric code embedded in specification constants.
+    pub fn code(self) -> u32 {
+        match self {
+            AccessType::LoadCg => 0x00,
+            AccessType::LoadCa => 0x01,
+            AccessType::LoadVolatile => 0x02,
+            AccessType::StoreCg => 0x10,
+            AccessType::StoreVolatile => 0x12,
+            AccessType::Atomic => 0x20,
+        }
+    }
+
+    /// Decodes a specification type code.
+    pub fn from_code(code: u32) -> Option<AccessType> {
+        Some(match code {
+            0x00 => AccessType::LoadCg,
+            0x01 => AccessType::LoadCa,
+            0x02 => AccessType::LoadVolatile,
+            0x10 => AccessType::StoreCg,
+            0x12 => AccessType::StoreVolatile,
+            0x20 => AccessType::Atomic,
+            _ => return None,
+        })
+    }
+
+    /// Classifies a load from its markers.
+    pub fn load(cache: CacheOp, volatile: bool) -> AccessType {
+        if volatile {
+            AccessType::LoadVolatile
+        } else if cache == CacheOp::Ca {
+            AccessType::LoadCa
+        } else {
+            AccessType::LoadCg
+        }
+    }
+
+    /// Classifies a store from its markers.
+    pub fn store(volatile: bool) -> AccessType {
+        if volatile {
+            AccessType::StoreVolatile
+        } else {
+            AccessType::StoreCg
+        }
+    }
+
+    /// `true` for loads.
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            AccessType::LoadCg | AccessType::LoadCa | AccessType::LoadVolatile
+        )
+    }
+}
+
+/// One SASS instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SassOp {
+    /// A memory access.
+    Access {
+        /// Access type.
+        ty: AccessType,
+        /// The data register (destination of loads, source of stores).
+        reg: String,
+        /// Accessed location, when statically known.
+        loc: Option<Loc>,
+    },
+    /// `MEMBAR`.
+    Membar(FenceScope),
+    /// Any ALU/control instruction (details irrelevant to the checker).
+    Alu {
+        /// Mnemonic, for disassembly output.
+        mnemonic: String,
+    },
+    /// An embedded specification marker:
+    /// `XOR r, r, #constant` (paper Sec. 4.4).
+    Spec {
+        /// The access's register.
+        reg: String,
+        /// The encoded constant.
+        constant: u32,
+    },
+}
+
+/// A SASS instruction with provenance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SassInstr {
+    /// The operation.
+    pub op: SassOp,
+    /// Index of the originating PTX instruction, when applicable.
+    pub ptx_index: Option<usize>,
+}
+
+impl fmt::Display for SassInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            SassOp::Access { ty, reg, loc } => {
+                let mn = match ty {
+                    AccessType::LoadCg => "LDG.E.CG",
+                    AccessType::LoadCa => "LDG.E.CA",
+                    AccessType::LoadVolatile => "LDG.E.CV",
+                    AccessType::StoreCg => "STG.E.CG",
+                    AccessType::StoreVolatile => "STG.E.CV",
+                    AccessType::Atomic => "ATOM.E",
+                };
+                match loc {
+                    Some(l) => write!(f, "{mn} {reg}, [{l}]"),
+                    None => write!(f, "{mn} {reg}"),
+                }
+            }
+            SassOp::Membar(s) => write!(f, "MEMBAR{}", s.suffix().to_uppercase()),
+            SassOp::Alu { mnemonic } => write!(f, "{mnemonic}"),
+            SassOp::Spec { reg, constant } => write!(f, "XOR {reg}, {reg}, 0x{constant:08x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for ty in [
+            AccessType::LoadCg,
+            AccessType::LoadCa,
+            AccessType::LoadVolatile,
+            AccessType::StoreCg,
+            AccessType::StoreVolatile,
+            AccessType::Atomic,
+        ] {
+            assert_eq!(AccessType::from_code(ty.code()), Some(ty));
+        }
+        assert_eq!(AccessType::from_code(0xff), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(AccessType::load(CacheOp::Cg, false), AccessType::LoadCg);
+        assert_eq!(AccessType::load(CacheOp::Ca, false), AccessType::LoadCa);
+        assert_eq!(AccessType::load(CacheOp::Cg, true), AccessType::LoadVolatile);
+        assert_eq!(AccessType::store(false), AccessType::StoreCg);
+        assert!(AccessType::LoadCa.is_load());
+        assert!(!AccessType::Atomic.is_load());
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = SassInstr {
+            op: SassOp::Access {
+                ty: AccessType::LoadCg,
+                reg: "r1".into(),
+                loc: Some(Loc::new("x")),
+            },
+            ptx_index: Some(0),
+        };
+        assert_eq!(i.to_string(), "LDG.E.CG r1, [x]");
+        let s = SassInstr {
+            op: SassOp::Spec {
+                reg: "r1".into(),
+                constant: 0x07f3_0001,
+            },
+            ptx_index: None,
+        };
+        assert!(s.to_string().starts_with("XOR r1, r1, 0x07f30001"));
+    }
+}

@@ -1,0 +1,116 @@
+//! The xor-instruction specification (paper Sec. 4.4).
+//!
+//! One `XOR reg, reg, #constant` per memory access is appended to each
+//! thread. The constant packs a magic tag (distinguishing specification
+//! instructions from genuine xors), the access's type code and its
+//! position in the intended access order.
+
+use crate::sass::{AccessType, SassInstr, SassOp};
+
+/// The magic tag in the high bits of every specification constant.
+pub const SPEC_MAGIC: u32 = 0x07f3_0000;
+
+const TYPE_SHIFT: u32 = 8;
+const POS_MASK: u32 = 0xff;
+const TYPE_MASK: u32 = 0xff;
+
+/// One entry of the intended access sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecEntry {
+    /// Register the access uses.
+    pub reg: String,
+    /// Access type.
+    pub ty: AccessType,
+    /// Position in the intended order (0-based).
+    pub position: u32,
+}
+
+impl SpecEntry {
+    /// Encodes the entry's constant.
+    pub fn constant(&self) -> u32 {
+        SPEC_MAGIC | (self.ty.code() << TYPE_SHIFT) | (self.position & POS_MASK)
+    }
+
+    /// Decodes a constant, if it carries the magic tag.
+    pub fn decode(reg: &str, constant: u32) -> Option<SpecEntry> {
+        if constant & 0xffff_0000 != SPEC_MAGIC {
+            return None;
+        }
+        Some(SpecEntry {
+            reg: reg.to_owned(),
+            ty: AccessType::from_code((constant >> TYPE_SHIFT) & TYPE_MASK)?,
+            position: constant & POS_MASK,
+        })
+    }
+
+    /// Renders the entry as a SASS specification instruction.
+    pub fn to_sass(&self) -> SassInstr {
+        SassInstr {
+            op: SassOp::Spec {
+                reg: self.reg.clone(),
+                constant: self.constant(),
+            },
+            ptx_index: None,
+        }
+    }
+}
+
+/// Extracts the specification entries embedded in a SASS listing, sorted
+/// by position.
+pub fn extract(sass: &[SassInstr]) -> Vec<SpecEntry> {
+    let mut entries: Vec<SpecEntry> = sass
+        .iter()
+        .filter_map(|i| match &i.op {
+            SassOp::Spec { reg, constant } => SpecEntry::decode(reg, *constant),
+            _ => None,
+        })
+        .collect();
+    entries.sort_by_key(|e| e.position);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_roundtrip() {
+        let e = SpecEntry {
+            reg: "r2".into(),
+            ty: AccessType::LoadCa,
+            position: 3,
+        };
+        let c = e.constant();
+        assert_eq!(c & 0xffff_0000, SPEC_MAGIC);
+        assert_eq!(SpecEntry::decode("r2", c), Some(e));
+    }
+
+    #[test]
+    fn non_magic_constants_rejected() {
+        assert_eq!(SpecEntry::decode("r1", 0x1234_5678), None);
+        // Genuine xor with small constant.
+        assert_eq!(SpecEntry::decode("r1", 0x0000_0001), None);
+    }
+
+    #[test]
+    fn extract_sorts_by_position() {
+        let sass = vec![
+            SpecEntry {
+                reg: "r9".into(),
+                ty: AccessType::StoreCg,
+                position: 1,
+            }
+            .to_sass(),
+            SpecEntry {
+                reg: "r1".into(),
+                ty: AccessType::LoadCg,
+                position: 0,
+            }
+            .to_sass(),
+        ];
+        let entries = extract(&sass);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].position, 0);
+        assert_eq!(entries[0].reg, "r1");
+    }
+}

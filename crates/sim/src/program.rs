@@ -1,0 +1,520 @@
+//! Compilation of a [`LitmusTest`] into the simulator's internal form:
+//! registers and locations resolved to dense indices, labels resolved to
+//! instruction offsets.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use weakgpu_litmus::{
+    CacheOp, FenceScope, FinalExpr, Instr, Label, LitmusTest, Loc, Operand, Region, Value,
+};
+
+/// A compile-time-resolved value: integer or location pointer. `Copy`, for
+/// the 100k-iteration hot loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimValue {
+    /// An integer.
+    Int(i64),
+    /// The address of location `LocId`.
+    Ptr(u32),
+}
+
+impl SimValue {
+    /// The integer payload, or 0 for pointers (hardware register readout).
+    pub fn as_int(self) -> i64 {
+        match self {
+            SimValue::Int(n) => n,
+            SimValue::Ptr(_) => 0,
+        }
+    }
+}
+
+/// A resolved operand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimOperand {
+    /// Register index (within the thread).
+    Reg(u32),
+    /// Immediate.
+    Imm(i64),
+    /// Address of a location.
+    Sym(u32),
+}
+
+/// A resolved instruction. Mirrors [`weakgpu_litmus::Instr`] with indices
+/// instead of names; `Bra` targets are instruction offsets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimOp {
+    /// Load.
+    Ld {
+        /// Destination register.
+        dst: u32,
+        /// Address operand.
+        addr: SimOperand,
+        /// Cache operator.
+        cache: CacheOp,
+        /// Volatile marker.
+        volatile: bool,
+    },
+    /// Store.
+    St {
+        /// Address operand.
+        addr: SimOperand,
+        /// Source operand.
+        src: SimOperand,
+        /// Volatile marker.
+        volatile: bool,
+    },
+    /// Compare-and-swap.
+    Cas {
+        /// Destination (old value).
+        dst: u32,
+        /// Address operand.
+        addr: SimOperand,
+        /// Expected value.
+        expected: SimOperand,
+        /// Swapped-in value.
+        desired: SimOperand,
+    },
+    /// Atomic exchange.
+    Exch {
+        /// Destination (old value).
+        dst: u32,
+        /// Address operand.
+        addr: SimOperand,
+        /// New value.
+        src: SimOperand,
+    },
+    /// Atomic increment.
+    Inc {
+        /// Destination (old value).
+        dst: u32,
+        /// Address operand.
+        addr: SimOperand,
+    },
+    /// Fence.
+    Membar(FenceScope),
+    /// Register move.
+    Mov {
+        /// Destination register.
+        dst: u32,
+        /// Source.
+        src: SimOperand,
+    },
+    /// Addition (pointer-aware).
+    Add {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: SimOperand,
+        /// Right operand.
+        b: SimOperand,
+    },
+    /// Bitwise and.
+    And {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: SimOperand,
+        /// Right operand.
+        b: SimOperand,
+    },
+    /// Bitwise xor.
+    Xor {
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        a: SimOperand,
+        /// Right operand.
+        b: SimOperand,
+    },
+    /// Width conversion (value-preserving).
+    Cvt {
+        /// Destination register.
+        dst: u32,
+        /// Source.
+        src: SimOperand,
+    },
+    /// Set predicate if equal.
+    SetpEq {
+        /// Destination predicate register.
+        dst: u32,
+        /// Left operand.
+        a: SimOperand,
+        /// Right operand.
+        b: SimOperand,
+    },
+    /// Set predicate if not equal.
+    SetpNe {
+        /// Destination predicate register.
+        dst: u32,
+        /// Left operand.
+        a: SimOperand,
+        /// Right operand.
+        b: SimOperand,
+    },
+    /// Jump to instruction offset.
+    Bra(u32),
+    /// No-op (label definitions compile to this).
+    Nop,
+}
+
+/// One instruction slot: the op plus an optional predicate guard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimInstr {
+    /// The operation.
+    pub op: SimOp,
+    /// Guard: `(pred register, expected truth)`.
+    pub guard: Option<(u32, bool)>,
+}
+
+/// A location's static properties.
+#[derive(Clone, Debug)]
+pub struct LocInfo {
+    /// Source-level name.
+    pub name: Loc,
+    /// Region.
+    pub region: Region,
+    /// Initial value.
+    pub init: i64,
+}
+
+/// What to record after a run.
+#[derive(Clone, Debug)]
+pub enum ObsTarget {
+    /// `(thread, register index)`.
+    Reg(usize, u32),
+    /// Location id.
+    Mem(u32),
+}
+
+/// A compiled litmus test.
+#[derive(Clone, Debug)]
+pub struct SimProgram {
+    /// Test name.
+    pub name: String,
+    /// Per-thread code.
+    pub threads: Vec<Vec<SimInstr>>,
+    /// Per-thread register initial values.
+    pub reg_init: Vec<Vec<SimValue>>,
+    /// Location table.
+    pub locs: Vec<LocInfo>,
+    /// CTA index per thread.
+    pub thread_cta: Vec<usize>,
+    /// Number of CTAs in the scope tree.
+    pub num_ctas: usize,
+    /// Observed expressions with resolved targets, in condition order.
+    pub observed: Vec<(FinalExpr, ObsTarget)>,
+    /// `true` when the test's threads span multiple CTAs (controls the
+    /// cta-fence leak sampling).
+    pub spans_ctas: bool,
+}
+
+/// Compilation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The condition observes a register never used by its thread.
+    UnknownObservedReg(usize, String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownObservedReg(t, r) => {
+                write!(f, "final condition observes unused register {t}:{r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl SimProgram {
+    /// Compiles a validated litmus test.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the final condition observes a register its thread never
+    /// mentions (the value would be meaningless).
+    pub fn compile(test: &LitmusTest) -> Result<SimProgram, CompileError> {
+        let mut loc_ids: BTreeMap<Loc, u32> = BTreeMap::new();
+        let mut locs: Vec<LocInfo> = Vec::new();
+        for (loc, mi) in test.memory().iter() {
+            loc_ids.insert(loc.clone(), locs.len() as u32);
+            locs.push(LocInfo {
+                name: loc.clone(),
+                region: mi.region,
+                init: mi.init,
+            });
+        }
+
+        let mut threads = Vec::new();
+        let mut reg_init = Vec::new();
+        let mut reg_maps: Vec<BTreeMap<String, u32>> = Vec::new();
+        for (tid, code) in test.threads().iter().enumerate() {
+            let mut regs: BTreeMap<String, u32> = BTreeMap::new();
+            let mut inits: Vec<SimValue> = Vec::new();
+            let reg_id = |name: &str,
+                              regs: &mut BTreeMap<String, u32>,
+                              inits: &mut Vec<SimValue>|
+             -> u32 {
+                if let Some(&id) = regs.get(name) {
+                    return id;
+                }
+                let id = inits.len() as u32;
+                regs.insert(name.to_owned(), id);
+                let v = test.reg_init_value(tid, &weakgpu_litmus::Reg::new(name));
+                inits.push(match v {
+                    Value::Int(n) => SimValue::Int(n),
+                    Value::Ptr { loc, .. } => {
+                        SimValue::Ptr(*loc_ids.get(&loc).expect("validated pointer target"))
+                    }
+                });
+                id
+            };
+
+            // Label offsets (on the original instruction indexing, which we
+            // preserve one-to-one with Nop for label defs).
+            let mut label_off: BTreeMap<&Label, u32> = BTreeMap::new();
+            for (i, instr) in code.iter().enumerate() {
+                if let Instr::LabelDef(l) = instr {
+                    label_off.insert(l, i as u32);
+                }
+            }
+
+            let mut compiled = Vec::with_capacity(code.len());
+            for instr in code {
+                compiled.push(compile_instr(
+                    instr,
+                    &mut |n| reg_id(n, &mut regs, &mut inits),
+                    &loc_ids,
+                    &label_off,
+                ));
+            }
+            threads.push(compiled);
+            reg_init.push(inits);
+            reg_maps.push(regs);
+        }
+
+        let thread_cta: Vec<usize> = (0..test.num_threads())
+            .map(|t| test.scope_tree().placement(t).cta)
+            .collect();
+        let num_ctas = test.scope_tree().num_ctas();
+
+        let mut observed = Vec::new();
+        for expr in test.observed() {
+            let target = match &expr {
+                FinalExpr::Reg(t, r) => {
+                    let id = reg_maps
+                        .get(*t)
+                        .and_then(|m| m.get(r.as_str()))
+                        .copied()
+                        .ok_or_else(|| {
+                            CompileError::UnknownObservedReg(*t, r.as_str().to_owned())
+                        })?;
+                    ObsTarget::Reg(*t, id)
+                }
+                FinalExpr::Mem(l) => ObsTarget::Mem(
+                    *loc_ids.get(l).expect("condition locations validated"),
+                ),
+            };
+            observed.push((expr, target));
+        }
+
+        Ok(SimProgram {
+            name: test.name().to_owned(),
+            threads,
+            reg_init,
+            locs,
+            spans_ctas: num_ctas > 1,
+            thread_cta,
+            num_ctas,
+            observed,
+        })
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+fn compile_operand(
+    op: &Operand,
+    reg: &mut dyn FnMut(&str) -> u32,
+    locs: &BTreeMap<Loc, u32>,
+) -> SimOperand {
+    match op {
+        Operand::Reg(r) => SimOperand::Reg(reg(r.as_str())),
+        Operand::Imm(n) => SimOperand::Imm(*n),
+        Operand::Sym(l) => SimOperand::Sym(*locs.get(l).expect("validated location")),
+    }
+}
+
+fn compile_instr(
+    instr: &Instr,
+    reg: &mut dyn FnMut(&str) -> u32,
+    locs: &BTreeMap<Loc, u32>,
+    labels: &BTreeMap<&Label, u32>,
+) -> SimInstr {
+    match instr {
+        Instr::Guard {
+            pred,
+            expect,
+            inner,
+        } => {
+            let mut compiled = compile_instr(inner, reg, locs, labels);
+            compiled.guard = Some((reg(pred.as_str()), *expect));
+            compiled
+        }
+        other => SimInstr {
+            guard: None,
+            op: compile_op(other, reg, locs, labels),
+        },
+    }
+}
+
+fn compile_op(
+    instr: &Instr,
+    reg: &mut dyn FnMut(&str) -> u32,
+    locs: &BTreeMap<Loc, u32>,
+    labels: &BTreeMap<&Label, u32>,
+) -> SimOp {
+    let operand = |o: &Operand, reg: &mut dyn FnMut(&str) -> u32| compile_operand(o, reg, locs);
+    match instr {
+        Instr::Ld {
+            dst,
+            addr,
+            cache,
+            volatile,
+        } => SimOp::Ld {
+            dst: reg(dst.as_str()),
+            addr: operand(addr, reg),
+            cache: *cache,
+            volatile: *volatile,
+        },
+        Instr::St {
+            addr,
+            src,
+            volatile,
+            ..
+        } => SimOp::St {
+            addr: operand(addr, reg),
+            src: operand(src, reg),
+            volatile: *volatile,
+        },
+        Instr::Cas {
+            dst,
+            addr,
+            expected,
+            desired,
+        } => SimOp::Cas {
+            dst: reg(dst.as_str()),
+            addr: operand(addr, reg),
+            expected: operand(expected, reg),
+            desired: operand(desired, reg),
+        },
+        Instr::Exch { dst, addr, src } => SimOp::Exch {
+            dst: reg(dst.as_str()),
+            addr: operand(addr, reg),
+            src: operand(src, reg),
+        },
+        Instr::Inc { dst, addr } => SimOp::Inc {
+            dst: reg(dst.as_str()),
+            addr: operand(addr, reg),
+        },
+        Instr::Membar { scope } => SimOp::Membar(*scope),
+        Instr::Mov { dst, src } => SimOp::Mov {
+            dst: reg(dst.as_str()),
+            src: operand(src, reg),
+        },
+        Instr::Add { dst, a, b } => SimOp::Add {
+            dst: reg(dst.as_str()),
+            a: operand(a, reg),
+            b: operand(b, reg),
+        },
+        Instr::And { dst, a, b } => SimOp::And {
+            dst: reg(dst.as_str()),
+            a: operand(a, reg),
+            b: operand(b, reg),
+        },
+        Instr::Xor { dst, a, b } => SimOp::Xor {
+            dst: reg(dst.as_str()),
+            a: operand(a, reg),
+            b: operand(b, reg),
+        },
+        Instr::Cvt { dst, src } => SimOp::Cvt {
+            dst: reg(dst.as_str()),
+            src: operand(src, reg),
+        },
+        Instr::SetpEq { dst, a, b } => SimOp::SetpEq {
+            dst: reg(dst.as_str()),
+            a: operand(a, reg),
+            b: operand(b, reg),
+        },
+        Instr::SetpNe { dst, a, b } => SimOp::SetpNe {
+            dst: reg(dst.as_str()),
+            a: operand(a, reg),
+            b: operand(b, reg),
+        },
+        Instr::Bra { target } => SimOp::Bra(*labels.get(target).expect("validated label")),
+        Instr::LabelDef(_) => SimOp::Nop,
+        Instr::Guard { .. } => unreachable!("guards handled by compile_instr"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakgpu_litmus::corpus;
+
+    #[test]
+    fn compiles_corr() {
+        let p = SimProgram::compile(&corpus::corr()).unwrap();
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.locs.len(), 1);
+        assert_eq!(p.locs[0].name.as_str(), "x");
+        assert!(!p.spans_ctas); // intra-CTA
+        assert_eq!(p.observed.len(), 2);
+        // T1 has two loads into distinct registers.
+        assert_eq!(p.threads[1].len(), 2);
+        assert!(matches!(p.threads[1][0].op, SimOp::Ld { .. }));
+    }
+
+    #[test]
+    fn compiles_guards_and_labels() {
+        let p = SimProgram::compile(&corpus::cas_sl(true)).unwrap();
+        // T1: cas, setp, @p membar, @p ld.
+        let t1 = &p.threads[1];
+        assert_eq!(t1.len(), 4);
+        assert!(t1[2].guard.is_some());
+        assert!(t1[3].guard.is_some());
+        assert!(matches!(t1[0].op, SimOp::Cas { .. }));
+        assert!(p.spans_ctas);
+    }
+
+    #[test]
+    fn pointer_reg_init_resolved() {
+        use weakgpu_litmus::ThreadScope;
+        let t = corpus::mp_dep(ThreadScope::InterCta, weakgpu_litmus::FenceScope::Gl);
+        let p = SimProgram::compile(&t).unwrap();
+        // T1's r4 starts as a pointer to x.
+        let has_ptr = p.reg_init[1]
+            .iter()
+            .any(|v| matches!(v, SimValue::Ptr(_)));
+        assert!(has_ptr);
+    }
+
+    #[test]
+    fn whole_corpus_compiles() {
+        for t in corpus::all() {
+            let p = SimProgram::compile(&t).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            assert_eq!(p.num_threads(), t.num_threads());
+        }
+    }
+
+    #[test]
+    fn shared_region_recorded() {
+        let p = SimProgram::compile(&corpus::mp_volatile()).unwrap();
+        assert!(p.locs.iter().all(|l| l.region == Region::Shared));
+    }
+}

@@ -1,0 +1,234 @@
+//! `weakgpu` — a command-line front end in the spirit of the paper's
+//! `litmus` (run tests against "hardware") and `herd` (simulate a model)
+//! tools.
+//!
+//! ```text
+//! weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N]
+//! weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
+//! weakgpu show <file.litmus> [--dot]
+//! weakgpu corpus [NAME]
+//! ```
+
+use std::process::ExitCode;
+
+use weakgpu::axiom::enumerate::{enumerate_executions, model_outcomes, EnumConfig};
+use weakgpu::axiom::render;
+use weakgpu::axiom::Model;
+use weakgpu::harness::runner::{run_test, RunConfig};
+use weakgpu::litmus::{corpus, corpus_extra, parser, LitmusTest};
+use weakgpu::models;
+use weakgpu::sim::chip::{Chip, Incantations};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N]");
+            eprintln!("  weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]");
+            eprintln!("  weakgpu show <file.litmus> [--dot]");
+            eprintln!("  weakgpu corpus [NAME]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".to_owned()),
+    }
+}
+
+fn load(path: &str) -> Result<LitmusTest, String> {
+    // Corpus names are accepted anywhere a file is.
+    if let Some(test) = corpus_by_name(path) {
+        return Ok(test);
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parser::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn corpus_by_name(name: &str) -> Option<LitmusTest> {
+    all_corpus().into_iter().find(|t| t.name() == name)
+}
+
+fn all_corpus() -> Vec<LitmusTest> {
+    let mut v = corpus::all();
+    v.extend(corpus_extra::all_extra());
+    v
+}
+
+fn chip_by_short(short: &str) -> Result<Chip, String> {
+    Chip::ALL
+        .into_iter()
+        .find(|c| c.short().eq_ignore_ascii_case(short))
+        .ok_or_else(|| {
+            format!(
+                "unknown chip {short:?} (expected one of {})",
+                Chip::ALL.map(|c| c.short()).join(", ")
+            )
+        })
+}
+
+fn model_by_name(name: &str) -> Result<Box<dyn Model>, String> {
+    Ok(match name {
+        "ptx" => Box::new(models::ptx_model()),
+        "ptx-native" => Box::new(models::native::NativePtxModel::new()),
+        "sc" => Box::new(models::sc_model()),
+        "tso" => Box::new(models::tso_model()),
+        "rmo" => Box::new(models::rmo_model()),
+        "operational" => Box::new(models::operational_baseline()),
+        other => return Err(format!("unknown model {other:?}")),
+    })
+}
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let chip = match take_opt(&mut args, "--chip") {
+        Some(s) => Some(chip_by_short(&s)?),
+        None => None,
+    };
+    let iterations = take_opt(&mut args, "--iterations")
+        .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(100_000);
+    let seed = take_opt(&mut args, "--seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0x5eed);
+    let path = args.first().ok_or("run: missing litmus file")?;
+    let test = load(path)?;
+    let inc = match test.thread_scope() {
+        Some(weakgpu::litmus::ThreadScope::InterCta) => Incantations::best_inter_cta(),
+        _ => Incantations::all_on(),
+    };
+    let cfg = RunConfig {
+        iterations,
+        incantations: inc,
+        seed,
+        parallelism: None,
+    };
+    let chips: Vec<Chip> = match chip {
+        Some(c) => vec![c],
+        None => Chip::TABLED.to_vec(),
+    };
+    println!("Test {} ({} runs, incantations {inc})", test.name(), iterations);
+    println!("{}\n", test.cond());
+    for chip in chips {
+        let report = run_test(&test, chip, &cfg).map_err(|e| e.to_string())?;
+        println!("{} ({}):", chip, chip.profile().arch);
+        print!("{}", report.histogram);
+        println!(
+            "{} of {} runs witness the condition ({}/100k)\n",
+            report.witnesses,
+            iterations,
+            report.obs_per_100k()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let model = model_by_name(&take_opt(&mut args, "--model").unwrap_or_else(|| "ptx".into()))?;
+    let path = args.first().ok_or("check: missing litmus file")?;
+    let test = load(path)?;
+    let verdict =
+        model_outcomes(&test, model.as_ref(), &EnumConfig::default()).map_err(|e| e.to_string())?;
+    println!("Test {}  Model {}", test.name(), model.name());
+    println!(
+        "{} candidate executions, {} allowed",
+        verdict.num_candidates, verdict.num_allowed
+    );
+    println!("allowed outcomes:");
+    for o in &verdict.allowed_outcomes {
+        let mark = if test.cond().witnessed_by(o) { "  *>" } else { "    " };
+        println!("{mark} {o}");
+    }
+    println!(
+        "condition {}: {}",
+        test.cond(),
+        if verdict.condition_witnessed {
+            "Sometimes (allowed)"
+        } else {
+            "Never (forbidden)"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let want_dot = take_flag(&mut args, "--dot");
+    let path = args.first().ok_or("show: missing litmus file")?;
+    let test = load(path)?;
+    let cands = enumerate_executions(&test, &EnumConfig::default()).map_err(|e| e.to_string())?;
+    // Show the witnessing execution if one exists, else the first.
+    let cand = cands
+        .iter()
+        .find(|c| test.cond().witnessed_by(&c.outcome))
+        .or_else(|| cands.first())
+        .ok_or("no candidate executions")?;
+    println!("{test}\n");
+    if want_dot {
+        println!("{}", render::dot(&cand.execution, test.name()));
+    } else {
+        println!("candidate execution with outcome {}:", cand.outcome);
+        println!("{}", render::ascii(&cand.execution));
+        let ptx = models::ptx_model();
+        let reasons = render::explain_verdict(&ptx, &cand.execution);
+        if reasons.is_empty() {
+            println!("PTX model: allowed");
+        } else {
+            println!("PTX model: forbidden —");
+            for r in reasons {
+                println!("  {r}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        None => {
+            for t in all_corpus() {
+                println!("{:<28} {}", t.name(), t.doc());
+            }
+            Ok(())
+        }
+        Some(name) => {
+            let t = corpus_by_name(name).ok_or_else(|| format!("no corpus test {name:?}"))?;
+            println!("{t}");
+            Ok(())
+        }
+    }
+}

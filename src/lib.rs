@@ -1,0 +1,18 @@
+//! `weakgpu` — a reproduction of *GPU concurrency: Weak behaviours and
+//! programming assumptions* (Alglave et al., ASPLOS 2015).
+//!
+//! This is a thin facade over [`weakgpu_core`], which itself re-exports the
+//! subsystem crates:
+//!
+//! * [`weakgpu_core::litmus`] — GPU litmus tests (PTX AST, scope trees,
+//!   parser, paper corpus),
+//! * [`weakgpu_core::axiom`] — herd-style axiomatic engine and `.cat` DSL,
+//! * [`weakgpu_core::models`] — the paper's PTX memory model and baselines,
+//! * [`weakgpu_core::sim`] — the stochastic GPU hardware simulator,
+//! * [`weakgpu_core::harness`] — the litmus-running harness with incantations,
+//! * [`weakgpu_core::diy`] — cycle-based litmus test generation,
+//! * [`weakgpu_core::optcheck`] — the compiled-code optimisation checker.
+//!
+//! See `examples/quickstart.rs` for a tour.
+
+pub use weakgpu_core::*;

@@ -1,0 +1,89 @@
+//! Property-based tests for the relational algebra underlying the `.cat`
+//! evaluator — the laws a herd-style engine silently relies on.
+
+use proptest::prelude::*;
+use weakgpu::axiom::relation::{EventSet, Relation};
+
+const N: usize = 9;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..N, 0..N), 0..20)
+        .prop_map(|pairs| Relation::from_pairs(N, pairs))
+}
+
+fn arb_set() -> impl Strategy<Value = EventSet> {
+    prop::collection::vec(0..N, 0..N).prop_map(|xs| EventSet::from_iter_n(N, xs))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(
+            a.inter(&b.union(&c)),
+            a.inter(&b).union(&a.inter(&c))
+        );
+    }
+
+    #[test]
+    fn difference_laws(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.diff(&b).inter(&b).len(), 0);
+        prop_assert_eq!(a.diff(&b).union(&a.inter(&b)), a.clone());
+    }
+
+    #[test]
+    fn composition_is_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.seq(&b).seq(&c), a.seq(&b.seq(&c)));
+    }
+
+    #[test]
+    fn identity_is_neutral_for_composition(a in arb_relation()) {
+        let id = Relation::identity(N);
+        prop_assert_eq!(a.seq(&id), a.clone());
+        prop_assert_eq!(id.seq(&a), a.clone());
+    }
+
+    #[test]
+    fn inverse_is_involutive_and_antidistributes(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.inverse().inverse(), a.clone());
+        prop_assert_eq!(a.seq(&b).inverse(), b.inverse().seq(&a.inverse()));
+    }
+
+    #[test]
+    fn transitive_closure_is_a_closure(a in arb_relation()) {
+        let t = a.transitive_closure();
+        // Contains the original, transitive, idempotent.
+        prop_assert_eq!(t.union(&a), t.clone());
+        prop_assert_eq!(t.seq(&t).union(&t), t.clone());
+        prop_assert_eq!(t.transitive_closure(), t.clone());
+    }
+
+    #[test]
+    fn acyclicity_agrees_with_closure_irreflexivity(a in arb_relation()) {
+        // r is acyclic iff r+ is irreflexive — the textbook definition the
+        // DFS implementation must match.
+        prop_assert_eq!(a.is_acyclic(), a.transitive_closure().is_irreflexive());
+    }
+
+    #[test]
+    fn restriction_is_monotone(a in arb_relation(), d in arb_set(), r in arb_set()) {
+        let restricted = a.restrict(&d, &r);
+        prop_assert!(restricted.len() <= a.len());
+        for (x, y) in restricted.iter_pairs() {
+            prop_assert!(d.contains(x) && r.contains(y));
+            prop_assert!(a.contains(x, y));
+        }
+    }
+
+    #[test]
+    fn subrelations_of_acyclic_are_acyclic(a in arb_relation(), d in arb_set(), r in arb_set()) {
+        if a.is_acyclic() {
+            prop_assert!(a.restrict(&d, &r).is_acyclic());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! A reduced version of the paper's Sec. 5.4 validation (the `--full`
+//! variant lives in the `tab_validation` bench binary): a diy-generated
+//! family, run on weak and strong chip profiles, with every observation
+//! checked against the paper's PTX model.
+
+use weakgpu::axiom::enumerate::EnumConfig;
+use weakgpu::diy::{generate, GenConfig};
+use weakgpu::harness::runner::{run_test, RunConfig};
+use weakgpu::harness::soundness::check_soundness;
+use weakgpu::litmus::ThreadScope;
+use weakgpu::models::ptx_model;
+use weakgpu::sim::chip::{Chip, Incantations};
+
+#[test]
+fn generated_family_observations_are_model_sound() {
+    let tests = generate(&GenConfig::small());
+    assert!(tests.len() > 80);
+    let model = ptx_model();
+    let enum_cfg = EnumConfig::default();
+    let mut weak_witnessed = 0usize;
+    for (i, test) in tests.iter().enumerate() {
+        let inc = match test.thread_scope() {
+            Some(ThreadScope::InterCta) => Incantations::best_inter_cta(),
+            _ => Incantations::all_on(),
+        };
+        // Alternate chips to cover several profiles without blowing up CI
+        // time; include a strong chip every few tests.
+        let chip = match i % 4 {
+            0 => Chip::GtxTitan,
+            1 => Chip::TeslaC2075,
+            2 => Chip::RadeonHd7970,
+            _ => Chip::Gtx280,
+        };
+        let cfg = RunConfig {
+            iterations: 1_500,
+            incantations: inc,
+            seed: 0x7a11 ^ i as u64,
+            parallelism: None,
+        };
+        let report = run_test(test, chip, &cfg)
+            .unwrap_or_else(|e| panic!("{} on {chip}: {e}", test.name()));
+        if report.witnesses > 0 {
+            weak_witnessed += 1;
+        }
+        let soundness = check_soundness(test, &report.histogram, &model, &enum_cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+        assert!(
+            soundness.is_sound(),
+            "{} on {chip}: model forbids observed {:?}",
+            test.name(),
+            soundness.violations
+        );
+    }
+    // The family must actually exercise weak behaviour, not just pass
+    // vacuously.
+    assert!(
+        weak_witnessed > 5,
+        "only {weak_witnessed} tests showed their weak outcome"
+    );
+}
+
+#[test]
+fn strong_chip_never_witnesses_any_generated_cycle() {
+    for (i, test) in generate(&GenConfig::small()).iter().enumerate().take(60) {
+        let cfg = RunConfig {
+            iterations: 800,
+            incantations: Incantations::all_on(),
+            seed: 0x57 ^ i as u64,
+            parallelism: None,
+        };
+        let report = run_test(test, Chip::Gtx280, &cfg).unwrap();
+        assert_eq!(
+            report.witnesses,
+            0,
+            "{}: GTX 280 must behave sequentially",
+            test.name()
+        );
+    }
+}
