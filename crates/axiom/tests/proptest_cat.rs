@@ -83,6 +83,10 @@ fn env() -> (BTreeMap<String, Relation>, EventSet, EventSet) {
 }
 
 proptest! {
+    // Parse/print/evaluate per case; 64 keeps the suite CI-friendly
+    // (PROPTEST_CASES caps this further if set).
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
     #[test]
     fn programs_roundtrip_through_display(prog in arb_program()) {
         let printed = prog.to_string();

@@ -1,0 +1,26 @@
+//! Smoke test keeping the figure/table reproduction binaries runnable:
+//! one representative binary must produce its table and exit 0 at a
+//! CI-friendly iteration count.
+
+use std::process::Command;
+
+#[test]
+fn fig01_corr_runs_and_prints_its_table() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig01_corr"))
+        .args(["--iterations", "500", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "fig01_corr exited {:?}", out.status);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Fig. 1"), "missing table header:\n{text}");
+    assert!(text.contains("coRR"), "missing coRR row:\n{text}");
+}
+
+#[test]
+fn fig01_corr_help_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig01_corr"))
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "--help exited {:?}", out.status);
+}

@@ -1,0 +1,69 @@
+//! The `Session` path from the crate-level doc example, promoted to a real
+//! integration test: configure a session, run a corpus test end-to-end on
+//! the simulated chip, and check soundness of everything observed against
+//! the paper's PTX model.
+
+use weakgpu_core::harness::runner::RunConfig;
+use weakgpu_core::litmus::corpus;
+use weakgpu_core::sim::chip::Incantations;
+use weakgpu_core::sim::Chip;
+use weakgpu_core::Session;
+
+fn mk_session() -> Session {
+    Session::new().chip(Chip::GtxTitan).iterations(5_000)
+}
+
+#[test]
+fn doc_example_run_and_soundness() {
+    // Exactly the crate-level doc example, with its assertions.
+    let session = mk_session();
+    let report = session.run(&corpus::corr()).unwrap();
+    assert_eq!(report.histogram.total(), 5_000);
+
+    let soundness = session.check_soundness(&corpus::corr()).unwrap();
+    assert!(soundness.is_sound());
+}
+
+#[test]
+fn run_config_reflects_builder_settings() {
+    let session = Session::new()
+        .chip(Chip::TeslaC2075)
+        .iterations(123)
+        .seed(99)
+        .incantations(Incantations::none());
+    assert_eq!(session.chip_in_use(), Chip::TeslaC2075);
+    let RunConfig {
+        iterations, seed, ..
+    } = session.run_config();
+    assert_eq!(iterations, 123);
+    assert_eq!(seed, 99);
+}
+
+#[test]
+fn same_seed_same_histogram() {
+    let test = corpus::corr();
+    let a = mk_session().seed(7).run(&test).unwrap();
+    let b = mk_session().seed(7).run(&test).unwrap();
+    assert_eq!(a.histogram, b.histogram, "fixed-seed sessions must agree");
+}
+
+#[test]
+fn soundness_holds_across_the_tabled_chips() {
+    // Every chip the paper tabulates must stay inside the PTX model's
+    // allowed outcomes for the coherence shape.
+    let session = mk_session().iterations(2_000);
+    for report in session
+        .run_on_chips(&corpus::corr(), &[Chip::GtxTitan, Chip::Gtx280])
+        .unwrap()
+    {
+        assert_eq!(report.histogram.total(), 2_000);
+    }
+    for chip in [Chip::GtxTitan, Chip::Gtx280] {
+        let sound = mk_session()
+            .iterations(2_000)
+            .chip(chip)
+            .check_soundness(&corpus::corr())
+            .unwrap();
+        assert!(sound.is_sound(), "{chip:?} produced model-forbidden outcomes");
+    }
+}

@@ -71,6 +71,10 @@ fn arb_program() -> impl Strategy<Value = LitmusTest> {
 }
 
 proptest! {
+    // Build/print/parse round-trips are cheap but not free; 64 keeps the
+    // suite CI-friendly (PROPTEST_CASES caps this further if set).
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
     #[test]
     fn tests_roundtrip_through_the_textual_format(test in arb_program()) {
         let text = test.to_string();

@@ -19,6 +19,12 @@ use weakgpu::litmus::{corpus, corpus_extra, parser, LitmusTest};
 use weakgpu::models;
 use weakgpu::sim::chip::{Chip, Incantations};
 
+const USAGE: &str = "usage:
+  weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N]
+  weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
+  weakgpu show <file.litmus> [--dot]
+  weakgpu corpus [NAME]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
@@ -26,22 +32,27 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage:");
-            eprintln!("  weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N]");
-            eprintln!("  weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]");
-            eprintln!("  weakgpu show <file.litmus> [--dot]");
-            eprintln!("  weakgpu corpus [NAME]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
 }
 
 fn dispatch(args: &[String]) -> Result<(), String> {
+    // `--help` wins anywhere on the line, so `weakgpu run --help` works too.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_owned()),
     }

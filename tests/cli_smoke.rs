@@ -1,0 +1,45 @@
+//! Smoke tests for the `weakgpu` command-line binary: the entry points the
+//! README advertises must keep exiting 0.
+
+use std::process::Command;
+
+fn weakgpu() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_weakgpu"))
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = weakgpu().arg("--help").output().unwrap();
+    assert!(out.status.success(), "--help exited {:?}", out.status);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("usage:"), "help text missing usage: {text}");
+}
+
+#[test]
+fn corpus_listing_exits_zero() {
+    let out = weakgpu().arg("corpus").output().unwrap();
+    assert!(out.status.success(), "corpus exited {:?}", out.status);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("coRR"), "corpus listing missing coRR: {text}");
+}
+
+#[test]
+fn check_runs_on_a_corpus_file() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/litmus/sb.litmus");
+    let out = weakgpu()
+        .args(["check", path, "--model", "ptx"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "check exited {:?}", out.status);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("Sometimes (allowed)"),
+        "sb must be PTX-allowed: {text}"
+    );
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = weakgpu().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success(), "unknown command must fail");
+}

@@ -16,6 +16,10 @@ fn arb_set() -> impl Strategy<Value = EventSet> {
 }
 
 proptest! {
+    // Pure in-memory algebra: cheap per case, so a higher count is fine,
+    // but stay bounded for CI (PROPTEST_CASES caps this further if set).
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
     #[test]
     fn union_is_commutative_and_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
         prop_assert_eq!(a.union(&b), b.union(&a));

@@ -1,0 +1,147 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the subset of the proptest API the workspace's property
+//! suites use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, tuple and `Vec` strategies, integer-range
+//! strategies, `prop::collection::{vec, btree_map}`, `prop::bool::ANY`,
+//! [`Just`], `prop_oneof!`, the `proptest!` macro with an optional
+//! `#![proptest_config(..)]` block, and `prop_assert!`-style macros.
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking.** A failing case reports its seed and message and
+//!   panics immediately.
+//! * Generation is driven by a deterministic per-test RNG, so failures are
+//!   reproducible run-to-run; the `PROPTEST_CASES` environment variable
+//!   caps case counts exactly like upstream.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::{btree_map, vec, SizeRange};
+    }
+
+    pub mod bool {
+        pub use crate::strategy::bool_any::{Any, ANY};
+    }
+
+    pub mod num {
+        //! Integer-range strategies are implemented directly on
+        //! `Range`/`RangeInclusive`; nothing extra is needed here.
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use test_runner::{Config as ProptestConfig, TestCaseError};
+
+/// The `proptest!` macro: runs each `#[test]` body against `cases`
+/// randomly generated inputs.
+///
+/// Bodies behave like upstream: they may use `?` and `return Err(..)` with
+/// [`TestCaseError`], and `prop_assert!` family macros short-circuit with a
+/// failure instead of panicking mid-case.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm — must precede the catch-all arm below, or the
+    // recursive call would loop forever.
+    (@impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        let ($($arg,)*) = (
+                            $($crate::strategy::Strategy::sample(&($strat), __proptest_rng),)*
+                        );
+                        let __proptest_out: ::std::result::Result<(), $crate::TestCaseError> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        __proptest_out
+                    },
+                );
+            }
+        )*
+    };
+    // With a leading `#![proptest_config(expr)]` block.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    // Without a config block: use the (env-aware) default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Weighted/unweighted choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}

@@ -1,0 +1,133 @@
+//! Case execution: deterministic RNG, config, and the run loop.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies. Deterministic per `(test name, attempt)`,
+/// so failures reproduce run-to-run without persistence files.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Mirror of `proptest::test_runner::Config` for the fields the workspace
+/// uses. Construct with struct-update syntax
+/// (`Config { cases: 40, ..Config::default() }`) or [`Config::with_cases`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected (discarded) cases across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed; the whole test fails.
+    Fail(String),
+    /// The case was discarded (e.g. input too large); another is drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// `PROPTEST_CASES` caps the case count of every suite, including ones
+/// with an explicit `#![proptest_config]`, so CI can globally bound
+/// property-test time (upstream only lets the env var replace the
+/// *default*; a hard cap is more useful as a CI knob).
+fn env_case_cap() -> Option<u32> {
+    let raw = std::env::var("PROPTEST_CASES").ok()?;
+    match raw.parse() {
+        // A zero cap would make every property pass vacuously; reject it
+        // loudly, like upstream rejects invalid config settings.
+        Ok(0) | Err(_) => panic!("invalid PROPTEST_CASES value {raw:?}: need a positive integer"),
+        Ok(n) => Some(n),
+    }
+}
+
+fn seed_for(name: &str, attempt: u64) -> u64 {
+    // FNV-1a over the test name, mixed with the attempt index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Drive `body` until `cases` successes, panicking on the first failure.
+pub fn run_cases<F>(config: &Config, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = match env_case_cap() {
+        Some(cap) => config.cases.min(cap),
+        None => config.cases,
+    };
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    let mut attempt = 0u64;
+    while successes < cases {
+        let seed = seed_for(name, attempt);
+        attempt += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match body(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "{name}: too many rejected cases ({rejects}) — strategies discard too often"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "{name}: property failed after {successes} passing case(s) \
+                     (deterministic seed {seed:#018x}):\n{reason}"
+                );
+            }
+        }
+    }
+}
