@@ -1,11 +1,22 @@
 //! Runs every experiment binary's logic in sequence (at reduced default
 //! iteration counts unless `--full`), regenerating all the paper's tables
 //! and figures in one go. Used to produce `EXPERIMENTS.md`.
+//!
+//! All common flags (`--iterations`/`-n`, `--seed`, `--parallelism`,
+//! `--full` — see `weakgpu_bench::cli::USAGE`) are forwarded verbatim to
+//! every experiment; the underlying binaries run their cells on the
+//! harness's campaign engine, so for a fixed seed the regenerated numbers
+//! are bit-identical on any machine at any `--parallelism`.
 
 use std::process::Command;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("runs every experiment binary in sequence, forwarding flags:");
+        println!("{}", weakgpu_bench::cli::USAGE);
+        return;
+    }
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("bin directory");
     let experiments = [

@@ -6,23 +6,28 @@
 //! Default: the small family (hundreds of tests) at reduced iteration
 //! counts. `--full` escalates to the paper-scale family (≈ 18k tests,
 //! hours of CPU time).
+//!
+//! The whole sweep runs as ONE campaign: every (test, chip) cell shares a
+//! single worker pool and compiled-simulator cache, with streaming
+//! progress as cells complete — instead of a fresh thread scope per cell.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use weakgpu_axiom::enumerate::EnumConfig;
 use weakgpu_bench::BenchArgs;
-use weakgpu_diy::{generate, GenConfig};
-use weakgpu_harness::runner::{run_test, RunConfig};
+use weakgpu_harness::campaign::{run_campaign_with, CellSpec};
 use weakgpu_harness::soundness::check_soundness;
 use weakgpu_models::ptx_model;
-use weakgpu_sim::chip::{Chip, Incantations};
+use weakgpu_sim::chip::Chip;
 
 fn main() {
     let args = BenchArgs::parse();
     let gen_cfg = if args.full {
-        GenConfig::paper()
+        weakgpu_diy::GenConfig::paper()
     } else {
-        GenConfig::small()
+        weakgpu_diy::GenConfig::small()
     };
-    let tests = generate(&gen_cfg);
+    let tests = weakgpu_diy::generate(&gen_cfg);
     let iterations = if args.full {
         args.iterations
     } else {
@@ -35,28 +40,43 @@ fn main() {
         Chip::NVIDIA_TABLED.len()
     );
 
+    // One cell per (test, chip), test-major; per-test seeds match the
+    // historical sweep (base seed XOR test index).
+    let mut cells = Vec::with_capacity(tests.len() * Chip::NVIDIA_TABLED.len());
+    for (i, test) in tests.iter().enumerate() {
+        let inc = weakgpu_harness::default_incantations(test);
+        for &chip in &Chip::NVIDIA_TABLED {
+            cells.push(
+                CellSpec::new(test.clone(), chip)
+                    .incantations(inc)
+                    .iterations(iterations)
+                    .seed(args.seed ^ (i as u64)),
+            );
+        }
+    }
+
+    let total = cells.len();
+    let done = AtomicUsize::new(0);
+    let reports = run_campaign_with(&cells, &args.campaign_config(), |_, _| {
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(300) {
+            println!("  … {n}/{total} cells run");
+        }
+    })
+    .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+
     let model = ptx_model();
     let enum_cfg = EnumConfig::default();
+    let chips = Chip::NVIDIA_TABLED.len();
     let mut sound = 0usize;
     let mut unsound = Vec::new();
     let mut observations = 0u64;
     for (i, test) in tests.iter().enumerate() {
+        // Merge the test's per-chip histograms (cells are test-major).
         let mut merged = weakgpu_harness::Histogram::new();
-        for &chip in &Chip::NVIDIA_TABLED {
-            let inc = match test.thread_scope() {
-                Some(weakgpu_litmus::ThreadScope::InterCta) => Incantations::best_inter_cta(),
-                _ => Incantations::all_on(),
-            };
-            let cfg = RunConfig {
-                iterations,
-                incantations: inc,
-                seed: args.seed ^ (i as u64),
-                parallelism: None,
-            };
-            let report = run_test(test, chip, &cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+        for report in &reports[i * chips..(i + 1) * chips] {
             observations += report.histogram.total();
-            merged.merge(report.histogram);
+            merged.merge(report.histogram.clone());
         }
         match check_soundness(test, &merged, &model, &enum_cfg) {
             Ok(r) if r.is_sound() => sound += 1,

@@ -1,12 +1,29 @@
 //! A tiny argument parser shared by the experiment binaries.
 
-/// Common options: `--iterations N`, `--seed N`, `--full`.
+/// Usage text shared by `--help` and parse failures. Documents every
+/// accepted flag, including aliases.
+pub const USAGE: &str = "usage: [--iterations N | -n N] [--seed N] [--parallelism N] [--full]
+
+options:
+  --iterations N, -n N   runs per cell (default 100000, the paper's count)
+  --seed N               base RNG seed (default 24301); for a fixed seed
+                         results are bit-identical on any machine
+  --parallelism N        worker threads (default: all cores; affects
+                         wall-clock time only, never results)
+  --full                 escalate to the full/paper-scale variant where an
+                         experiment has one (e.g. the validation sweep)
+  --help, -h             print this help on stdout and exit 0";
+
+/// Common options: `--iterations N` (alias `-n N`), `--seed N`,
+/// `--parallelism N`, `--full`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BenchArgs {
     /// Runs per cell (default 100 000, the paper's count).
     pub iterations: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads (`None` = all available cores).
+    pub parallelism: Option<usize>,
     /// Escalate to the full/paper-scale variant where an experiment has
     /// one (e.g. the validation sweep).
     pub full: bool,
@@ -17,6 +34,7 @@ impl Default for BenchArgs {
         BenchArgs {
             iterations: 100_000,
             seed: 0x5eed,
+            parallelism: None,
             full: false,
         }
     }
@@ -47,12 +65,19 @@ impl BenchArgs {
                     let v = it.next().expect("--seed needs a value");
                     out.seed = v.parse().expect("--seed must be a number");
                 }
+                "--parallelism" => {
+                    let v = it.next().expect("--parallelism needs a value");
+                    out.parallelism =
+                        Some(v.parse().expect("--parallelism must be a number"));
+                }
                 "--full" => out.full = true,
                 "--help" | "-h" => {
-                    eprintln!("usage: [--iterations N] [--seed N] [--full]");
+                    // Help goes to stdout (it is the requested output),
+                    // with exit status 0.
+                    println!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => panic!("unknown argument {other:?}"),
+                other => panic!("unknown argument {other:?}\n{USAGE}"),
             }
         }
         out
@@ -67,18 +92,33 @@ mod tests {
     fn defaults() {
         let a = BenchArgs::parse_from(Vec::new());
         assert_eq!(a.iterations, 100_000);
+        assert_eq!(a.parallelism, None);
         assert!(!a.full);
     }
 
     #[test]
     fn parses_flags() {
         let a = BenchArgs::parse_from(
-            ["--iterations", "5000", "--seed", "9", "--full"]
+            ["--iterations", "5000", "--seed", "9", "--parallelism", "2", "--full"]
                 .map(String::from),
         );
         assert_eq!(a.iterations, 5000);
         assert_eq!(a.seed, 9);
+        assert_eq!(a.parallelism, Some(2));
         assert!(a.full);
+    }
+
+    #[test]
+    fn n_is_an_iterations_alias() {
+        let a = BenchArgs::parse_from(["-n", "777"].map(String::from));
+        assert_eq!(a.iterations, 777);
+    }
+
+    #[test]
+    fn usage_documents_every_flag() {
+        for flag in ["--iterations", "-n", "--seed", "--parallelism", "--full", "--help", "-h"] {
+            assert!(USAGE.contains(flag), "usage text missing {flag}");
+        }
     }
 
     #[test]

@@ -1,11 +1,23 @@
-//! Row runners and paper-vs-measured printing.
+//! Row runners and paper-vs-measured printing, built on the harness's
+//! campaign engine: a row's cells share one worker pool and compiled
+//! simulators instead of spawning a thread scope per cell.
 
+use weakgpu_harness::campaign::{run_campaign, CampaignConfig, CellSpec};
 use weakgpu_harness::report::ObsTable;
 use weakgpu_harness::runner::{run_test, RunConfig};
 use weakgpu_litmus::LitmusTest;
 use weakgpu_sim::chip::{Chip, Incantations};
 
 use crate::cli::BenchArgs;
+
+impl BenchArgs {
+    /// The campaign config these bench args resolve to.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            parallelism: self.parallelism,
+        }
+    }
+}
 
 /// A table cell: a count or `n/a`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -46,7 +58,7 @@ pub fn obs_cell(test: &LitmusTest, chip: Chip, inc: Incantations, args: &BenchAr
         iterations: args.iterations,
         incantations: inc,
         seed: args.seed,
-        parallelism: None,
+        parallelism: args.parallelism,
     };
     run_test(test, chip, &cfg)
         .unwrap_or_else(|e| panic!("{} on {chip}: {e}", test.name()))
@@ -55,21 +67,30 @@ pub fn obs_cell(test: &LitmusTest, chip: Chip, inc: Incantations, args: &BenchAr
 
 /// Runs `test` across `chips` with per-chip incantations chosen by the
 /// test's placement (best inter-CTA column for inter-CTA tests, all-on for
-/// intra-CTA, as in the paper).
+/// intra-CTA, as in the paper). The whole row runs as one campaign —
+/// cell results are identical to per-cell [`obs_cell`] calls.
 pub fn obs_row(test: &LitmusTest, chips: &[Chip], args: &BenchArgs) -> Vec<u64> {
     let inc = default_incantations(test);
-    chips
+    let cells: Vec<CellSpec> = chips
         .iter()
-        .map(|&c| obs_cell(test, c, inc, args))
+        .map(|&chip| {
+            CellSpec::new(test.clone(), chip)
+                .incantations(inc)
+                .iterations(args.iterations)
+                .seed(args.seed)
+        })
+        .collect();
+    run_campaign(&cells, &args.campaign_config())
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()))
+        .iter()
+        .map(weakgpu_harness::TestReport::obs_per_100k)
         .collect()
 }
 
-/// The paper's "most effective incantations" per placement.
+/// The paper's "most effective incantations" per placement (the harness
+/// helper, re-exported for the experiment binaries).
 pub fn default_incantations(test: &LitmusTest) -> Incantations {
-    match test.thread_scope() {
-        Some(weakgpu_litmus::ThreadScope::InterCta) => Incantations::best_inter_cta(),
-        _ => Incantations::all_on(),
-    }
+    weakgpu_harness::default_incantations(test)
 }
 
 /// Prints one experiment: for every row, the paper's reference counts and
@@ -124,6 +145,22 @@ mod tests {
             default_incantations(&corpus::cas_sl(false)),
             Incantations::best_inter_cta()
         );
+    }
+
+    #[test]
+    fn obs_row_matches_per_cell_runs() {
+        // The campaign-backed row must reproduce exactly what running
+        // each cell alone produces.
+        let args = BenchArgs {
+            iterations: 1_000,
+            ..BenchArgs::default()
+        };
+        let test = corpus::mp(weakgpu_litmus::ThreadScope::InterCta, None);
+        let chips = [Chip::GtxTitan, Chip::Gtx280];
+        let row = obs_row(&test, &chips, &args);
+        let inc = default_incantations(&test);
+        let solo: Vec<u64> = chips.iter().map(|&c| obs_cell(&test, c, inc, &args)).collect();
+        assert_eq!(row, solo);
     }
 
     #[test]

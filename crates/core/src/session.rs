@@ -6,6 +6,7 @@ use std::fmt;
 
 use weakgpu_axiom::enumerate::{model_outcomes, EnumConfig, EnumError, ModelOutcomes};
 use weakgpu_axiom::model::Model;
+use weakgpu_harness::campaign::{run_campaign, CampaignConfig, CellSpec};
 use weakgpu_harness::runner::{run_test, HarnessError, RunConfig, TestReport};
 use weakgpu_harness::soundness::{check_soundness, SoundnessReport};
 use weakgpu_litmus::LitmusTest;
@@ -15,13 +16,14 @@ use weakgpu_sim::chip::{Chip, Incantations};
 /// A configured testing session.
 ///
 /// Defaults: GTX Titan, all incantations, 100k iterations (the paper's
-/// setup for its figures).
+/// setup for its figures), all cores.
 #[derive(Clone, Debug)]
 pub struct Session {
     chip: Chip,
     incantations: Incantations,
     iterations: usize,
     seed: u64,
+    parallelism: Option<usize>,
     enum_config: EnumConfig,
 }
 
@@ -32,6 +34,7 @@ impl Default for Session {
             incantations: Incantations::all_on(),
             iterations: 100_000,
             seed: 0x5eed,
+            parallelism: None,
             enum_config: EnumConfig::default(),
         }
     }
@@ -99,6 +102,14 @@ impl Session {
         self
     }
 
+    /// Pins the worker-thread count (default: all available cores).
+    /// Affects wall-clock time only — histograms are bit-identical for a
+    /// fixed seed at any parallelism.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers);
+        self
+    }
+
     /// The configured chip.
     pub fn chip_in_use(&self) -> Chip {
         self.chip
@@ -110,7 +121,7 @@ impl Session {
             iterations: self.iterations,
             incantations: self.incantations,
             seed: self.seed,
-            parallelism: None,
+            parallelism: self.parallelism,
         }
     }
 
@@ -124,7 +135,9 @@ impl Session {
     }
 
     /// Runs `test` on several chips (e.g. [`Chip::TABLED`]), producing one
-    /// report per chip — a row of the paper's figures.
+    /// report per chip — a row of the paper's figures. A single-test
+    /// campaign: cells share the worker pool, and results match per-chip
+    /// [`Session::run`] calls exactly.
     ///
     /// # Errors
     ///
@@ -134,10 +147,38 @@ impl Session {
         test: &LitmusTest,
         chips: &[Chip],
     ) -> Result<Vec<TestReport>, SessionError> {
-        chips
+        self.run_campaign(std::slice::from_ref(test), chips)
+    }
+
+    /// Runs the full `tests × chips` grid as one campaign over a shared
+    /// worker pool, returning reports in test-major order (`tests[0]` on
+    /// every chip, then `tests[1]`, …). Every cell uses this session's
+    /// incantations, iteration count and seed, so each report is
+    /// bit-identical to a standalone [`Session::run`] of that cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness failures.
+    pub fn run_campaign(
+        &self,
+        tests: &[LitmusTest],
+        chips: &[Chip],
+    ) -> Result<Vec<TestReport>, SessionError> {
+        let cfg = self.run_config();
+        let cells: Vec<CellSpec> = tests
             .iter()
-            .map(|&c| Ok(run_test(test, c, &self.run_config())?))
-            .collect()
+            .flat_map(|t| {
+                chips
+                    .iter()
+                    .map(|&c| CellSpec::from_config(t.clone(), c, &cfg))
+            })
+            .collect();
+        Ok(run_campaign(
+            &cells,
+            &CampaignConfig {
+                parallelism: self.parallelism,
+            },
+        )?)
     }
 
     /// Enumerates `test`'s candidate executions under `model`.
@@ -195,11 +236,33 @@ mod tests {
             .chip(Chip::TeslaC2075)
             .iterations(42)
             .seed(1)
+            .parallelism(3)
             .incantations(Incantations::none());
         assert_eq!(s.chip_in_use(), Chip::TeslaC2075);
         let cfg = s.run_config();
         assert_eq!(cfg.iterations, 42);
         assert_eq!(cfg.seed, 1);
+        assert_eq!(cfg.parallelism, Some(3));
+    }
+
+    #[test]
+    fn campaign_grid_matches_standalone_runs() {
+        let s = Session::new().iterations(1_500);
+        let tests = [
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::corr(),
+        ];
+        let chips = [Chip::GtxTitan, Chip::Gtx280];
+        let grid = s.run_campaign(&tests, &chips).unwrap();
+        assert_eq!(grid.len(), 4);
+        let mut i = 0;
+        for test in &tests {
+            for &chip in &chips {
+                let solo = run_test(test, chip, &s.run_config()).unwrap();
+                assert_eq!(grid[i].histogram, solo.histogram, "{} on {chip}", solo.test);
+                i += 1;
+            }
+        }
     }
 
     #[test]

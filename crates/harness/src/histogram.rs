@@ -20,7 +20,12 @@ impl Histogram {
 
     /// Records one observation of `outcome`.
     pub fn record(&mut self, outcome: Outcome) {
-        *self.counts.entry(outcome).or_insert(0) += 1;
+        self.add(outcome, 1);
+    }
+
+    /// Records `n` observations of `outcome` at once (batch collection).
+    pub fn add(&mut self, outcome: Outcome, n: u64) {
+        *self.counts.entry(outcome).or_insert(0) += n;
     }
 
     /// Merges another histogram into this one.

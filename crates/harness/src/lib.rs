@@ -19,14 +19,18 @@
 //! assert!(report.witnesses > 0);
 //! ```
 
+pub mod campaign;
 pub mod histogram;
 pub mod report;
 pub mod runner;
 pub mod soundness;
 pub mod tuning;
 
+pub use campaign::{
+    default_incantations, run_campaign, run_campaign_with, CampaignConfig, CellSpec,
+};
 pub use histogram::Histogram;
 pub use report::ObsTable;
-pub use runner::{run_test, RunConfig, TestReport};
+pub use runner::{run_test, RunConfig, TestReport, STREAM_CHUNKS};
 pub use soundness::{check_soundness, SoundnessReport};
 pub use tuning::{tune, TuningReport};

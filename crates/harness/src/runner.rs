@@ -1,16 +1,49 @@
 //! The iteration runner: executes a litmus test thousands of times on a
 //! simulated chip, in parallel batches, and histograms the outcomes.
+//!
+//! # Reproducibility
+//!
+//! A run's iterations are split into [`STREAM_CHUNKS`] logical chunks
+//! whose RNG streams derive purely from the base seed and the chunk
+//! index. Worker threads pick chunks up in any order, and chunk
+//! histograms merge commutatively — so the full histogram is a pure
+//! function of `(test, chip, incantations, iterations, seed)`:
+//! bit-identical on any machine, at any `parallelism` setting.
 
 use std::fmt;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use weakgpu_litmus::LitmusTest;
 use weakgpu_sim::chip::{Chip, Incantations};
-use weakgpu_sim::machine::{RunError, Simulator};
+use weakgpu_sim::machine::RunError;
 use weakgpu_sim::program::CompileError;
 
+use crate::campaign::{run_campaign, CampaignConfig, CellSpec};
 use crate::histogram::Histogram;
+
+/// Number of logical RNG streams a run is split into. Fixed (never
+/// derived from the host's core count) so histograms are
+/// machine-independent; larger than any plausible worker count so the
+/// pool still load-balances.
+pub const STREAM_CHUNKS: usize = 64;
+
+/// The per-chunk iteration counts for a run of `iterations`: at most
+/// [`STREAM_CHUNKS`] chunks, sizes differing by at most one, depending
+/// only on `iterations`.
+pub(crate) fn chunk_sizes(iterations: usize) -> Vec<usize> {
+    let n = iterations.min(STREAM_CHUNKS);
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = iterations / n;
+    let rem = iterations % n;
+    (0..n).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// The RNG seed of logical chunk `idx` for base seed `seed` (a golden-ratio
+/// stride keeps neighbouring streams decorrelated).
+pub(crate) fn chunk_seed(seed: u64, idx: usize) -> u64 {
+    seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx as u64 + 1))
+}
 
 /// Configuration of one harness invocation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -19,9 +52,11 @@ pub struct RunConfig {
     pub iterations: usize,
     /// Incantation combination.
     pub incantations: Incantations,
-    /// Base RNG seed; each worker derives its own stream from it.
+    /// Base RNG seed; logical chunk streams derive from it independently
+    /// of worker count.
     pub seed: u64,
-    /// Worker threads (`None` = all available cores).
+    /// Worker threads (`None` = all available cores). Affects wall-clock
+    /// time only, never the histogram.
     pub parallelism: Option<usize>,
 }
 
@@ -116,67 +151,24 @@ impl TestReport {
 /// Runs `test` on `chip` for `cfg.iterations` runs and histograms the
 /// outcomes.
 ///
-/// Runs are split across worker threads; each worker seeds its own
-/// [`SmallRng`] from `cfg.seed` and its worker index, so results are
-/// reproducible for a fixed `(seed, parallelism)` pair regardless of
-/// thread scheduling.
+/// A single-cell campaign (see [`crate::campaign`]): the iterations are
+/// split into [`STREAM_CHUNKS`] seed-derived logical chunks drained by a
+/// worker pool, so the histogram is bit-identical for a fixed seed on any
+/// machine and at any `parallelism`.
 ///
 /// # Errors
 ///
 /// Returns a [`HarnessError`] if the test cannot be compiled or a run
 /// fails (e.g. a livelocked spin loop).
 pub fn run_test(test: &LitmusTest, chip: Chip, cfg: &RunConfig) -> Result<TestReport, HarnessError> {
-    let sim = Simulator::compile(test, chip)?;
-    let weights = chip.profile().weights(&cfg.incantations);
-    let workers = cfg
-        .parallelism
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1)
-        .min(cfg.iterations.max(1));
-
-    let chunk = cfg.iterations / workers;
-    let remainder = cfg.iterations % workers;
-    let thread_rand = cfg.incantations.thread_rand;
-
-    let results: Vec<Result<Histogram, RunError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let n = chunk + usize::from(w < remainder);
-            let sim = &sim;
-            let weights = &weights;
-            let seed = cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
-            handles.push(scope.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let mut h = Histogram::new();
-                for _ in 0..n {
-                    let outcome = sim.run_once_with_weights(weights, thread_rand, &mut rng)?;
-                    h.record(outcome);
-                }
-                Ok(h)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-
-    let mut histogram = Histogram::new();
-    for r in results {
-        histogram.merge(r?);
-    }
-    let witnesses = histogram.witnesses(test.cond());
-    Ok(TestReport {
-        test: test.name().to_owned(),
-        chip,
-        incantations: cfg.incantations,
-        histogram,
-        witnesses,
-    })
+    let cells = [CellSpec::from_config(test.clone(), chip, cfg)];
+    let mut reports = run_campaign(
+        &cells,
+        &CampaignConfig {
+            parallelism: cfg.parallelism,
+        },
+    )?;
+    Ok(reports.pop().expect("one report per cell"))
 }
 
 #[cfg(test)]
@@ -230,6 +222,9 @@ mod tests {
 
     #[test]
     fn single_worker_matches_multi_worker_totals() {
+        // Strengthened from totals to full histograms: RNG streams are
+        // per logical chunk, not per worker, so worker count must not
+        // shift a single outcome count.
         let test = corpus::sb(ThreadScope::InterCta, None);
         let mk = |par| RunConfig {
             iterations: 2000,
@@ -239,5 +234,27 @@ mod tests {
         let one = run_test(&test, Chip::GtxTitan, &mk(1)).unwrap();
         let four = run_test(&test, Chip::GtxTitan, &mk(4)).unwrap();
         assert_eq!(one.histogram.total(), four.histogram.total());
+        assert_eq!(one.histogram, four.histogram);
+    }
+
+    #[test]
+    fn chunk_sizes_partition_iterations() {
+        for iterations in [0usize, 1, 7, 63, 64, 65, 1000, 100_000] {
+            let sizes = chunk_sizes(iterations);
+            assert_eq!(sizes.iter().sum::<usize>(), iterations);
+            assert!(sizes.len() <= STREAM_CHUNKS);
+            if iterations > 0 {
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "{iterations}: uneven chunks {sizes:?}");
+                assert!(*min >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_seeds_are_distinct() {
+        let seeds: std::collections::BTreeSet<u64> =
+            (0..STREAM_CHUNKS).map(|i| chunk_seed(0x5eed, i)).collect();
+        assert_eq!(seeds.len(), STREAM_CHUNKS);
     }
 }

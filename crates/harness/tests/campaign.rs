@@ -1,0 +1,147 @@
+//! Integration tests for the campaign engine and the harness's
+//! machine-independence guarantee: for a fixed seed, histograms are a
+//! pure function of the cell spec — independent of worker count, host
+//! core count, and whether cells run alone or batched in a campaign.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use weakgpu_harness::campaign::{run_campaign, run_campaign_with, CampaignConfig, CellSpec};
+use weakgpu_harness::runner::{run_test, RunConfig};
+use weakgpu_litmus::{corpus, LitmusTest, ThreadScope};
+use weakgpu_sim::chip::{Chip, Incantations};
+
+fn config(parallelism: Option<usize>) -> RunConfig {
+    RunConfig {
+        iterations: 4_000,
+        incantations: Incantations::best_inter_cta(),
+        seed: 0xdead_5eed,
+        parallelism,
+    }
+}
+
+#[test]
+fn histograms_identical_across_parallelism() {
+    // The headline bugfix: 1, 4, 16 and "all cores" workers must produce
+    // the same histogram bit for bit, because RNG streams derive from
+    // seed-indexed logical chunks, never from the worker layout.
+    let test = corpus::mp(ThreadScope::InterCta, None);
+    let baseline = run_test(&test, Chip::GtxTitan, &config(Some(1))).unwrap();
+    assert!(baseline.witnesses > 0, "mp must be weak on the Titan");
+    for par in [Some(4), Some(16), None] {
+        let r = run_test(&test, Chip::GtxTitan, &config(par)).unwrap();
+        assert_eq!(
+            baseline.histogram, r.histogram,
+            "histogram differs at parallelism {par:?}"
+        );
+        assert_eq!(baseline.witnesses, r.witnesses);
+    }
+}
+
+#[test]
+fn campaign_matches_sequential_run_test() {
+    // One campaign over 3 corpus tests × 2 chips must reproduce exactly
+    // what running each cell alone through run_test produces.
+    let tests: [LitmusTest; 3] = [
+        corpus::mp(ThreadScope::InterCta, None),
+        corpus::sb(ThreadScope::InterCta, None),
+        corpus::lb(ThreadScope::InterCta, None),
+    ];
+    let chips = [Chip::GtxTitan, Chip::Gtx280];
+    let cfg = config(None);
+
+    let cells: Vec<CellSpec> = tests
+        .iter()
+        .flat_map(|t| {
+            chips
+                .iter()
+                .map(|&c| CellSpec::from_config(t.clone(), c, &cfg))
+        })
+        .collect();
+    let campaign = run_campaign(&cells, &CampaignConfig::default()).unwrap();
+    assert_eq!(campaign.len(), 6);
+
+    let mut i = 0;
+    for test in &tests {
+        for &chip in &chips {
+            let solo = run_test(test, chip, &cfg).unwrap();
+            assert_eq!(campaign[i].test, solo.test);
+            assert_eq!(campaign[i].chip, chip);
+            assert_eq!(
+                campaign[i].histogram, solo.histogram,
+                "campaign vs sequential mismatch for {} on {chip}",
+                solo.test
+            );
+            assert_eq!(campaign[i].witnesses, solo.witnesses);
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn campaign_results_independent_of_worker_count() {
+    let cells: Vec<CellSpec> = [Chip::GtxTitan, Chip::TeslaC2075]
+        .into_iter()
+        .map(|chip| {
+            CellSpec::new(corpus::corr(), chip)
+                .iterations(3_000)
+                .seed(42)
+        })
+        .collect();
+    let one = run_campaign(&cells, &CampaignConfig::with_parallelism(1)).unwrap();
+    let many = run_campaign(&cells, &CampaignConfig::with_parallelism(16)).unwrap();
+    for (a, b) in one.iter().zip(&many) {
+        assert_eq!(a.histogram, b.histogram);
+    }
+}
+
+#[test]
+fn progress_streams_each_cell_exactly_once() {
+    let cells: Vec<CellSpec> = Chip::TABLED
+        .into_iter()
+        .map(|chip| {
+            CellSpec::new(corpus::sb(ThreadScope::InterCta, None), chip).iterations(500)
+        })
+        .collect();
+    let seen = Mutex::new(Vec::new());
+    let calls = AtomicUsize::new(0);
+    let reports = run_campaign_with(&cells, &CampaignConfig::default(), |idx, report| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        seen.lock().unwrap().push((idx, report.histogram.total()));
+    })
+    .unwrap();
+    assert_eq!(calls.load(Ordering::Relaxed), cells.len());
+    let mut seen = seen.into_inner().unwrap();
+    seen.sort_unstable();
+    let expected: Vec<(usize, u64)> = (0..cells.len()).map(|i| (i, 500)).collect();
+    assert_eq!(seen, expected);
+    assert_eq!(reports.len(), cells.len());
+}
+
+#[test]
+fn zero_iteration_cells_complete_empty() {
+    let cells = [
+        CellSpec::new(corpus::corr(), Chip::GtxTitan).iterations(0),
+        CellSpec::new(corpus::corr(), Chip::GtxTitan).iterations(100),
+    ];
+    let reports = run_campaign(&cells, &CampaignConfig::default()).unwrap();
+    assert_eq!(reports[0].histogram.total(), 0);
+    assert_eq!(reports[0].witnesses, 0);
+    assert_eq!(reports[1].histogram.total(), 100);
+}
+
+#[test]
+fn shared_simulator_cache_keeps_cells_independent() {
+    // Two cells over the same (test, chip) at different incantations
+    // share a compiled Simulator but get their own weights and streams.
+    let test = corpus::mp(ThreadScope::InterCta, None);
+    let weak = CellSpec::new(test.clone(), Chip::GtxTitan)
+        .incantations(Incantations::best_inter_cta())
+        .iterations(5_000);
+    let strong = CellSpec::new(test, Chip::GtxTitan)
+        .incantations(Incantations::none())
+        .iterations(5_000);
+    let reports = run_campaign(&[weak, strong], &CampaignConfig::default()).unwrap();
+    assert!(reports[0].witnesses > 0, "incantations must provoke mp");
+    assert_eq!(reports[1].witnesses, 0, "no incantations, no weakness");
+}

@@ -49,5 +49,5 @@ pub mod machine;
 pub mod program;
 
 pub use chip::{Chip, ChipProfile, Incantations, Vendor};
-pub use machine::{RunError, Simulator};
+pub use machine::{MachineState, ObsCounts, RunError, Simulator};
 pub use program::SimProgram;

@@ -124,6 +124,7 @@ struct Slot {
     delay: u8,
 }
 
+#[derive(Clone, Debug)]
 struct ThreadCtx {
     pc: usize,
     regs: Vec<Option<SimValue>>,
@@ -136,11 +137,94 @@ impl ThreadCtx {
     }
 }
 
+/// Reusable per-worker run state: every buffer a run needs, allocated once
+/// and reset in place, so batched runs ([`Simulator::run_batch`]) pay no
+/// per-iteration allocation. Obtain one from [`Simulator::new_state`]; a
+/// state is only valid for the simulator that created it.
+#[derive(Clone, Debug)]
+pub struct MachineState {
+    /// Location count — the stride of the flattened `shared`/`l1` planes.
+    nlocs: usize,
+    /// SM hosting each CTA this run.
+    sm_of_cta: Vec<usize>,
+    /// The L2 point of coherence, indexed by location.
+    l2: Vec<i64>,
+    /// Per-CTA shared memory, flattened `cta * nlocs + loc`.
+    shared: Vec<i64>,
+    /// Per-SM L1 lines, flattened `sm * nlocs + loc`.
+    l1: Vec<Option<L1Line>>,
+    /// Per-thread execution contexts.
+    threads: Vec<ThreadCtx>,
+    /// Scheduler scratch: indices of unfinished threads.
+    active: Vec<usize>,
+    /// Observed values of the last completed run, in the compiled
+    /// program's `observed` order.
+    obs: Vec<i64>,
+}
+
+impl MachineState {
+    /// The observed values of the last completed run, in the order of the
+    /// program's final-condition expressions. Convert to an [`Outcome`]
+    /// with [`Simulator::outcome_from_obs`].
+    pub fn observed(&self) -> &[i64] {
+        &self.obs
+    }
+}
+
+/// An indexed outcome collector: counts distinct observation vectors
+/// (`MachineState::observed`) without materialising an [`Outcome`] — and
+/// its per-expression `FinalExpr` clones — per iteration. Convert each
+/// distinct key once at the end via [`Simulator::outcome_from_obs`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ObsCounts {
+    counts: std::collections::BTreeMap<Vec<i64>, u64>,
+}
+
+impl ObsCounts {
+    /// An empty collector.
+    pub fn new() -> Self {
+        ObsCounts::default()
+    }
+
+    /// Records one observation vector. Allocates only on the first
+    /// occurrence of a distinct vector.
+    pub fn record(&mut self, obs: &[i64]) {
+        if let Some(n) = self.counts.get_mut(obs) {
+            *n += 1;
+        } else {
+            self.counts.insert(obs.to_vec(), 1);
+        }
+    }
+
+    /// Iterates `(observation vector, count)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[i64], u64)> {
+        self.counts.iter().map(|(k, n)| (k.as_slice(), *n))
+    }
+
+    /// Total recorded runs.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct observation vectors.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Drops all recorded counts, keeping the map's allocation strategy.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
 /// A compiled litmus test bound to a chip, ready to run.
 #[derive(Clone, Debug)]
 pub struct Simulator {
     program: SimProgram,
     chip: Chip,
+    /// Owning CTA of each location's shared-memory instance (meaningful
+    /// for `Region::Shared` locations only), precomputed at compile time.
+    shared_owner: Vec<usize>,
 }
 
 impl Simulator {
@@ -150,9 +234,14 @@ impl Simulator {
     ///
     /// Propagates [`CompileError`]s from [`SimProgram::compile`].
     pub fn compile(test: &LitmusTest, chip: Chip) -> Result<Self, CompileError> {
+        let program = SimProgram::compile(test)?;
+        let shared_owner = (0..program.locs.len() as u32)
+            .map(|l| shared_owner_cta(&program, l))
+            .collect();
         Ok(Simulator {
-            program: SimProgram::compile(test)?,
+            program,
             chip,
+            shared_owner,
         })
     }
 
@@ -179,6 +268,10 @@ impl Simulator {
     /// Runs the test once with explicit weights (used by the harness,
     /// which resolves weights once per batch).
     ///
+    /// Allocates a fresh [`MachineState`] per call; hot loops should hold
+    /// a state and use [`Simulator::run_batch`] (or
+    /// [`Simulator::run_once_into`]) instead.
+    ///
     /// # Errors
     ///
     /// See [`RunError`].
@@ -188,35 +281,71 @@ impl Simulator {
         thread_rand: bool,
         rng: &mut SmallRng,
     ) -> Result<Outcome, RunError> {
+        let mut state = self.new_state();
+        self.run_once_into(w, thread_rand, rng, &mut state)?;
+        Ok(self.outcome_from_obs(state.observed()))
+    }
+
+    /// A reusable run state sized for this simulator's program and chip.
+    pub fn new_state(&self) -> MachineState {
+        let p = &self.program;
+        let nlocs = p.locs.len();
+        let num_sms = self.chip.profile().num_sms;
+        MachineState {
+            nlocs,
+            sm_of_cta: Vec::with_capacity(p.num_ctas),
+            l2: Vec::with_capacity(nlocs),
+            shared: Vec::with_capacity(p.num_ctas * nlocs),
+            l1: Vec::with_capacity(num_sms * nlocs),
+            threads: p
+                .reg_init
+                .iter()
+                .map(|inits| ThreadCtx {
+                    pc: 0,
+                    regs: inits.iter().map(|v| Some(*v)).collect(),
+                    queue: VecDeque::with_capacity(WINDOW),
+                })
+                .collect(),
+            active: Vec::with_capacity(p.threads.len()),
+            obs: Vec::with_capacity(p.observed.len()),
+        }
+    }
+
+    /// Resets `st` to a fresh run: SM placement, memory images, L1
+    /// preload and thread contexts. Consumes the same RNG draws, in the
+    /// same order, as the historical allocate-per-run path.
+    fn reset(&self, w: &RunWeights, thread_rand: bool, rng: &mut SmallRng, st: &mut MachineState) {
         let p = &self.program;
         let profile = self.chip.profile();
-        let nlocs = p.locs.len();
+        let nlocs = st.nlocs;
 
         // SM placement: one SM per CTA by default; thread randomisation
         // scatters CTAs over the chip (they may then collide on an SM,
         // sharing an L1 — which suppresses stale-line effects, as on
         // hardware).
-        let sm_of_cta: Vec<usize> = (0..p.num_ctas)
-            .map(|c| {
-                if thread_rand {
-                    rng.random_range(0..profile.num_sms)
-                } else {
-                    c % profile.num_sms
-                }
-            })
-            .collect();
+        st.sm_of_cta.clear();
+        st.sm_of_cta.extend((0..p.num_ctas).map(|c| {
+            if thread_rand {
+                rng.random_range(0..profile.num_sms)
+            } else {
+                c % profile.num_sms
+            }
+        }));
 
         // Memory.
-        let mut l2: Vec<i64> = p.locs.iter().map(|l| l.init).collect();
-        let mut shared: Vec<Vec<i64>> = (0..p.num_ctas)
-            .map(|_| p.locs.iter().map(|l| l.init).collect())
-            .collect();
-        let mut l1: Vec<Vec<Option<L1Line>>> = vec![vec![None; nlocs]; profile.num_sms];
+        st.l2.clear();
+        st.l2.extend(p.locs.iter().map(|l| l.init));
+        st.shared.clear();
+        for _ in 0..p.num_ctas {
+            st.shared.extend(p.locs.iter().map(|l| l.init));
+        }
+        st.l1.clear();
+        st.l1.resize(profile.num_sms * nlocs, None);
         if w.l1_preload > 0.0 {
-            for sm in sm_of_cta.iter().copied() {
+            for sm in st.sm_of_cta.iter().copied() {
                 for (i, loc) in p.locs.iter().enumerate() {
                     if loc.region == Region::Global && rng.random_bool(w.l1_preload) {
-                        l1[sm][i] = Some(L1Line {
+                        st.l1[sm * nlocs + i] = Some(L1Line {
                             value: loc.init,
                             stale: false,
                             sticky: false,
@@ -226,31 +355,48 @@ impl Simulator {
             }
         }
 
-        let mut threads: Vec<ThreadCtx> = p
-            .reg_init
-            .iter()
-            .map(|inits| ThreadCtx {
-                pc: 0,
-                regs: inits.iter().map(|v| Some(*v)).collect(),
-                queue: VecDeque::new(),
-            })
-            .collect();
+        for (ctx, inits) in st.threads.iter_mut().zip(&p.reg_init) {
+            ctx.pc = 0;
+            ctx.queue.clear();
+            ctx.regs.clear();
+            ctx.regs.extend(inits.iter().map(|v| Some(*v)));
+        }
+    }
+
+    /// Runs the test once into a reusable state, leaving the observed
+    /// values in [`MachineState::observed`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run_once_into(
+        &self,
+        w: &RunWeights,
+        thread_rand: bool,
+        rng: &mut SmallRng,
+        st: &mut MachineState,
+    ) -> Result<(), RunError> {
+        let p = &self.program;
+        self.reset(w, thread_rand, rng, st);
 
         let mut steps = 0usize;
         loop {
-            let active: Vec<usize> = (0..threads.len())
-                .filter(|&t| !threads[t].done(p.threads[t].len()))
-                .collect();
-            if active.is_empty() {
+            st.active.clear();
+            for t in 0..st.threads.len() {
+                if !st.threads[t].done(p.threads[t].len()) {
+                    st.active.push(t);
+                }
+            }
+            if st.active.is_empty() {
                 break;
             }
             steps += 1;
             if steps > MAX_STEPS {
                 return Err(RunError::StepLimit);
             }
-            let t = active[rng.random_range(0..active.len())];
-            let (can_issue, stalled) = self.issue_status(t, &threads[t]);
-            let can_perform = !threads[t].queue.is_empty();
+            let t = st.active[rng.random_range(0..st.active.len())];
+            let (can_issue, stalled) = self.issue_status(t, &st.threads[t]);
+            let can_perform = !st.threads[t].queue.is_empty();
             let do_issue = match (can_issue, can_perform) {
                 // Favour issuing: real front-ends run ahead of the memory
                 // system, which is what fills the window with reorderable
@@ -264,59 +410,65 @@ impl Simulator {
                 }
             };
             if do_issue {
-                self.issue(t, &mut threads, w, rng)?;
+                self.issue(t, &mut st.threads, w, rng)?;
             } else {
-                self.perform(
-                    t,
-                    &mut threads,
-                    &mut l2,
-                    &mut shared,
-                    &mut l1,
-                    &sm_of_cta,
-                    w,
-                    rng,
-                );
+                self.perform(t, st, w, rng);
             }
         }
 
-        // Collect the outcome.
-        let mut outcome = Outcome::new();
-        for (expr, target) in &p.observed {
+        // Collect the observed values.
+        st.obs.clear();
+        for (_, target) in &p.observed {
             let v = match target {
-                ObsTarget::Reg(t, r) => threads[*t].regs[*r as usize]
+                ObsTarget::Reg(t, r) => st.threads[*t].regs[*r as usize]
                     .expect("all ops performed at termination")
                     .as_int(),
                 ObsTarget::Mem(l) => match p.locs[*l as usize].region {
-                    Region::Global => l2[*l as usize],
+                    Region::Global => st.l2[*l as usize],
                     Region::Shared => {
-                        let cta = self.shared_owner_cta(*l);
-                        shared[cta][*l as usize]
+                        let cta = self.shared_owner[*l as usize];
+                        st.shared[cta * st.nlocs + *l as usize]
                     }
                 },
             };
-            outcome.set(expr.clone(), v);
+            st.obs.push(v);
         }
-        Ok(outcome)
+        Ok(())
     }
 
-    /// The CTA whose shared-memory instance of `loc` the test uses
-    /// (validation guarantees a single CTA accesses each shared location).
-    fn shared_owner_cta(&self, loc: u32) -> usize {
-        for (tid, code) in self.program.threads.iter().enumerate() {
-            for instr in code {
-                let addr = match instr.op {
-                    SimOp::Ld { addr, .. } | SimOp::St { addr, .. } => Some(addr),
-                    SimOp::Cas { addr, .. } | SimOp::Exch { addr, .. } | SimOp::Inc { addr, .. } => {
-                        Some(addr)
-                    }
-                    _ => None,
-                };
-                if addr == Some(SimOperand::Sym(loc)) {
-                    return self.program.thread_cta[tid];
-                }
-            }
+    /// Runs `n` iterations through a reusable state, recording each
+    /// observation vector into `counts`. This is the amortised hot path:
+    /// no per-iteration allocation beyond first-occurrence outcome keys.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`]. Iterations completed before the error remain
+    /// recorded in `counts`.
+    pub fn run_batch(
+        &self,
+        n: usize,
+        w: &RunWeights,
+        thread_rand: bool,
+        rng: &mut SmallRng,
+        st: &mut MachineState,
+        counts: &mut ObsCounts,
+    ) -> Result<(), RunError> {
+        for _ in 0..n {
+            self.run_once_into(w, thread_rand, rng, st)?;
+            counts.record(&st.obs);
         }
-        0
+        Ok(())
+    }
+
+    /// Materialises an [`Outcome`] from an observation vector produced by
+    /// this simulator ([`MachineState::observed`] / [`ObsCounts`] keys).
+    pub fn outcome_from_obs(&self, obs: &[i64]) -> Outcome {
+        debug_assert_eq!(obs.len(), self.program.observed.len());
+        let mut outcome = Outcome::new();
+        for ((expr, _), v) in self.program.observed.iter().zip(obs) {
+            outcome.set(expr.clone(), *v);
+        }
+        outcome
     }
 
     /// `(can_issue, stalled_on_operand)` for the thread's next instruction.
@@ -570,24 +722,14 @@ impl Simulator {
         (p > 0.0 && p.is_finite()).then_some(p.min(1.0))
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn perform(
-        &self,
-        t: usize,
-        threads: &mut [ThreadCtx],
-        l2: &mut [i64],
-        shared: &mut [Vec<i64>],
-        l1: &mut [Vec<Option<L1Line>>],
-        sm_of_cta: &[usize],
-        w: &RunWeights,
-        rng: &mut SmallRng,
-    ) {
+    fn perform(&self, t: usize, st: &mut MachineState, w: &RunWeights, rng: &mut SmallRng) {
+        let nlocs = st.nlocs;
         let cta = self.program.thread_cta[t];
-        let sm = sm_of_cta[cta];
+        let sm = st.sm_of_cta[cta];
 
         // Choose which queue entry performs.
         let idx = {
-            let queue = &threads[t].queue;
+            let queue = &st.threads[t].queue;
             let mut chosen = 0;
             for j in 1..queue.len() {
                 let mut p = 1.0;
@@ -614,40 +756,39 @@ impl Simulator {
             // open for other threads to observe.
             let extra = rng.random_range(24..=64);
             for i in 0..idx {
-                let d = &mut threads[t].queue[i].delay;
+                let d = &mut st.threads[t].queue[i].delay;
                 *d = (*d).max(extra);
             }
-        } else if threads[t].queue[0].delay > 0 {
+        } else if st.threads[t].queue[0].delay > 0 {
             // A delayed front op skips this perform attempt.
-            threads[t].queue[0].delay -= 1;
+            st.threads[t].queue[0].delay -= 1;
             return;
         }
 
         // Forwarding source for a bypassing load: the newest earlier
         // pending same-location store.
-        let forward: Option<i64> = match threads[t].queue[idx].op {
+        let forward: Option<i64> = match st.threads[t].queue[idx].op {
             Pending::Load { loc, .. } => (0..idx)
                 .rev()
-                .find_map(|i| match threads[t].queue[i].op {
+                .find_map(|i| match st.threads[t].queue[i].op {
                     Pending::Store { loc: l, value } if l == loc => Some(value),
                     _ => None,
                 }),
             _ => None,
         };
 
-        let op = threads[t]
+        let op = st.threads[t]
             .queue
             .remove(idx)
             .expect("index chosen from queue")
             .op;
-        let ctx = &mut threads[t];
 
         match op {
             Pending::Fence { scope, leaked } => {
                 if !leaked {
                     if let Some(min) = w.l1_invalidate_scope {
                         if scope.at_least(min) {
-                            for line in l1[sm].iter_mut() {
+                            for line in st.l1[sm * nlocs..(sm + 1) * nlocs].iter_mut() {
                                 *line = None;
                             }
                         }
@@ -657,13 +798,13 @@ impl Simulator {
             Pending::Store { loc, value } => {
                 let li = loc as usize;
                 match self.program.locs[li].region {
-                    Region::Shared => shared[cta][li] = value,
+                    Region::Shared => st.shared[cta * nlocs + li] = value,
                     Region::Global => {
-                        l2[li] = value;
+                        st.l2[li] = value;
                         // Fermi-style write-around: `.cg` stores bypass the
                         // L1, leaving any present line — including the
                         // issuing SM's own — stale.
-                        for sml1 in l1.iter_mut() {
+                        for sml1 in st.l1.chunks_mut(nlocs) {
                             if let Some(line) = &mut sml1[li] {
                                 line.stale = true;
                             }
@@ -677,29 +818,29 @@ impl Simulator {
                     fwd
                 } else {
                     match self.program.locs[li].region {
-                        Region::Shared => shared[cta][li],
+                        Region::Shared => st.shared[cta * nlocs + li],
                         Region::Global => match cache {
                             CacheOp::Cg => {
-                                let v = l2[li];
+                                let v = st.l2[li];
                                 // `.cg` evicts a matching L1 line — except
                                 // with the keep-stale quirk, which leaves a
                                 // sticky stale line behind (Fig. 4).
-                                if let Some(line) = l1[sm][li] {
+                                if let Some(line) = st.l1[sm * nlocs + li] {
                                     if line.stale
                                         && w.keep_stale_after_cg > 0.0
                                         && rng.random_bool(w.keep_stale_after_cg)
                                     {
-                                        l1[sm][li] = Some(L1Line {
+                                        st.l1[sm * nlocs + li] = Some(L1Line {
                                             sticky: true,
                                             ..line
                                         });
                                     } else {
-                                        l1[sm][li] = None;
+                                        st.l1[sm * nlocs + li] = None;
                                     }
                                 }
                                 v
                             }
-                            CacheOp::Ca => match l1[sm][li] {
+                            CacheOp::Ca => match st.l1[sm * nlocs + li] {
                                 Some(line) if line.sticky => line.value,
                                 Some(line) if line.stale
                                     && w.l1_stale_read > 0.0 && rng.random_bool(w.l1_stale_read) => {
@@ -707,8 +848,8 @@ impl Simulator {
                                     }
                                 Some(line) => line.value,
                                 None => {
-                                    let v = l2[li];
-                                    l1[sm][li] = Some(L1Line {
+                                    let v = st.l2[li];
+                                    st.l1[sm * nlocs + li] = Some(L1Line {
                                         value: v,
                                         stale: false,
                                         sticky: false,
@@ -719,12 +860,16 @@ impl Simulator {
                         },
                     }
                 };
-                ctx.regs[dst as usize] = Some(SimValue::Int(v));
+                st.threads[t].regs[dst as usize] = Some(SimValue::Int(v));
             }
             Pending::Rmw { loc, dst, rmw } => {
                 let li = loc as usize;
                 let is_shared = self.program.locs[li].region == Region::Shared;
-                let old = if is_shared { shared[cta][li] } else { l2[li] };
+                let old = if is_shared {
+                    st.shared[cta * nlocs + li]
+                } else {
+                    st.l2[li]
+                };
                 let new = match rmw {
                     RmwOp::Cas { expected, desired } => (old == expected).then_some(desired),
                     RmwOp::Exch(v) => Some(v),
@@ -732,21 +877,41 @@ impl Simulator {
                 };
                 if let Some(n) = new {
                     if is_shared {
-                        shared[cta][li] = n;
+                        st.shared[cta * nlocs + li] = n;
                     } else {
-                        l2[li] = n;
+                        st.l2[li] = n;
                         // Atomics act at the L2; present L1 lines go stale.
-                        for sml1 in l1.iter_mut() {
+                        for sml1 in st.l1.chunks_mut(nlocs) {
                             if let Some(line) = &mut sml1[li] {
                                 line.stale = true;
                             }
                         }
                     }
                 }
-                ctx.regs[dst as usize] = Some(SimValue::Int(old));
+                st.threads[t].regs[dst as usize] = Some(SimValue::Int(old));
             }
         }
     }
+}
+
+/// The CTA whose shared-memory instance of `loc` the test uses
+/// (validation guarantees a single CTA accesses each shared location).
+fn shared_owner_cta(program: &SimProgram, loc: u32) -> usize {
+    for (tid, code) in program.threads.iter().enumerate() {
+        for instr in code {
+            let addr = match instr.op {
+                SimOp::Ld { addr, .. } | SimOp::St { addr, .. } => Some(addr),
+                SimOp::Cas { addr, .. } | SimOp::Exch { addr, .. } | SimOp::Inc { addr, .. } => {
+                    Some(addr)
+                }
+                _ => None,
+            };
+            if addr == Some(SimOperand::Sym(loc)) {
+                return program.thread_cta[tid];
+            }
+        }
+    }
+    0
 }
 
 /// Convenience: run a test `iterations` times and count how often the
@@ -766,13 +931,21 @@ pub fn count_witnesses(
     let sim = Simulator::compile(test, chip)?;
     let weights = chip.profile().weights(inc);
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut hits = 0;
-    for _ in 0..iterations {
-        let outcome = sim.run_once_with_weights(&weights, inc.thread_rand, &mut rng)?;
-        if test.cond().witnessed_by(&outcome) {
-            hits += 1;
-        }
-    }
+    let mut state = sim.new_state();
+    let mut counts = ObsCounts::new();
+    sim.run_batch(
+        iterations,
+        &weights,
+        inc.thread_rand,
+        &mut rng,
+        &mut state,
+        &mut counts,
+    )?;
+    let hits = counts
+        .iter()
+        .filter(|(obs, _)| test.cond().witnessed_by(&sim.outcome_from_obs(obs)))
+        .map(|(_, n)| n as usize)
+        .sum();
     Ok(hits)
 }
 
@@ -981,6 +1154,59 @@ mod tests {
         let hits = witnesses(&test, Chip::Gtx280, &Incantations::none(), 500);
         // Strong chip: the lock always works and x is always seen.
         assert_eq!(hits, 500);
+    }
+
+    #[test]
+    fn run_batch_matches_repeated_run_once() {
+        // The amortised batch path (one reused MachineState) must be
+        // observationally identical to repeated fresh-state runs under
+        // the same RNG stream.
+        let test = corpus::mp(ThreadScope::InterCta, None);
+        let sim = Simulator::compile(&test, Chip::GtxTitan).unwrap();
+        let inc = Incantations::best_inter_cta();
+        let weights = Chip::GtxTitan.profile().weights(&inc);
+        let n = 2_000;
+
+        let mut batch_rng = SmallRng::seed_from_u64(0xabcd);
+        let mut state = sim.new_state();
+        let mut counts = ObsCounts::new();
+        sim.run_batch(n, &weights, inc.thread_rand, &mut batch_rng, &mut state, &mut counts)
+            .unwrap();
+        let mut batch: std::collections::BTreeMap<Outcome, u64> = Default::default();
+        for (obs, c) in counts.iter() {
+            *batch.entry(sim.outcome_from_obs(obs)).or_insert(0) += c;
+        }
+
+        let mut naive_rng = SmallRng::seed_from_u64(0xabcd);
+        let mut naive: std::collections::BTreeMap<Outcome, u64> = Default::default();
+        for _ in 0..n {
+            let outcome = sim
+                .run_once_with_weights(&weights, inc.thread_rand, &mut naive_rng)
+                .unwrap();
+            *naive.entry(outcome).or_insert(0) += 1;
+        }
+
+        assert_eq!(counts.total(), n as u64);
+        assert_eq!(batch, naive);
+        // Multiple distinct outcomes, so the comparison is non-trivial.
+        assert!(counts.distinct() > 1);
+    }
+
+    #[test]
+    fn outcome_from_obs_round_trips() {
+        let test = corpus::sb(ThreadScope::InterCta, None);
+        let sim = Simulator::compile(&test, Chip::GtxTitan).unwrap();
+        let weights = Chip::GtxTitan.profile().weights(&Incantations::all_on());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut state = sim.new_state();
+        sim.run_once_into(&weights, true, &mut rng, &mut state).unwrap();
+        // The materialised outcome binds exactly the observed expressions,
+        // each to the value the state recorded for it.
+        let outcome = sim.outcome_from_obs(state.observed());
+        assert_eq!(outcome.len(), state.observed().len());
+        for ((expr, _), v) in sim.program().observed.iter().zip(state.observed()) {
+            assert_eq!(outcome.get(expr), Some(*v));
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! tools.
 //!
 //! ```text
-//! weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N]
+//! weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N] [--parallelism N]
+//! weakgpu campaign [NAME|FILE ...] [--chips SHORT,..] [--iterations N] [--seed N] [--parallelism N]
 //! weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
 //! weakgpu show <file.litmus> [--dot]
 //! weakgpu corpus [NAME]
@@ -14,16 +15,27 @@ use std::process::ExitCode;
 use weakgpu::axiom::enumerate::{enumerate_executions, model_outcomes, EnumConfig};
 use weakgpu::axiom::render;
 use weakgpu::axiom::Model;
+use weakgpu::harness::campaign::{run_campaign_with, CampaignConfig, CellSpec};
+use weakgpu::harness::report::ObsTable;
 use weakgpu::harness::runner::{run_test, RunConfig};
 use weakgpu::litmus::{corpus, corpus_extra, parser, LitmusTest};
 use weakgpu::models;
-use weakgpu::sim::chip::{Chip, Incantations};
+use weakgpu::sim::chip::Chip;
 
 const USAGE: &str = "usage:
-  weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N]
+  weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N] [--parallelism N]
+  weakgpu campaign [NAME|FILE ...] [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
   weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
   weakgpu show <file.litmus> [--dot]
-  weakgpu corpus [NAME]";
+  weakgpu corpus [NAME]
+
+`run` histograms one test; `campaign` schedules many (test, chip) cells
+over one shared worker pool, streaming per-cell results as they finish
+(default: the whole built-in corpus on the paper's tabled chips).
+
+--parallelism N pins the worker-thread count (default: all cores). It
+affects wall-clock time only: for a fixed --seed the full histogram is
+bit-identical on any machine at any parallelism.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +58,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     }
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
@@ -135,17 +148,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
         .transpose()?
         .unwrap_or(0x5eed);
+    let parallelism = take_opt(&mut args, "--parallelism")
+        .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?;
     let path = args.first().ok_or("run: missing litmus file")?;
     let test = load(path)?;
-    let inc = match test.thread_scope() {
-        Some(weakgpu::litmus::ThreadScope::InterCta) => Incantations::best_inter_cta(),
-        _ => Incantations::all_on(),
-    };
+    let inc = weakgpu::harness::default_incantations(&test);
     let cfg = RunConfig {
         iterations,
         incantations: inc,
         seed,
-        parallelism: None,
+        parallelism,
     };
     let chips: Vec<Chip> = match chip {
         Some(c) => vec![c],
@@ -164,6 +177,87 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             report.obs_per_100k()
         );
     }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let chips: Vec<Chip> = match take_opt(&mut args, "--chips") {
+        Some(list) => list
+            .split(',')
+            .map(chip_by_short)
+            .collect::<Result<_, _>>()?,
+        None => Chip::TABLED.to_vec(),
+    };
+    let iterations = take_opt(&mut args, "--iterations")
+        .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(10_000);
+    let seed = take_opt(&mut args, "--seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0x5eed);
+    let parallelism = take_opt(&mut args, "--parallelism")
+        .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?;
+
+    let tests: Vec<LitmusTest> = if args.is_empty() {
+        all_corpus()
+    } else {
+        args.iter().map(|a| load(a)).collect::<Result<_, _>>()?
+    };
+
+    // Test-major cells: one row per test, one column per chip.
+    let cells: Vec<CellSpec> = tests
+        .iter()
+        .flat_map(|test| {
+            let inc = weakgpu::harness::default_incantations(test);
+            chips.iter().map(move |&chip| {
+                CellSpec::new(test.clone(), chip)
+                    .incantations(inc)
+                    .iterations(iterations)
+                    .seed(seed)
+            })
+        })
+        .collect();
+
+    println!(
+        "Campaign: {} tests × {} chips = {} cells × {} runs (seed {seed})",
+        tests.len(),
+        chips.len(),
+        cells.len(),
+        iterations
+    );
+    let reports = run_campaign_with(
+        &cells,
+        &CampaignConfig { parallelism },
+        |_, report| {
+            // Streamed as cells complete (possibly out of order).
+            println!(
+                "  done {:<28} {:<8} {:>8} witnesses ({}/100k)",
+                report.test,
+                report.chip.short(),
+                report.witnesses,
+                report.obs_per_100k()
+            );
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Summary grid in deterministic test-major order.
+    let mut table = ObsTable::new(
+        "obs/100k",
+        chips.iter().map(|c| c.short().to_owned()),
+    );
+    for (t, test) in tests.iter().enumerate() {
+        table.row(
+            test.name().to_owned(),
+            reports[t * chips.len()..(t + 1) * chips.len()]
+                .iter()
+                .map(|r| r.obs_per_100k()),
+        );
+    }
+    println!("\n{table}");
     Ok(())
 }
 
