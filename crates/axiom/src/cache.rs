@@ -1,0 +1,279 @@
+//! Model-verdict caching for large test families.
+//!
+//! A paper-scale validation sweep judges ~18k generated tests against a
+//! model, and each test is run on several chips — but the axiomatic
+//! verdict depends only on the test's *shape* (instructions, register
+//! initialisation, scope tree, memory regions and condition), never on
+//! the chip. [`shape_key`] extracts a canonical serialisation of exactly
+//! the inputs [`model_outcomes`] consumes, and [`VerdictCache`] memoises
+//! enumeration results by that key, so re-judging the same shape — the
+//! same test on another chip, or structurally identical tests under
+//! different names — is a hash lookup instead of a fresh enumeration.
+//!
+//! ```
+//! use weakgpu_axiom::cache::{shape_key, VerdictCache};
+//! use weakgpu_axiom::enumerate::EnumConfig;
+//! use weakgpu_axiom::model::sc_model;
+//! use weakgpu_litmus::{corpus, ThreadScope};
+//!
+//! let mp = corpus::mp(ThreadScope::InterCta, None);
+//! // The key ignores name and doc: a renamed copy shares the verdict.
+//! let renamed = mp.clone().with_name("mp-renamed").with_doc("other");
+//! assert_eq!(shape_key(&mp), shape_key(&renamed));
+//!
+//! let mut cache = VerdictCache::new();
+//! let model = sc_model();
+//! let a = cache.outcomes(&mp, &model, &EnumConfig::default()).unwrap();
+//! let b = cache.outcomes(&renamed, &model, &EnumConfig::default()).unwrap();
+//! assert_eq!(cache.hits(), 1);
+//! assert!(std::sync::Arc::ptr_eq(&a, &b));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use weakgpu_litmus::{printer, LitmusTest};
+
+use crate::enumerate::{model_outcomes, EnumConfig, EnumError, ModelOutcomes};
+use crate::model::Model;
+
+/// A canonical serialisation of everything that determines a test's
+/// axiomatic verdict: per-thread instructions, register initialisations,
+/// the scope tree, the memory map (locations, regions, initial values)
+/// and the final condition. The test's name and doc string are excluded,
+/// so structurally identical tests share a key.
+pub fn shape_key(test: &LitmusTest) -> String {
+    let mut key = String::new();
+    for (tid, thread) in test.threads().iter().enumerate() {
+        let _ = write!(key, "T{tid}:");
+        for instr in thread {
+            let _ = write!(key, "{};", printer::render_instr(instr));
+        }
+        key.push('|');
+    }
+    for (tid, reg, value) in test.reg_init() {
+        let _ = write!(key, "{tid}:{reg}={value:?};");
+    }
+    let _ = write!(
+        key,
+        "|{}|{}|{}",
+        test.scope_tree(),
+        test.memory(),
+        test.cond()
+    );
+    key
+}
+
+/// A memoising wrapper around [`model_outcomes`], keyed by
+/// `(model name, enumeration config, shape_key)`.
+///
+/// The model contributes only its **name** to the key: the cache assumes
+/// distinct model semantics carry distinct names (true of every model in
+/// `weakgpu-models`). Do not share one cache across two differently-built
+/// models that answer to the same name — they would share verdicts.
+///
+/// Verdicts are returned as [`Arc`]s so callers can hold them without
+/// cloning the (potentially large) allowed-outcome sets, and so the cache
+/// can be used behind a short-lived lock: clone the `Arc` out, drop the
+/// lock, then inspect the verdict. For concurrent fill, pair
+/// [`VerdictCache::lookup`] (under the lock) with [`model_outcomes`]
+/// outside it and [`VerdictCache::publish`] to store the result — the
+/// enumeration itself then never blocks other threads.
+#[derive(Default)]
+pub struct VerdictCache {
+    map: HashMap<String, Arc<ModelOutcomes>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl VerdictCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        VerdictCache::default()
+    }
+
+    fn key(test: &LitmusTest, model: &dyn Model, cfg: &EnumConfig) -> String {
+        format!("{}\u{0}{cfg:?}\u{0}{}", model.name(), shape_key(test))
+    }
+
+    /// The verdict of `model` on `test`, enumerating executions only if
+    /// no structurally identical test has been judged before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EnumError`]s from the enumeration; failures are not
+    /// cached.
+    pub fn outcomes(
+        &mut self,
+        test: &LitmusTest,
+        model: &dyn Model,
+        cfg: &EnumConfig,
+    ) -> Result<Arc<ModelOutcomes>, EnumError> {
+        let key = Self::key(test, model, cfg);
+        if let Some(hit) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(hit));
+        }
+        let verdict = Arc::new(model_outcomes(test, model, cfg)?);
+        self.misses += 1;
+        self.map.insert(key, Arc::clone(&verdict));
+        Ok(verdict)
+    }
+
+    /// Probe half of the concurrent protocol: the cached verdict, if this
+    /// shape has been judged (counts a hit). A miss counts nothing — the
+    /// caller is expected to enumerate (outside any lock) and
+    /// [`publish`](VerdictCache::publish) the result, which records the
+    /// miss.
+    pub fn lookup(
+        &mut self,
+        test: &LitmusTest,
+        model: &dyn Model,
+        cfg: &EnumConfig,
+    ) -> Option<Arc<ModelOutcomes>> {
+        let hit = self.map.get(&Self::key(test, model, cfg)).map(Arc::clone);
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Publish half of the concurrent protocol: stores `verdict` for this
+    /// shape and counts a miss (the caller did the enumeration work). If
+    /// another thread published the same shape in the meantime the first
+    /// entry wins and is returned — so two racing threads may both count
+    /// a miss for one entry, which is why `misses >= len` under
+    /// concurrent fill.
+    pub fn publish(
+        &mut self,
+        test: &LitmusTest,
+        model: &dyn Model,
+        cfg: &EnumConfig,
+        verdict: ModelOutcomes,
+    ) -> Arc<ModelOutcomes> {
+        self.misses += 1;
+        Arc::clone(
+            self.map
+                .entry(Self::key(test, model, cfg))
+                .or_insert_with(|| Arc::new(verdict)),
+        )
+    }
+
+    /// Number of distinct shapes judged so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing has been judged yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to enumerate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::sc_model as sc;
+    use crate::CatModel;
+    use weakgpu_litmus::{corpus, ThreadScope};
+
+    #[test]
+    fn shape_key_ignores_name_and_doc() {
+        let t = corpus::sb(ThreadScope::InterCta, None);
+        let renamed = t.clone().with_name("other").with_doc("different doc");
+        assert_eq!(shape_key(&t), shape_key(&renamed));
+    }
+
+    #[test]
+    fn shape_key_distinguishes_structure() {
+        let inter = corpus::sb(ThreadScope::InterCta, None);
+        let intra = corpus::sb(ThreadScope::IntraCta, None);
+        assert_ne!(
+            shape_key(&inter),
+            shape_key(&intra),
+            "scope tree must matter"
+        );
+        let mp = corpus::mp(ThreadScope::InterCta, None);
+        assert_ne!(shape_key(&inter), shape_key(&mp));
+    }
+
+    #[test]
+    fn cached_verdict_matches_uncached() {
+        let t = corpus::mp(ThreadScope::InterCta, None);
+        let model = sc();
+        let cfg = EnumConfig::default();
+        let fresh = model_outcomes(&t, &model, &cfg).unwrap();
+        let mut cache = VerdictCache::new();
+        let cached = cache.outcomes(&t, &model, &cfg).unwrap();
+        assert_eq!(*cached, fresh);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Second lookup hits and returns the same allocation.
+        let again = cache.outcomes(&t, &model, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lookup_publish_protocol_matches_outcomes() {
+        let t = corpus::mp(ThreadScope::InterCta, None);
+        let model = sc();
+        let cfg = EnumConfig::default();
+        let mut cache = VerdictCache::new();
+        assert!(cache.lookup(&t, &model, &cfg).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0), "probe miss is free");
+        let fresh = model_outcomes(&t, &model, &cfg).unwrap();
+        let published = cache.publish(&t, &model, &cfg, fresh.clone());
+        assert_eq!(*published, fresh);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // A racing publish loses: the first entry wins, the miss is
+        // still counted.
+        let racing = cache.publish(&t, &model, &cfg, fresh);
+        assert!(Arc::ptr_eq(&published, &racing));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 2, 1));
+        let hit = cache.lookup(&t, &model, &cfg).expect("now cached");
+        assert!(Arc::ptr_eq(&published, &hit));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn enum_config_is_part_of_the_key() {
+        let t = corpus::sb(ThreadScope::InterCta, None);
+        let model = sc();
+        let mut cache = VerdictCache::new();
+        let a = EnumConfig::default();
+        let b = EnumConfig {
+            max_traces_per_thread: 2048,
+            ..EnumConfig::default()
+        };
+        cache.outcomes(&t, &model, &a).unwrap();
+        cache.outcomes(&t, &model, &b).unwrap();
+        assert_eq!(cache.len(), 2, "different bounds must not share verdicts");
+    }
+
+    #[test]
+    fn different_models_do_not_share_entries() {
+        let t = corpus::sb(ThreadScope::InterCta, None);
+        let cfg = EnumConfig::default();
+        let mut cache = VerdictCache::new();
+        // A model with no axioms: everything is allowed.
+        let weak = CatModel::new("weak", "").unwrap();
+        let a = cache.outcomes(&t, &sc(), &cfg).unwrap();
+        let b = cache.outcomes(&t, &weak, &cfg).unwrap();
+        assert_eq!(cache.len(), 2, "sc and weak verdicts must not collide");
+        // sb's weak outcome: forbidden under SC, allowed with no axioms.
+        assert!(!a.condition_witnessed);
+        assert!(b.condition_witnessed);
+    }
+}

@@ -445,11 +445,7 @@ impl CatProgram {
         reads: &EventSet,
         writes: &EventSet,
     ) -> Result<Vec<CheckOutcome>, CatError> {
-        let n = base
-            .values()
-            .next()
-            .map(Relation::universe)
-            .unwrap_or(0);
+        let n = base.values().next().map(Relation::universe).unwrap_or(0);
         let mut env = Env {
             base,
             lets: BTreeMap::new(),
@@ -635,7 +631,10 @@ mod tests {
     fn base3() -> (BTreeMap<String, Relation>, EventSet, EventSet) {
         // Universe {0,1,2}: 0 is a write, 1 a read, 2 a write.
         let mut m = BTreeMap::new();
-        m.insert("po".to_string(), Relation::from_pairs(3, [(0, 1), (1, 2), (0, 2)]));
+        m.insert(
+            "po".to_string(),
+            Relation::from_pairs(3, [(0, 1), (1, 2), (0, 2)]),
+        );
         m.insert("rf".to_string(), Relation::from_pairs(3, [(2, 1)]));
         let writes = EventSet::from_iter_n(3, [0, 2]);
         let reads = EventSet::from_iter_n(3, [1]);
@@ -701,15 +700,15 @@ acyclic f(po) as c
     fn operators_and_postfix() {
         let (base, reads, writes) = base3();
         let checks = [
-            ("empty po & rf as c", true),       // disjoint
-            ("empty po \\ po as c", true),      // difference with self
-            ("empty (po ; rf) as c", false),    // (0,1);(… ) — po;rf has (1,1)? po(1,2), rf(2,1) ⇒ (1,1)
+            ("empty po & rf as c", true),    // disjoint
+            ("empty po \\ po as c", true),   // difference with self
+            ("empty (po ; rf) as c", false), // (0,1);(… ) — po;rf has (1,1)? po(1,2), rf(2,1) ⇒ (1,1)
             ("irreflexive (po ; rf) as c", false),
             ("empty rf^-1 as c", false),
             ("acyclic po+ as c", true),
             ("irreflexive po* as c", false), // reflexive closure has self-pairs
             ("empty 0 as c", true),
-            ("acyclic po? as c", false),     // id pairs are self-loops
+            ("acyclic po? as c", false), // id pairs are self-loops
         ];
         for (src, expect) in checks {
             let p = CatProgram::parse(src).unwrap();

@@ -247,7 +247,11 @@ fn expand_communications(
     }
 
     // Read-from candidates per read.
-    let reads: Vec<usize> = events.iter().filter(|e| e.is_read()).map(|e| e.id).collect();
+    let reads: Vec<usize> = events
+        .iter()
+        .filter(|e| e.is_read())
+        .map(|e| e.id)
+        .collect();
     let mut rf_choices: Vec<Vec<Option<usize>>> = Vec::with_capacity(reads.len());
     for &r in &reads {
         let loc = events[r].loc.as_ref().expect("reads have locations");
@@ -346,10 +350,7 @@ fn outcome_of(
     let mut o = Outcome::new();
     for expr in observed {
         let v = match expr {
-            FinalExpr::Reg(tid, reg) => traces
-                .get(*tid)
-                .map(|tr| tr.final_int(reg))
-                .unwrap_or(0),
+            FinalExpr::Reg(tid, reg) => traces.get(*tid).map(|tr| tr.final_int(reg)).unwrap_or(0),
             FinalExpr::Mem(loc) => execution.final_memory(loc),
         };
         o.set(expr.clone(), v);

@@ -105,11 +105,7 @@ impl Execution {
         let mut r = Relation::empty(self.len());
         for a in &self.events {
             for b in &self.events {
-                if a.tid == b.tid
-                    && a.po_idx < b.po_idx
-                    && a.loc.is_some()
-                    && a.loc == b.loc
-                {
+                if a.tid == b.tid && a.po_idx < b.po_idx && a.loc.is_some() && a.loc == b.loc {
                     r.add(a.id, b.id);
                 }
             }
@@ -317,7 +313,10 @@ impl Execution {
             return true;
         }
         for (r, w) in self.rmw.iter_pairs() {
-            let loc = self.events[r].loc.as_ref().expect("rmw reads have locations");
+            let loc = self.events[r]
+                .loc
+                .as_ref()
+                .expect("rmw reads have locations");
             let order = match self.co.get(loc) {
                 Some(o) => o,
                 None => continue,
@@ -328,12 +327,10 @@ impl Execution {
                 .expect("rmw write is in co");
             let start = match self.rf[r] {
                 None => 0,
-                Some(src) => {
-                    match order.iter().position(|&x| x == src) {
-                        Some(p) => p + 1,
-                        None => continue,
-                    }
-                }
+                Some(src) => match order.iter().position(|&x| x == src) {
+                    Some(p) => p + 1,
+                    None => continue,
+                },
             };
             if start >= wpos {
                 // The source is the write itself or coherence-after it;
@@ -389,13 +386,12 @@ mod tests {
             events,
             thread_cta: vec![0, 0], // intra-CTA
             rf: vec![None, None, None, Some(2), None, None],
-            co: [
-                (Loc::new("x"), vec![0]),
-                (Loc::new("y"), vec![2]),
-            ]
-            .into_iter()
-            .collect(),
-            init: [(Loc::new("x"), 0), (Loc::new("y"), 0)].into_iter().collect(),
+            co: [(Loc::new("x"), vec![0]), (Loc::new("y"), vec![2])]
+                .into_iter()
+                .collect(),
+            init: [(Loc::new("x"), 0), (Loc::new("y"), 0)]
+                .into_iter()
+                .collect(),
             addr: Relation::empty(n),
             data: Relation::empty(n),
             ctrl: Relation::empty(n),
@@ -525,15 +521,40 @@ mod tests {
         let e = fig14();
         let rels = e.base_relations();
         for name in [
-            "po", "po-loc", "addr", "data", "ctrl", "rmw", "rf", "rfe", "rfi", "co", "coe",
-            "coi", "fr", "fre", "fri", "ext", "int", "loc", "id", "membar.cta", "membar.gl",
-            "membar.sys", "cta", "gl", "sys",
+            "po",
+            "po-loc",
+            "addr",
+            "data",
+            "ctrl",
+            "rmw",
+            "rf",
+            "rfe",
+            "rfi",
+            "co",
+            "coe",
+            "coi",
+            "fr",
+            "fre",
+            "fri",
+            "ext",
+            "int",
+            "loc",
+            "id",
+            "membar.cta",
+            "membar.gl",
+            "membar.sys",
+            "cta",
+            "gl",
+            "sys",
         ] {
             assert!(rels.contains_key(name), "missing {name}");
         }
         // rfe ∪ rfi = rf.
         assert_eq!(
-            rels["rfe"].union(&rels["rfi"]).iter_pairs().collect::<Vec<_>>(),
+            rels["rfe"]
+                .union(&rels["rfi"])
+                .iter_pairs()
+                .collect::<Vec<_>>(),
             rels["rf"].iter_pairs().collect::<Vec<_>>()
         );
     }

@@ -32,6 +32,7 @@
 //! assert!(!execs.is_empty());
 //! ```
 
+pub mod cache;
 pub mod cat;
 pub mod enumerate;
 pub mod event;
@@ -41,6 +42,7 @@ pub mod relation;
 pub mod render;
 pub mod symbolic;
 
+pub use cache::{shape_key, VerdictCache};
 pub use enumerate::{enumerate_executions, model_outcomes, EnumConfig, ModelOutcomes};
 pub use event::{Event, EventKind};
 pub use exec::Execution;

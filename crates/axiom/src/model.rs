@@ -103,12 +103,9 @@ impl Model for CatModel {
 /// A plain sequential-consistency model: `acyclic (po | rf | co | fr)`,
 /// with full RMW atomicity.
 pub fn sc_model() -> CatModel {
-    CatModel::new(
-        "SC",
-        "let com = rf | co | fr\nacyclic (po | com) as sc",
-    )
-    .expect("embedded model parses")
-    .with_rmw_atomicity(RmwAtomicity::Full)
+    CatModel::new("SC", "let com = rf | co | fr\nacyclic (po | com) as sc")
+        .expect("embedded model parses")
+        .with_rmw_atomicity(RmwAtomicity::Full)
 }
 
 #[cfg(test)]
@@ -133,7 +130,11 @@ mod tests {
                 "SC must forbid the weak outcome of {}",
                 test.name()
             );
-            assert!(out.num_allowed > 0, "SC allows some execution of {}", test.name());
+            assert!(
+                out.num_allowed > 0,
+                "SC allows some execution of {}",
+                test.name()
+            );
         }
     }
 

@@ -137,7 +137,11 @@ impl Relation {
     ///
     /// Panics if `a` or `b` is outside the universe.
     pub fn add(&mut self, a: usize, b: usize) {
-        assert!(a < self.n && b < self.n, "pair ({a},{b}) out of universe {}", self.n);
+        assert!(
+            a < self.n && b < self.n,
+            "pair ({a},{b}) out of universe {}",
+            self.n
+        );
         self.rows[a * self.words + b / 64] |= 1 << (b % 64);
     }
 
@@ -158,7 +162,11 @@ impl Relation {
 
     /// Iterates pairs in row-major order.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n).flat_map(move |a| (0..self.n).filter(move |&b| self.contains(a, b)).map(move |b| (a, b)))
+        (0..self.n).flat_map(move |a| {
+            (0..self.n)
+                .filter(move |&b| self.contains(a, b))
+                .map(move |b| (a, b))
+        })
     }
 
     fn zip_with(&self, rhs: &Relation, f: impl Fn(u64, u64) -> u64) -> Relation {
@@ -359,7 +367,12 @@ impl Relation {
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Relation(n={}, {:?})", self.n, self.iter_pairs().collect::<Vec<_>>())
+        write!(
+            f,
+            "Relation(n={}, {:?})",
+            self.n,
+            self.iter_pairs().collect::<Vec<_>>()
+        )
     }
 }
 
@@ -406,7 +419,10 @@ mod tests {
     #[test]
     fn inverse_and_closures() {
         let a = Relation::from_pairs(4, [(0, 1), (1, 2)]);
-        assert_eq!(a.inverse().iter_pairs().collect::<Vec<_>>(), vec![(1, 0), (2, 1)]);
+        assert_eq!(
+            a.inverse().iter_pairs().collect::<Vec<_>>(),
+            vec![(1, 0), (2, 1)]
+        );
         let t = a.transitive_closure();
         assert!(t.contains(0, 2));
         assert_eq!(t.len(), 3);

@@ -11,7 +11,15 @@ use crate::model::CatModel;
 use crate::relation::Relation;
 
 /// Edge kinds drawn in an execution graph.
-const DRAWN: [&str; 7] = ["po", "rf", "co", "fr", "membar.cta", "membar.gl", "membar.sys"];
+const DRAWN: [&str; 7] = [
+    "po",
+    "rf",
+    "co",
+    "fr",
+    "membar.cta",
+    "membar.gl",
+    "membar.sys",
+];
 
 /// An ASCII rendering: one line per event, then one line per edge of the
 /// communication and ordering relations (po restricted to immediate
@@ -24,14 +32,13 @@ pub fn ascii(exec: &Execution) -> String {
     let rels = exec.base_relations();
     for name in DRAWN {
         let rel = &rels[name];
-        let rel = if name == "po" { immediate(rel) } else { rel.clone() };
+        let rel = if name == "po" {
+            immediate(rel)
+        } else {
+            rel.clone()
+        };
         for (a, b) in rel.iter_pairs() {
-            let _ = writeln!(
-                out,
-                "  {} --{name}--> {}",
-                letter(a),
-                letter(b)
-            );
+            let _ = writeln!(out, "  {} --{name}--> {}", letter(a), letter(b));
         }
     }
     // Init reads: rf edges with no source (the paper draws a sourceless
@@ -79,13 +86,13 @@ pub fn dot(exec: &Execution, title: &str) -> String {
     .collect();
     for name in DRAWN {
         let rel = &rels[name];
-        let rel = if name == "po" { immediate(rel) } else { rel.clone() };
+        let rel = if name == "po" {
+            immediate(rel)
+        } else {
+            rel.clone()
+        };
         for (a, b) in rel.iter_pairs() {
-            let _ = writeln!(
-                out,
-                "  e{a} -> e{b} [label=\"{name}\", {}];",
-                styles[name]
-            );
+            let _ = writeln!(out, "  e{a} -> e{b} [label=\"{name}\", {}];", styles[name]);
         }
     }
     let _ = writeln!(out, "}}");

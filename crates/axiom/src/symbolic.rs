@@ -109,10 +109,16 @@ impl fmt::Display for SymError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SymError::BadAddress { tid, instr_idx } => {
-                write!(f, "thread {tid}, instruction {instr_idx}: address is not a location")
+                write!(
+                    f,
+                    "thread {tid}, instruction {instr_idx}: address is not a location"
+                )
             }
             SymError::StoreOfPointer { tid, instr_idx } => {
-                write!(f, "thread {tid}, instruction {instr_idx}: cannot store a pointer")
+                write!(
+                    f,
+                    "thread {tid}, instruction {instr_idx}: cannot store a pointer"
+                )
             }
             SymError::StepLimit { tid } => write!(f, "thread {tid}: step limit exceeded"),
             SymError::TooManyTraces => write!(f, "trace enumeration limit exceeded"),
@@ -251,11 +257,7 @@ pub fn run_thread(
         tid,
         events: st.events,
         rmw_pairs: st.rmw_pairs,
-        final_regs: st
-            .regs
-            .into_iter()
-            .map(|(r, t)| (r, t.value))
-            .collect(),
+        final_regs: st.regs.into_iter().map(|(r, t)| (r, t.value)).collect(),
         oracle: oracle[..st.oracle_pos].to_vec(),
     })
 }
@@ -708,7 +710,10 @@ mod tests {
         };
         assert_eq!(tr.events.len(), 3);
         assert!(tr.events[0].kind.is_write());
-        assert!(matches!(tr.events[1].kind, EventKind::Fence(FenceScope::Gl)));
+        assert!(matches!(
+            tr.events[1].kind,
+            EventKind::Fence(FenceScope::Gl)
+        ));
         assert_eq!(tr.events[2].value, 1);
         assert!(tr.rmw_pairs.is_empty());
     }
@@ -733,7 +738,11 @@ mod tests {
     #[test]
     fn data_dependency_tracked() {
         // r2 := load x; store y := r2 + 1  ⇒ data dep from read to write.
-        let code = vec![ld("r2", "x"), add("r2", reg("r2"), imm(1)), st_reg("y", "r2")];
+        let code = vec![
+            ld("r2", "x"),
+            add("r2", reg("r2"), imm(1)),
+            st_reg("y", "r2"),
+        ];
         let tr = match run_thread(0, &code, &zero_init, &[3], 64) {
             SymResult::Complete(tr) => tr,
             other => panic!("{other:?}"),
@@ -869,7 +878,10 @@ mod tests {
     fn bad_address_reported() {
         let code = vec![ld("r1", reg("r9"))]; // r9 = 0, not a pointer
         match run_thread(3, &code, &zero_init, &[0], 64) {
-            SymResult::Error(SymError::BadAddress { tid: 3, instr_idx: 0 }) => {}
+            SymResult::Error(SymError::BadAddress {
+                tid: 3,
+                instr_idx: 0,
+            }) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -877,21 +889,12 @@ mod tests {
     #[test]
     fn enumerate_traces_of_corr_reader() {
         let code = vec![ld("r1", "x"), ld("r2", "x")];
-        let traces = enumerate_thread_traces(
-            1,
-            &code,
-            &zero_init,
-            &domains(&[("x", &[0, 1])]),
-            64,
-            1024,
-        )
-        .unwrap();
+        let traces =
+            enumerate_thread_traces(1, &code, &zero_init, &domains(&[("x", &[0, 1])]), 64, 1024)
+                .unwrap();
         // 2 × 2 oracle choices.
         assert_eq!(traces.len(), 4);
-        let weird: Vec<_> = traces
-            .iter()
-            .filter(|t| t.oracle == vec![1, 0])
-            .collect();
+        let weird: Vec<_> = traces.iter().filter(|t| t.oracle == vec![1, 0]).collect();
         assert_eq!(weird.len(), 1);
     }
 

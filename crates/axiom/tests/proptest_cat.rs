@@ -23,20 +23,15 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![arb_ident().prop_map(Expr::Id), Just(Expr::Zero)];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Inter(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Inter(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Expr::Inverse(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Plus(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Star(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Opt(Box::new(a))),
-            (Just("WW".to_owned()), inner.clone())
-                .prop_map(|(n, a)| Expr::App(n, Box::new(a))),
+            (Just("WW".to_owned()), inner.clone()).prop_map(|(n, a)| Expr::App(n, Box::new(a))),
             (Just("RR".to_owned()), inner).prop_map(|(n, a)| Expr::App(n, Box::new(a))),
         ]
     })
@@ -72,7 +67,10 @@ fn arb_program() -> impl Strategy<Value = CatProgram> {
 
 fn env() -> (BTreeMap<String, Relation>, EventSet, EventSet) {
     let mut base = BTreeMap::new();
-    base.insert("po".to_owned(), Relation::from_pairs(N, [(0, 1), (1, 2), (0, 2)]));
+    base.insert(
+        "po".to_owned(),
+        Relation::from_pairs(N, [(0, 1), (1, 2), (0, 2)]),
+    );
     base.insert("rf".to_owned(), Relation::from_pairs(N, [(2, 3), (5, 4)]));
     base.insert("co".to_owned(), Relation::from_pairs(N, [(0, 5)]));
     base.insert("po-loc".to_owned(), Relation::from_pairs(N, [(0, 1)]));

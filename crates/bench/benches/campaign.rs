@@ -76,7 +76,15 @@ fn bench_naive_vs_batch(c: &mut Criterion) {
     });
     g.bench_function("batch_reused_state_500", |b| {
         let mut rng = SmallRng::seed_from_u64(11);
-        b.iter(|| black_box(amortised_batch(&sim, &weights, thread_rand, &mut rng, BATCH)));
+        b.iter(|| {
+            black_box(amortised_batch(
+                &sim,
+                &weights,
+                thread_rand,
+                &mut rng,
+                BATCH,
+            ))
+        });
     });
     g.finish();
 }

@@ -29,12 +29,7 @@ fn bench_sim_run_once(c: &mut Criterion) {
             .weights(&Incantations::best_inter_cta());
         g.bench_function(name, |b| {
             let mut rng = SmallRng::seed_from_u64(1);
-            b.iter(|| {
-                black_box(
-                    sim.run_once_with_weights(&weights, true, &mut rng)
-                        .unwrap(),
-                )
-            });
+            b.iter(|| black_box(sim.run_once_with_weights(&weights, true, &mut rng).unwrap()));
         });
     }
     g.finish();
@@ -80,11 +75,7 @@ fn bench_cat_vs_native(c: &mut Criterion) {
     g.bench_function("cat_interpreted", |b| {
         b.iter_batched(
             || cands.clone(),
-            |cs| {
-                cs.iter()
-                    .filter(|cand| cat.allows(&cand.execution))
-                    .count()
-            },
+            |cs| cs.iter().filter(|cand| cat.allows(&cand.execution)).count(),
             BatchSize::SmallInput,
         )
     });

@@ -1,0 +1,120 @@
+//! Criterion benchmark for the sweep's model-verdict hot path: judging
+//! every (test, chip) cell of a generated family against the PTX model
+//! by fresh enumeration (`model_outcomes` per cell, the historical
+//! `tab_validation` behaviour) versus through the shape-keyed
+//! [`VerdictCache`] (one enumeration per test shape, cache hits for the
+//! other chips' cells).
+//!
+//! Besides the criterion numbers, a JSON summary with cells/sec for both
+//! paths is written to `BENCH_sweep.json` at the repository root so the
+//! sweep's verdict throughput is tracked across PRs (skipped under
+//! `--test`).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use weakgpu_axiom::cache::VerdictCache;
+use weakgpu_axiom::enumerate::{model_outcomes, EnumConfig};
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_litmus::LitmusTest;
+use weakgpu_models::ptx_model;
+use weakgpu_sim::chip::Chip;
+
+/// Chips per test: the Sec. 5.4 validation columns.
+const CHIPS: usize = Chip::NVIDIA_TABLED.len();
+
+fn family(n: usize) -> Vec<LitmusTest> {
+    generate(&GenConfig::small()).into_iter().take(n).collect()
+}
+
+/// The pre-sweep path: every cell re-enumerates its test's executions.
+fn uncached_cells(tests: &[LitmusTest]) -> usize {
+    let model = ptx_model();
+    let cfg = EnumConfig::default();
+    let mut allowed = 0usize;
+    for test in tests {
+        for _chip in 0..CHIPS {
+            let v = model_outcomes(test, &model, &cfg).unwrap();
+            allowed += v.allowed_outcomes.len();
+        }
+    }
+    allowed
+}
+
+/// The sweep path: one enumeration per shape, hash hits for the rest.
+fn cached_cells(tests: &[LitmusTest]) -> usize {
+    let model = ptx_model();
+    let cfg = EnumConfig::default();
+    let mut cache = VerdictCache::new();
+    let mut allowed = 0usize;
+    for test in tests {
+        for _chip in 0..CHIPS {
+            let v = cache.outcomes(test, &model, &cfg).unwrap();
+            allowed += v.allowed_outcomes.len();
+        }
+    }
+    assert_eq!(cache.misses(), tests.len() as u64);
+    allowed
+}
+
+fn bench_verdict_paths(c: &mut Criterion) {
+    let tests = family(30);
+    let mut g = c.benchmark_group("sweep_verdicts");
+    g.bench_function("uncached_per_cell_30x5", |b| {
+        b.iter(|| black_box(uncached_cells(&tests)));
+    });
+    g.bench_function("cached_by_shape_30x5", |b| {
+        b.iter(|| black_box(cached_cells(&tests)));
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_verdict_paths
+}
+
+/// Measures cells/sec over a fixed workload (outside criterion, so the
+/// two numbers are directly comparable) and writes the JSON summary.
+fn write_bench_json() {
+    let tests = family(100);
+    let cells = tests.len() * CHIPS;
+
+    let t0 = Instant::now();
+    let a = black_box(uncached_cells(&tests));
+    let uncached_cps = cells as f64 / t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let b = black_box(cached_cells(&tests));
+    let cached_cps = cells as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(a, b, "both paths must agree on every verdict");
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"family\": \"small[..100]\",\n  \"chips\": {CHIPS},\n  \"cells\": {cells},\n  \"uncached_cells_per_sec\": {uncached_cps:.0},\n  \"cached_cells_per_sec\": {cached_cps:.0},\n  \"cache_speedup\": {:.3}\n}}\n",
+        cached_cps / uncached_cps
+    );
+    // CARGO_MANIFEST_DIR is crates/bench; the summary lives at the repo
+    // root regardless of the invoking working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    println!("wrote {path}:\n{json}");
+}
+
+fn main() {
+    benches();
+    // `cargo test --benches` smoke-runs with `--test`: skip the timing
+    // sweep there, it would measure a debug build.
+    if !std::env::args().any(|a| a == "--test") {
+        write_bench_json();
+    }
+}

@@ -63,7 +63,11 @@ fn main() {
         print!("{label:<26}");
         for (mi, model) in models.iter().enumerate() {
             let verdict = check_soundness(test, &obs, model.as_ref(), &enum_cfg).unwrap();
-            let cell = if verdict.is_sound() { "sound" } else { "UNSOUND" };
+            let cell = if verdict.is_sound() {
+                "sound"
+            } else {
+                "UNSOUND"
+            };
             print!("  {cell:>22}");
             if !verdict.is_sound() && mi == 1 && label.starts_with("coRR") {
                 necessity_shown[0] = true;

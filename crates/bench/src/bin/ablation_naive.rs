@@ -60,9 +60,7 @@ fn main() {
         naive_total += naive_viol;
         println!("{:<22} {machine_viol:>22} {naive_viol:>22}", test.name());
     }
-    println!(
-        "\nTOTAL machine violations: {machine_total}  |  naive violations: {naive_total}"
-    );
+    println!("\nTOTAL machine violations: {machine_total}  |  naive violations: {naive_total}");
     assert_eq!(machine_total, 0, "the machine must stay model-sound");
     assert!(naive_total > 0, "the naive sampler must violate the model");
 }

@@ -54,7 +54,11 @@ fn main() {
     let unfenced = corpus::mp(ThreadScope::InterCta, None);
     let fenced = corpus::mp(ThreadScope::InterCta, Some(FenceScope::Gl));
     for (chip, target, (_, paper_unfenced)) in [
-        (Chip::RadeonHd6570, AmdTarget::TeraScale2, AMD_MP_UNFENCED[0]),
+        (
+            Chip::RadeonHd6570,
+            AmdTarget::TeraScale2,
+            AMD_MP_UNFENCED[0],
+        ),
         (Chip::RadeonHd7970, AmdTarget::Gcn10, AMD_MP_UNFENCED[1]),
     ] {
         let (u, _) = amd_compile(&unfenced, target);

@@ -17,7 +17,10 @@ fn main() {
     let _args = BenchArgs::parse();
     println!("== Fig. 13: manufactured load-load address dependencies ==\n");
     println!("{:<24} {:>8} {:>8}", "scheme", "-O0", "-O3");
-    for (name, scheme) in [("xor (Fig. 13a)", DepScheme::Xor), ("and-high-bit (Fig. 13b)", DepScheme::AndHighBit)] {
+    for (name, scheme) in [
+        ("xor (Fig. 13a)", DepScheme::Xor),
+        ("and-high-bit (Fig. 13b)", DepScheme::AndHighBit),
+    ] {
         let thread = load_load_dep(scheme);
         let o0 = dependency_survives(&thread, &CompilerConfig::o0());
         let o3 = dependency_survives(&thread, &CompilerConfig::o3());
@@ -32,11 +35,19 @@ fn main() {
     let plain_verdict = model_outcomes(&without, &ptx_model(), &Default::default()).unwrap();
     println!(
         "  mp + membar.gl (writes) + addr dep (reads): {}",
-        if dep_verdict.condition_witnessed { "ALLOWED" } else { "FORBIDDEN" }
+        if dep_verdict.condition_witnessed {
+            "ALLOWED"
+        } else {
+            "FORBIDDEN"
+        }
     );
     println!(
         "  mp, no ordering:                            {}",
-        if plain_verdict.condition_witnessed { "ALLOWED" } else { "FORBIDDEN" }
+        if plain_verdict.condition_witnessed {
+            "ALLOWED"
+        } else {
+            "FORBIDDEN"
+        }
     );
     assert!(!dep_verdict.condition_witnessed && plain_verdict.condition_witnessed);
 }

@@ -19,11 +19,19 @@ fn main() {
     let op = model_outcomes(&test, &operational_baseline(), &Default::default()).unwrap();
     println!(
         "paper's axiomatic model: {}",
-        if ptx.condition_witnessed { "ALLOWED" } else { "FORBIDDEN" }
+        if ptx.condition_witnessed {
+            "ALLOWED"
+        } else {
+            "FORBIDDEN"
+        }
     );
     println!(
         "operational baseline:    {}",
-        if op.condition_witnessed { "ALLOWED" } else { "FORBIDDEN" }
+        if op.condition_witnessed {
+            "ALLOWED"
+        } else {
+            "FORBIDDEN"
+        }
     );
 
     println!("\nobservations (obs/100k):");

@@ -28,10 +28,15 @@ fn main() {
 
     // 1. Fermi/Kepler: coRR.
     let corr = corpus::corr();
-    let corr_obs: u64 = [Chip::Gtx540m, Chip::TeslaC2075, Chip::Gtx660, Chip::GtxTitan]
-        .iter()
-        .map(|&c| obs_cell(&corr, c, default_incantations(&corr), &args))
-        .sum();
+    let corr_obs: u64 = [
+        Chip::Gtx540m,
+        Chip::TeslaC2075,
+        Chip::Gtx660,
+        Chip::GtxTitan,
+    ]
+    .iter()
+    .map(|&c| obs_cell(&corr, c, default_incantations(&corr), &args))
+    .sum();
     row(
         "Fermi/Kepler architectures",
         "coRR",
@@ -41,7 +46,12 @@ fn main() {
 
     // 2. Fermi: mp-L1 / coRR-L2-L1 fence-immune.
     let mp_l1 = corpus::mp_l1(Some(FenceScope::Sys));
-    let tesc = obs_cell(&mp_l1, Chip::TeslaC2075, default_incantations(&mp_l1), &args);
+    let tesc = obs_cell(
+        &mp_l1,
+        Chip::TeslaC2075,
+        default_incantations(&mp_l1),
+        &args,
+    );
     let l2l1 = corpus::corr_l2_l1(Some(FenceScope::Sys));
     let tesc2 = obs_cell(&l2l1, Chip::TeslaC2075, default_incantations(&l2l1), &args);
     row(
@@ -64,8 +74,17 @@ fn main() {
     // 4. GPU Computing Gems deque.
     let dlb_lb = corpus::dlb_lb(false);
     let dlb_mp = corpus::dlb_mp(false);
-    let deque = obs_cell(&dlb_lb, Chip::GtxTitan, default_incantations(&dlb_lb), &args)
-        + obs_cell(&dlb_mp, Chip::GtxTitan, default_incantations(&dlb_mp), &args);
+    let deque = obs_cell(
+        &dlb_lb,
+        Chip::GtxTitan,
+        default_incantations(&dlb_lb),
+        &args,
+    ) + obs_cell(
+        &dlb_mp,
+        Chip::GtxTitan,
+        default_incantations(&dlb_mp),
+        &args,
+    );
     row(
         "GPU Computing Gems",
         "dlb-lb, dlb-mp",

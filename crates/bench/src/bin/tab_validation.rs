@@ -4,100 +4,75 @@
 //! 10 930 tests").
 //!
 //! Default: the small family (hundreds of tests) at reduced iteration
-//! counts. `--full` escalates to the paper-scale family (≈ 18k tests,
-//! hours of CPU time).
+//! counts. `--full` escalates to the paper-scale family (≈ 17k tests).
 //!
-//! The whole sweep runs as ONE campaign: every (test, chip) cell shares a
-//! single worker pool and compiled-simulator cache, with streaming
-//! progress as cells complete — instead of a fresh thread scope per cell.
+//! This binary is a thin front end over the `weakgpu_harness::sweep`
+//! subsystem — the same engine behind `weakgpu sweep` and the CI shard
+//! matrix: one campaign over all (test, chip) cells, per-cell soundness
+//! against the PTX model with verdicts cached by test shape, and a
+//! machine-checkable verdict (exit status 1 on any forbidden
+//! observation).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use weakgpu_axiom::enumerate::EnumConfig;
 use weakgpu_bench::BenchArgs;
-use weakgpu_harness::campaign::{run_campaign_with, CellSpec};
-use weakgpu_harness::soundness::check_soundness;
-use weakgpu_models::ptx_model;
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_harness::sweep::{run_sweep_with, SweepConfig};
 use weakgpu_sim::chip::Chip;
 
 fn main() {
     let args = BenchArgs::parse();
-    let gen_cfg = if args.full {
-        weakgpu_diy::GenConfig::paper()
-    } else {
-        weakgpu_diy::GenConfig::small()
-    };
-    let tests = weakgpu_diy::generate(&gen_cfg);
+    let family = if args.full { "paper" } else { "small" };
+    let tests = generate(&GenConfig::named(family).expect("built-in family"));
     let iterations = if args.full {
         args.iterations
     } else {
         args.iterations.min(2_000)
     };
+    let cfg = SweepConfig {
+        family: family.to_owned(),
+        shard: None,
+        chips: Chip::NVIDIA_TABLED.to_vec(),
+        iterations,
+        seed: args.seed,
+        parallelism: args.parallelism,
+    };
+    let total = tests.len() * cfg.chips.len();
     println!(
         "== Sec. 5.4: model validation — {} generated tests × {} runs × {} chips ==",
         tests.len(),
         iterations,
-        Chip::NVIDIA_TABLED.len()
+        cfg.chips.len()
     );
 
-    // One cell per (test, chip), test-major; per-test seeds match the
-    // historical sweep (base seed XOR test index).
-    let mut cells = Vec::with_capacity(tests.len() * Chip::NVIDIA_TABLED.len());
-    for (i, test) in tests.iter().enumerate() {
-        let inc = weakgpu_harness::default_incantations(test);
-        for &chip in &Chip::NVIDIA_TABLED {
-            cells.push(
-                CellSpec::new(test.clone(), chip)
-                    .incantations(inc)
-                    .iterations(iterations)
-                    .seed(args.seed ^ (i as u64)),
-            );
-        }
-    }
-
-    let total = cells.len();
     let done = AtomicUsize::new(0);
-    let reports = run_campaign_with(&cells, &args.campaign_config(), |_, _| {
+    let report = run_sweep_with(&tests, &cfg, |_| {
         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-        if n.is_multiple_of(300) {
+        if n.is_multiple_of(2_000) {
             println!("  … {n}/{total} cells run");
         }
     })
-    .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    .unwrap_or_else(|e| panic!("sweep failed: {e}"));
 
-    let model = ptx_model();
-    let enum_cfg = EnumConfig::default();
-    let chips = Chip::NVIDIA_TABLED.len();
-    let mut sound = 0usize;
-    let mut unsound = Vec::new();
-    let mut observations = 0u64;
-    for (i, test) in tests.iter().enumerate() {
-        // Merge the test's per-chip histograms (cells are test-major).
-        let mut merged = weakgpu_harness::Histogram::new();
-        for report in &reports[i * chips..(i + 1) * chips] {
-            observations += report.histogram.total();
-            merged.merge(report.histogram.clone());
-        }
-        match check_soundness(test, &merged, &model, &enum_cfg) {
-            Ok(r) if r.is_sound() => sound += 1,
-            Ok(r) => unsound.push((test.name().to_owned(), r.violations)),
-            Err(e) => panic!("{}: enumeration failed: {e}", test.name()),
-        }
-        if (i + 1) % 100 == 0 {
-            println!("  … {}/{} tests checked", i + 1, tests.len());
-        }
-    }
-
+    let unsound_tests: std::collections::BTreeSet<&str> =
+        report.unsound.iter().map(|u| u.test.as_str()).collect();
     println!(
-        "\nsound: {sound}/{} tests ({observations} total runs)",
-        tests.len()
+        "\nsound: {}/{} tests ({} total runs; verdict cache {} hits / {} misses)",
+        report.tests_run - unsound_tests.len() as u64,
+        report.tests_run,
+        report.total_runs,
+        report.cache.hits,
+        report.cache.misses,
     );
-    if unsound.is_empty() {
+    if report.is_sound() {
         println!("RESULT: the PTX model is experimentally sound w.r.t. this family");
     } else {
-        println!("RESULT: UNSOUND — {} tests with forbidden observations:", unsound.len());
-        for (name, violations) in unsound.iter().take(20) {
-            println!("  {name}: {violations:?}");
+        println!(
+            "RESULT: UNSOUND — {} cells with forbidden observations:",
+            report.unsound_cells
+        );
+        for u in report.unsound.iter().take(20) {
+            println!("  {} on {}: {:?}", u.test, u.chip, u.outcomes);
         }
         std::process::exit(1);
     }

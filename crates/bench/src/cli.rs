@@ -67,8 +67,7 @@ impl BenchArgs {
                 }
                 "--parallelism" => {
                     let v = it.next().expect("--parallelism needs a value");
-                    out.parallelism =
-                        Some(v.parse().expect("--parallelism must be a number"));
+                    out.parallelism = Some(v.parse().expect("--parallelism must be a number"));
                 }
                 "--full" => out.full = true,
                 "--help" | "-h" => {
@@ -99,8 +98,16 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = BenchArgs::parse_from(
-            ["--iterations", "5000", "--seed", "9", "--parallelism", "2", "--full"]
-                .map(String::from),
+            [
+                "--iterations",
+                "5000",
+                "--seed",
+                "9",
+                "--parallelism",
+                "2",
+                "--full",
+            ]
+            .map(String::from),
         );
         assert_eq!(a.iterations, 5000);
         assert_eq!(a.seed, 9);
@@ -116,7 +123,15 @@ mod tests {
 
     #[test]
     fn usage_documents_every_flag() {
-        for flag in ["--iterations", "-n", "--seed", "--parallelism", "--full", "--help", "-h"] {
+        for flag in [
+            "--iterations",
+            "-n",
+            "--seed",
+            "--parallelism",
+            "--full",
+            "--help",
+            "-h",
+        ] {
             assert!(USAGE.contains(flag), "usage text missing {flag}");
         }
     }

@@ -76,8 +76,7 @@ mod tests {
         // PTX model allows all four, so use sl-future where r0=1 ∧ r2=1
         // (lock never acquired but future value read) is unreachable.
         let test = corpus::sl_future(true);
-        let verdict =
-            model_outcomes(&test, &ptx_model(), &Default::default()).unwrap();
+        let verdict = model_outcomes(&test, &ptx_model(), &Default::default()).unwrap();
         let mut rng = SmallRng::seed_from_u64(7);
         let mut violations = 0;
         for _ in 0..500 {

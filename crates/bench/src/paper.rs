@@ -74,15 +74,8 @@ pub const FIG9_CAS_SL: [Option<u64>; 7] = [
 
 /// Fig. 11 — sl-future (AMD untestable: the OpenCL compiler auto-places
 /// fences, Sec. 3.2).
-pub const FIG11_SL_FUTURE: [Option<u64>; 7] = [
-    Some(0),
-    Some(99),
-    Some(41),
-    Some(58),
-    Some(0),
-    None,
-    None,
-];
+pub const FIG11_SL_FUTURE: [Option<u64>; 7] =
+    [Some(0), Some(99), Some(41), Some(58), Some(0), None, None];
 
 /// Sec. 3.1.2 — OpenCL mp on AMD without fences.
 pub const AMD_MP_UNFENCED: [(&str, u64); 2] = [("HD6570", 9327), ("HD7970", 2956)];
@@ -95,19 +88,27 @@ pub const SEC6_LB_CTAS: [(&str, u64); 2] = [("Titan", 586), ("GTX6", 19)];
 pub const TAB6_TITAN: [(&str, [u64; 16]); 4] = [
     (
         "coRR (intra-CTA)",
-        [0, 0, 0, 0, 0, 1235, 0, 9774, 161, 118, 847, 362, 632, 3384, 3993, 9985],
+        [
+            0, 0, 0, 0, 0, 1235, 0, 9774, 161, 118, 847, 362, 632, 3384, 3993, 9985,
+        ],
     ),
     (
         "lb (inter-CTA)",
-        [0, 0, 0, 0, 0, 0, 0, 0, 181, 1067, 1555, 2247, 4, 37, 83, 486],
+        [
+            0, 0, 0, 0, 0, 0, 0, 0, 181, 1067, 1555, 2247, 4, 37, 83, 486,
+        ],
     ),
     (
         "mp (inter-CTA)",
-        [0, 0, 0, 0, 0, 621, 0, 2921, 315, 1128, 2372, 4347, 7, 94, 442, 2888],
+        [
+            0, 0, 0, 0, 0, 621, 0, 2921, 315, 1128, 2372, 4347, 7, 94, 442, 2888,
+        ],
     ),
     (
         "sb (inter-CTA)",
-        [0, 0, 0, 0, 0, 0, 0, 0, 462, 1403, 3308, 6673, 3, 50, 88, 749],
+        [
+            0, 0, 0, 0, 0, 0, 0, 0, 462, 1403, 3308, 6673, 3, 50, 88, 749,
+        ],
     ),
 ];
 
@@ -117,13 +118,15 @@ pub const TAB6_HD7970: [(&str, [u64; 16]); 4] = [
     (
         "lb (inter-CTA)",
         [
-            10959, 8979, 31895, 29092, 13510, 12729, 29779, 26737, 5094, 9360, 37624, 38664,
-            5321, 10054, 32796, 34196,
+            10959, 8979, 31895, 29092, 13510, 12729, 29779, 26737, 5094, 9360, 37624, 38664, 5321,
+            10054, 32796, 34196,
         ],
     ),
     (
         "mp (inter-CTA)",
-        [212, 31, 243, 158, 277, 46, 318, 247, 473, 217, 1289, 563, 611, 339, 2542, 1628],
+        [
+            212, 31, 243, 158, 277, 46, 318, 247, 473, 217, 1289, 563, 611, 339, 2542, 1628,
+        ],
     ),
     (
         "sb (inter-CTA)",

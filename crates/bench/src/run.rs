@@ -95,11 +95,7 @@ pub fn default_incantations(test: &LitmusTest) -> Incantations {
 
 /// Prints one experiment: for every row, the paper's reference counts and
 /// the measured counts side by side.
-pub fn print_experiment(
-    title: &str,
-    columns: &[&str],
-    rows: Vec<(String, Vec<Cell>, Vec<Cell>)>,
-) {
+pub fn print_experiment(title: &str, columns: &[&str], rows: Vec<(String, Vec<Cell>, Vec<Cell>)>) {
     println!("== {title} ==");
     let mut table = ObsTable::new("obs/100k", columns.iter().map(|s| (*s).to_owned()));
     for (label, paper, measured) in rows {
@@ -126,12 +122,7 @@ mod tests {
             iterations: 500,
             ..BenchArgs::default()
         };
-        let v = obs_cell(
-            &corpus::corr(),
-            Chip::Gtx280,
-            Incantations::all_on(),
-            &args,
-        );
+        let v = obs_cell(&corpus::corr(), Chip::Gtx280, Incantations::all_on(), &args);
         assert_eq!(v, 0);
     }
 
@@ -159,7 +150,10 @@ mod tests {
         let chips = [Chip::GtxTitan, Chip::Gtx280];
         let row = obs_row(&test, &chips, &args);
         let inc = default_incantations(&test);
-        let solo: Vec<u64> = chips.iter().map(|&c| obs_cell(&test, c, inc, &args)).collect();
+        let solo: Vec<u64> = chips
+            .iter()
+            .map(|&c| obs_cell(&test, c, inc, &args))
+            .collect();
         assert_eq!(row, solo);
     }
 

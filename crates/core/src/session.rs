@@ -248,10 +248,7 @@ mod tests {
     #[test]
     fn campaign_grid_matches_standalone_runs() {
         let s = Session::new().iterations(1_500);
-        let tests = [
-            corpus::mp(ThreadScope::InterCta, None),
-            corpus::corr(),
-        ];
+        let tests = [corpus::mp(ThreadScope::InterCta, None), corpus::corr()];
         let chips = [Chip::GtxTitan, Chip::Gtx280];
         let grid = s.run_campaign(&tests, &chips).unwrap();
         assert_eq!(grid.len(), 4);

@@ -64,6 +64,9 @@ fn soundness_holds_across_the_tabled_chips() {
             .chip(chip)
             .check_soundness(&corpus::corr())
             .unwrap();
-        assert!(sound.is_sound(), "{chip:?} produced model-forbidden outcomes");
+        assert!(
+            sound.is_sound(),
+            "{chip:?} produced model-forbidden outcomes"
+        );
     }
 }

@@ -76,9 +76,7 @@ impl Cycle {
             if !self.edges[(r + n - 1) % n].is_external() {
                 continue;
             }
-            let names: Vec<String> = (0..n)
-                .map(|i| self.edges[(r + i) % n].name())
-                .collect();
+            let names: Vec<String> = (0..n).map(|i| self.edges[(r + i) % n].name()).collect();
             if best.as_ref().is_none_or(|b| names < *b) {
                 best = Some(names);
             }
@@ -113,10 +111,9 @@ fn locations_consistent(edges: &[Edge]) -> bool {
         }
     }
     for (i, e) in edges.iter().enumerate() {
-        if !e.same_loc()
-            && find(&mut parent, i) == find(&mut parent, (i + 1) % n) {
-                return false;
-            }
+        if !e.same_loc() && find(&mut parent, i) == find(&mut parent, (i + 1) % n) {
+            return false;
+        }
     }
     true
 }

@@ -158,8 +158,12 @@ impl Edge {
         }
         // Same-location po edges: the interesting ones are the coherence
         // shapes; `PosRR` is the load-load hazard.
-        for (from, to) in [(Dir::R, Dir::R), (Dir::W, Dir::W), (Dir::R, Dir::W), (Dir::W, Dir::R)]
-        {
+        for (from, to) in [
+            (Dir::R, Dir::R),
+            (Dir::W, Dir::W),
+            (Dir::R, Dir::W),
+            (Dir::W, Dir::R),
+        ] {
             v.push(Edge::Po {
                 same_loc: true,
                 from,

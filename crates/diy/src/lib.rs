@@ -37,12 +37,20 @@ use weakgpu_litmus::LitmusTest;
 
 /// Generates the full test family for a configuration: every cycle over
 /// the alphabet, synthesised at every requested placement and region.
+///
+/// The returned family is in **canonical order** — sorted by test name,
+/// which is unique within a family (cycle names are canonical up to
+/// rotation and each placement/region appends a distinct suffix). The
+/// order is therefore a pure function of the configuration: bit-identical
+/// across calls, processes, and machines. Sharded sweeps rely on this to
+/// partition the family deterministically by index.
 pub fn generate(cfg: &GenConfig) -> Vec<LitmusTest> {
     let cycles = enumerate_cycles(&cfg.alphabet, cfg.max_edges);
     let mut tests = Vec::new();
     for cycle in &cycles {
         tests.extend(synth::expand(cycle, cfg));
     }
+    tests.sort_by(|a, b| a.name().cmp(b.name()));
     tests
 }
 

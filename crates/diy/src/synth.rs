@@ -10,9 +10,7 @@
 use std::fmt;
 
 use weakgpu_litmus::build;
-use weakgpu_litmus::{
-    FinalExpr, Instr, LitmusTest, Predicate, ScopeTree, ThreadScope, Value,
-};
+use weakgpu_litmus::{FinalExpr, Instr, LitmusTest, Predicate, ScopeTree, ThreadScope, Value};
 
 use crate::cycle::{enumerate_cycles, Cycle};
 use crate::edge::{DepKind, Dir, Edge};
@@ -32,6 +30,20 @@ pub struct GenConfig {
 }
 
 impl GenConfig {
+    /// The named families: `small` (tests/examples) and `paper`
+    /// (the Sec. 5.4 validation scale). See [`GenConfig::named`].
+    pub const FAMILY_NAMES: [&'static str; 2] = ["small", "paper"];
+
+    /// Looks a family configuration up by name (`"small"` or `"paper"`),
+    /// the vocabulary of `weakgpu sweep --family`.
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "small" => Some(GenConfig::small()),
+            "paper" => Some(GenConfig::paper()),
+            _ => None,
+        }
+    }
+
     /// A compact configuration for tests and examples (hundreds of tests).
     pub fn small() -> Self {
         GenConfig {
@@ -221,7 +233,11 @@ pub fn synthesise(
             let w = (i + 1) % n;
             let order = &co_order[loc_of[w]];
             let pos = order.iter().position(|&x| x == w).expect("w is a write");
-            let v = if pos == 0 { 0 } else { value_of[order[pos - 1]] };
+            let v = if pos == 0 {
+                0
+            } else {
+                value_of[order[pos - 1]]
+            };
             require(v)?;
         }
     }
@@ -257,8 +273,7 @@ pub fn synthesise(
                     DepKind::Addr => {
                         // Fig. 13b: and-high-bit, convert, add into a
                         // pointer register initialised to the target.
-                        let (tmp, cvt, areg) =
-                            (format!("t{k}"), format!("u{k}"), format!("a{k}"));
+                        let (tmp, cvt, areg) = (format!("t{k}"), format!("u{k}"), format!("a{k}"));
                         code.push(build::and(&tmp, build::reg(&src), build::imm(0x8000_0000)));
                         code.push(build::cvt(&cvt, build::reg(&tmp)));
                         code.push(build::add(&areg, build::reg(&areg), build::reg(&cvt)));

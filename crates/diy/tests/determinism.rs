@@ -1,0 +1,83 @@
+//! Generation determinism at paper scale: sharded validation sweeps
+//! partition the family by canonical index, so `generate` must be a pure
+//! function of the configuration — same tests, same order, no duplicates,
+//! on every call and every machine.
+
+use std::sync::OnceLock;
+
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_litmus::LitmusTest;
+
+/// The paper family, generated once per test binary (each generation is
+/// cheap in release but adds up under the dev profile).
+fn paper_family() -> &'static [LitmusTest] {
+    static FAMILY: OnceLock<Vec<LitmusTest>> = OnceLock::new();
+    FAMILY.get_or_init(|| generate(&GenConfig::paper()))
+}
+
+#[test]
+fn paper_family_has_no_duplicate_canonical_tests() {
+    let tests = paper_family();
+    assert!(
+        tests.len() > 10_000,
+        "paper family too small: {}",
+        tests.len()
+    );
+    let mut names: Vec<&str> = tests.iter().map(|t| t.name()).collect();
+    let before = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate canonical test names");
+    // Duplicate *shapes* under different names would also defeat the
+    // canonical ordering; the printed form (threads, scope tree, memory,
+    // condition) must be unique too once the name line is dropped.
+    let mut shapes: Vec<String> = tests
+        .iter()
+        .map(|t| {
+            let s = t.to_string();
+            s.splitn(3, '\n').nth(2).unwrap_or(&s).to_owned()
+        })
+        .collect();
+    let before = shapes.len();
+    shapes.sort_unstable();
+    shapes.dedup();
+    assert_eq!(shapes.len(), before, "structurally duplicate tests");
+}
+
+#[test]
+fn paper_family_is_bit_identical_across_calls() {
+    let a = paper_family();
+    let b = generate(&GenConfig::paper());
+    assert_eq!(a.len(), b.len());
+    // LitmusTest is structural PartialEq: this compares every thread,
+    // instruction, scope tree, memory cell, and condition.
+    assert!(a == &b[..], "generate(paper) is not deterministic");
+}
+
+#[test]
+fn families_are_canonically_ordered() {
+    let small = generate(&GenConfig::small());
+    assert!(
+        small.windows(2).all(|w| w[0].name() < w[1].name()),
+        "small family is not in strict canonical (name-sorted) order"
+    );
+    let paper = paper_family();
+    assert!(
+        paper.windows(2).all(|w| w[0].name() < w[1].name()),
+        "paper family is not in strict canonical (name-sorted) order"
+    );
+}
+
+#[test]
+fn family_lookup_by_name() {
+    assert!(GenConfig::named("small").is_some());
+    assert!(GenConfig::named("paper").is_some());
+    assert!(GenConfig::named("huge").is_none());
+    assert!(GenConfig::named("").is_none());
+    for name in GenConfig::FAMILY_NAMES {
+        assert!(GenConfig::named(name).is_some(), "unknown family {name}");
+    }
+    // The paper family is strictly larger than the small one.
+    let small = generate(&GenConfig::named("small").unwrap());
+    assert!(paper_family().len() > small.len());
+}

@@ -231,8 +231,7 @@ where
         })
         .collect();
 
-    let results: Vec<Mutex<Option<TestReport>>> =
-        cells.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<TestReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
 
     // Zero-iteration cells have no chunks; complete them up front.
     for (ci, cell) in cells.iter().enumerate() {
@@ -303,9 +302,8 @@ where
                         }
                     }
                     if acc.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        let histogram = std::mem::take(
-                            &mut *acc.histogram.lock().expect("no poisoned locks"),
-                        );
+                        let histogram =
+                            std::mem::take(&mut *acc.histogram.lock().expect("no poisoned locks"));
                         let report = finish_cell(cell, histogram);
                         progress(item.cell, &report);
                         *results[item.cell].lock().expect("no poisoned locks") = Some(report);

@@ -99,12 +99,9 @@ mod tests {
     use weakgpu_litmus::{FinalExpr, Predicate};
 
     fn outcome(r1: i64, r2: i64) -> Outcome {
-        [
-            (FinalExpr::reg(1, "r1"), r1),
-            (FinalExpr::reg(1, "r2"), r2),
-        ]
-        .into_iter()
-        .collect()
+        [(FinalExpr::reg(1, "r1"), r1), (FinalExpr::reg(1, "r2"), r2)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -133,9 +130,8 @@ mod tests {
         let h: Histogram = [outcome(1, 0), outcome(1, 0), outcome(1, 1), outcome(0, 0)]
             .into_iter()
             .collect();
-        let cond = FinalCond::exists(
-            Predicate::reg_eq(1, "r1", 1).and(Predicate::reg_eq(1, "r2", 0)),
-        );
+        let cond =
+            FinalCond::exists(Predicate::reg_eq(1, "r1", 1).and(Predicate::reg_eq(1, "r2", 0)));
         assert_eq!(h.witnesses(&cond), 2);
     }
 

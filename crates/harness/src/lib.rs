@@ -21,9 +21,11 @@
 
 pub mod campaign;
 pub mod histogram;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod soundness;
+pub mod sweep;
 pub mod tuning;
 
 pub use campaign::{
@@ -33,4 +35,7 @@ pub use histogram::Histogram;
 pub use report::ObsTable;
 pub use runner::{run_test, RunConfig, TestReport, STREAM_CHUNKS};
 pub use soundness::{check_soundness, SoundnessReport};
+pub use sweep::{
+    run_sweep, run_sweep_with, CellRecord, Shard, SweepConfig, SweepError, SweepReport,
+};
 pub use tuning::{tune, TuningReport};

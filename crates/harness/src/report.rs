@@ -30,11 +30,7 @@ impl ObsTable {
     }
 
     /// Appends a row of preformatted cells (for `n/a` entries, Fig. 8).
-    pub fn row_text(
-        &mut self,
-        label: impl Into<String>,
-        values: impl IntoIterator<Item = String>,
-    ) {
+    pub fn row_text(&mut self, label: impl Into<String>, values: impl IntoIterator<Item = String>) {
         self.rows
             .push((self_label(label), values.into_iter().collect()));
     }
@@ -46,7 +42,10 @@ impl ObsTable {
 
     /// The cell at `(row, col)` as text, if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|(_, v)| v.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|(_, v)| v.get(col))
+            .map(String::as_str)
     }
 }
 
@@ -105,10 +104,7 @@ mod tests {
 
     #[test]
     fn renders_aligned_table() {
-        let mut t = ObsTable::new(
-            "obs/100k",
-            ["GTX5", "TesC"].map(String::from),
-        );
+        let mut t = ObsTable::new("obs/100k", ["GTX5", "TesC"].map(String::from));
         t.row("no-op", [4979, 10581]);
         t.row("membar.gl", [0, 187]);
         let s = t.to_string();

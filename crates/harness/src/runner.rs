@@ -160,7 +160,11 @@ impl TestReport {
 ///
 /// Returns a [`HarnessError`] if the test cannot be compiled or a run
 /// fails (e.g. a livelocked spin loop).
-pub fn run_test(test: &LitmusTest, chip: Chip, cfg: &RunConfig) -> Result<TestReport, HarnessError> {
+pub fn run_test(
+    test: &LitmusTest,
+    chip: Chip,
+    cfg: &RunConfig,
+) -> Result<TestReport, HarnessError> {
     let cells = [CellSpec::from_config(test.clone(), chip, cfg)];
     let mut reports = run_campaign(
         &cells,

@@ -118,8 +118,8 @@ mod tests {
         .unwrap();
         assert!(!sound.is_sound(), "operational model must be unsound here");
         // And the paper's model covers the same observations.
-        let ptx = check_soundness(&test, &report.histogram, &ptx_model(), &Default::default())
-            .unwrap();
+        let ptx =
+            check_soundness(&test, &report.histogram, &ptx_model(), &Default::default()).unwrap();
         assert!(ptx.is_sound());
     }
 

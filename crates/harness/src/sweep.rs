@@ -1,0 +1,989 @@
+//! Paper-scale sharded validation sweeps (paper Sec. 5.4).
+//!
+//! The paper's headline validation runs a generated family of ~11k tests
+//! against hardware and checks every observation against the axiomatic
+//! model. This module turns that from a one-off binary into a subsystem:
+//!
+//! * **Deterministic sharding** — the canonically-ordered family is
+//!   partitioned by global index ([`Shard::selects`]): shard `K/N` takes
+//!   tests whose index `i` satisfies `i % N == K-1`, so the `N` shards
+//!   are disjoint, exhaustive, and identical on every machine. Per-test
+//!   seeds derive from the *global* index, so a sharded run's cells are
+//!   bit-identical to the same cells of an unsharded run.
+//! * **Model-verdict caching** — soundness is checked per cell against
+//!   the model, but the axiomatic verdict depends only on the test's
+//!   shape, so a [`VerdictCache`] enumerates each shape once (cells of
+//!   one test racing on first completion may enumerate twice; the first
+//!   publish wins) and answers the other chips' cells from the cache
+//!   (the hot path measured in `BENCH_sweep.json`).
+//! * **Machine-readable reports** — each completed cell streams a JSONL
+//!   [`CellRecord`]; the aggregate [`SweepReport`] serialises to JSON,
+//!   parses back, and [`SweepReport::merge`]s across shards into totals
+//!   identical to an unsharded run at the same seed.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use weakgpu_axiom::cache::VerdictCache;
+use weakgpu_axiom::enumerate::{EnumConfig, EnumError};
+use weakgpu_litmus::LitmusTest;
+use weakgpu_models::ptx_model;
+use weakgpu_sim::chip::Chip;
+
+use crate::campaign::{default_incantations, run_campaign_with, CampaignConfig, CellSpec};
+use crate::json::{self, Json};
+use crate::runner::HarnessError;
+
+/// Version tag of the JSON report schema.
+pub const SCHEMA: &str = "weakgpu-sweep/1";
+
+/// One shard of a sweep: `index` of `count`, 1-based.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Shard {
+    /// 1-based shard index.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the CLI syntax `K/N`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed input.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (k, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard must be K/N, got {s:?}"))?;
+        let index: usize = k.parse().map_err(|_| format!("bad shard index {k:?}"))?;
+        let count: usize = n.parse().map_err(|_| format!("bad shard count {n:?}"))?;
+        let shard = Shard { index, count };
+        shard.validate()?;
+        Ok(shard)
+    }
+
+    /// Checks `1 <= index <= count`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("shard count must be >= 1".to_owned());
+        }
+        if self.index == 0 || self.index > self.count {
+            return Err(format!(
+                "shard index must be in 1..={}, got {}",
+                self.count, self.index
+            ));
+        }
+        Ok(())
+    }
+
+    /// `true` iff this shard owns global test index `i`. Round-robin, so
+    /// shard sizes differ by at most one and every index has exactly one
+    /// owner.
+    pub fn selects(&self, i: usize) -> bool {
+        i % self.count == self.index - 1
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Configuration of one sweep invocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SweepConfig {
+    /// Family label recorded in reports (`"small"`, `"paper"`, …). Merge
+    /// refuses to combine reports with different labels.
+    pub family: String,
+    /// The shard to run (`None` = the whole family).
+    pub shard: Option<Shard>,
+    /// Chips to run every test on.
+    pub chips: Vec<Chip>,
+    /// Iterations per (test, chip) cell.
+    pub iterations: usize,
+    /// Base seed; each test's cell seed is `seed ^ global_index`.
+    pub seed: u64,
+    /// Worker threads (`None` = all cores). Wall-clock only.
+    pub parallelism: Option<usize>,
+}
+
+/// Sweep failure.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SweepError {
+    /// A cell failed to compile or run.
+    Harness(HarnessError),
+    /// The axiomatic enumeration failed for some test.
+    Enum(String, EnumError),
+    /// The configuration or input family is invalid.
+    Config(String),
+    /// Reports could not be merged.
+    Merge(String),
+    /// A report failed to parse.
+    Json(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Harness(e) => write!(f, "{e}"),
+            SweepError::Enum(test, e) => write!(f, "{test}: {e}"),
+            SweepError::Config(msg) => write!(f, "invalid sweep config: {msg}"),
+            SweepError::Merge(msg) => write!(f, "cannot merge reports: {msg}"),
+            SweepError::Json(msg) => write!(f, "invalid report JSON: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<HarnessError> for SweepError {
+    fn from(e: HarnessError) -> Self {
+        SweepError::Harness(e)
+    }
+}
+
+/// One completed cell, as streamed to JSONL.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellRecord {
+    /// Test name.
+    pub test: String,
+    /// Global index of the test in the canonical family.
+    pub index: usize,
+    /// Chip short name.
+    pub chip: String,
+    /// Runs executed.
+    pub runs: u64,
+    /// Runs witnessing the final condition.
+    pub witnesses: u64,
+    /// Distinct outcomes observed.
+    pub distinct: usize,
+    /// Observed outcomes the model forbids (rendered; empty = sound).
+    pub unsound: Vec<String>,
+}
+
+impl CellRecord {
+    /// One JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}]}}",
+            json::escape(&self.test),
+            self.index,
+            json::escape(&self.chip),
+            self.runs,
+            self.witnesses,
+            self.distinct,
+            self.unsound
+                .iter()
+                .map(|o| json::escape(o))
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    }
+}
+
+/// Totals for one chip column (comparable to the paper's validation
+/// table rows).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChipTotals {
+    /// Chip short name.
+    pub chip: String,
+    /// Cells run on this chip.
+    pub cells: u64,
+    /// Total runs.
+    pub runs: u64,
+    /// Cells with at least one witness.
+    pub witnessed_cells: u64,
+    /// Total witnessing runs.
+    pub witnesses: u64,
+    /// Cells with model-forbidden observations.
+    pub unsound_cells: u64,
+}
+
+/// One unsound cell in the aggregate report.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct UnsoundCell {
+    /// Global index of the test in the canonical family.
+    pub index: usize,
+    /// Test name.
+    pub test: String,
+    /// Chip short name.
+    pub chip: String,
+    /// The forbidden outcomes observed.
+    pub outcomes: Vec<String>,
+}
+
+/// Verdict-cache statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Distinct shapes enumerated.
+    pub entries: u64,
+    /// Lookups answered without enumeration.
+    pub hits: u64,
+    /// Lookups that enumerated.
+    pub misses: u64,
+}
+
+/// The aggregate result of one sweep (or of merging shard sweeps).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepReport {
+    /// Family label.
+    pub family: String,
+    /// Size of the full family (all shards).
+    pub family_size: u64,
+    /// The shard this report covers (`None` = whole family / merged).
+    pub shard: Option<Shard>,
+    /// Base seed.
+    pub seed: u64,
+    /// Iterations per cell.
+    pub iterations: u64,
+    /// Chip short names, in column order.
+    pub chips: Vec<String>,
+    /// Tests run (this shard).
+    pub tests_run: u64,
+    /// Tests witnessing their weak outcome on at least one chip.
+    pub weak_tests: u64,
+    /// Cells run.
+    pub cells: u64,
+    /// Cells with at least one witness.
+    pub witnessed_cells: u64,
+    /// Total runs.
+    pub total_runs: u64,
+    /// Total witnessing runs.
+    pub total_witnesses: u64,
+    /// Cells with model-forbidden observations.
+    pub unsound_cells: u64,
+    /// The unsound cells, in canonical (test-major) order.
+    pub unsound: Vec<UnsoundCell>,
+    /// Per-chip totals, in chip column order.
+    pub per_chip: Vec<ChipTotals>,
+    /// Verdict-cache statistics (informational; not part of
+    /// [`SweepReport::totals_match`]).
+    pub cache: CacheStats,
+}
+
+impl SweepReport {
+    /// `true` iff no cell observed a model-forbidden outcome.
+    pub fn is_sound(&self) -> bool {
+        self.unsound_cells == 0
+    }
+
+    /// `true` iff every semantic field matches `other` — everything
+    /// except the shard designation and the cache statistics (which
+    /// depend on how the work was split, not on what was measured).
+    /// Merging all shards of a family must yield a report whose totals
+    /// match the unsharded run at the same seed.
+    pub fn totals_match(&self, other: &SweepReport) -> bool {
+        self.family == other.family
+            && self.family_size == other.family_size
+            && self.seed == other.seed
+            && self.iterations == other.iterations
+            && self.chips == other.chips
+            && self.tests_run == other.tests_run
+            && self.weak_tests == other.weak_tests
+            && self.cells == other.cells
+            && self.witnessed_cells == other.witnessed_cells
+            && self.total_runs == other.total_runs
+            && self.total_witnesses == other.total_witnesses
+            && self.unsound_cells == other.unsound_cells
+            && self.unsound == other.unsound
+            && self.per_chip == other.per_chip
+    }
+
+    /// Serialises to the `weakgpu-sweep/1` JSON schema (pretty-printed,
+    /// deterministic member order, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", json::escape(SCHEMA)));
+        s.push_str(&format!("  \"family\": {},\n", json::escape(&self.family)));
+        s.push_str(&format!("  \"family_size\": {},\n", self.family_size));
+        match self.shard {
+            Some(sh) => s.push_str(&format!(
+                "  \"shard\": {{\"index\": {}, \"count\": {}}},\n",
+                sh.index, sh.count
+            )),
+            None => s.push_str("  \"shard\": null,\n"),
+        }
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"iterations\": {},\n", self.iterations));
+        s.push_str(&format!(
+            "  \"chips\": [{}],\n",
+            self.chips
+                .iter()
+                .map(|c| json::escape(c))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!("  \"tests_run\": {},\n", self.tests_run));
+        s.push_str(&format!("  \"weak_tests\": {},\n", self.weak_tests));
+        s.push_str(&format!("  \"cells\": {},\n", self.cells));
+        s.push_str(&format!(
+            "  \"witnessed_cells\": {},\n",
+            self.witnessed_cells
+        ));
+        s.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
+        s.push_str(&format!(
+            "  \"total_witnesses\": {},\n",
+            self.total_witnesses
+        ));
+        s.push_str(&format!("  \"unsound_cells\": {},\n", self.unsound_cells));
+        s.push_str("  \"unsound\": [");
+        for (i, u) in self.unsound.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"index\": {}, \"test\": {}, \"chip\": {}, \"outcomes\": [{}]}}",
+                u.index,
+                json::escape(&u.test),
+                json::escape(&u.chip),
+                u.outcomes
+                    .iter()
+                    .map(|o| json::escape(o))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        if !self.unsound.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        s.push_str("  \"per_chip\": [");
+        for (i, c) in self.per_chip.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"chip\": {}, \"cells\": {}, \"runs\": {}, \"witnessed_cells\": {}, \"witnesses\": {}, \"unsound_cells\": {}}}",
+                json::escape(&c.chip),
+                c.cells,
+                c.runs,
+                c.witnessed_cells,
+                c.witnesses,
+                c.unsound_cells
+            ));
+        }
+        if !self.per_chip.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        s.push_str(&format!(
+            "  \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}}}\n",
+            self.cache.entries, self.cache.hits, self.cache.misses
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses a `weakgpu-sweep/1` JSON report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Json`] describing the first problem.
+    pub fn from_json(src: &str) -> Result<SweepReport, SweepError> {
+        let v = json::parse(src).map_err(SweepError::Json)?;
+        let schema = str_field(&v, "schema")?;
+        if schema != SCHEMA {
+            return Err(SweepError::Json(format!(
+                "unsupported schema {schema:?} (expected {SCHEMA:?})"
+            )));
+        }
+        let shard = match v.get("shard") {
+            None => return Err(SweepError::Json("missing field shard".to_owned())),
+            Some(Json::Null) => None,
+            Some(sh) => {
+                let shard = Shard {
+                    index: u64_field(sh, "index")? as usize,
+                    count: u64_field(sh, "count")? as usize,
+                };
+                shard.validate().map_err(SweepError::Json)?;
+                Some(shard)
+            }
+        };
+        let chips = str_arr_field(&v, "chips")?;
+        let mut unsound = Vec::new();
+        for u in arr_field(&v, "unsound")? {
+            unsound.push(UnsoundCell {
+                index: u64_field(u, "index")? as usize,
+                test: str_field(u, "test")?.to_owned(),
+                chip: str_field(u, "chip")?.to_owned(),
+                outcomes: str_arr_field(u, "outcomes")?,
+            });
+        }
+        let mut per_chip = Vec::new();
+        for c in arr_field(&v, "per_chip")? {
+            per_chip.push(ChipTotals {
+                chip: str_field(c, "chip")?.to_owned(),
+                cells: u64_field(c, "cells")?,
+                runs: u64_field(c, "runs")?,
+                witnessed_cells: u64_field(c, "witnessed_cells")?,
+                witnesses: u64_field(c, "witnesses")?,
+                unsound_cells: u64_field(c, "unsound_cells")?,
+            });
+        }
+        let cache = match v.get("cache") {
+            Some(c) => CacheStats {
+                entries: u64_field(c, "entries")?,
+                hits: u64_field(c, "hits")?,
+                misses: u64_field(c, "misses")?,
+            },
+            None => CacheStats::default(),
+        };
+        Ok(SweepReport {
+            family: str_field(&v, "family")?.to_owned(),
+            family_size: u64_field(&v, "family_size")?,
+            shard,
+            seed: u64_field(&v, "seed")?,
+            iterations: u64_field(&v, "iterations")?,
+            chips,
+            tests_run: u64_field(&v, "tests_run")?,
+            weak_tests: u64_field(&v, "weak_tests")?,
+            cells: u64_field(&v, "cells")?,
+            witnessed_cells: u64_field(&v, "witnessed_cells")?,
+            total_runs: u64_field(&v, "total_runs")?,
+            total_witnesses: u64_field(&v, "total_witnesses")?,
+            unsound_cells: u64_field(&v, "unsound_cells")?,
+            unsound,
+            per_chip,
+            cache,
+        })
+    }
+
+    /// Merges shard reports back into one whole-family report.
+    ///
+    /// Every input must be a shard of the same sweep (same family, size,
+    /// seed, iterations and chips; same shard count) and the shard
+    /// indices must cover `1..=count` exactly once — a missing or
+    /// duplicated shard is an error, not a silent undercount.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Merge`] naming the first inconsistency.
+    pub fn merge(reports: &[SweepReport]) -> Result<SweepReport, SweepError> {
+        let first = reports
+            .first()
+            .ok_or_else(|| SweepError::Merge("no reports given".to_owned()))?;
+        let count = match first.shard {
+            Some(sh) => sh.count,
+            None => {
+                return Err(SweepError::Merge(
+                    "report 1 is not a shard (shard: null)".to_owned(),
+                ))
+            }
+        };
+        let mut seen = vec![false; count];
+        for (i, r) in reports.iter().enumerate() {
+            let sh = r.shard.ok_or_else(|| {
+                SweepError::Merge(format!("report {} is not a shard (shard: null)", i + 1))
+            })?;
+            if sh.count != count {
+                return Err(SweepError::Merge(format!(
+                    "report {} has shard count {}, expected {count}",
+                    i + 1,
+                    sh.count
+                )));
+            }
+            let mismatch = if r.family != first.family {
+                Some("family")
+            } else if r.family_size != first.family_size {
+                Some("family_size")
+            } else if r.seed != first.seed {
+                Some("seed")
+            } else if r.iterations != first.iterations {
+                Some("iterations")
+            } else if r.chips != first.chips {
+                Some("chips")
+            } else {
+                None
+            };
+            if let Some(what) = mismatch {
+                return Err(SweepError::Merge(format!(
+                    "report {} disagrees with report 1 on {what}",
+                    i + 1
+                )));
+            }
+            // The per_chip columns must line up with the chips list —
+            // a truncated or reordered array would otherwise misattribute
+            // the column sums below.
+            if r.per_chip.len() != r.chips.len()
+                || r.per_chip.iter().zip(&r.chips).any(|(p, c)| &p.chip != c)
+            {
+                return Err(SweepError::Merge(format!(
+                    "report {}'s per_chip entries do not match its chips list",
+                    i + 1
+                )));
+            }
+            if seen[sh.index - 1] {
+                return Err(SweepError::Merge(format!("duplicate shard {sh}")));
+            }
+            seen[sh.index - 1] = true;
+        }
+        let missing: Vec<String> = seen
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| !s)
+            .map(|(i, _)| format!("{}/{count}", i + 1))
+            .collect();
+        if !missing.is_empty() {
+            return Err(SweepError::Merge(format!(
+                "missing shard(s) {}",
+                missing.join(", ")
+            )));
+        }
+
+        let mut out = SweepReport {
+            family: first.family.clone(),
+            family_size: first.family_size,
+            shard: None,
+            seed: first.seed,
+            iterations: first.iterations,
+            chips: first.chips.clone(),
+            tests_run: 0,
+            weak_tests: 0,
+            cells: 0,
+            witnessed_cells: 0,
+            total_runs: 0,
+            total_witnesses: 0,
+            unsound_cells: 0,
+            unsound: Vec::new(),
+            per_chip: first
+                .chips
+                .iter()
+                .map(|chip| ChipTotals {
+                    chip: chip.clone(),
+                    cells: 0,
+                    runs: 0,
+                    witnessed_cells: 0,
+                    witnesses: 0,
+                    unsound_cells: 0,
+                })
+                .collect(),
+            cache: CacheStats::default(),
+        };
+        for r in reports {
+            out.tests_run += r.tests_run;
+            out.weak_tests += r.weak_tests;
+            out.cells += r.cells;
+            out.witnessed_cells += r.witnessed_cells;
+            out.total_runs += r.total_runs;
+            out.total_witnesses += r.total_witnesses;
+            out.unsound_cells += r.unsound_cells;
+            out.unsound.extend(r.unsound.iter().cloned());
+            for (acc, c) in out.per_chip.iter_mut().zip(&r.per_chip) {
+                acc.cells += c.cells;
+                acc.runs += c.runs;
+                acc.witnessed_cells += c.witnessed_cells;
+                acc.witnesses += c.witnesses;
+                acc.unsound_cells += c.unsound_cells;
+            }
+            out.cache.entries += r.cache.entries;
+            out.cache.hits += r.cache.hits;
+            out.cache.misses += r.cache.misses;
+        }
+        if out.tests_run != out.family_size {
+            return Err(SweepError::Merge(format!(
+                "shards cover {} tests, family has {}",
+                out.tests_run, out.family_size
+            )));
+        }
+        // Canonical (test-major, chip-minor) order, matching an unsharded
+        // run's report.
+        let chip_pos = |chip: &str| {
+            out.chips
+                .iter()
+                .position(|c| c == chip)
+                .unwrap_or(usize::MAX)
+        };
+        out.unsound.sort_by_key(|a| (a.index, chip_pos(&a.chip)));
+        Ok(out)
+    }
+}
+
+fn arr_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], SweepError> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| SweepError::Json(format!("missing or non-array field {key}")))
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, SweepError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| SweepError::Json(format!("missing or non-string field {key}")))
+}
+
+fn str_arr_field(v: &Json, key: &str) -> Result<Vec<String>, SweepError> {
+    arr_field(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| SweepError::Json(format!("non-string element in {key}")))
+        })
+        .collect()
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, SweepError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SweepError::Json(format!("missing or non-integer field {key}")))
+}
+
+/// Runs the sweep. `family` must be the **complete** canonically-ordered
+/// test family (strictly increasing names — `weakgpu_diy::generate`
+/// guarantees this); when `cfg.shard` is set, this function selects the
+/// shard's subset itself so global indices (and with them per-test
+/// seeds) are shard-invariant.
+///
+/// # Errors
+///
+/// See [`run_sweep_with`].
+pub fn run_sweep(family: &[LitmusTest], cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
+    run_sweep_with(family, cfg, |_| {})
+}
+
+/// Like [`run_sweep`], invoking `on_cell` as each cell completes —
+/// cells finish out of order, so the callback must be thread-safe. Each
+/// record carries its test's global index; the aggregate report is
+/// always assembled in canonical order regardless of completion order.
+///
+/// # Errors
+///
+/// Returns the first configuration, compile/run, or enumeration error.
+pub fn run_sweep_with<F>(
+    family: &[LitmusTest],
+    cfg: &SweepConfig,
+    on_cell: F,
+) -> Result<SweepReport, SweepError>
+where
+    F: Fn(&CellRecord) + Sync,
+{
+    if cfg.chips.is_empty() {
+        return Err(SweepError::Config("no chips given".to_owned()));
+    }
+    if let Some(sh) = cfg.shard {
+        sh.validate().map_err(SweepError::Config)?;
+    }
+    if let Some(w) = family.windows(2).find(|w| w[0].name() >= w[1].name()) {
+        return Err(SweepError::Config(format!(
+            "family is not in canonical order: {:?} before {:?}",
+            w[0].name(),
+            w[1].name()
+        )));
+    }
+
+    let selected: Vec<(usize, &LitmusTest)> = family
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| cfg.shard.is_none_or(|sh| sh.selects(*i)))
+        .collect();
+
+    let num_chips = cfg.chips.len();
+    let mut cells = Vec::with_capacity(selected.len() * num_chips);
+    for &(i, test) in &selected {
+        let inc = default_incantations(test);
+        for &chip in &cfg.chips {
+            cells.push(
+                CellSpec::new(test.clone(), chip)
+                    .incantations(inc)
+                    .iterations(cfg.iterations)
+                    .seed(cfg.seed ^ (i as u64)),
+            );
+        }
+    }
+
+    let model = ptx_model();
+    let enum_cfg = EnumConfig::default();
+    let cache = Mutex::new(VerdictCache::new());
+    let enum_err: Mutex<Option<(String, EnumError)>> = Mutex::new(None);
+    let records: Vec<Mutex<Option<CellRecord>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+
+    run_campaign_with(
+        &cells,
+        &CampaignConfig {
+            parallelism: cfg.parallelism,
+        },
+        |ci, report| {
+            let (gi, test) = selected[ci / num_chips];
+            // Probe under a short lock; on a miss, enumerate with no lock
+            // held (distinct shapes judge concurrently) and publish the
+            // result. Two chips of one test racing may both enumerate —
+            // first write wins, so `cache.misses >= cache.entries`.
+            let probed = cache
+                .lock()
+                .expect("no poisoned locks")
+                .lookup(test, &model, &enum_cfg);
+            let verdict = match probed {
+                Some(v) => v,
+                None => match weakgpu_axiom::model_outcomes(test, &model, &enum_cfg) {
+                    Ok(v) => cache
+                        .lock()
+                        .expect("no poisoned locks")
+                        .publish(test, &model, &enum_cfg, v),
+                    Err(e) => {
+                        enum_err
+                            .lock()
+                            .expect("no poisoned locks")
+                            .get_or_insert((test.name().to_owned(), e));
+                        return;
+                    }
+                },
+            };
+            let unsound: Vec<String> = report
+                .histogram
+                .outcomes()
+                .filter(|o| !verdict.allowed_outcomes.contains(*o))
+                .map(|o| o.to_string())
+                .collect();
+            let record = CellRecord {
+                test: test.name().to_owned(),
+                index: gi,
+                chip: report.chip.short().to_owned(),
+                runs: report.histogram.total(),
+                witnesses: report.witnesses,
+                distinct: report.histogram.distinct(),
+                unsound,
+            };
+            on_cell(&record);
+            *records[ci].lock().expect("no poisoned locks") = Some(record);
+        },
+    )?;
+    if let Some((test, e)) = enum_err.into_inner().expect("no poisoned locks") {
+        return Err(SweepError::Enum(test, e));
+    }
+
+    let records: Vec<CellRecord> = records
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned locks")
+                .expect("every cell produced a record")
+        })
+        .collect();
+
+    let mut per_chip: Vec<ChipTotals> = cfg
+        .chips
+        .iter()
+        .map(|c| ChipTotals {
+            chip: c.short().to_owned(),
+            cells: 0,
+            runs: 0,
+            witnessed_cells: 0,
+            witnesses: 0,
+            unsound_cells: 0,
+        })
+        .collect();
+    let mut unsound = Vec::new();
+    let mut weak_tests = 0u64;
+    let mut witnessed_cells = 0u64;
+    let mut total_runs = 0u64;
+    let mut total_witnesses = 0u64;
+    for chunk in records.chunks(num_chips) {
+        if chunk.iter().any(|r| r.witnesses > 0) {
+            weak_tests += 1;
+        }
+        for (r, totals) in chunk.iter().zip(per_chip.iter_mut()) {
+            debug_assert_eq!(r.chip, totals.chip);
+            totals.cells += 1;
+            totals.runs += r.runs;
+            totals.witnesses += r.witnesses;
+            total_runs += r.runs;
+            total_witnesses += r.witnesses;
+            if r.witnesses > 0 {
+                totals.witnessed_cells += 1;
+                witnessed_cells += 1;
+            }
+            if !r.unsound.is_empty() {
+                totals.unsound_cells += 1;
+                unsound.push(UnsoundCell {
+                    index: r.index,
+                    test: r.test.clone(),
+                    chip: r.chip.clone(),
+                    outcomes: r.unsound.clone(),
+                });
+            }
+        }
+    }
+
+    let cache = cache.into_inner().expect("no poisoned locks");
+    Ok(SweepReport {
+        family: cfg.family.clone(),
+        family_size: family.len() as u64,
+        shard: cfg.shard,
+        seed: cfg.seed,
+        iterations: cfg.iterations as u64,
+        chips: cfg.chips.iter().map(|c| c.short().to_owned()).collect(),
+        tests_run: selected.len() as u64,
+        weak_tests,
+        cells: records.len() as u64,
+        witnessed_cells,
+        total_runs,
+        total_witnesses,
+        unsound_cells: unsound.len() as u64,
+        unsound,
+        per_chip,
+        cache: CacheStats {
+            entries: cache.len() as u64,
+            hits: cache.hits(),
+            misses: cache.misses(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parsing() {
+        assert_eq!(Shard::parse("1/4").unwrap(), Shard { index: 1, count: 4 });
+        assert_eq!(Shard::parse("7/7").unwrap(), Shard { index: 7, count: 7 });
+        assert!(Shard::parse("0/4").is_err());
+        assert!(Shard::parse("5/4").is_err());
+        assert!(Shard::parse("1/0").is_err());
+        assert!(Shard::parse("1-4").is_err());
+        assert!(Shard::parse("a/b").is_err());
+        assert_eq!(Shard::parse("2/4").unwrap().to_string(), "2/4");
+    }
+
+    #[test]
+    fn shard_partition_is_disjoint_and_exhaustive() {
+        for count in [1usize, 2, 4, 7] {
+            for i in 0..1000 {
+                let owners: Vec<usize> = (1..=count)
+                    .filter(|&k| Shard { index: k, count }.selects(i))
+                    .collect();
+                assert_eq!(owners.len(), 1, "index {i} with {count} shards: {owners:?}");
+            }
+        }
+    }
+
+    fn tiny_report(index: usize, count: usize) -> SweepReport {
+        SweepReport {
+            family: "small".to_owned(),
+            family_size: 10,
+            shard: Some(Shard { index, count }),
+            seed: 7,
+            iterations: 100,
+            chips: vec!["Titan".to_owned()],
+            tests_run: 10 / count as u64 + u64::from(index <= 10 % count),
+            weak_tests: 1,
+            cells: 5,
+            witnessed_cells: 2,
+            total_runs: 500,
+            total_witnesses: 3,
+            unsound_cells: 0,
+            unsound: Vec::new(),
+            per_chip: vec![ChipTotals {
+                chip: "Titan".to_owned(),
+                cells: 5,
+                runs: 500,
+                witnessed_cells: 2,
+                witnesses: 3,
+                unsound_cells: 0,
+            }],
+            cache: CacheStats {
+                entries: 5,
+                hits: 0,
+                misses: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = tiny_report(2, 4);
+        r.unsound = vec![UnsoundCell {
+            index: 3,
+            test: "PodWR-Fre-PodWR-Fre+inter".to_owned(),
+            chip: "Titan".to_owned(),
+            outcomes: vec!["0:r0=1; 1:r0=1; ".to_owned()],
+        }];
+        r.unsound_cells = 1;
+        let parsed = SweepReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // And an unsharded report.
+        let mut u = tiny_report(1, 1);
+        u.shard = None;
+        assert_eq!(SweepReport::from_json(&u.to_json()).unwrap(), u);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_documents() {
+        assert!(SweepReport::from_json("not json").is_err());
+        assert!(SweepReport::from_json("{}").is_err());
+        let wrong_schema = tiny_report(1, 2).to_json().replace(SCHEMA, "other/9");
+        assert!(SweepReport::from_json(&wrong_schema).is_err());
+    }
+
+    #[test]
+    fn merge_requires_all_shards() {
+        let r1 = tiny_report(1, 2);
+        let err = SweepReport::merge(std::slice::from_ref(&r1)).unwrap_err();
+        assert!(err.to_string().contains("missing shard(s) 2/2"), "{err}");
+        let err = SweepReport::merge(&[r1.clone(), r1.clone()]).unwrap_err();
+        assert!(err.to_string().contains("duplicate shard"), "{err}");
+        let err = SweepReport::merge(&[]).unwrap_err();
+        assert!(err.to_string().contains("no reports"), "{err}");
+        let mut unsharded = r1.clone();
+        unsharded.shard = None;
+        assert!(SweepReport::merge(&[unsharded]).is_err());
+    }
+
+    #[test]
+    fn merge_rejects_misaligned_per_chip() {
+        let r1 = tiny_report(1, 2);
+        let mut r2 = tiny_report(2, 2);
+        r2.per_chip[0].chip = "GTX7".to_owned();
+        let err = SweepReport::merge(&[r1.clone(), r2]).unwrap_err();
+        assert!(err.to_string().contains("per_chip"), "{err}");
+        let mut r3 = tiny_report(2, 2);
+        r3.per_chip.clear();
+        let err = SweepReport::merge(&[r1, r3]).unwrap_err();
+        assert!(err.to_string().contains("per_chip"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_runs() {
+        let r1 = tiny_report(1, 2);
+        let mut r2 = tiny_report(2, 2);
+        r2.seed = 8;
+        let err = SweepReport::merge(&[r1, r2]).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn merge_sums_and_unshards() {
+        let merged = SweepReport::merge(&[tiny_report(2, 2), tiny_report(1, 2)]).unwrap();
+        assert_eq!(merged.shard, None);
+        assert_eq!(merged.tests_run, 10);
+        assert_eq!(merged.cells, 10);
+        assert_eq!(merged.total_runs, 1000);
+        assert_eq!(merged.total_witnesses, 6);
+        assert_eq!(merged.per_chip[0].runs, 1000);
+        assert_eq!(merged.cache.misses, 10);
+        assert!(merged.is_sound());
+    }
+
+    #[test]
+    fn cell_record_jsonl_is_valid_json() {
+        let rec = CellRecord {
+            test: "Fre-Rfe+inter \"quoted\"".to_owned(),
+            index: 12,
+            chip: "Titan".to_owned(),
+            runs: 100,
+            witnesses: 1,
+            distinct: 3,
+            unsound: vec!["1:r1=7; ".to_owned()],
+        };
+        let v = json::parse(&rec.to_jsonl()).unwrap();
+        assert_eq!(v.get("index").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("test").unwrap().as_str(), Some(rec.test.as_str()));
+        assert_eq!(v.get("unsound").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -99,9 +99,7 @@ fn campaign_results_independent_of_worker_count() {
 fn progress_streams_each_cell_exactly_once() {
     let cells: Vec<CellSpec> = Chip::TABLED
         .into_iter()
-        .map(|chip| {
-            CellSpec::new(corpus::sb(ThreadScope::InterCta, None), chip).iterations(500)
-        })
+        .map(|chip| CellSpec::new(corpus::sb(ThreadScope::InterCta, None), chip).iterations(500))
         .collect();
     let seen = Mutex::new(Vec::new());
     let calls = AtomicUsize::new(0);

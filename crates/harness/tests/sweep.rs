@@ -1,0 +1,198 @@
+//! Integration tests for the sharded validation sweep: partition
+//! correctness over the real generated families, shard/merge identity
+//! with an unsharded run, and the model-verdict cache's bookkeeping.
+
+use std::sync::Mutex;
+
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_harness::sweep::{run_sweep, run_sweep_with, Shard, SweepConfig, SweepReport};
+use weakgpu_sim::chip::Chip;
+
+fn small_cfg(shard: Option<Shard>) -> SweepConfig {
+    SweepConfig {
+        family: "small".to_owned(),
+        shard,
+        chips: vec![Chip::GtxTitan, Chip::Gtx280],
+        iterations: 300,
+        seed: 0xabcd,
+        parallelism: None,
+    }
+}
+
+#[test]
+fn shard_partitions_cover_the_paper_family_exactly() {
+    // Satellite requirement: for N in {1, 2, 4, 7} the shards are
+    // disjoint and cover the family exactly. Checked on the real paper
+    // family via the same selection the sweep uses.
+    let family = generate(&GenConfig::paper());
+    for count in [1usize, 2, 4, 7] {
+        let mut owner = vec![0usize; family.len()];
+        let mut sizes = Vec::new();
+        for index in 1..=count {
+            let shard = Shard { index, count };
+            let mine: Vec<usize> = (0..family.len()).filter(|&i| shard.selects(i)).collect();
+            for &i in &mine {
+                owner[i] += 1;
+            }
+            sizes.push(mine.len());
+        }
+        assert!(
+            owner.iter().all(|&n| n == 1),
+            "{count} shards: some test owned {:?} times",
+            owner.iter().filter(|&&n| n != 1).collect::<Vec<_>>()
+        );
+        assert_eq!(sizes.iter().sum::<usize>(), family.len());
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "{count} shards unbalanced: {sizes:?}");
+    }
+}
+
+#[test]
+fn merged_shards_match_unsharded_run() {
+    // The acceptance criterion at small scale: run the family in 4
+    // shards and unsharded at the same seed; the merged report's totals
+    // must be identical.
+    let family = generate(&GenConfig::small());
+    let whole = run_sweep(&family, &small_cfg(None)).unwrap();
+    let shards: Vec<SweepReport> = (1..=4)
+        .map(|index| run_sweep(&family, &small_cfg(Some(Shard { index, count: 4 }))).unwrap())
+        .collect();
+    // Shards are proper subsets.
+    for s in &shards {
+        assert!(s.tests_run < whole.tests_run);
+        assert!(s.total_runs < whole.total_runs);
+    }
+    let merged = SweepReport::merge(&shards).unwrap();
+    assert!(
+        merged.totals_match(&whole),
+        "merged != unsharded:\n{}\nvs\n{}",
+        merged.to_json(),
+        whole.to_json()
+    );
+    // And the JSON forms agree on everything but the cache statistics.
+    let mut whole_adjusted = whole.clone();
+    whole_adjusted.cache = merged.cache;
+    assert_eq!(merged.to_json(), whole_adjusted.to_json());
+}
+
+#[test]
+fn sweep_reports_are_model_sound_and_witness_weak_behaviour() {
+    let family = generate(&GenConfig::small());
+    let cfg = SweepConfig {
+        family: "small".to_owned(),
+        shard: None,
+        chips: vec![Chip::GtxTitan],
+        iterations: 1_000,
+        seed: 0x7a11,
+        parallelism: None,
+    };
+    let records = Mutex::new(Vec::new());
+    let report = run_sweep_with(&family, &cfg, |rec| {
+        records.lock().unwrap().push(rec.clone());
+    })
+    .unwrap();
+    // Sec. 5.4's claim at test scale: every observation is PTX-allowed.
+    assert!(report.is_sound(), "unsound cells: {:?}", report.unsound);
+    // The family actually exercises weak behaviour on Kepler.
+    assert!(
+        report.weak_tests > 5,
+        "only {} tests witnessed weakly",
+        report.weak_tests
+    );
+    // Streaming callback saw every cell exactly once.
+    let records = records.into_inner().unwrap();
+    assert_eq!(records.len() as u64, report.cells);
+    assert_eq!(report.cells, report.tests_run);
+    // Single-chip sweep: every shape is looked up exactly once, so no
+    // publish race is possible — misses are exact and nothing hits.
+    assert_eq!(report.cache.misses, report.tests_run);
+    assert_eq!(report.cache.hits, 0);
+    assert_eq!(report.cache.entries, report.tests_run);
+    // Totals agree between the streamed records and the aggregate.
+    let runs: u64 = records.iter().map(|r| r.runs).sum();
+    assert_eq!(runs, report.total_runs);
+    let witnesses: u64 = records.iter().map(|r| r.witnesses).sum();
+    assert_eq!(witnesses, report.total_witnesses);
+}
+
+#[test]
+fn verdict_cache_collapses_chip_columns() {
+    // With C chips, each test shape is enumerated roughly once (two
+    // chips of one test completing simultaneously may both enumerate —
+    // first publish wins) and the remaining cells hit the cache.
+    let family: Vec<_> = generate(&GenConfig::small()).into_iter().take(24).collect();
+    let cfg = SweepConfig {
+        family: "small-prefix".to_owned(),
+        shard: None,
+        chips: Chip::NVIDIA_TABLED.to_vec(),
+        iterations: 50,
+        seed: 1,
+        parallelism: None,
+    };
+    let report = run_sweep(&family, &cfg).unwrap();
+    let chips = Chip::NVIDIA_TABLED.len() as u64;
+    assert_eq!(report.cache.entries, 24);
+    assert!(report.cache.misses >= 24, "{:?}", report.cache);
+    assert_eq!(report.cache.hits + report.cache.misses, 24 * chips);
+    // The cache must still collapse the bulk of the column lookups.
+    assert!(
+        report.cache.hits > 24 * (chips - 2),
+        "cache ineffective: {:?}",
+        report.cache
+    );
+}
+
+#[test]
+fn strong_chip_never_witnesses_any_generated_cycle() {
+    // GTX 280 is the paper's one fully strong chip: zero witnesses over
+    // the whole generated family.
+    let family = generate(&GenConfig::small());
+    let cfg = SweepConfig {
+        family: "small".to_owned(),
+        shard: None,
+        chips: vec![Chip::Gtx280],
+        iterations: 400,
+        seed: 0x57,
+        parallelism: None,
+    };
+    let report = run_sweep(&family, &cfg).unwrap();
+    assert_eq!(
+        report.total_witnesses, 0,
+        "GTX 280 must behave sequentially"
+    );
+    assert_eq!(report.weak_tests, 0);
+    assert!(report.is_sound());
+}
+
+#[test]
+fn unsorted_family_is_rejected() {
+    let mut family = generate(&GenConfig::small());
+    family.swap(0, 1);
+    let err = run_sweep(&family, &small_cfg(None)).unwrap_err();
+    assert!(err.to_string().contains("canonical order"), "{err}");
+}
+
+#[test]
+fn sharded_cells_equal_their_unsharded_counterparts() {
+    // Stronger than totals: each shard's per-cell records must be
+    // bit-identical to the corresponding cells of the unsharded run
+    // (same per-test seeds, thus same histograms).
+    let family: Vec<_> = generate(&GenConfig::small()).into_iter().take(30).collect();
+    let collect = |shard| {
+        let records = Mutex::new(Vec::new());
+        run_sweep_with(&family, &small_cfg(shard), |rec| {
+            records.lock().unwrap().push(rec.clone());
+        })
+        .unwrap();
+        let mut recs = records.into_inner().unwrap();
+        recs.sort_by_key(|a| (a.index, a.chip.clone()));
+        recs
+    };
+    let whole = collect(None);
+    let mut sharded = Vec::new();
+    for index in 1..=3 {
+        sharded.extend(collect(Some(Shard { index, count: 3 })));
+    }
+    sharded.sort_by_key(|a| (a.index, a.chip.clone()));
+    assert_eq!(whole, sharded);
+}

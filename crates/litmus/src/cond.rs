@@ -288,12 +288,9 @@ mod tests {
     use super::*;
 
     fn mp_outcome(r1: i64, r2: i64) -> Outcome {
-        [
-            (FinalExpr::reg(1, "r1"), r1),
-            (FinalExpr::reg(1, "r2"), r2),
-        ]
-        .into_iter()
-        .collect()
+        [(FinalExpr::reg(1, "r1"), r1), (FinalExpr::reg(1, "r2"), r2)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -347,9 +344,8 @@ mod tests {
 
     #[test]
     fn display_round_readable() {
-        let cond = FinalCond::exists(
-            Predicate::reg_eq(0, "r2", 0).and(Predicate::reg_eq(1, "r2", 0)),
-        );
+        let cond =
+            FinalCond::exists(Predicate::reg_eq(0, "r2", 0).and(Predicate::reg_eq(1, "r2", 0)));
         assert_eq!(cond.to_string(), "exists (0:r2=0 /\\ 1:r2=0)");
         assert_eq!(mp_outcome(1, 0).to_string(), "1:r1=1; 1:r2=0; ");
     }

@@ -202,13 +202,17 @@ pub fn lb(scope: ThreadScope, fence: Option<FenceScope>) -> LitmusTest {
 /// behaviour. `t` models the deque's volatile `tail` counter, `d` the
 /// `tasks` array slot.
 pub fn dlb_mp(fenced: bool) -> LitmusTest {
-    let name = if fenced { "dlb-mp+membar.gls" } else { "dlb-mp" };
+    let name = if fenced {
+        "dlb-mp+membar.gls"
+    } else {
+        "dlb-mp"
+    };
     let mut t0 = vec![st("d", 1)];
     if fenced {
         t0.push(membar_gl()); // Fig. 6 line 4
     }
     t0.extend([
-        ld_volatile("r2", "t"),      // Fig. 6 line 5 (tail++)
+        ld_volatile("r2", "t"), // Fig. 6 line 5 (tail++)
         add("r2", reg("r2"), imm(1)),
         st_volatile_reg("t", "r2"),
     ]);
@@ -236,7 +240,11 @@ pub fn dlb_mp(fenced: bool) -> LitmusTest {
 /// Cederman–Tsigas deque (a steal can read a task pushed *after* the pop
 /// that emptied the deque, losing a task).
 pub fn dlb_lb(fenced: bool) -> LitmusTest {
-    let name = if fenced { "dlb-lb+membar.gls" } else { "dlb-lb" };
+    let name = if fenced {
+        "dlb-lb+membar.gls"
+    } else {
+        "dlb-lb"
+    };
     let mut t0 = vec![cas("r0", "h", 0, 1)]; // Fig. 6 line 20
     if fenced {
         t0.push(membar_gl()); // Fig. 6 line 21
@@ -267,7 +275,11 @@ pub fn dlb_lb(fenced: bool) -> LitmusTest {
 /// success, loads `x`. Weak outcome: lock acquired (`1:r1=0`) yet a stale
 /// `x` read (`1:r3=0`).
 pub fn cas_sl(fenced: bool) -> LitmusTest {
-    let name = if fenced { "cas-sl+membar.gls" } else { "cas-sl" };
+    let name = if fenced {
+        "cas-sl+membar.gls"
+    } else {
+        "cas-sl"
+    };
     let mut t0 = vec![st("x", 1)];
     if fenced {
         t0.push(membar_gl()); // Fig. 2 line 5
@@ -296,16 +308,17 @@ pub fn cas_sl(fenced: bool) -> LitmusTest {
 /// The Stuart–Owens variant of the spin lock, releasing with an exchange
 /// and acquiring with an exchange instead of a CAS (`exch-sl`, Tab. 2).
 pub fn exch_sl(fenced: bool) -> LitmusTest {
-    let name = if fenced { "exch-sl+membar.gls" } else { "exch-sl" };
+    let name = if fenced {
+        "exch-sl+membar.gls"
+    } else {
+        "exch-sl"
+    };
     let mut t0 = vec![st("x", 1)];
     if fenced {
         t0.push(membar_gl());
     }
     t0.push(exch("r0", "m", 0));
-    let mut t1 = vec![
-        exch("r1", "m", 1),
-        setp_eq("p", reg("r1"), imm(0)),
-    ];
+    let mut t1 = vec![exch("r1", "m", 1), setp_eq("p", reg("r1"), imm(0))];
     if fenced {
         t1.push(membar_gl().guarded("p", true));
     }
@@ -333,8 +346,8 @@ pub fn sl_future(fixed: bool) -> LitmusTest {
     let name = if fixed { "sl-future+fix" } else { "sl-future" };
     let t0: Vec<Instr> = if fixed {
         vec![
-            ld("r0", "x"),     // Fig. 10 line 7 (critical section read)
-            membar_gl(),       // line 8 (+)
+            ld("r0", "x"),      // Fig. 10 line 7 (critical section read)
+            membar_gl(),        // line 8 (+)
             exch("r1", "m", 0), // line 9 (+)
         ]
     } else {
@@ -394,26 +407,27 @@ pub fn all() -> Vec<LitmusTest> {
         sl_future(false),
         sl_future(true),
     ];
-    for fence in [None, Some(FenceScope::Cta), Some(FenceScope::Gl), Some(FenceScope::Sys)] {
+    for fence in [
+        None,
+        Some(FenceScope::Cta),
+        Some(FenceScope::Gl),
+        Some(FenceScope::Sys),
+    ] {
         v.push(mp_l1(fence));
         if fence.is_some() {
             v.push(corr_l2_l1(fence));
         }
     }
     for scope in [ThreadScope::IntraCta, ThreadScope::InterCta] {
-        for fence in [None, Some(FenceScope::Cta), Some(FenceScope::Gl), Some(FenceScope::Sys)] {
-            v.push(mp(scope, fence).with_name(format!(
-                "mp{}+{scope}",
-                fence_suffix(fence),
-            )));
-            v.push(sb(scope, fence).with_name(format!(
-                "sb{}+{scope}",
-                fence_suffix(fence),
-            )));
-            v.push(lb(scope, fence).with_name(format!(
-                "lb{}+{scope}",
-                fence_suffix(fence),
-            )));
+        for fence in [
+            None,
+            Some(FenceScope::Cta),
+            Some(FenceScope::Gl),
+            Some(FenceScope::Sys),
+        ] {
+            v.push(mp(scope, fence).with_name(format!("mp{}+{scope}", fence_suffix(fence),)));
+            v.push(sb(scope, fence).with_name(format!("sb{}+{scope}", fence_suffix(fence),)));
+            v.push(lb(scope, fence).with_name(format!("lb{}+{scope}", fence_suffix(fence),)));
         }
     }
     v
@@ -511,7 +525,9 @@ mod tests {
     fn sl_future_fixed_uses_exchange_release() {
         let buggy = sl_future(false);
         let fixed = sl_future(true);
-        assert!(buggy.threads()[0].iter().any(|i| matches!(i, Instr::St { .. })));
+        assert!(buggy.threads()[0]
+            .iter()
+            .any(|i| matches!(i, Instr::St { .. })));
         assert!(fixed.threads()[0]
             .iter()
             .any(|i| matches!(i, Instr::Exch { .. })));
@@ -529,7 +545,9 @@ mod tests {
     fn mp_dep_has_false_dependency_chain() {
         let t = mp_dep(ThreadScope::InterCta, FenceScope::Gl);
         assert!(t.threads()[1].len() == 5);
-        assert!(t.threads()[1].iter().any(|i| matches!(i, Instr::And { .. })));
+        assert!(t.threads()[1]
+            .iter()
+            .any(|i| matches!(i, Instr::And { .. })));
     }
 
     #[test]
@@ -537,7 +555,12 @@ mod tests {
         let tests = tab6_tests();
         assert_eq!(tests[0].thread_scope(), Some(ThreadScope::IntraCta));
         for t in &tests[1..] {
-            assert_eq!(t.thread_scope(), Some(ThreadScope::InterCta), "{}", t.name());
+            assert_eq!(
+                t.thread_scope(),
+                Some(ThreadScope::InterCta),
+                "{}",
+                t.name()
+            );
         }
     }
 }

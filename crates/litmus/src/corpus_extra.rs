@@ -181,9 +181,7 @@ pub fn s_shape(scope: ThreadScope, fence: Option<FenceScope>) -> LitmusTest {
     .thread(t0)
     .thread(t1)
     .scope_tree(ScopeTree::for_scope(scope, 2))
-    .exists(
-        Predicate::reg_eq(1, "r1", 1).and(Predicate::mem_eq("x", 2)),
-    )
+    .exists(Predicate::reg_eq(1, "r1", 1).and(Predicate::mem_eq("x", 2)))
     .build()
     .expect("corpus test is valid")
 }
@@ -218,21 +216,32 @@ pub fn all_extra() -> Vec<LitmusTest> {
         for fence in [None, Some(FenceScope::Gl)] {
             let suffix = format!("+{scope}");
             v.push(wrc(scope, fence).with_name(format!("{}{}", wrc(scope, fence).name(), suffix)));
-            v.push(isa2(scope, fence).with_name(format!("{}{}", isa2(scope, fence).name(), suffix)));
-            v.push(iriw(scope, fence).with_name(format!("{}{}", iriw(scope, fence).name(), suffix)));
+            v.push(isa2(scope, fence).with_name(format!(
+                "{}{}",
+                isa2(scope, fence).name(),
+                suffix
+            )));
+            v.push(iriw(scope, fence).with_name(format!(
+                "{}{}",
+                iriw(scope, fence).name(),
+                suffix
+            )));
             v.push(rwc(scope, fence).with_name(format!("{}{}", rwc(scope, fence).name(), suffix)));
-            v.push(
-                two_plus_two_w(scope, fence)
-                    .with_name(format!("{}{}", two_plus_two_w(scope, fence).name(), suffix)),
-            );
-            v.push(
-                s_shape(scope, fence)
-                    .with_name(format!("{}{}", s_shape(scope, fence).name(), suffix)),
-            );
-            v.push(
-                r_shape(scope, fence)
-                    .with_name(format!("{}{}", r_shape(scope, fence).name(), suffix)),
-            );
+            v.push(two_plus_two_w(scope, fence).with_name(format!(
+                "{}{}",
+                two_plus_two_w(scope, fence).name(),
+                suffix
+            )));
+            v.push(s_shape(scope, fence).with_name(format!(
+                "{}{}",
+                s_shape(scope, fence).name(),
+                suffix
+            )));
+            v.push(r_shape(scope, fence).with_name(format!(
+                "{}{}",
+                r_shape(scope, fence).name(),
+                suffix
+            )));
         }
     }
     v
@@ -249,8 +258,8 @@ mod tests {
         assert_eq!(tests.len(), 28);
         for t in tests {
             let printed = t.to_string();
-            let reparsed = parser::parse(&printed)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", t.name()));
+            let reparsed =
+                parser::parse(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", t.name()));
             assert_eq!(t.threads(), reparsed.threads(), "{}", t.name());
         }
     }

@@ -204,7 +204,11 @@ impl Compiler {
                     volatile: *volatile,
                 });
             }
-            CudaStmt::Store { loc, value, volatile } => {
+            CudaStmt::Store {
+                loc,
+                value,
+                volatile,
+            } => {
                 let src = self.expr(value);
                 self.out.push(Instr::St {
                     addr: Operand::Sym(loc.clone()),
@@ -352,7 +356,15 @@ mod tests {
                     loc: loc.clone(),
                     volatile: false,
                 },
-                |i| matches!(i, Instr::Ld { volatile: false, .. }),
+                |i| {
+                    matches!(
+                        i,
+                        Instr::Ld {
+                            volatile: false,
+                            ..
+                        }
+                    )
+                },
             ),
             (
                 CudaStmt::Store {
@@ -387,10 +399,20 @@ mod tests {
                 |i| matches!(i, Instr::Inc { .. }),
             ),
             (CudaStmt::Threadfence, |i| {
-                matches!(i, Instr::Membar { scope: FenceScope::Gl })
+                matches!(
+                    i,
+                    Instr::Membar {
+                        scope: FenceScope::Gl
+                    }
+                )
             }),
             (CudaStmt::ThreadfenceBlock, |i| {
-                matches!(i, Instr::Membar { scope: FenceScope::Cta })
+                matches!(
+                    i,
+                    Instr::Membar {
+                        scope: FenceScope::Cta
+                    }
+                )
             }),
         ];
         for (stmt, check) in cases {
@@ -407,10 +429,7 @@ mod tests {
         assert!(matches!(compiled[0], Instr::LabelDef(_)));
         assert!(matches!(compiled[1], Instr::Cas { .. }));
         assert!(matches!(compiled[2], Instr::SetpNe { .. }));
-        assert!(matches!(
-            compiled[3],
-            Instr::Guard { expect: true, .. }
-        ));
+        assert!(matches!(compiled[3], Instr::Guard { expect: true, .. }));
         assert!(!compiled[3].unguarded().is_fence());
     }
 

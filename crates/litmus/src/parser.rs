@@ -126,7 +126,10 @@ pub fn parse(src: &str) -> Result<LitmusTest, ParseError> {
             }
         }
         if !closed {
-            return Err(ParseError::new("unterminated register block", Some(start_line)));
+            return Err(ParseError::new(
+                "unterminated register block",
+                Some(start_line),
+            ));
         }
         let inner = body
             .trim()
@@ -187,7 +190,10 @@ pub fn parse(src: &str) -> Result<LitmusTest, ParseError> {
         let cells: Vec<&str> = row.split('|').collect();
         if cells.len() > nthreads {
             return Err(ParseError::new(
-                format!("row has {} cells but there are {nthreads} threads", cells.len()),
+                format!(
+                    "row has {} cells but there are {nthreads} threads",
+                    cells.len()
+                ),
                 Some(lno),
             ));
         }
@@ -196,8 +202,8 @@ pub fn parse(src: &str) -> Result<LitmusTest, ParseError> {
             if cell.is_empty() {
                 continue;
             }
-            let instr = parse_instr(cell, tid, &classifier)
-                .map_err(|m| ParseError::new(m, Some(lno)))?;
+            let instr =
+                parse_instr(cell, tid, &classifier).map_err(|m| ParseError::new(m, Some(lno)))?;
             threads[tid].push(instr);
         }
     }
@@ -350,11 +356,14 @@ fn is_memmap_line(l: &str) -> bool {
 
 fn parse_reg_decl(entry: &str, line: usize) -> Result<(usize, Reg, Option<Value>), ParseError> {
     // `0:.reg .s32 r0` or `0:.reg .b64 r1 = x` or `0:r1 = x`.
-    let (tid_str, rest) = entry
-        .split_once(':')
-        .ok_or_else(|| ParseError::new(format!("bad register declaration {entry:?}"), Some(line)))?;
+    let (tid_str, rest) = entry.split_once(':').ok_or_else(|| {
+        ParseError::new(format!("bad register declaration {entry:?}"), Some(line))
+    })?;
     let tid: usize = tid_str.trim().parse().map_err(|_| {
-        ParseError::new(format!("bad thread id in declaration {entry:?}"), Some(line))
+        ParseError::new(
+            format!("bad thread id in declaration {entry:?}"),
+            Some(line),
+        )
     })?;
     let (lhs, init) = match rest.split_once('=') {
         Some((l, r)) => (l, Some(r.trim())),
@@ -490,13 +499,17 @@ fn parse_instr(cell: &str, tid: usize, cls: &RegClassifier<'_>) -> Result<Instr,
         if nops == n {
             Ok(())
         } else {
-            Err(format!("{base} expects {n} operands, found {nops} in {cell:?}"))
+            Err(format!(
+                "{base} expects {n} operands, found {nops} in {cell:?}"
+            ))
         }
     };
     let regop = |i: usize| -> Result<Reg, String> {
         match parse_operand(ops[i], tid, cls)? {
             Operand::Reg(r) => Ok(r),
-            other => Err(format!("operand {i} of {cell:?} must be a register, found {other}")),
+            other => Err(format!(
+                "operand {i} of {cell:?} must be a register, found {other}"
+            )),
         }
     };
 
@@ -642,7 +655,11 @@ fn tokenize_tree(s: &str) -> Vec<TreeTok> {
                 if !word.is_empty() {
                     toks.push(TreeTok::Word(std::mem::take(&mut word)));
                 }
-                toks.push(if c == '(' { TreeTok::Open } else { TreeTok::Close });
+                toks.push(if c == '(' {
+                    TreeTok::Open
+                } else {
+                    TreeTok::Close
+                });
             }
             c if c.is_whitespace() => {
                 if !word.is_empty() {
@@ -854,9 +871,7 @@ fn parse_atom(lx: &mut CondLexer<'_>) -> Result<Predicate, String> {
         .map_err(|_| format!("bad value {rhs:?} in condition"))?;
     let expr = match lhs.split_once(':') {
         Some((t, r)) => {
-            let tid: usize = t
-                .parse()
-                .map_err(|_| format!("bad thread id in {lhs:?}"))?;
+            let tid: usize = t.parse().map_err(|_| format!("bad thread id in {lhs:?}"))?;
             FinalExpr::Reg(tid, Reg::new(r))
         }
         None => FinalExpr::Mem(Loc::new(lhs)),
@@ -894,15 +909,9 @@ exists (0:r2=0 /\\ 1:r2=0)
         assert_eq!(t.thread_scope(), Some(ThreadScope::IntraCta));
         assert_eq!(t.memory().region(&"x".into()), Some(crate::Region::Shared));
         assert_eq!(t.memory().region(&"y".into()), Some(crate::Region::Global));
-        assert_eq!(
-            t.reg_init_value(0, &Reg::new("r1")),
-            Value::ptr("x"),
-        );
+        assert_eq!(t.reg_init_value(0, &Reg::new("r1")), Value::ptr("x"),);
         assert_eq!(t.threads()[0].len(), 3);
-        assert_eq!(
-            t.cond().to_string(),
-            "exists (0:r2=0 /\\ 1:r2=0)"
-        );
+        assert_eq!(t.cond().to_string(), "exists (0:r2=0 /\\ 1:r2=0)");
     }
 
     #[test]
@@ -982,8 +991,7 @@ exists (0:r1=0)
 
     #[test]
     fn parses_ne_or_and_not() {
-        let src =
-            "GPU_PTX t\nT0 ;\nmov r1,1 ;\nexists (0:r1!=0 /\\ (0:r1=1 \\/ not (0:r1=2)))\n";
+        let src = "GPU_PTX t\nT0 ;\nmov r1,1 ;\nexists (0:r1!=0 /\\ (0:r1=1 \\/ not (0:r1=2)))\n";
         let t = parse(src).unwrap();
         let mut o = crate::Outcome::new();
         o.set(FinalExpr::reg(0, "r1"), 1);

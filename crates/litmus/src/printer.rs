@@ -173,7 +173,10 @@ mod tests {
         );
         assert_eq!(render_instr(&label("LOOP")), "LOOP:");
         assert_eq!(render_instr(&bra("LOOP")), "bra LOOP");
-        assert_eq!(render_instr(&setp_eq("p", reg("r0"), imm(0))), "setp.eq p,r0,0");
+        assert_eq!(
+            render_instr(&setp_eq("p", reg("r0"), imm(0))),
+            "setp.eq p,r0,0"
+        );
     }
 
     #[test]

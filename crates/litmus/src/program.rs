@@ -310,9 +310,7 @@ impl LitmusTestBuilder {
         }
         let cond = self.cond.ok_or(ValidateError::NoCond)?;
         let n = self.threads.len();
-        let scope_tree = self
-            .scope_tree
-            .unwrap_or_else(|| ScopeTree::inter_cta(n));
+        let scope_tree = self.scope_tree.unwrap_or_else(|| ScopeTree::inter_cta(n));
         if scope_tree.num_threads() != n {
             return Err(ValidateError::ScopeTreeMismatch {
                 program: n,

@@ -64,7 +64,8 @@ impl ScopeTree {
             .collect();
         assert!(!seen.is_empty(), "scope tree must contain threads");
         assert!(
-            ctas.iter().all(|c| !c.is_empty() && c.iter().all(|w| !w.is_empty())),
+            ctas.iter()
+                .all(|c| !c.is_empty() && c.iter().all(|w| !w.is_empty())),
             "scope tree must not contain empty CTAs or warps"
         );
         seen.sort_unstable();

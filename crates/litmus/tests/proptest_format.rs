@@ -31,10 +31,16 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         (arb_operand_reg(), arb_loc(), 0i64..4).prop_map(|(r, l, v)| build::exch(&r, l, v)),
         (arb_operand_reg(), arb_loc()).prop_map(|(r, l)| build::inc(&r, l)),
         (arb_operand_reg(), -4i64..5).prop_map(|(r, v)| build::mov(&r, v)),
-        (arb_operand_reg(), arb_operand_reg(), -4i64..5)
-            .prop_map(|(d, a, b)| build::add(&d, build::reg(&a), build::imm(b))),
-        (arb_operand_reg(), arb_operand_reg(), 0i64..3)
-            .prop_map(|(d, a, b)| build::setp_eq(&d, build::reg(&a), build::imm(b))),
+        (arb_operand_reg(), arb_operand_reg(), -4i64..5).prop_map(|(d, a, b)| build::add(
+            &d,
+            build::reg(&a),
+            build::imm(b)
+        )),
+        (arb_operand_reg(), arb_operand_reg(), 0i64..3).prop_map(|(d, a, b)| build::setp_eq(
+            &d,
+            build::reg(&a),
+            build::imm(b)
+        )),
     ]
 }
 

@@ -122,7 +122,10 @@ mod tests {
         // fenced coRR. (The paper's Fig. 4 hardware counterexample uses an
         // `.ca` second load, which the model deliberately excludes —
         // Sec. 5.5.)
-        assert!(!witnessed(&corpus::corr_fenced(FenceScope::Gl), &ptx_model()));
+        assert!(!witnessed(
+            &corpus::corr_fenced(FenceScope::Gl),
+            &ptx_model()
+        ));
         // Unfenced coRR stays allowed — the load-load hazard.
         assert!(witnessed(&corpus::corr(), &ptx_model()));
     }
@@ -261,8 +264,14 @@ mod tests {
             witnessed(&corpus::mp(ThreadScope::InterCta, None), &ptx_model())
         );
         assert_eq!(
-            witnessed(&corpus::lb(ThreadScope::InterCta, Some(FenceScope::Cta)), &ablated),
-            witnessed(&corpus::lb(ThreadScope::InterCta, Some(FenceScope::Cta)), &ptx_model())
+            witnessed(
+                &corpus::lb(ThreadScope::InterCta, Some(FenceScope::Cta)),
+                &ablated
+            ),
+            witnessed(
+                &corpus::lb(ThreadScope::InterCta, Some(FenceScope::Cta)),
+                &ptx_model()
+            )
         );
     }
 
@@ -287,7 +296,11 @@ mod tests {
                 .iter()
                 .filter(|o| o.iter().all(|(_, v)| v == 1))
                 .collect();
-            assert!(!strong.is_empty(), "{} forbids the SC outcome", Model::name(&m));
+            assert!(
+                !strong.is_empty(),
+                "{} forbids the SC outcome",
+                Model::name(&m)
+            );
         }
     }
 

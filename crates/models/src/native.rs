@@ -50,10 +50,7 @@ impl Model for NativePtxModel {
         let reads = exec.read_set();
         let writes = exec.write_set();
         let po_loc = exec.po_loc();
-        let com = exec
-            .rf_rel()
-            .union(&exec.co_rel())
-            .union(&exec.fr());
+        let com = exec.rf_rel().union(&exec.co_rel()).union(&exec.fr());
 
         // sc-per-loc-llh: program order per location minus read-read pairs.
         let po_loc_llh = po_loc
@@ -114,7 +111,11 @@ mod tests {
         use weakgpu_axiom::model_outcomes;
         let m = NativePtxModel::new();
         let cfg = EnumConfig::default();
-        assert!(model_outcomes(&corpus::corr(), &m, &cfg).unwrap().condition_witnessed);
+        assert!(
+            model_outcomes(&corpus::corr(), &m, &cfg)
+                .unwrap()
+                .condition_witnessed
+        );
         assert!(
             !model_outcomes(&corpus::mp(ThreadScope::InterCta, Some(FS::Gl)), &m, &cfg)
                 .unwrap()

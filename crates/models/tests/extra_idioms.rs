@@ -74,13 +74,19 @@ fn gl_fences_forbid_extra_idioms_under_ptx() {
 fn cta_fences_work_intra_but_not_inter_cta() {
     let ptx = ptx_model();
     for (mk, name) in [
-        (extra::wrc as fn(ThreadScope, Option<FenceScope>) -> LitmusTest, "wrc"),
+        (
+            extra::wrc as fn(ThreadScope, Option<FenceScope>) -> LitmusTest,
+            "wrc",
+        ),
         (extra::iriw, "iriw"),
         (extra::two_plus_two_w, "2+2w"),
     ] {
         let intra = mk(ThreadScope::IntraCta, Some(FenceScope::Cta));
         let inter = mk(ThreadScope::InterCta, Some(FenceScope::Cta));
-        assert!(!witnessed(&intra, &ptx), "{name}: cta fence works intra-CTA");
+        assert!(
+            !witnessed(&intra, &ptx),
+            "{name}: cta fence works intra-CTA"
+        );
         assert!(witnessed(&inter, &ptx), "{name}: cta fence leaks inter-CTA");
     }
 }
@@ -91,9 +97,15 @@ fn tso_verdicts_on_extra_idioms() {
     // TSO forbids the multi-copy-atomicity violations …
     assert!(!witnessed(&extra::wrc(ThreadScope::InterCta, None), &tso));
     assert!(!witnessed(&extra::iriw(ThreadScope::InterCta, None), &tso));
-    assert!(!witnessed(&extra::two_plus_two_w(ThreadScope::InterCta, None), &tso));
+    assert!(!witnessed(
+        &extra::two_plus_two_w(ThreadScope::InterCta, None),
+        &tso
+    ));
     // … but allows R (its write→read relaxation can hide the store).
-    assert!(witnessed(&extra::r_shape(ThreadScope::InterCta, None), &tso));
+    assert!(witnessed(
+        &extra::r_shape(ThreadScope::InterCta, None),
+        &tso
+    ));
 }
 
 #[test]

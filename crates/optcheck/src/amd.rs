@@ -100,8 +100,8 @@ pub fn amd_compile(test: &LitmusTest, target: AmdTarget) -> (LitmusTest, AmdComp
     }
 
     // Rebuild the test with the transformed threads.
-    let mut builder = LitmusTest::builder(format!("{}@{target}", test.name()))
-        .doc(test.doc().to_owned());
+    let mut builder =
+        LitmusTest::builder(format!("{}@{target}", test.name())).doc(test.doc().to_owned());
     for (loc, mi) in test.memory().iter() {
         builder = match mi.region {
             weakgpu_litmus::Region::Global => builder.global(loc.clone(), mi.init),

@@ -112,9 +112,8 @@ pub fn check_thread(sass: &[SassInstr]) -> CheckReport {
     let mut used = vec![false; actual.len()];
     let mut actual_index: Vec<Option<usize>> = Vec::with_capacity(spec.len());
     for entry in &spec {
-        let exact = (0..actual.len()).find(|&i| {
-            !used[i] && *actual[i].0 == entry.reg && actual[i].1 == entry.ty
-        });
+        let exact = (0..actual.len())
+            .find(|&i| !used[i] && *actual[i].0 == entry.reg && actual[i].1 == entry.ty);
         let found =
             exact.or_else(|| (0..actual.len()).find(|&i| !used[i] && *actual[i].0 == entry.reg));
         match found {
@@ -184,12 +183,7 @@ mod tests {
     fn clean_compilation_is_consistent() {
         for test in corpus::all() {
             let report = check_test(&test, &CompilerConfig::o3());
-            assert!(
-                report.consistent,
-                "{}: {:?}",
-                test.name(),
-                report.issues
-            );
+            assert!(report.consistent, "{}: {:?}", test.name(), report.issues);
         }
     }
 
@@ -247,7 +241,10 @@ mod tests {
         // issue was found by inspecting the ISA (Sec. 3.1.2), modelled by
         // `amd::amd_compile`'s report instead.
         let report = check_test(
-            &corpus::mp(weakgpu_litmus::ThreadScope::InterCta, Some(weakgpu_litmus::FenceScope::Gl)),
+            &corpus::mp(
+                weakgpu_litmus::ThreadScope::InterCta,
+                Some(weakgpu_litmus::FenceScope::Gl),
+            ),
             &CompilerConfig::o3().with_bug(CompilerBug::RemoveFenceBetweenLoads),
         );
         assert!(report.consistent);

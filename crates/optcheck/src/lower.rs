@@ -77,7 +77,10 @@ fn data_reg(instr: &Instr) -> String {
     match instr.written_reg() {
         Some(r) => r.as_str().to_owned(),
         None => match instr.unguarded() {
-            Instr::St { src: Operand::Reg(r), .. } => r.as_str().to_owned(),
+            Instr::St {
+                src: Operand::Reg(r),
+                ..
+            } => r.as_str().to_owned(),
             _ => "rz".to_owned(),
         },
     }
@@ -102,9 +105,10 @@ pub fn compile_thread(thread: &[Instr], cfg: &CompilerConfig) -> Vec<SassInstr> 
                 Instr::Xor { dst, a, b } if a == b => {
                     dead_regs.push(dst.as_str().to_owned());
                 }
-                Instr::Cvt { dst, src: Operand::Reg(r) }
-                    if dead_regs.contains(&r.as_str().to_owned()) =>
-                {
+                Instr::Cvt {
+                    dst,
+                    src: Operand::Reg(r),
+                } if dead_regs.contains(&r.as_str().to_owned()) => {
                     dead_regs.push(dst.as_str().to_owned());
                 }
                 _ => {}
@@ -116,7 +120,9 @@ pub fn compile_thread(thread: &[Instr], cfg: &CompilerConfig) -> Vec<SassInstr> 
     for (i, instr) in thread.iter().enumerate() {
         let inner = instr.unguarded();
         match inner {
-            Instr::Ld { cache, volatile, .. } => {
+            Instr::Ld {
+                cache, volatile, ..
+            } => {
                 pad(&mut out, cfg);
                 out.push(SassInstr {
                     op: SassOp::Access {
@@ -157,10 +163,10 @@ pub fn compile_thread(thread: &[Instr], cfg: &CompilerConfig) -> Vec<SassInstr> 
                 // Folded away; mark the register chain dead (done above).
                 let _ = dst;
             }
-            Instr::Cvt { dst, src: Operand::Reg(r) }
-                if cfg.opt_level == OptLevel::O3
-                    && dead_regs.contains(&r.as_str().to_owned()) =>
-            {
+            Instr::Cvt {
+                dst,
+                src: Operand::Reg(r),
+            } if cfg.opt_level == OptLevel::O3 && dead_regs.contains(&r.as_str().to_owned()) => {
                 let _ = dst;
             }
             Instr::Add { a, b, .. }
@@ -189,7 +195,9 @@ pub fn compile_thread(thread: &[Instr], cfg: &CompilerConfig) -> Vec<SassInstr> 
         for instr in thread {
             let inner = instr.unguarded();
             let ty = match inner {
-                Instr::Ld { cache, volatile, .. } => Some(AccessType::load(*cache, *volatile)),
+                Instr::Ld {
+                    cache, volatile, ..
+                } => Some(AccessType::load(*cache, *volatile)),
                 Instr::St { volatile, .. } => Some(AccessType::store(*volatile)),
                 Instr::Cas { .. } | Instr::Exch { .. } | Instr::Inc { .. } => {
                     Some(AccessType::Atomic)
@@ -235,7 +243,11 @@ fn mnemonic(instr: &Instr) -> String {
         Instr::Cvt { .. } => "I2I".to_owned(),
         Instr::SetpEq { .. } | Instr::SetpNe { .. } => "ISETP".to_owned(),
         Instr::Bra { .. } => "BRA".to_owned(),
-        other => format!("{other:?}").split(' ').next().unwrap_or("NOP").to_owned(),
+        other => format!("{other:?}")
+            .split(' ')
+            .next()
+            .unwrap_or("NOP")
+            .to_owned(),
     }
 }
 
@@ -344,7 +356,12 @@ mod tests {
         let test = corpus::corr();
         let o3 = compile_thread(&test.threads()[1], &CompilerConfig::o3());
         let o0 = compile_thread(&test.threads()[1], &CompilerConfig::o0());
-        assert!(o0.len() > o3.len(), "O0 must pad ({} vs {})", o0.len(), o3.len());
+        assert!(
+            o0.len() > o3.len(),
+            "O0 must pad ({} vs {})",
+            o0.len(),
+            o3.len()
+        );
         // Both keep the two loads.
         let loads = |s: &[SassInstr]| {
             s.iter()

@@ -168,7 +168,10 @@ mod tests {
     fn classification() {
         assert_eq!(AccessType::load(CacheOp::Cg, false), AccessType::LoadCg);
         assert_eq!(AccessType::load(CacheOp::Ca, false), AccessType::LoadCa);
-        assert_eq!(AccessType::load(CacheOp::Cg, true), AccessType::LoadVolatile);
+        assert_eq!(
+            AccessType::load(CacheOp::Cg, true),
+            AccessType::LoadVolatile
+        );
         assert_eq!(AccessType::store(false), AccessType::StoreCg);
         assert!(AccessType::LoadCa.is_load());
         assert!(!AccessType::Atomic.is_load());

@@ -139,13 +139,13 @@ pub struct IncantationTables {
 const NVIDIA_TABLES: IncantationTables = IncantationTables {
     // sb row: 0 0 0 0 | 0 0 0 0 | 462 1403 3308 6673 | 3 50 88 749, /6673
     wr: [
-        0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.069, 0.210, 0.496, 1.0, 0.0004, 0.0075,
-        0.0132, 0.112,
+        0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.069, 0.210, 0.496, 1.0, 0.0004, 0.0075, 0.0132,
+        0.112,
     ],
     // lb row: 0 0 0 0 | 0 0 0 0 | 181 1067 1555 2247 | 4 37 83 486, /2247
     rw: [
-        0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.081, 0.475, 0.692, 1.0, 0.0018, 0.0165,
-        0.0369, 0.216,
+        0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.081, 0.475, 0.692, 1.0, 0.0018, 0.0165, 0.0369,
+        0.216,
     ],
     // mp row: 0 0 0 0 | 0 621 0 2921 | 315 1128 2372 4347 | 7 94 442 2888, /4347
     wwrr: [
@@ -169,14 +169,14 @@ const AMD_TABLES: IncantationTables = IncantationTables {
     // lb row: 10959 8979 31895 29092 | 13510 12729 29779 26737 |
     //         5094 9360 37624 38664 | 5321 10054 32796 34196, /38664
     rw: [
-        0.283, 0.232, 0.825, 0.752, 0.349, 0.329, 0.770, 0.691, 0.132, 0.242, 0.973, 1.0,
-        0.138, 0.260, 0.848, 0.884,
+        0.283, 0.232, 0.825, 0.752, 0.349, 0.329, 0.770, 0.691, 0.132, 0.242, 0.973, 1.0, 0.138,
+        0.260, 0.848, 0.884,
     ],
     // mp row: 212 31 243 158 | 277 46 318 247 | 473 217 1289 563 |
     //         611 339 2542 1628, /2542
     wwrr: [
-        0.083, 0.012, 0.096, 0.062, 0.109, 0.018, 0.125, 0.097, 0.186, 0.085, 0.507, 0.221,
-        0.240, 0.133, 1.0, 0.640,
+        0.083, 0.012, 0.096, 0.062, 0.109, 0.018, 0.125, 0.097, 0.186, 0.085, 0.507, 0.221, 0.240,
+        0.133, 1.0, 0.640,
     ],
     // coRR row: all zero.
     rr_same: [0.0; 16],
@@ -474,18 +474,18 @@ static GTX540M: ChipProfile = ChipProfile {
     num_sms: 2,
     warp_size: 32,
     base: BaseWeights {
-        wr: 0.02,        // sb not reported; dlb-mp: 0 observed
-        rw: 0.0,         // dlb-lb: 0 observed
-        wwrr: 0.065,     // mp-L1 no-fence 4979
-        rr_same: 0.50,   // coRR 11642
-        rr_same_mixed: 0.022, // coRR-L2-L1 no-fence 2556 minus sticky path
-        shared: 0.085,   // mp-volatile 6301
+        wr: 0.02,               // sb not reported; dlb-mp: 0 observed
+        rw: 0.0,                // dlb-lb: 0 observed
+        wwrr: 0.065,            // mp-L1 no-fence 4979
+        rr_same: 0.50,          // coRR 11642
+        rr_same_mixed: 0.022,   // coRR-L2-L1 no-fence 2556 minus sticky path
+        shared: 0.085,          // mp-volatile 6301
         rmw_first_factor: 0.0,  // dlb-lb: 0 observed
         rmw_second_factor: 0.0, // cas-sl / sl-future: 0 observed
-        cta_fence_leak: 0.0, // mp-L1 membar.cta row: 0
+        cta_fence_leak: 0.0,    // mp-L1 membar.cta row: 0
         l1_preload: 0.35,
-        l1_stale_read: 0.0,  // mp-L1 fenced rows: 0
-        keep_stale_after_cg: 0.09, // coRR-L2-L1 cta-fence row 1934
+        l1_stale_read: 0.0,                        // mp-L1 fenced rows: 0
+        keep_stale_after_cg: 0.09,                 // coRR-L2-L1 cta-fence row 1934
         l1_invalidate_scope: Some(FenceScope::Gl), // gl row: 0
     },
 };
@@ -499,17 +499,17 @@ static TESLA_C2075: ChipProfile = ChipProfile {
     num_sms: 14,
     warp_size: 32,
     base: BaseWeights {
-        wr: 0.03,        // sb not reported; dlb-mp: 4
-        rw: 0.05,        // dlb-lb 750 with atomics
-        wwrr: 0.14,      // mp-L1 no-fence 10581
-        rr_same: 0.38,   // coRR 8879
-        rr_same_mixed: 0.035, // coRR-L2-L1 no-fence 2982
-        shared: 0.066,   // mp-volatile 4977
+        wr: 0.03,                // sb not reported; dlb-mp: 4
+        rw: 0.05,                // dlb-lb 750 with atomics
+        wwrr: 0.14,              // mp-L1 no-fence 10581
+        rr_same: 0.38,           // coRR 8879
+        rr_same_mixed: 0.035,    // coRR-L2-L1 no-fence 2982
+        shared: 0.066,           // mp-volatile 4977
         rmw_first_factor: 0.85,  // dlb-lb 750
         rmw_second_factor: 0.01, // cas-sl 47
-        cta_fence_leak: 0.03, // mp-L1 cta row 308 over no-fence 10581
+        cta_fence_leak: 0.03,    // mp-L1 cta row 308 over no-fence 10581
         l1_preload: 0.35,
-        l1_stale_read: 0.025, // fenced mp-L1 rows 162–308
+        l1_stale_read: 0.025,      // fenced mp-L1 rows 162–308
         keep_stale_after_cg: 0.07, // coRR-L2-L1 fenced rows ~1428–2180
         l1_invalidate_scope: None, // no fence restores .ca orderings
     },
@@ -524,17 +524,17 @@ static GTX660: ChipProfile = ChipProfile {
     num_sms: 5,
     warp_size: 32,
     base: BaseWeights {
-        wr: 0.10,        // dlb-mp 36
-        rw: 0.03,        // dlb-lb 399
-        wwrr: 0.048,     // mp-L1 no-fence 3635
-        rr_same: 0.42,   // coRR 9599
-        rr_same_mixed: 0.00001, // coRR-L2-L1: 2
-        shared: 0.036,   // mp-volatile 2753
+        wr: 0.10,                // dlb-mp 36
+        rw: 0.03,                // dlb-lb 399
+        wwrr: 0.048,             // mp-L1 no-fence 3635
+        rr_same: 0.42,           // coRR 9599
+        rr_same_mixed: 0.00001,  // coRR-L2-L1: 2
+        shared: 0.036,           // mp-volatile 2753
         rmw_first_factor: 0.7,   // dlb-lb 399
         rmw_second_factor: 0.04, // cas-sl 43
-        cta_fence_leak: 0.004, // mp-L1 cta row 14
+        cta_fence_leak: 0.004,   // mp-L1 cta row 14
         l1_preload: 0.30,
-        l1_stale_read: 0.0,  // fenced rows 0
+        l1_stale_read: 0.0,           // fenced rows 0
         keep_stale_after_cg: 0.00001, // coRR-L2-L1: 2
         l1_invalidate_scope: Some(FenceScope::Gl),
     },
@@ -549,15 +549,15 @@ static GTX_TITAN: ChipProfile = ChipProfile {
     num_sms: 14,
     warp_size: 32,
     base: BaseWeights {
-        wr: 0.085,       // sb 6673 (Tab. 6 col 12)
-        rw: 0.04,        // lb 2247
-        wwrr: 0.055,     // mp 4347; mp-L1 6011
-        rr_same: 0.42,   // coRR 9985 (col 16)
-        rr_same_mixed: 0.0008, // coRR-L2-L1 no-fence: 141
-        shared: 0.030,   // mp-volatile 2188
+        wr: 0.085,              // sb 6673 (Tab. 6 col 12)
+        rw: 0.04,               // lb 2247
+        wwrr: 0.055,            // mp 4347; mp-L1 6011
+        rr_same: 0.42,          // coRR 9985 (col 16)
+        rr_same_mixed: 0.0008,  // coRR-L2-L1 no-fence: 141
+        shared: 0.030,          // mp-volatile 2188
         rmw_first_factor: 2.9,  // dlb-lb 2292 vs lb 2247
         rmw_second_factor: 0.3, // cas-sl 512
-        cta_fence_leak: 0.28, // mp-L1 cta row 1696 over 6011
+        cta_fence_leak: 0.28,   // mp-L1 cta row 1696 over 6011
         l1_preload: 0.30,
         l1_stale_read: 0.0,
         keep_stale_after_cg: 0.001, // coRR-L2-L1 contribution
@@ -599,15 +599,15 @@ static HD6570: ChipProfile = ChipProfile {
     num_sms: 8,
     warp_size: 64,
     base: BaseWeights {
-        wr: 0.0,          // sb: not observed
-        rw: 0.12,         // dlb-lb is "n/a" (compiler), but GCN-like hw rate
-        wwrr: 0.17,       // OpenCL mp 9327 (Sec. 3.1.2)
-        rr_same: 0.0,     // coRR not observed on AMD
+        wr: 0.0,      // sb: not observed
+        rw: 0.12,     // dlb-lb is "n/a" (compiler), but GCN-like hw rate
+        wwrr: 0.17,   // OpenCL mp 9327 (Sec. 3.1.2)
+        rr_same: 0.0, // coRR not observed on AMD
         rr_same_mixed: 0.0,
         shared: 0.02,
         rmw_first_factor: 0.5,
         rmw_second_factor: 0.48, // cas-sl 508
-        cta_fence_leak: 0.0, // OpenCL global fences work when present
+        cta_fence_leak: 0.0,     // OpenCL global fences work when present
         l1_preload: 0.0,
         l1_stale_read: 0.0,
         keep_stale_after_cg: 0.0,
@@ -624,9 +624,9 @@ static HD7970: ChipProfile = ChipProfile {
     num_sms: 32,
     warp_size: 64,
     base: BaseWeights {
-        wr: 0.00003,      // sb: 2/100k, bank-conflict columns only
-        rw: 0.55,         // lb 38664
-        wwrr: 0.036,      // mp 2542
+        wr: 0.00003, // sb: 2/100k, bank-conflict columns only
+        rw: 0.55,    // lb 38664
+        wwrr: 0.036, // mp 2542
         rr_same: 0.0,
         rr_same_mixed: 0.0,
         shared: 0.01,
@@ -712,7 +712,10 @@ mod tests {
         let titan = Chip::GtxTitan.profile();
         let col12 = titan.weights(&Incantations::best_inter_cta());
         let col16 = titan.weights(&Incantations::all_on());
-        assert!(col16.rw < col12.rw, "Tab. 6: lb 2247 (col 12) vs 486 (col 16)");
+        assert!(
+            col16.rw < col12.rw,
+            "Tab. 6: lb 2247 (col 12) vs 486 (col 16)"
+        );
         assert!(col16.wr < col12.wr);
     }
 
@@ -731,10 +734,7 @@ mod tests {
 
     #[test]
     fn tesc_fences_never_invalidate_l1() {
-        assert_eq!(
-            Chip::TeslaC2075.profile().base.l1_invalidate_scope,
-            None
-        );
+        assert_eq!(Chip::TeslaC2075.profile().base.l1_invalidate_scope, None);
         assert_eq!(
             Chip::Gtx540m.profile().base.l1_invalidate_scope,
             Some(FenceScope::Gl)

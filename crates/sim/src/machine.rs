@@ -65,24 +65,10 @@ impl std::error::Error for RunError {}
 /// A pending (issued, not yet performed) memory operation.
 #[derive(Clone, Copy, Debug)]
 enum Pending {
-    Store {
-        loc: u32,
-        value: i64,
-    },
-    Load {
-        loc: u32,
-        dst: u32,
-        cache: CacheOp,
-    },
-    Rmw {
-        loc: u32,
-        dst: u32,
-        rmw: RmwOp,
-    },
-    Fence {
-        scope: FenceScope,
-        leaked: bool,
-    },
+    Store { loc: u32, value: i64 },
+    Load { loc: u32, dst: u32, cache: CacheOp },
+    Rmw { loc: u32, dst: u32, rmw: RmwOp },
+    Fence { scope: FenceScope, leaked: bool },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -101,7 +87,6 @@ impl Pending {
             Pending::Fence { .. } => None,
         }
     }
-
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -600,19 +585,30 @@ impl Simulator {
                     && self.program.spans_ctas
                     && w.cta_fence_leak > 0.0
                     && rng.random_bool(w.cta_fence_leak);
-                ctx.queue.push_back(Slot { op: Pending::Fence { scope, leaked }, delay: 0 });
+                ctx.queue.push_back(Slot {
+                    op: Pending::Fence { scope, leaked },
+                    delay: 0,
+                });
                 ctx.pc += 1;
             }
-            SimOp::Ld { dst, addr, cache, .. } => {
+            SimOp::Ld {
+                dst, addr, cache, ..
+            } => {
                 let loc = self.resolve_loc(addr, ctx, t)?;
-                ctx.queue.push_back(Slot { op: Pending::Load { loc, dst, cache }, delay: 0 });
+                ctx.queue.push_back(Slot {
+                    op: Pending::Load { loc, dst, cache },
+                    delay: 0,
+                });
                 ctx.regs[dst as usize] = None;
                 ctx.pc += 1;
             }
             SimOp::St { addr, src, .. } => {
                 let loc = self.resolve_loc(addr, ctx, t)?;
                 let value = self.eval_int(src, ctx);
-                ctx.queue.push_back(Slot { op: Pending::Store { loc, value }, delay: 0 });
+                ctx.queue.push_back(Slot {
+                    op: Pending::Store { loc, value },
+                    delay: 0,
+                });
                 ctx.pc += 1;
             }
             SimOp::Cas {
@@ -626,14 +622,20 @@ impl Simulator {
                     expected: self.eval_int(expected, ctx),
                     desired: self.eval_int(desired, ctx),
                 };
-                ctx.queue.push_back(Slot { op: Pending::Rmw { loc, dst, rmw }, delay: 0 });
+                ctx.queue.push_back(Slot {
+                    op: Pending::Rmw { loc, dst, rmw },
+                    delay: 0,
+                });
                 ctx.regs[dst as usize] = None;
                 ctx.pc += 1;
             }
             SimOp::Exch { dst, addr, src } => {
                 let loc = self.resolve_loc(addr, ctx, t)?;
                 let rmw = RmwOp::Exch(self.eval_int(src, ctx));
-                ctx.queue.push_back(Slot { op: Pending::Rmw { loc, dst, rmw }, delay: 0 });
+                ctx.queue.push_back(Slot {
+                    op: Pending::Rmw { loc, dst, rmw },
+                    delay: 0,
+                });
                 ctx.regs[dst as usize] = None;
                 ctx.pc += 1;
             }
@@ -657,11 +659,16 @@ impl Simulator {
     /// The probability that `later` may perform before `earlier`
     /// (`None` = never).
     fn bypass_prob(&self, earlier: &Pending, later: &Pending, w: &RunWeights) -> Option<f64> {
-        if let Pending::Fence { leaked, .. } = earlier { return leaked.then_some(1.0) }
+        if let Pending::Fence { leaked, .. } = earlier {
+            return leaked.then_some(1.0);
+        }
         if matches!(later, Pending::Fence { .. }) {
             return None; // fences retire in order
         }
-        let (le, ll) = (earlier.loc().expect("accesses"), later.loc().expect("accesses"));
+        let (le, ll) = (
+            earlier.loc().expect("accesses"),
+            later.loc().expect("accesses"),
+        );
         if le == ll {
             return match (earlier, later) {
                 // Same-location load-load hazard (coRR). Mixed cache
@@ -676,9 +683,7 @@ impl Simulator {
                 }
                 // A later load may run ahead of a pending same-location
                 // store by forwarding its value (rfi) — coherence-safe.
-                (Pending::Store { .. }, Pending::Load { .. }) => {
-                    (w.wr > 0.0).then_some(w.wr)
-                }
+                (Pending::Store { .. }, Pending::Load { .. }) => (w.wr > 0.0).then_some(w.wr),
                 // coWW / coRW / anything through an RMW: never.
                 _ => None,
             };
@@ -701,9 +706,7 @@ impl Simulator {
                 (Pending::Store { .. }, Pending::Store { .. }) => w.wwrr,
                 (Pending::Load { .. }, Pending::Store { .. }) => w.rw,
                 (Pending::Load { .. }, Pending::Load { .. }) => w.wwrr,
-                (Pending::Store { .. }, Pending::Rmw { .. }) => {
-                    w.wwrr * w.rmw_second_factor
-                }
+                (Pending::Store { .. }, Pending::Rmw { .. }) => w.wwrr * w.rmw_second_factor,
                 (Pending::Rmw { .. }, Pending::Store { .. }) => w.rw * w.rmw_first_factor,
                 (Pending::Rmw { .. }, Pending::Load { .. }) => w.wr * w.rmw_first_factor,
                 // Acquire-side atomics do not run ahead of earlier loads:
@@ -768,12 +771,14 @@ impl Simulator {
         // Forwarding source for a bypassing load: the newest earlier
         // pending same-location store.
         let forward: Option<i64> = match st.threads[t].queue[idx].op {
-            Pending::Load { loc, .. } => (0..idx)
-                .rev()
-                .find_map(|i| match st.threads[t].queue[i].op {
-                    Pending::Store { loc: l, value } if l == loc => Some(value),
-                    _ => None,
-                }),
+            Pending::Load { loc, .. } => {
+                (0..idx)
+                    .rev()
+                    .find_map(|i| match st.threads[t].queue[i].op {
+                        Pending::Store { loc: l, value } if l == loc => Some(value),
+                        _ => None,
+                    })
+            }
             _ => None,
         };
 
@@ -842,10 +847,13 @@ impl Simulator {
                             }
                             CacheOp::Ca => match st.l1[sm * nlocs + li] {
                                 Some(line) if line.sticky => line.value,
-                                Some(line) if line.stale
-                                    && w.l1_stale_read > 0.0 && rng.random_bool(w.l1_stale_read) => {
-                                        line.value
-                                    }
+                                Some(line)
+                                    if line.stale
+                                        && w.l1_stale_read > 0.0
+                                        && rng.random_bool(w.l1_stale_read) =>
+                                {
+                                    line.value
+                                }
                                 Some(line) => line.value,
                                 None => {
                                     let v = st.l2[li];
@@ -954,7 +962,12 @@ mod tests {
     use super::*;
     use weakgpu_litmus::{corpus, ThreadScope};
 
-    fn witnesses(test: &weakgpu_litmus::LitmusTest, chip: Chip, inc: &Incantations, n: usize) -> usize {
+    fn witnesses(
+        test: &weakgpu_litmus::LitmusTest,
+        chip: Chip,
+        inc: &Incantations,
+        n: usize,
+    ) -> usize {
         count_witnesses(test, chip, inc, n, 0xfeed).unwrap()
     }
 
@@ -1033,7 +1046,10 @@ mod tests {
             &inc,
             n,
         );
-        assert!(inter > 10, "inter-CTA mp+membar.ctas must leak, got {inter}");
+        assert!(
+            inter > 10,
+            "inter-CTA mp+membar.ctas must leak, got {inter}"
+        );
         // Within a CTA the cta fence is solid.
         let intra = witnesses(
             &corpus::mp(ThreadScope::IntraCta, Some(FenceScope::Cta)),
@@ -1072,7 +1088,12 @@ mod tests {
         );
         assert!(lb_hits > 500, "HD7970 lb with no incantations: {lb_hits}");
         // And no coRR on AMD ever.
-        let corr_hits = witnesses(&corpus::corr(), Chip::RadeonHd7970, &Incantations::all_on(), n);
+        let corr_hits = witnesses(
+            &corpus::corr(),
+            Chip::RadeonHd7970,
+            &Incantations::all_on(),
+            n,
+        );
         assert_eq!(corr_hits, 0);
     }
 
@@ -1170,8 +1191,15 @@ mod tests {
         let mut batch_rng = SmallRng::seed_from_u64(0xabcd);
         let mut state = sim.new_state();
         let mut counts = ObsCounts::new();
-        sim.run_batch(n, &weights, inc.thread_rand, &mut batch_rng, &mut state, &mut counts)
-            .unwrap();
+        sim.run_batch(
+            n,
+            &weights,
+            inc.thread_rand,
+            &mut batch_rng,
+            &mut state,
+            &mut counts,
+        )
+        .unwrap();
         let mut batch: std::collections::BTreeMap<Outcome, u64> = Default::default();
         for (obs, c) in counts.iter() {
             *batch.entry(sim.outcome_from_obs(obs)).or_insert(0) += c;
@@ -1199,7 +1227,8 @@ mod tests {
         let weights = Chip::GtxTitan.profile().weights(&Incantations::all_on());
         let mut rng = SmallRng::seed_from_u64(7);
         let mut state = sim.new_state();
-        sim.run_once_into(&weights, true, &mut rng, &mut state).unwrap();
+        sim.run_once_into(&weights, true, &mut rng, &mut state)
+            .unwrap();
         // The materialised outcome binds exactly the observed expressions,
         // each to the value the state recorded for it.
         let outcome = sim.outcome_from_obs(state.observed());

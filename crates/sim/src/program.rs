@@ -253,24 +253,22 @@ impl SimProgram {
         for (tid, code) in test.threads().iter().enumerate() {
             let mut regs: BTreeMap<String, u32> = BTreeMap::new();
             let mut inits: Vec<SimValue> = Vec::new();
-            let reg_id = |name: &str,
-                              regs: &mut BTreeMap<String, u32>,
-                              inits: &mut Vec<SimValue>|
-             -> u32 {
-                if let Some(&id) = regs.get(name) {
-                    return id;
-                }
-                let id = inits.len() as u32;
-                regs.insert(name.to_owned(), id);
-                let v = test.reg_init_value(tid, &weakgpu_litmus::Reg::new(name));
-                inits.push(match v {
-                    Value::Int(n) => SimValue::Int(n),
-                    Value::Ptr { loc, .. } => {
-                        SimValue::Ptr(*loc_ids.get(&loc).expect("validated pointer target"))
+            let reg_id =
+                |name: &str, regs: &mut BTreeMap<String, u32>, inits: &mut Vec<SimValue>| -> u32 {
+                    if let Some(&id) = regs.get(name) {
+                        return id;
                     }
-                });
-                id
-            };
+                    let id = inits.len() as u32;
+                    regs.insert(name.to_owned(), id);
+                    let v = test.reg_init_value(tid, &weakgpu_litmus::Reg::new(name));
+                    inits.push(match v {
+                        Value::Int(n) => SimValue::Int(n),
+                        Value::Ptr { loc, .. } => {
+                            SimValue::Ptr(*loc_ids.get(&loc).expect("validated pointer target"))
+                        }
+                    });
+                    id
+                };
 
             // Label offsets (on the original instruction indexing, which we
             // preserve one-to-one with Nop for label defs).
@@ -313,9 +311,9 @@ impl SimProgram {
                         })?;
                     ObsTarget::Reg(*t, id)
                 }
-                FinalExpr::Mem(l) => ObsTarget::Mem(
-                    *loc_ids.get(l).expect("condition locations validated"),
-                ),
+                FinalExpr::Mem(l) => {
+                    ObsTarget::Mem(*loc_ids.get(l).expect("condition locations validated"))
+                }
             };
             observed.push((expr, target));
         }
@@ -498,9 +496,7 @@ mod tests {
         let t = corpus::mp_dep(ThreadScope::InterCta, weakgpu_litmus::FenceScope::Gl);
         let p = SimProgram::compile(&t).unwrap();
         // T1's r4 starts as a pointer to x.
-        let has_ptr = p.reg_init[1]
-            .iter()
-            .any(|v| matches!(v, SimValue::Ptr(_)));
+        let has_ptr = p.reg_init[1].iter().any(|v| matches!(v, SimValue::Ptr(_)));
         assert!(has_ptr);
     }
 

@@ -16,7 +16,11 @@ use weakgpu::Session;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = GenConfig::small();
     let tests = generate(&cfg);
-    println!("generated {} tests from {} cycles\n", tests.len(), cfg.cycles().len());
+    println!(
+        "generated {} tests from {} cycles\n",
+        tests.len(),
+        cfg.cycles().len()
+    );
 
     // Classify under the models.
     let ptx = ptx_model();

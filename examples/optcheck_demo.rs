@@ -50,8 +50,16 @@ fn main() {
         let thread = load_load_dep(scheme);
         println!(
             "  {name:<20} -O0: {:<7} -O3: {}",
-            if dependency_survives(&thread, &CompilerConfig::o0()) { "kept" } else { "erased" },
-            if dependency_survives(&thread, &CompilerConfig::o3()) { "kept" } else { "erased" },
+            if dependency_survives(&thread, &CompilerConfig::o0()) {
+                "kept"
+            } else {
+                "erased"
+            },
+            if dependency_survives(&thread, &CompilerConfig::o3()) {
+                "kept"
+            } else {
+                "erased"
+            },
         );
     }
 }

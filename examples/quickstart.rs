@@ -60,10 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Now drop the fences: the weak outcome appears on weak chips, and
     //    the PTX model (which must stay sound) allows it.
-    let unfenced = weakgpu::litmus::corpus::mp(
-        weakgpu::litmus::ThreadScope::IntraCta,
-        None,
-    );
+    let unfenced = weakgpu::litmus::corpus::mp(weakgpu::litmus::ThreadScope::IntraCta, None);
     println!("\nwithout fences:");
     for chip in [Chip::GtxTitan, Chip::Gtx280] {
         let report = session.clone().chip(chip).run(&unfenced)?;

@@ -80,7 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // `witnesses` counts runs where c == THREADS; losses are the rest.
         let lost = RUNS as u64 - buggy.witnesses;
         let lost_fixed = RUNS as u64 - fixed.witnesses;
-        println!("{:<14} {:>14}/{RUNS} {:>14}/{RUNS}", chip.short(), lost, lost_fixed);
+        println!(
+            "{:<14} {:>14}/{RUNS} {:>14}/{RUNS}",
+            chip.short(),
+            lost,
+            lost_fixed
+        );
         assert_eq!(lost_fixed, 0, "the erratum's fences must fix the lock");
     }
     println!(

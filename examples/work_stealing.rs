@@ -61,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "model verdict for {:<22} {}",
             t.name(),
-            if v.condition_witnessed { "ALLOWED" } else { "FORBIDDEN" }
+            if v.condition_witnessed {
+                "ALLOWED"
+            } else {
+                "FORBIDDEN"
+            }
         );
     }
     Ok(())

@@ -5,19 +5,26 @@
 //! ```text
 //! weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N] [--parallelism N]
 //! weakgpu campaign [NAME|FILE ...] [--chips SHORT,..] [--iterations N] [--seed N] [--parallelism N]
+//! weakgpu sweep [--family small|paper] [--shard K/N] [--out FILE.json] [--chips ..] [..]
+//! weakgpu sweep --merge a.json b.json ... [--out FILE.json]
 //! weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
 //! weakgpu show <file.litmus> [--dot]
 //! weakgpu corpus [NAME]
 //! ```
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use weakgpu::axiom::enumerate::{enumerate_executions, model_outcomes, EnumConfig};
 use weakgpu::axiom::render;
 use weakgpu::axiom::Model;
+use weakgpu::diy::{generate, GenConfig};
 use weakgpu::harness::campaign::{run_campaign_with, CampaignConfig, CellSpec};
 use weakgpu::harness::report::ObsTable;
 use weakgpu::harness::runner::{run_test, RunConfig};
+use weakgpu::harness::sweep::{run_sweep_with, Shard, SweepConfig, SweepReport};
 use weakgpu::litmus::{corpus, corpus_extra, parser, LitmusTest};
 use weakgpu::models;
 use weakgpu::sim::chip::Chip;
@@ -25,6 +32,9 @@ use weakgpu::sim::chip::Chip;
 const USAGE: &str = "usage:
   weakgpu run <file.litmus> [--chip SHORT] [--iterations N] [--seed N] [--parallelism N]
   weakgpu campaign [NAME|FILE ...] [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
+  weakgpu sweep [--family small|paper] [--shard K/N] [--out FILE.json]
+                [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
+  weakgpu sweep --merge FILE.json FILE.json ... [--out FILE.json]
   weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
   weakgpu show <file.litmus> [--dot]
   weakgpu corpus [NAME]
@@ -32,6 +42,16 @@ const USAGE: &str = "usage:
 `run` histograms one test; `campaign` schedules many (test, chip) cells
 over one shared worker pool, streaming per-cell results as they finish
 (default: the whole built-in corpus on the paper's tabled chips).
+
+`sweep` is the paper's Sec. 5.4 validation as a subsystem: a generated
+family (--family small|paper) runs on the tabled Nvidia chips and every
+observation is checked against the PTX model. --shard K/N runs the K-th
+of N deterministic, disjoint slices of the family (per-test seeds depend
+only on the test's canonical index, so shards recombine exactly);
+--out FILE.json writes the aggregate report there and streams one JSONL
+record per cell to FILE.jsonl. --merge recombines shard reports, failing
+on a missing shard or any model-forbidden observation. Exit status is
+non-zero if any observation is unsound.
 
 --parallelism N pins the worker-thread count (default: all cores). It
 affects wall-clock time only: for a fixed --seed the full histogram is
@@ -59,6 +79,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
@@ -164,7 +185,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some(c) => vec![c],
         None => Chip::TABLED.to_vec(),
     };
-    println!("Test {} ({} runs, incantations {inc})", test.name(), iterations);
+    println!(
+        "Test {} ({} runs, incantations {inc})",
+        test.name(),
+        iterations
+    );
     println!("{}\n", test.cond());
     for chip in chips {
         let report = run_test(&test, chip, &cfg).map_err(|e| e.to_string())?;
@@ -228,27 +253,20 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         cells.len(),
         iterations
     );
-    let reports = run_campaign_with(
-        &cells,
-        &CampaignConfig { parallelism },
-        |_, report| {
-            // Streamed as cells complete (possibly out of order).
-            println!(
-                "  done {:<28} {:<8} {:>8} witnesses ({}/100k)",
-                report.test,
-                report.chip.short(),
-                report.witnesses,
-                report.obs_per_100k()
-            );
-        },
-    )
+    let reports = run_campaign_with(&cells, &CampaignConfig { parallelism }, |_, report| {
+        // Streamed as cells complete (possibly out of order).
+        println!(
+            "  done {:<28} {:<8} {:>8} witnesses ({}/100k)",
+            report.test,
+            report.chip.short(),
+            report.witnesses,
+            report.obs_per_100k()
+        );
+    })
     .map_err(|e| e.to_string())?;
 
     // Summary grid in deterministic test-major order.
-    let mut table = ObsTable::new(
-        "obs/100k",
-        chips.iter().map(|c| c.short().to_owned()),
-    );
+    let mut table = ObsTable::new("obs/100k", chips.iter().map(|c| c.short().to_owned()));
     for (t, test) in tests.iter().enumerate() {
         table.row(
             test.name().to_owned(),
@@ -259,6 +277,204 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     println!("\n{table}");
     Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if take_flag(&mut args, "--merge") {
+        return cmd_sweep_merge(args);
+    }
+    let family_name = take_opt(&mut args, "--family").unwrap_or_else(|| "small".into());
+    let gen_cfg = GenConfig::named(&family_name).ok_or_else(|| {
+        format!(
+            "unknown family {family_name:?} (expected one of {})",
+            GenConfig::FAMILY_NAMES.join(", ")
+        )
+    })?;
+    let shard = take_opt(&mut args, "--shard")
+        .map(|s| Shard::parse(&s))
+        .transpose()?;
+    let out = take_opt(&mut args, "--out");
+    let chips: Vec<Chip> = match take_opt(&mut args, "--chips") {
+        Some(list) => list
+            .split(',')
+            .map(chip_by_short)
+            .collect::<Result<_, _>>()?,
+        None => Chip::NVIDIA_TABLED.to_vec(),
+    };
+    let iterations = take_opt(&mut args, "--iterations")
+        .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(1_000);
+    let seed = take_opt(&mut args, "--seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0x5eed);
+    let parallelism = take_opt(&mut args, "--parallelism")
+        .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?;
+    if let Some(extra) = args.first() {
+        return Err(format!("sweep: unexpected argument {extra:?}"));
+    }
+
+    let tests = generate(&gen_cfg);
+    let cfg = SweepConfig {
+        family: family_name.clone(),
+        shard,
+        chips,
+        iterations,
+        seed,
+        parallelism,
+    };
+    let shard_tests = (0..tests.len())
+        .filter(|&i| shard.is_none_or(|sh| sh.selects(i)))
+        .count();
+    let total_cells = shard_tests * cfg.chips.len();
+    eprintln!(
+        "sweep: family {family_name} ({} tests{}), {} chips × {iterations} runs = {total_cells} cells (seed {seed})",
+        tests.len(),
+        match shard {
+            Some(sh) => format!(", shard {sh}: {shard_tests} tests"),
+            None => String::new(),
+        },
+        cfg.chips.len(),
+    );
+
+    let jsonl = match &out {
+        Some(path) => {
+            let jsonl_path = std::path::Path::new(path).with_extension("jsonl");
+            let file = std::fs::File::create(&jsonl_path)
+                .map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
+            eprintln!("sweep: streaming cell records to {}", jsonl_path.display());
+            Some(Mutex::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let done = AtomicUsize::new(0);
+    let report = run_sweep_with(&tests, &cfg, |rec| {
+        if let Some(w) = &jsonl {
+            let mut w = w.lock().expect("no poisoned locks");
+            let _ = writeln!(w, "{}", rec.to_jsonl());
+        }
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(2_000) {
+            eprintln!("  … {n}/{total_cells} cells");
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(w) = jsonl {
+        w.into_inner()
+            .expect("no poisoned locks")
+            .flush()
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("sweep: wrote aggregate report to {path}");
+    }
+    print_sweep_summary(&report, false);
+    if !report.is_sound() {
+        eprintln!(
+            "error: {} cells observed model-forbidden outcomes",
+            report.unsound_cells
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+fn cmd_sweep_merge(args: Vec<String>) -> Result<(), String> {
+    let mut args = args;
+    let out = take_opt(&mut args, "--out");
+    if args.is_empty() {
+        return Err("sweep --merge: no report files given".to_owned());
+    }
+    let reports: Vec<SweepReport> = args
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            SweepReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let merged = SweepReport::merge(&reports).map_err(|e| e.to_string())?;
+    match &out {
+        Some(path) => {
+            std::fs::write(path, merged.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("sweep: wrote merged report to {path}");
+            print_sweep_summary(&merged, false);
+        }
+        None => {
+            // Without --out the JSON document IS stdout (so
+            // `... --merge a.json b.json > merged.json` stays parseable);
+            // the human-readable summary goes to stderr.
+            print!("{}", merged.to_json());
+            print_sweep_summary(&merged, true);
+        }
+    }
+    if !merged.is_sound() {
+        eprintln!(
+            "error: {} cells observed model-forbidden outcomes",
+            merged.unsound_cells
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// Renders the human-readable summary to stdout, or to stderr when
+/// stdout is carrying the JSON report itself.
+fn print_sweep_summary(report: &SweepReport, to_stderr: bool) {
+    let mut text = String::new();
+    let mut line = |s: String| {
+        text.push_str(&s);
+        text.push('\n');
+    };
+    line(format!(
+        "\n== sweep: family {} ({} tests), {} ==",
+        report.family,
+        report.family_size,
+        match report.shard {
+            Some(sh) => format!("shard {sh} ({} tests)", report.tests_run),
+            None => format!("{} tests run", report.tests_run),
+        }
+    ));
+    let mut table = ObsTable::new("validation", report.chips.iter().cloned());
+    table.row("cells", report.per_chip.iter().map(|c| c.cells));
+    table.row("runs", report.per_chip.iter().map(|c| c.runs));
+    table.row(
+        "witnessed cells",
+        report.per_chip.iter().map(|c| c.witnessed_cells),
+    );
+    table.row("witnesses", report.per_chip.iter().map(|c| c.witnesses));
+    table.row(
+        "unsound cells",
+        report.per_chip.iter().map(|c| c.unsound_cells),
+    );
+    line(format!("{table}"));
+    line(format!(
+        "{} of {} tests witnessed their weak outcome on >=1 chip; {} total runs",
+        report.weak_tests, report.tests_run, report.total_runs
+    ));
+    line(format!(
+        "verdict cache: {} shapes enumerated, {} hits / {} misses",
+        report.cache.entries, report.cache.hits, report.cache.misses
+    ));
+    if report.is_sound() {
+        line("RESULT: sound — every observation is allowed by the PTX model".to_owned());
+    } else {
+        line(format!(
+            "RESULT: UNSOUND — {} cells observed forbidden outcomes:",
+            report.unsound_cells
+        ));
+        for u in report.unsound.iter().take(20) {
+            line(format!("  {} on {}: {:?}", u.test, u.chip, u.outcomes));
+        }
+    }
+    if to_stderr {
+        eprint!("{text}");
+    } else {
+        print!("{text}");
+    }
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
@@ -275,7 +491,11 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     );
     println!("allowed outcomes:");
     for o in &verdict.allowed_outcomes {
-        let mark = if test.cond().witnessed_by(o) { "  *>" } else { "    " };
+        let mark = if test.cond().witnessed_by(o) {
+            "  *>"
+        } else {
+            "    "
+        };
         println!("{mark} {o}");
     }
     println!(

@@ -43,3 +43,64 @@ fn unknown_command_exits_nonzero() {
     let out = weakgpu().arg("frobnicate").output().unwrap();
     assert!(!out.status.success(), "unknown command must fail");
 }
+
+#[test]
+fn sweep_shard_and_merge_roundtrip() {
+    // The CI pipeline in miniature: two shards at tiny scale, written to
+    // JSON, then merged; the merged report must cover the whole family
+    // and exit 0 (sound).
+    let dir = std::env::temp_dir().join(format!("weakgpu-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut outs = Vec::new();
+    for k in 1..=2 {
+        let out_path = dir.join(format!("shard-{k}.json"));
+        let out = weakgpu()
+            .args([
+                "sweep",
+                "--shard",
+                &format!("{k}/2"),
+                "--chips",
+                "titan",
+                "--iterations",
+                "60",
+                "--out",
+            ])
+            .arg(&out_path)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "shard {k} exited {:?}", out.status);
+        // The streaming JSONL sits next to the aggregate.
+        let jsonl = std::fs::read_to_string(out_path.with_extension("jsonl")).unwrap();
+        assert!(!jsonl.trim().is_empty(), "shard {k} streamed no records");
+        outs.push(out_path);
+    }
+    let merged_path = dir.join("merged.json");
+    let out = weakgpu()
+        .arg("sweep")
+        .arg("--merge")
+        .args(&outs)
+        .arg("--out")
+        .arg(&merged_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "merge exited {:?}", out.status);
+    let merged = std::fs::read_to_string(&merged_path).unwrap();
+    assert!(merged.contains("\"shard\": null"), "{merged}");
+    assert!(merged.contains("\"unsound_cells\": 0"), "{merged}");
+
+    // Merging with a shard missing must fail loudly.
+    let out = weakgpu()
+        .arg("sweep")
+        .arg("--merge")
+        .arg(&outs[0])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "merge with a missing shard must fail"
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("missing shard"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,8 +5,7 @@
 
 use weakgpu::harness::runner::{run_test, RunConfig};
 use weakgpu::litmus::cuda::{
-    compile_thread, cuda_by_example_lock, cuda_by_example_unlock, var_register, CudaExpr,
-    CudaStmt,
+    compile_thread, cuda_by_example_lock, cuda_by_example_unlock, var_register, CudaExpr, CudaStmt,
 };
 use weakgpu::litmus::{FinalExpr, LitmusTest, Loc, Predicate, ThreadScope};
 use weakgpu::sim::chip::{Chip, Incantations};
@@ -31,15 +30,19 @@ fn lock_test(fenced: bool) -> LitmusTest {
     let regs = var_register(&t1);
     let data = regs["data"].clone();
 
-    LitmusTest::builder(if fenced { "fig2-lock+fences" } else { "fig2-lock" })
-        .global("x", 0)
-        .global("mutex", 1) // T0 holds the lock initially, as in cas-sl
-        .thread(compile_thread(&t0))
-        .thread(compile_thread(&t1))
-        .scope(ThreadScope::InterCta)
-        .exists(Predicate::Eq(FinalExpr::Reg(1, data), 0))
-        .build()
-        .unwrap()
+    LitmusTest::builder(if fenced {
+        "fig2-lock+fences"
+    } else {
+        "fig2-lock"
+    })
+    .global("x", 0)
+    .global("mutex", 1) // T0 holds the lock initially, as in cas-sl
+    .thread(compile_thread(&t0))
+    .thread(compile_thread(&t1))
+    .scope(ThreadScope::InterCta)
+    .exists(Predicate::Eq(FinalExpr::Reg(1, data), 0))
+    .build()
+    .unwrap()
 }
 
 fn stale_reads(test: &LitmusTest, chip: Chip) -> u64 {
@@ -84,9 +87,7 @@ fn fig2_lock_with_erratum_fences_is_correct() {
 #[test]
 fn compiled_lock_passes_optcheck() {
     // The Tab. 5 output survives a clean -O3 compile untouched.
-    let report = weakgpu::optcheck::check_test(
-        &lock_test(true),
-        &weakgpu::optcheck::CompilerConfig::o3(),
-    );
+    let report =
+        weakgpu::optcheck::check_test(&lock_test(true), &weakgpu::optcheck::CompilerConfig::o3());
     assert!(report.consistent, "{:?}", report.issues);
 }

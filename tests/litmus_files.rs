@@ -34,7 +34,10 @@ fn all_files_parse_and_roundtrip() {
         assert_eq!(test.threads(), reparsed.threads(), "{path:?}");
         assert_eq!(test.cond(), reparsed.cond(), "{path:?}");
     }
-    assert!(count >= 6, "expected the shipped corpus, found {count} files");
+    assert!(
+        count >= 6,
+        "expected the shipped corpus, found {count} files"
+    );
 }
 
 #[test]

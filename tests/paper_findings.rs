@@ -31,10 +31,20 @@ fn obs(test: &LitmusTest, chip: Chip, iterations: usize) -> u64 {
 
 #[test]
 fn finding_1_corr_on_fermi_and_kepler() {
-    for chip in [Chip::Gtx540m, Chip::TeslaC2075, Chip::Gtx660, Chip::GtxTitan] {
+    for chip in [
+        Chip::Gtx540m,
+        Chip::TeslaC2075,
+        Chip::Gtx660,
+        Chip::GtxTitan,
+    ] {
         assert!(obs(&corpus::corr(), chip, 5_000) > 0, "{chip}");
     }
-    for chip in [Chip::Gtx280, Chip::Gtx750, Chip::RadeonHd6570, Chip::RadeonHd7970] {
+    for chip in [
+        Chip::Gtx280,
+        Chip::Gtx750,
+        Chip::RadeonHd6570,
+        Chip::RadeonHd7970,
+    ] {
         assert_eq!(obs(&corpus::corr(), chip, 5_000), 0, "{chip}");
     }
 }
@@ -42,10 +52,25 @@ fn finding_1_corr_on_fermi_and_kepler() {
 #[test]
 fn finding_2_fermi_l1_ignores_fences() {
     // Tesla C2075: mp-L1 and coRR-L2-L1 survive even membar.sys.
-    assert!(obs(&corpus::mp_l1(Some(FenceScope::Sys)), Chip::TeslaC2075, 80_000) > 0);
-    assert!(obs(&corpus::corr_l2_l1(Some(FenceScope::Sys)), Chip::TeslaC2075, 50_000) > 0);
+    assert!(
+        obs(
+            &corpus::mp_l1(Some(FenceScope::Sys)),
+            Chip::TeslaC2075,
+            80_000
+        ) > 0
+    );
+    assert!(
+        obs(
+            &corpus::corr_l2_l1(Some(FenceScope::Sys)),
+            Chip::TeslaC2075,
+            50_000
+        ) > 0
+    );
     // Whereas membar.gl restores mp-L1 on the GTX Titan.
-    assert_eq!(obs(&corpus::mp_l1(Some(FenceScope::Gl)), Chip::GtxTitan, 50_000), 0);
+    assert_eq!(
+        obs(&corpus::mp_l1(Some(FenceScope::Gl)), Chip::GtxTitan, 50_000),
+        0
+    );
 }
 
 #[test]
@@ -134,7 +159,9 @@ fn sec_6_operational_model_unsound_axiomatic_sound() {
         .incantations(Incantations::best_inter_cta());
     let report = session.run(&test).unwrap();
     assert!(report.witnesses > 0, "lb+membar.ctas must be observable");
-    let ptx = session.check_soundness_against(&test, &ptx_model()).unwrap();
+    let ptx = session
+        .check_soundness_against(&test, &ptx_model())
+        .unwrap();
     assert!(ptx.is_sound());
     let op = session
         .check_soundness_against(&test, &operational_baseline())

@@ -7,8 +7,7 @@ use weakgpu::axiom::relation::{EventSet, Relation};
 const N: usize = 9;
 
 fn arb_relation() -> impl Strategy<Value = Relation> {
-    prop::collection::vec((0..N, 0..N), 0..20)
-        .prop_map(|pairs| Relation::from_pairs(N, pairs))
+    prop::collection::vec((0..N, 0..N), 0..20).prop_map(|pairs| Relation::from_pairs(N, pairs))
 }
 
 fn arb_set() -> impl Strategy<Value = EventSet> {

@@ -1,79 +1,103 @@
 //! A reduced version of the paper's Sec. 5.4 validation (the `--full`
-//! variant lives in the `tab_validation` bench binary): a diy-generated
-//! family, run on weak and strong chip profiles, with every observation
-//! checked against the paper's PTX model.
+//! variant lives in the `tab_validation` bench binary, CI runs the paper
+//! family through the sharded `weakgpu sweep` matrix): a diy-generated
+//! family, run on weak and strong chip profiles through the sweep
+//! subsystem, with every observation checked against the paper's PTX
+//! model.
 
-use weakgpu::axiom::enumerate::EnumConfig;
 use weakgpu::diy::{generate, GenConfig};
-use weakgpu::harness::runner::{run_test, RunConfig};
-use weakgpu::harness::soundness::check_soundness;
-use weakgpu::litmus::ThreadScope;
-use weakgpu::models::ptx_model;
-use weakgpu::sim::chip::{Chip, Incantations};
+use weakgpu::harness::sweep::{run_sweep, Shard, SweepConfig, SweepReport};
+use weakgpu::sim::chip::Chip;
 
 #[test]
 fn generated_family_observations_are_model_sound() {
     let tests = generate(&GenConfig::small());
     assert!(tests.len() > 80);
-    let model = ptx_model();
-    let enum_cfg = EnumConfig::default();
-    let mut weak_witnessed = 0usize;
-    for (i, test) in tests.iter().enumerate() {
-        let inc = match test.thread_scope() {
-            Some(ThreadScope::InterCta) => Incantations::best_inter_cta(),
-            _ => Incantations::all_on(),
-        };
-        // Alternate chips to cover several profiles without blowing up CI
-        // time; include a strong chip every few tests.
-        let chip = match i % 4 {
-            0 => Chip::GtxTitan,
-            1 => Chip::TeslaC2075,
-            2 => Chip::RadeonHd7970,
-            _ => Chip::Gtx280,
-        };
-        let cfg = RunConfig {
-            iterations: 1_500,
-            incantations: inc,
-            seed: 0x7a11 ^ i as u64,
-            parallelism: None,
-        };
-        let report = run_test(test, chip, &cfg)
-            .unwrap_or_else(|e| panic!("{} on {chip}: {e}", test.name()));
-        if report.witnesses > 0 {
-            weak_witnessed += 1;
-        }
-        let soundness = check_soundness(test, &report.histogram, &model, &enum_cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
-        assert!(
-            soundness.is_sound(),
-            "{} on {chip}: model forbids observed {:?}",
-            test.name(),
-            soundness.violations
-        );
-    }
+    // Several profiles (weak Kepler/Fermi, AMD, and the strong GTX 280)
+    // in one sweep; per-cell soundness is checked inside run_sweep.
+    let cfg = SweepConfig {
+        family: "small".to_owned(),
+        shard: None,
+        chips: vec![
+            Chip::GtxTitan,
+            Chip::TeslaC2075,
+            Chip::RadeonHd7970,
+            Chip::Gtx280,
+        ],
+        iterations: 1_000,
+        seed: 0x7a11,
+        parallelism: None,
+    };
+    let report = run_sweep(&tests, &cfg).unwrap();
+    assert!(
+        report.is_sound(),
+        "model forbids observed outcomes: {:?}",
+        report.unsound
+    );
+    assert_eq!(report.tests_run as usize, tests.len());
+    assert_eq!(report.total_runs, (tests.len() * 4 * 1_000) as u64);
     // The family must actually exercise weak behaviour, not just pass
     // vacuously.
     assert!(
-        weak_witnessed > 5,
-        "only {weak_witnessed} tests showed their weak outcome"
+        report.weak_tests > 5,
+        "only {} tests showed their weak outcome",
+        report.weak_tests
+    );
+    // The verdict cache collapsed the four chip columns into (roughly —
+    // racing cells of one test may both enumerate) one enumeration per
+    // test shape.
+    assert_eq!(report.cache.entries as usize, tests.len());
+    assert!(report.cache.misses as usize >= tests.len());
+    assert_eq!(
+        (report.cache.hits + report.cache.misses) as usize,
+        tests.len() * 4
     );
 }
 
 #[test]
 fn strong_chip_never_witnesses_any_generated_cycle() {
-    for (i, test) in generate(&GenConfig::small()).iter().enumerate().take(60) {
-        let cfg = RunConfig {
-            iterations: 800,
-            incantations: Incantations::all_on(),
-            seed: 0x57 ^ i as u64,
-            parallelism: None,
-        };
-        let report = run_test(test, Chip::Gtx280, &cfg).unwrap();
-        assert_eq!(
-            report.witnesses,
-            0,
-            "{}: GTX 280 must behave sequentially",
-            test.name()
-        );
-    }
+    let tests = generate(&GenConfig::small());
+    let cfg = SweepConfig {
+        family: "small".to_owned(),
+        shard: None,
+        chips: vec![Chip::Gtx280],
+        iterations: 800,
+        seed: 0x57,
+        parallelism: None,
+    };
+    let report = run_sweep(&tests, &cfg).unwrap();
+    assert_eq!(
+        report.total_witnesses, 0,
+        "GTX 280 must behave sequentially on the whole family"
+    );
+    assert_eq!(report.weak_tests, 0);
+}
+
+#[test]
+fn sharded_validation_recombines_exactly() {
+    // The CI matrix in miniature: four shards at bounded iterations,
+    // merged, must equal the unsharded sweep at the same seed.
+    let tests = generate(&GenConfig::small());
+    let cfg = |shard| SweepConfig {
+        family: "small".to_owned(),
+        shard,
+        chips: vec![Chip::GtxTitan, Chip::Gtx660],
+        iterations: 250,
+        seed: 0xc1,
+        parallelism: None,
+    };
+    let whole = run_sweep(&tests, &cfg(None)).unwrap();
+    let shards: Vec<SweepReport> = (1..=4)
+        .map(|index| run_sweep(&tests, &cfg(Some(Shard { index, count: 4 }))).unwrap())
+        .collect();
+    let merged = SweepReport::merge(&shards).unwrap();
+    assert!(merged.totals_match(&whole));
+    // Round-tripping every shard through its JSON form (as the CI
+    // artifact path does) must not change the merge.
+    let reparsed: Vec<SweepReport> = shards
+        .iter()
+        .map(|s| SweepReport::from_json(&s.to_json()).unwrap())
+        .collect();
+    let merged2 = SweepReport::merge(&reparsed).unwrap();
+    assert_eq!(merged, merged2);
 }

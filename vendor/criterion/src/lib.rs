@@ -79,7 +79,10 @@ impl Criterion {
         } else {
             bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
         };
-        println!("bench: {name:<40} {per_iter:>14.1} ns/iter ({} iters)", bencher.iters);
+        println!(
+            "bench: {name:<40} {per_iter:>14.1} ns/iter ({} iters)",
+            bencher.iters
+        );
         self
     }
 

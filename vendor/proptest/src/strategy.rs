@@ -230,21 +230,30 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { lo: n, hi_inclusive: n }
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty size range");
-        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
     }
 }
 
@@ -260,7 +269,10 @@ pub struct VecStrategy<S> {
 }
 
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -284,7 +296,11 @@ where
     V: Strategy,
     K::Value: Ord,
 {
-    BTreeMapStrategy { key, value, size: size.into() }
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
 }
 
 impl<K, V> Strategy for BTreeMapStrategy<K, V>

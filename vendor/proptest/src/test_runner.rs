@@ -41,7 +41,10 @@ impl Default for Config {
 
 impl Config {
     pub fn with_cases(cases: u32) -> Self {
-        Config { cases, ..Config::default() }
+        Config {
+            cases,
+            ..Config::default()
+        }
     }
 }
 
