@@ -35,8 +35,9 @@ use std::sync::Arc;
 
 use weakgpu_litmus::{printer, LitmusTest};
 
-use crate::enumerate::{model_outcomes, EnumConfig, EnumError, ModelOutcomes};
+use crate::enumerate::{model_outcomes_with, EnumConfig, EnumError, ModelOutcomes};
 use crate::model::Model;
+use crate::plan::EvalContext;
 
 /// A canonical serialisation of everything that determines a test's
 /// axiomatic verdict: per-thread instructions, register initialisations,
@@ -110,12 +111,30 @@ impl VerdictCache {
         model: &dyn Model,
         cfg: &EnumConfig,
     ) -> Result<Arc<ModelOutcomes>, EnumError> {
+        self.outcomes_with(test, model, cfg, &mut EvalContext::new())
+    }
+
+    /// [`VerdictCache::outcomes`] with a caller-owned [`EvalContext`] for
+    /// the miss path, so repeated misses (the first judgement of each
+    /// shape in a sweep) reuse one evaluation arena.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EnumError`]s from the enumeration; failures are not
+    /// cached.
+    pub fn outcomes_with(
+        &mut self,
+        test: &LitmusTest,
+        model: &dyn Model,
+        cfg: &EnumConfig,
+        ctx: &mut EvalContext,
+    ) -> Result<Arc<ModelOutcomes>, EnumError> {
         let key = Self::key(test, model, cfg);
         if let Some(hit) = self.map.get(&key) {
             self.hits += 1;
             return Ok(Arc::clone(hit));
         }
-        let verdict = Arc::new(model_outcomes(test, model, cfg)?);
+        let verdict = Arc::new(model_outcomes_with(test, model, cfg, ctx)?);
         self.misses += 1;
         self.map.insert(key, Arc::clone(&verdict));
         Ok(verdict)
@@ -184,6 +203,7 @@ impl VerdictCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::enumerate::model_outcomes;
     use crate::model::sc_model as sc;
     use crate::CatModel;
     use weakgpu_litmus::{corpus, ThreadScope};

@@ -24,6 +24,7 @@ use weakgpu_litmus::{FinalExpr, LitmusTest, Loc, Outcome, Reg};
 use crate::event::Event;
 use crate::exec::Execution;
 use crate::model::Model;
+use crate::plan::EvalContext;
 use crate::relation::Relation;
 use crate::symbolic::{enumerate_thread_traces, SymError, ThreadTrace};
 
@@ -407,6 +408,24 @@ pub fn model_outcomes(
     model: &dyn Model,
     cfg: &EnumConfig,
 ) -> Result<ModelOutcomes, EnumError> {
+    model_outcomes_with(test, model, cfg, &mut EvalContext::new())
+}
+
+/// [`model_outcomes`] with a caller-owned [`EvalContext`], threaded
+/// through every candidate's verdict — for plan-backed models the whole
+/// judgement loop then runs without heap allocation per execution. Sweep
+/// workers hold one context each and pass it here on verdict-cache
+/// misses.
+///
+/// # Errors
+///
+/// Propagates [`EnumError`]s from the enumeration.
+pub fn model_outcomes_with(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+) -> Result<ModelOutcomes, EnumError> {
     let candidates = enumerate_executions(test, cfg)?;
     let mut all = BTreeSet::new();
     let mut allowed = BTreeSet::new();
@@ -414,7 +433,7 @@ pub fn model_outcomes(
     let mut witnessed = false;
     for c in &candidates {
         all.insert(c.outcome.clone());
-        if model.allows(&c.execution) {
+        if model.allows_with(ctx, &c.execution) {
             num_allowed += 1;
             if test.cond().witnessed_by(&c.outcome) {
                 witnessed = true;

@@ -65,18 +65,32 @@ impl Execution {
 
     /// Event ids of reads.
     pub fn read_set(&self) -> EventSet {
-        EventSet::from_iter_n(
-            self.len(),
-            self.events.iter().filter(|e| e.is_read()).map(|e| e.id),
-        )
+        let mut s = EventSet::default();
+        self.fill_read_set(&mut s);
+        s
+    }
+
+    /// In-place [`Execution::read_set`].
+    pub fn fill_read_set(&self, s: &mut EventSet) {
+        s.reset(self.len());
+        for e in self.events.iter().filter(|e| e.is_read()) {
+            s.insert(e.id);
+        }
     }
 
     /// Event ids of writes.
     pub fn write_set(&self) -> EventSet {
-        EventSet::from_iter_n(
-            self.len(),
-            self.events.iter().filter(|e| e.is_write()).map(|e| e.id),
-        )
+        let mut s = EventSet::default();
+        self.fill_write_set(&mut s);
+        s
+    }
+
+    /// In-place [`Execution::write_set`].
+    pub fn fill_write_set(&self, s: &mut EventSet) {
+        s.reset(self.len());
+        for e in self.events.iter().filter(|e| e.is_write()) {
+            s.insert(e.id);
+        }
     }
 
     /// Event ids of fences.
@@ -89,7 +103,14 @@ impl Execution {
 
     /// Program order: intra-thread, by position.
     pub fn po(&self) -> Relation {
-        let mut r = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_po(&mut r);
+        r
+    }
+
+    /// In-place [`Execution::po`].
+    pub fn fill_po(&self, r: &mut Relation) {
+        r.reset(self.len());
         for a in &self.events {
             for b in &self.events {
                 if a.tid == b.tid && a.po_idx < b.po_idx {
@@ -97,12 +118,18 @@ impl Execution {
                 }
             }
         }
-        r
     }
 
     /// Program order restricted to accesses of the same location.
     pub fn po_loc(&self) -> Relation {
-        let mut r = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_po_loc(&mut r);
+        r
+    }
+
+    /// In-place [`Execution::po_loc`].
+    pub fn fill_po_loc(&self, r: &mut Relation) {
+        r.reset(self.len());
         for a in &self.events {
             for b in &self.events {
                 if a.tid == b.tid && a.po_idx < b.po_idx && a.loc.is_some() && a.loc == b.loc {
@@ -110,24 +137,36 @@ impl Execution {
                 }
             }
         }
-        r
     }
 
     /// Read-from as a relation (init edges have no source, so they do not
     /// appear; `fr` accounts for them).
     pub fn rf_rel(&self) -> Relation {
-        let mut r = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_rf_rel(&mut r);
+        r
+    }
+
+    /// In-place [`Execution::rf_rel`].
+    pub fn fill_rf_rel(&self, r: &mut Relation) {
+        r.reset(self.len());
         for (read, src) in self.rf.iter().enumerate() {
             if let Some(w) = src {
                 r.add(*w, read);
             }
         }
-        r
     }
 
     /// Coherence as a relation (transitive over each location's order).
     pub fn co_rel(&self) -> Relation {
-        let mut r = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_co_rel(&mut r);
+        r
+    }
+
+    /// In-place [`Execution::co_rel`].
+    pub fn fill_co_rel(&self, r: &mut Relation) {
+        r.reset(self.len());
         for order in self.co.values() {
             for i in 0..order.len() {
                 for j in (i + 1)..order.len() {
@@ -135,12 +174,18 @@ impl Execution {
                 }
             }
         }
-        r
     }
 
     /// From-read: read `r` to every write coherence-after `r`'s source.
     pub fn fr(&self) -> Relation {
-        let mut rel = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_fr(&mut r);
+        r
+    }
+
+    /// In-place [`Execution::fr`].
+    pub fn fill_fr(&self, rel: &mut Relation) {
+        rel.reset(self.len());
         for e in &self.events {
             if !e.is_read() {
                 continue;
@@ -168,12 +213,18 @@ impl Execution {
                 }
             }
         }
-        rel
     }
 
     /// Pairs of events from different threads.
     pub fn ext(&self) -> Relation {
-        let mut r = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_ext(&mut r);
+        r
+    }
+
+    /// In-place [`Execution::ext`].
+    pub fn fill_ext(&self, r: &mut Relation) {
+        r.reset(self.len());
         for a in &self.events {
             for b in &self.events {
                 if a.tid != b.tid {
@@ -181,16 +232,18 @@ impl Execution {
                 }
             }
         }
-        r
     }
 
     /// Pairs of events from the same thread (including identical events).
     pub fn int(&self) -> Relation {
-        self.ext_complement()
+        let mut r = Relation::default();
+        self.fill_int(&mut r);
+        r
     }
 
-    fn ext_complement(&self) -> Relation {
-        let mut r = Relation::empty(self.len());
+    /// In-place [`Execution::int`].
+    pub fn fill_int(&self, r: &mut Relation) {
+        r.reset(self.len());
         for a in &self.events {
             for b in &self.events {
                 if a.tid == b.tid {
@@ -198,12 +251,18 @@ impl Execution {
                 }
             }
         }
-        r
     }
 
     /// Pairs of accesses to the same location.
     pub fn same_loc(&self) -> Relation {
-        let mut r = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_same_loc(&mut r);
+        r
+    }
+
+    /// In-place [`Execution::same_loc`].
+    pub fn fill_same_loc(&self, r: &mut Relation) {
+        r.reset(self.len());
         for a in &self.events {
             for b in &self.events {
                 if a.loc.is_some() && a.loc == b.loc {
@@ -211,13 +270,19 @@ impl Execution {
                 }
             }
         }
-        r
     }
 
     /// The fence relation for scope `scope`: pairs `(a, b)` with a fence of
     /// exactly that scope po-between them.
     pub fn fence_rel(&self, scope: FenceScope) -> Relation {
-        let mut r = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_fence_rel(scope, &mut r);
+        r
+    }
+
+    /// In-place [`Execution::fence_rel`].
+    pub fn fill_fence_rel(&self, scope: FenceScope, r: &mut Relation) {
+        r.reset(self.len());
         for f in &self.events {
             if f.kind != EventKind::Fence(scope) {
                 continue;
@@ -233,12 +298,18 @@ impl Execution {
                 }
             }
         }
-        r
     }
 
     /// Scope relation `cta`: pairs of events whose threads share a CTA.
     pub fn scope_cta(&self) -> Relation {
-        let mut r = Relation::empty(self.len());
+        let mut r = Relation::default();
+        self.fill_scope_cta(&mut r);
+        r
+    }
+
+    /// In-place [`Execution::scope_cta`].
+    pub fn fill_scope_cta(&self, r: &mut Relation) {
+        r.reset(self.len());
         for a in &self.events {
             for b in &self.events {
                 if self.thread_cta[a.tid] == self.thread_cta[b.tid] {
@@ -246,7 +317,6 @@ impl Execution {
                 }
             }
         }
-        r
     }
 
     /// Scope relation `gl`: a single grid, so all pairs.

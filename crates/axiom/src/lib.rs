@@ -38,13 +38,17 @@ pub mod enumerate;
 pub mod event;
 pub mod exec;
 pub mod model;
+pub mod plan;
 pub mod relation;
 pub mod render;
 pub mod symbolic;
 
 pub use cache::{shape_key, VerdictCache};
-pub use enumerate::{enumerate_executions, model_outcomes, EnumConfig, ModelOutcomes};
+pub use enumerate::{
+    enumerate_executions, model_outcomes, model_outcomes_with, EnumConfig, ModelOutcomes,
+};
 pub use event::{Event, EventKind};
 pub use exec::Execution;
 pub use model::{CatModel, Model, RmwAtomicity};
+pub use plan::{EvalContext, Plan};
 pub use relation::{EventSet, Relation};

@@ -3,10 +3,18 @@
 //! Concrete models (the paper's PTX model, SC, TSO, RMO, the operational
 //! baseline) live in the `weakgpu-models` crate; this module provides the
 //! machinery plus a minimal [`sc_model`] used in documentation and tests.
+//!
+//! A [`CatModel`] compiles its `.cat` source into a reusable
+//! [`Plan`] at construction; verdicts are evaluated
+//! through the plan, allocation-free when callers thread a shared
+//! [`EvalContext`] via [`Model::allows_with`]. The original tree-walking
+//! interpreter ([`CatProgram::check`]) is retained as the
+//! differential-testing oracle ([`CatModel::allows_tree_walk`]).
 
 use crate::cat::{CatError, CatProgram, CheckOutcome};
 use crate::exec::Execution;
 pub use crate::exec::RmwAtomicity;
+use crate::plan::{EvalContext, Plan};
 
 /// A memory consistency model: a predicate on candidate executions
 /// (paper Sec. 5.2).
@@ -16,6 +24,15 @@ pub trait Model {
 
     /// `true` iff the model allows this execution.
     fn allows(&self, exec: &Execution) -> bool;
+
+    /// [`Model::allows`] with a caller-owned [`EvalContext`], so hot
+    /// loops (candidate enumeration, sweeps) reuse one arena across
+    /// executions. The default ignores the context and calls `allows`;
+    /// plan-backed models override it with the allocation-free path.
+    fn allows_with(&self, ctx: &mut EvalContext, exec: &Execution) -> bool {
+        let _ = ctx;
+        self.allows(exec)
+    }
 }
 
 /// A model defined by a `.cat` program plus an RMW-atomicity mode.
@@ -32,20 +49,26 @@ pub trait Model {
 pub struct CatModel {
     name: String,
     program: CatProgram,
+    plan: Plan,
     rmw: RmwAtomicity,
 }
 
 impl CatModel {
-    /// Parses `src` as a `.cat` program and wraps it as a model, with
+    /// Parses `src` as a `.cat` program, compiles it into an evaluation
+    /// [`Plan`], and wraps both as a model with
     /// [`RmwAtomicity::AmongAtomics`] (the PTX default).
     ///
     /// # Errors
     ///
-    /// Returns the underlying [`CatError`] if `src` does not parse.
+    /// Returns the underlying [`CatError`] if `src` does not parse or
+    /// does not compile (e.g. applies a relation as a function).
     pub fn new(name: impl Into<String>, src: &str) -> Result<Self, CatError> {
+        let program = CatProgram::parse(src)?;
+        let plan = Plan::compile(&program)?;
         Ok(CatModel {
             name: name.into(),
-            program: CatProgram::parse(src)?,
+            program,
+            plan,
             rmw: RmwAtomicity::AmongAtomics,
         })
     }
@@ -61,18 +84,82 @@ impl CatModel {
         &self.program
     }
 
+    /// The compiled evaluation plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
     /// The RMW-atomicity mode.
     pub fn rmw_atomicity(&self) -> RmwAtomicity {
         self.rmw
     }
 
     /// Evaluates all named checks on `exec` (without the RMW side
-    /// condition).
+    /// condition) — the full-outcome mode used by `render`/diagnostics.
     ///
     /// # Errors
     ///
     /// Returns a [`CatError`] if the program references unbound relations.
     pub fn check(&self, exec: &Execution) -> Result<Vec<CheckOutcome>, CatError> {
+        self.check_with(&mut EvalContext::new(), exec)
+    }
+
+    /// [`CatModel::check`] with a caller-owned [`EvalContext`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CatModel::check`].
+    pub fn check_with(
+        &self,
+        ctx: &mut EvalContext,
+        exec: &Execution,
+    ) -> Result<Vec<CheckOutcome>, CatError> {
+        self.plan.check_exec(ctx, exec)
+    }
+
+    /// The fast path: the RMW side condition plus the compiled plan's
+    /// cheapest-first, short-circuiting check evaluation, reusing `ctx`'s
+    /// buffers. This is what [`Model::allows_with`] resolves to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `.cat` program references relations the execution
+    /// does not define — a defect in the model source, not in the
+    /// execution under test.
+    pub fn allows_with(&self, ctx: &mut EvalContext, exec: &Execution) -> bool {
+        if !exec.rmw_atomicity_holds(self.rmw) {
+            return false;
+        }
+        self.plan
+            .allows_exec(ctx, exec)
+            .unwrap_or_else(|e| panic!("model {:?} failed to evaluate: {e}", self.name))
+    }
+
+    /// The legacy tree-walking evaluation of the same verdict (RMW side
+    /// condition plus [`CatProgram::allows`] over
+    /// [`Execution::base_relations`]). Retained purely as the
+    /// differential-testing oracle for the compiled plan; use
+    /// [`Model::allows`] everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] for unbound relations.
+    pub fn allows_tree_walk(&self, exec: &Execution) -> Result<bool, CatError> {
+        if !exec.rmw_atomicity_holds(self.rmw) {
+            return Ok(false);
+        }
+        let base = exec.base_relations();
+        self.program
+            .allows(&base, &exec.read_set(), &exec.write_set())
+    }
+
+    /// Tree-walking [`CatModel::check`] (without the RMW side condition):
+    /// the full-outcome differential oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] for unbound relations.
+    pub fn check_tree_walk(&self, exec: &Execution) -> Result<Vec<CheckOutcome>, CatError> {
         let base = exec.base_relations();
         self.program
             .check(&base, &exec.read_set(), &exec.write_set())
@@ -90,13 +177,11 @@ impl Model for CatModel {
     /// the base environment — a defect in the model source, not in the
     /// execution under test.
     fn allows(&self, exec: &Execution) -> bool {
-        if !exec.rmw_atomicity_holds(self.rmw) {
-            return false;
-        }
-        let base = exec.base_relations();
-        self.program
-            .allows(&base, &exec.read_set(), &exec.write_set())
-            .unwrap_or_else(|e| panic!("model {:?} failed to evaluate: {e}", self.name))
+        self.allows_with(&mut EvalContext::new(), exec)
+    }
+
+    fn allows_with(&self, ctx: &mut EvalContext, exec: &Execution) -> bool {
+        CatModel::allows_with(self, ctx, exec)
     }
 }
 

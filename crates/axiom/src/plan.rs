@@ -1,0 +1,921 @@
+//! Compiled relational evaluation plans for `.cat` programs.
+//!
+//! [`CatProgram::check`](crate::cat::CatProgram::check) interprets the
+//! `.cat` AST afresh for every execution: every identifier goes through a
+//! `String`-keyed map, every `let` binding is cloned at each use, and
+//! every operator allocates a new bit matrix. That is fine for a single
+//! verdict and ruinous for the paper's Sec. 5.4 workload, where one model
+//! is evaluated over thousands of candidate executions per test.
+//!
+//! [`Plan::compile`] lowers a parsed program into a register machine
+//! once:
+//!
+//! * **Names become slots.** Base relations (`po`, `rf`, …) are interned
+//!   into dense base slots; `let` bindings and subexpressions become
+//!   numbered registers. No string lookup survives to evaluation time.
+//! * **Bindings are shared.** Every `let` is compiled exactly once, and
+//!   common subexpressions are eliminated across the *whole* program
+//!   (union/intersection operands are order-normalised first), so a
+//!   binding referenced by three checks is computed once per execution.
+//! * **Functions are inlined.** `f(e)` applications are expanded at
+//!   compile time with the parameter bound to the argument's register,
+//!   mirroring the interpreter's dynamic scoping.
+//! * **Checks are scheduled cheapest-first.** Each check records the
+//!   registers it transitively needs and a cost estimate;
+//!   [`Plan::allows_exec`] evaluates checks in ascending cost order,
+//!   materialising only the registers (and base relations) the next check
+//!   needs, and short-circuits on the first failure. The full-outcome
+//!   mode ([`Plan::check_exec`]) keeps the program's own order and
+//!   evaluates everything, matching the interpreter statement for
+//!   statement.
+//!
+//! Evaluation happens inside an [`EvalContext`]: an arena of
+//! [`Relation`]/[`EventSet`] buffers (plus DFS scratch for acyclicity)
+//! that is reused across executions. After the first execution of a given
+//! universe size has warmed the arena, evaluating the next execution
+//! performs **zero heap allocation**.
+//!
+//! ```
+//! use weakgpu_axiom::plan::{EvalContext, Plan};
+//! use weakgpu_axiom::cat::CatProgram;
+//! use weakgpu_axiom::enumerate::{enumerate_executions, EnumConfig};
+//! use weakgpu_litmus::{corpus, ThreadScope};
+//!
+//! let program = CatProgram::parse("let com = rf | co | fr\nacyclic (po | com) as sc").unwrap();
+//! let plan = Plan::compile(&program).unwrap();
+//! let mut ctx = EvalContext::new();
+//! let test = corpus::sb(ThreadScope::IntraCta, None);
+//! let execs = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+//! let allowed = execs
+//!     .iter()
+//!     .filter(|c| plan.allows_exec(&mut ctx, &c.execution).unwrap())
+//!     .count();
+//! assert!(allowed > 0 && allowed < execs.len());
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::mem;
+
+use weakgpu_litmus::FenceScope;
+
+use crate::cat::{CatError, CatProgram, CheckKind, CheckOutcome, Expr, Stmt};
+use crate::exec::Execution;
+use crate::relation::{EventSet, Relation};
+
+/// Maximum function-inlining depth; beyond this the program is assumed to
+/// be (mutually) recursive, which the interpreter cannot evaluate either.
+const MAX_INLINE_DEPTH: usize = 64;
+
+/// An operand: a base-relation slot or the result register of an op.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum Src {
+    /// An interned base relation, filled from the execution (or
+    /// environment) once per evaluation.
+    Base(usize),
+    /// The result of `ops[i]`.
+    Reg(usize),
+}
+
+/// Event sorts for the `WW`/`WR`/`RW`/`RR` filters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Sort {
+    Reads,
+    Writes,
+}
+
+/// One register-machine instruction; instruction `i` writes register `i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Op {
+    /// The empty relation.
+    Zero,
+    /// `a ∪ b` (operands order-normalised at compile time).
+    Union(Src, Src),
+    /// `a ∩ b` (operands order-normalised at compile time).
+    Inter(Src, Src),
+    /// `a \ b`.
+    Diff(Src, Src),
+    /// `a ; b`.
+    Seq(Src, Src),
+    /// `a^-1`.
+    Inverse(Src),
+    /// `a+`.
+    Plus(Src),
+    /// `a*`.
+    Star(Src),
+    /// `a?`.
+    Opt(Src),
+    /// Sort filter: pairs of `a` from `dom`-events to `rng`-events.
+    Restrict(Src, Sort, Sort),
+}
+
+impl Op {
+    /// Rough per-evaluation cost, used to order checks cheapest-first.
+    fn cost(self) -> u64 {
+        match self {
+            Op::Zero => 0,
+            Op::Union(..) | Op::Inter(..) | Op::Diff(..) | Op::Opt(_) | Op::Restrict(..) => 1,
+            Op::Inverse(_) => 2,
+            Op::Seq(..) => 4,
+            Op::Plus(_) | Op::Star(_) => 16,
+        }
+    }
+
+    /// The operand sources.
+    fn srcs(self) -> [Option<Src>; 2] {
+        match self {
+            Op::Zero => [None, None],
+            Op::Union(a, b) | Op::Inter(a, b) | Op::Diff(a, b) | Op::Seq(a, b) => {
+                [Some(a), Some(b)]
+            }
+            Op::Inverse(a) | Op::Plus(a) | Op::Star(a) | Op::Opt(a) | Op::Restrict(a, ..) => {
+                [Some(a), None]
+            }
+        }
+    }
+}
+
+/// One compiled check.
+#[derive(Clone, Debug)]
+struct PlanCheck {
+    name: String,
+    kind: CheckKind,
+    src: Src,
+    /// Registers this check transitively needs, ascending (= topological)
+    /// order.
+    deps: Vec<usize>,
+    /// Estimated evaluation cost (see [`Op::cost`]).
+    cost: u64,
+}
+
+/// A `.cat` program compiled to a reusable evaluation plan.
+///
+/// Compile once per model (e.g. in [`CatModel::new`](crate::CatModel)),
+/// then evaluate over any number of executions through a shared
+/// [`EvalContext`].
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Interned base-relation names, indexed by slot.
+    base_names: Vec<String>,
+    ops: Vec<Op>,
+    checks: Vec<PlanCheck>,
+    /// Check indices in ascending cost order (the `allows` schedule).
+    fast_order: Vec<usize>,
+}
+
+/// Where base relations come from during one evaluation.
+enum EnvSource<'a> {
+    /// Fill from an [`Execution`]'s event structure.
+    Exec(&'a Execution),
+    /// Copy from a name-keyed environment (the interpreter's input
+    /// format; used by the differential tests).
+    Map(&'a BTreeMap<String, Relation>),
+}
+
+/// The reusable evaluation arena: registers, base-relation buffers, the
+/// read/write event sets and DFS scratch. One context serves any number
+/// of plans and executions; buffers grow to the high-water mark and are
+/// then reused, so steady-state evaluation allocates nothing.
+#[derive(Default, Debug)]
+pub struct EvalContext {
+    /// Evaluation generation; a register/base is valid iff its epoch
+    /// matches.
+    epoch: u64,
+    /// Universe size of the current evaluation.
+    n: usize,
+    bases: Vec<Relation>,
+    base_epoch: Vec<u64>,
+    regs: Vec<Relation>,
+    reg_epoch: Vec<u64>,
+    reads: EventSet,
+    writes: EventSet,
+    scratch_a: Relation,
+    scratch_b: Relation,
+    colour: Vec<u8>,
+    stack: Vec<(usize, usize)>,
+}
+
+impl EvalContext {
+    /// An empty context; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        EvalContext::default()
+    }
+
+    /// Starts a new evaluation: bumps the epoch (invalidating all cached
+    /// registers and bases) and sizes the arena for `plan` and universe
+    /// `n`.
+    fn begin(&mut self, plan: &Plan, n: usize) {
+        self.epoch += 1;
+        self.n = n;
+        if self.bases.len() < plan.base_names.len() {
+            self.bases
+                .resize_with(plan.base_names.len(), Relation::default);
+        }
+        self.base_epoch.resize(self.bases.len(), 0);
+        if self.regs.len() < plan.ops.len() {
+            self.regs.resize_with(plan.ops.len(), Relation::default);
+        }
+        self.reg_epoch.resize(self.regs.len(), 0);
+    }
+
+    fn src_rel(&self, s: Src) -> &Relation {
+        match s {
+            Src::Base(i) => &self.bases[i],
+            Src::Reg(i) => &self.regs[i],
+        }
+    }
+}
+
+// ---------------------------------------------------------------- compile
+
+#[derive(Clone)]
+enum Binding {
+    Rel(Src),
+    Fun { param: String, body: Expr },
+}
+
+struct Compiler {
+    base_names: Vec<String>,
+    base_slots: HashMap<String, usize>,
+    ops: Vec<Op>,
+    cse: HashMap<Op, usize>,
+    lets: HashMap<String, Binding>,
+    depth: usize,
+}
+
+impl Compiler {
+    fn base(&mut self, name: &str) -> Src {
+        if let Some(&slot) = self.base_slots.get(name) {
+            return Src::Base(slot);
+        }
+        let slot = self.base_names.len();
+        self.base_names.push(name.to_owned());
+        self.base_slots.insert(name.to_owned(), slot);
+        Src::Base(slot)
+    }
+
+    /// Emits `op`, reusing an existing register for a structurally
+    /// identical instruction (common-subexpression elimination).
+    fn emit(&mut self, op: Op) -> Src {
+        if let Some(&reg) = self.cse.get(&op) {
+            return Src::Reg(reg);
+        }
+        self.ops.push(op);
+        let reg = self.ops.len() - 1;
+        self.cse.insert(op, reg);
+        Src::Reg(reg)
+    }
+
+    /// Emits a commutative op with order-normalised operands, so `a | b`
+    /// and `b | a` share one register.
+    fn emit_comm(&mut self, mk: fn(Src, Src) -> Op, a: Src, b: Src) -> Src {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.emit(mk(lo, hi))
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Src, CatError> {
+        match e {
+            Expr::Zero => Ok(self.emit(Op::Zero)),
+            Expr::Id(name) => match self.lets.get(name.as_str()) {
+                Some(Binding::Rel(src)) => Ok(*src),
+                Some(Binding::Fun { .. }) => {
+                    Err(CatError(format!("{name:?} is a function, not a relation")))
+                }
+                None => Ok(self.base(name)),
+            },
+            Expr::App(name, arg) => {
+                let argv = self.expr(arg)?;
+                match name.as_str() {
+                    "WW" => Ok(self.emit(Op::Restrict(argv, Sort::Writes, Sort::Writes))),
+                    "WR" => Ok(self.emit(Op::Restrict(argv, Sort::Writes, Sort::Reads))),
+                    "RW" => Ok(self.emit(Op::Restrict(argv, Sort::Reads, Sort::Writes))),
+                    "RR" => Ok(self.emit(Op::Restrict(argv, Sort::Reads, Sort::Reads))),
+                    _ => match self.lets.get(name.as_str()).cloned() {
+                        Some(Binding::Fun { param, body }) => {
+                            if self.depth >= MAX_INLINE_DEPTH {
+                                return Err(CatError(format!(
+                                    "function {name:?} recurses deeper than {MAX_INLINE_DEPTH}"
+                                )));
+                            }
+                            self.depth += 1;
+                            // Bind the parameter, compile the body at this
+                            // application site, restore — the compile-time
+                            // image of the interpreter's dynamic scoping.
+                            let saved = self.lets.insert(param.clone(), Binding::Rel(argv));
+                            let result = self.expr(&body);
+                            match saved {
+                                Some(v) => {
+                                    self.lets.insert(param, v);
+                                }
+                                None => {
+                                    self.lets.remove(&param);
+                                }
+                            }
+                            self.depth -= 1;
+                            result
+                        }
+                        Some(Binding::Rel(_)) => Err(CatError(format!(
+                            "{name:?} is a relation, cannot be applied"
+                        ))),
+                        // A base relation can never be a function, so an
+                        // application of an unknown name is an error
+                        // either way; report it like the interpreter
+                        // would on a missing base.
+                        None => Err(CatError(format!(
+                            "{name:?} is not a function, cannot be applied"
+                        ))),
+                    },
+                }
+            }
+            Expr::Union(a, b) => {
+                let (sa, sb) = (self.expr(a)?, self.expr(b)?);
+                Ok(self.emit_comm(Op::Union, sa, sb))
+            }
+            Expr::Inter(a, b) => {
+                let (sa, sb) = (self.expr(a)?, self.expr(b)?);
+                Ok(self.emit_comm(Op::Inter, sa, sb))
+            }
+            Expr::Diff(a, b) => {
+                let (sa, sb) = (self.expr(a)?, self.expr(b)?);
+                Ok(self.emit(Op::Diff(sa, sb)))
+            }
+            Expr::Seq(a, b) => {
+                let (sa, sb) = (self.expr(a)?, self.expr(b)?);
+                Ok(self.emit(Op::Seq(sa, sb)))
+            }
+            Expr::Inverse(a) => {
+                let s = self.expr(a)?;
+                Ok(self.emit(Op::Inverse(s)))
+            }
+            Expr::Plus(a) => {
+                let s = self.expr(a)?;
+                Ok(self.emit(Op::Plus(s)))
+            }
+            Expr::Star(a) => {
+                let s = self.expr(a)?;
+                Ok(self.emit(Op::Star(s)))
+            }
+            Expr::Opt(a) => {
+                let s = self.expr(a)?;
+                Ok(self.emit(Op::Opt(s)))
+            }
+        }
+    }
+}
+
+impl Plan {
+    /// Compiles `program` into a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] for programs the interpreter could not
+    /// evaluate either: applying a non-function, using a function as a
+    /// relation, or unboundedly recursive function definitions.
+    pub fn compile(program: &CatProgram) -> Result<Plan, CatError> {
+        let mut c = Compiler {
+            base_names: Vec::new(),
+            base_slots: HashMap::new(),
+            ops: Vec::new(),
+            cse: HashMap::new(),
+            lets: HashMap::new(),
+            depth: 0,
+        };
+        let mut checks = Vec::new();
+        for stmt in program.stmts() {
+            match stmt {
+                Stmt::Let {
+                    name,
+                    param: None,
+                    body,
+                } => {
+                    let src = c.expr(body)?;
+                    c.lets.insert(name.clone(), Binding::Rel(src));
+                }
+                Stmt::Let {
+                    name,
+                    param: Some(p),
+                    body,
+                } => {
+                    c.lets.insert(
+                        name.clone(),
+                        Binding::Fun {
+                            param: p.clone(),
+                            body: body.clone(),
+                        },
+                    );
+                }
+                Stmt::Check { kind, expr, name } => {
+                    let src = c.expr(expr)?;
+                    checks.push(PlanCheck {
+                        name: name.clone(),
+                        kind: *kind,
+                        src,
+                        deps: Vec::new(),
+                        cost: 0,
+                    });
+                }
+            }
+        }
+
+        // Dependency closure and cost per check. Operand registers are
+        // always lower-numbered, so a reverse sweep over a seen-set
+        // yields the deps in topological (ascending) order.
+        for check in &mut checks {
+            let mut need = vec![false; c.ops.len()];
+            let mut bases = vec![false; c.base_names.len()];
+            let mark = |s: Src, need: &mut Vec<bool>, bases: &mut Vec<bool>| match s {
+                Src::Reg(i) => need[i] = true,
+                Src::Base(i) => bases[i] = true,
+            };
+            mark(check.src, &mut need, &mut bases);
+            for i in (0..c.ops.len()).rev() {
+                if !need[i] {
+                    continue;
+                }
+                for s in c.ops[i].srcs().into_iter().flatten() {
+                    mark(s, &mut need, &mut bases);
+                }
+            }
+            check.deps = (0..c.ops.len()).filter(|&i| need[i]).collect();
+            let kind_cost = match check.kind {
+                CheckKind::Acyclic => 4,
+                CheckKind::Irreflexive | CheckKind::Empty => 1,
+            };
+            check.cost = kind_cost
+                + check.deps.iter().map(|&i| c.ops[i].cost()).sum::<u64>()
+                + bases.iter().filter(|&&b| b).count() as u64;
+        }
+
+        let mut fast_order: Vec<usize> = (0..checks.len()).collect();
+        fast_order.sort_by_key(|&i| checks[i].cost);
+
+        Ok(Plan {
+            base_names: c.base_names,
+            ops: c.ops,
+            checks,
+            fast_order,
+        })
+    }
+
+    /// Number of compiled instructions (after CSE).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Names of the base relations the plan reads.
+    pub fn base_names(&self) -> impl Iterator<Item = &str> {
+        self.base_names.iter().map(String::as_str)
+    }
+
+    // ------------------------------------------------------------- eval
+
+    /// Materialises base slot `i` for the current epoch.
+    fn ensure_base(
+        &self,
+        ctx: &mut EvalContext,
+        slot: usize,
+        env: &EnvSource<'_>,
+    ) -> Result<(), CatError> {
+        if ctx.base_epoch[slot] == ctx.epoch {
+            return Ok(());
+        }
+        let name = self.base_names[slot].as_str();
+        let mut dst = mem::take(&mut ctx.bases[slot]);
+        let filled = match env {
+            EnvSource::Map(map) => match map.get(name) {
+                Some(r) => {
+                    dst.copy_from(r);
+                    true
+                }
+                None => false,
+            },
+            EnvSource::Exec(exec) => fill_base_from_exec(exec, name, &mut dst, ctx),
+        };
+        ctx.bases[slot] = dst;
+        if !filled {
+            return Err(CatError(format!("unbound identifier {name:?}")));
+        }
+        ctx.base_epoch[slot] = ctx.epoch;
+        Ok(())
+    }
+
+    fn ensure_src(
+        &self,
+        ctx: &mut EvalContext,
+        s: Src,
+        env: &EnvSource<'_>,
+    ) -> Result<(), CatError> {
+        if let Src::Base(slot) = s {
+            self.ensure_base(ctx, slot, env)?;
+        }
+        Ok(())
+    }
+
+    /// Executes instruction `i` unless its register is already valid this
+    /// epoch. Register operands must have been executed earlier (deps are
+    /// topologically ordered); base operands are materialised on demand.
+    fn run_op(&self, ctx: &mut EvalContext, i: usize, env: &EnvSource<'_>) -> Result<(), CatError> {
+        if ctx.reg_epoch[i] == ctx.epoch {
+            return Ok(());
+        }
+        let op = self.ops[i];
+        for s in op.srcs().into_iter().flatten() {
+            self.ensure_src(ctx, s, env)?;
+        }
+        let mut dst = mem::take(&mut ctx.regs[i]);
+        match op {
+            Op::Zero => dst.reset(ctx.n),
+            Op::Union(a, b) => dst.union_from(ctx.src_rel(a), ctx.src_rel(b)),
+            Op::Inter(a, b) => dst.inter_from(ctx.src_rel(a), ctx.src_rel(b)),
+            Op::Diff(a, b) => dst.diff_from(ctx.src_rel(a), ctx.src_rel(b)),
+            Op::Seq(a, b) => dst.seq_from(ctx.src_rel(a), ctx.src_rel(b)),
+            Op::Inverse(a) => dst.inverse_from(ctx.src_rel(a)),
+            Op::Opt(a) => dst.opt_from(ctx.src_rel(a)),
+            Op::Plus(a) => {
+                let mut scratch = mem::take(&mut ctx.scratch_a);
+                dst.plus_from(ctx.src_rel(a), &mut scratch);
+                ctx.scratch_a = scratch;
+            }
+            Op::Star(a) => {
+                let mut scratch = mem::take(&mut ctx.scratch_a);
+                dst.star_from(ctx.src_rel(a), &mut scratch);
+                ctx.scratch_a = scratch;
+            }
+            Op::Restrict(a, dom, rng) => {
+                let dom = match dom {
+                    Sort::Reads => &ctx.reads,
+                    Sort::Writes => &ctx.writes,
+                };
+                let rng = match rng {
+                    Sort::Reads => &ctx.reads,
+                    Sort::Writes => &ctx.writes,
+                };
+                dst.restrict_from(ctx.src_rel(a), dom, rng);
+            }
+        }
+        ctx.regs[i] = dst;
+        ctx.reg_epoch[i] = ctx.epoch;
+        Ok(())
+    }
+
+    fn check_passes(&self, ctx: &mut EvalContext, check: &PlanCheck) -> bool {
+        let mut colour = mem::take(&mut ctx.colour);
+        let mut stack = mem::take(&mut ctx.stack);
+        let rel = ctx.src_rel(check.src);
+        let passed = match check.kind {
+            CheckKind::Acyclic => rel.is_acyclic_with(&mut colour, &mut stack),
+            CheckKind::Irreflexive => rel.is_irreflexive(),
+            CheckKind::Empty => rel.is_empty(),
+        };
+        ctx.colour = colour;
+        ctx.stack = stack;
+        passed
+    }
+
+    /// The fast path: `true` iff every check passes on `exec`, evaluating
+    /// checks cheapest-first and stopping at the first failure. Only the
+    /// base relations and registers the verdict actually needs are
+    /// materialised.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] if the program references a base relation
+    /// the execution does not define. (Unlike the interpreter, bindings
+    /// no check depends on are never evaluated here, so errors confined
+    /// to dead bindings do not surface.)
+    pub fn allows_exec(&self, ctx: &mut EvalContext, exec: &Execution) -> Result<bool, CatError> {
+        ctx.begin(self, exec.len());
+        exec.fill_read_set(&mut ctx.reads);
+        exec.fill_write_set(&mut ctx.writes);
+        let env = EnvSource::Exec(exec);
+        self.allows_inner(ctx, &env)
+    }
+
+    /// Full-outcome mode: evaluates every statement (in program order,
+    /// like the interpreter — including bindings no check uses) and
+    /// reports each named check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] for unbound base relations, even in unused
+    /// bindings.
+    pub fn check_exec(
+        &self,
+        ctx: &mut EvalContext,
+        exec: &Execution,
+    ) -> Result<Vec<CheckOutcome>, CatError> {
+        ctx.begin(self, exec.len());
+        exec.fill_read_set(&mut ctx.reads);
+        exec.fill_write_set(&mut ctx.writes);
+        let env = EnvSource::Exec(exec);
+        self.check_inner(ctx, &env)
+    }
+
+    /// [`Plan::allows_exec`] over a name-keyed environment — the same
+    /// inputs [`CatProgram::check`] takes, for differential testing. The
+    /// universe is taken from the environment's first relation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Plan::allows_exec`].
+    pub fn allows_in_env(
+        &self,
+        ctx: &mut EvalContext,
+        base: &BTreeMap<String, Relation>,
+        reads: &EventSet,
+        writes: &EventSet,
+    ) -> Result<bool, CatError> {
+        self.begin_env(ctx, base, reads, writes);
+        self.allows_inner(ctx, &EnvSource::Map(base))
+    }
+
+    /// [`Plan::check_exec`] over a name-keyed environment.
+    ///
+    /// # Errors
+    ///
+    /// See [`Plan::check_exec`].
+    pub fn check_in_env(
+        &self,
+        ctx: &mut EvalContext,
+        base: &BTreeMap<String, Relation>,
+        reads: &EventSet,
+        writes: &EventSet,
+    ) -> Result<Vec<CheckOutcome>, CatError> {
+        self.begin_env(ctx, base, reads, writes);
+        self.check_inner(ctx, &EnvSource::Map(base))
+    }
+
+    /// Shared prologue of the `*_in_env` entry points: universe from the
+    /// environment's first relation (the interpreter's rule), then the
+    /// event sorts copied into the arena.
+    fn begin_env(
+        &self,
+        ctx: &mut EvalContext,
+        base: &BTreeMap<String, Relation>,
+        reads: &EventSet,
+        writes: &EventSet,
+    ) {
+        let n = base.values().next().map(Relation::universe).unwrap_or(0);
+        ctx.begin(self, n);
+        ctx.reads.copy_from(reads);
+        ctx.writes.copy_from(writes);
+    }
+
+    fn allows_inner(&self, ctx: &mut EvalContext, env: &EnvSource<'_>) -> Result<bool, CatError> {
+        for &ci in &self.fast_order {
+            let check = &self.checks[ci];
+            for &op in &check.deps {
+                self.run_op(ctx, op, env)?;
+            }
+            self.ensure_src(ctx, check.src, env)?;
+            if !self.check_passes(ctx, check) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn check_inner(
+        &self,
+        ctx: &mut EvalContext,
+        env: &EnvSource<'_>,
+    ) -> Result<Vec<CheckOutcome>, CatError> {
+        for i in 0..self.ops.len() {
+            self.run_op(ctx, i, env)?;
+        }
+        let mut out = Vec::with_capacity(self.checks.len());
+        for check in &self.checks {
+            self.ensure_src(ctx, check.src, env)?;
+            out.push(CheckOutcome {
+                name: check.name.clone(),
+                kind: check.kind,
+                passed: self.check_passes(ctx, check),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Fills `dst` with the base relation `name` of `exec`; returns `false`
+/// for names [`Execution::base_relations`] does not define.
+fn fill_base_from_exec(
+    exec: &Execution,
+    name: &str,
+    dst: &mut Relation,
+    ctx: &mut EvalContext,
+) -> bool {
+    match name {
+        "po" => exec.fill_po(dst),
+        "po-loc" => exec.fill_po_loc(dst),
+        "addr" => dst.copy_from(&exec.addr),
+        "data" => dst.copy_from(&exec.data),
+        "ctrl" => dst.copy_from(&exec.ctrl),
+        "rmw" => dst.copy_from(&exec.rmw),
+        "rf" => exec.fill_rf_rel(dst),
+        "co" => exec.fill_co_rel(dst),
+        "fr" => exec.fill_fr(dst),
+        "ext" => exec.fill_ext(dst),
+        "int" => exec.fill_int(dst),
+        "loc" => exec.fill_same_loc(dst),
+        "id" => {
+            dst.reset(exec.len());
+            dst.add_identity();
+        }
+        "membar.cta" => exec.fill_fence_rel(FenceScope::Cta, dst),
+        "membar.gl" => exec.fill_fence_rel(FenceScope::Gl, dst),
+        "membar.sys" => exec.fill_fence_rel(FenceScope::Sys, dst),
+        "cta" => exec.fill_scope_cta(dst),
+        "gl" | "sys" => {
+            dst.reset(exec.len());
+            dst.fill_full();
+        }
+        "rfe" | "rfi" | "coe" | "coi" | "fre" | "fri" => {
+            match &name[..2] {
+                "rf" => exec.fill_rf_rel(&mut ctx.scratch_a),
+                "co" => exec.fill_co_rel(&mut ctx.scratch_a),
+                _ => exec.fill_fr(&mut ctx.scratch_a),
+            }
+            if name.ends_with('e') {
+                exec.fill_ext(&mut ctx.scratch_b);
+            } else {
+                exec.fill_int(&mut ctx.scratch_b);
+            }
+            dst.inter_from(&ctx.scratch_a, &ctx.scratch_b);
+        }
+        _ => return false,
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_executions, EnumConfig};
+    use weakgpu_litmus::{corpus, ThreadScope};
+
+    fn env3() -> (BTreeMap<String, Relation>, EventSet, EventSet) {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "po".to_string(),
+            Relation::from_pairs(3, [(0, 1), (1, 2), (0, 2)]),
+        );
+        m.insert("rf".to_string(), Relation::from_pairs(3, [(2, 1)]));
+        let writes = EventSet::from_iter_n(3, [0, 2]);
+        let reads = EventSet::from_iter_n(3, [1]);
+        (m, reads, writes)
+    }
+
+    fn plan_of(src: &str) -> Plan {
+        Plan::compile(&CatProgram::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn cse_shares_lets_across_checks() {
+        // `com` is referenced by both checks; the (rf|co)|fr chain must be
+        // compiled once, and the identical union in the second check must
+        // alias it.
+        let p =
+            plan_of("let com = rf | co | fr\nacyclic (po | com) as a\nirreflexive (com ; po) as b");
+        // rf|co, (rf|co)|fr, po|com, com;po — and nothing duplicated.
+        assert_eq!(p.num_ops(), 4, "{:?}", p.ops);
+    }
+
+    #[test]
+    fn commutative_operands_are_normalised() {
+        let p = plan_of("empty (po | rf) as a\nempty (rf | po) as b");
+        assert_eq!(p.num_ops(), 1);
+        let q = plan_of("empty (po & rf) as a\nempty (rf & po) as b");
+        assert_eq!(q.num_ops(), 1);
+        // Difference is NOT commutative.
+        let r = plan_of("empty (po \\ rf) as a\nempty (rf \\ po) as b");
+        assert_eq!(r.num_ops(), 2);
+    }
+
+    #[test]
+    fn function_inlining_matches_interpreter() {
+        let (base, reads, writes) = env3();
+        let src = "let f(x) = x | rf\nacyclic f(po) as c";
+        let prog = CatProgram::parse(src).unwrap();
+        let plan = Plan::compile(&prog).unwrap();
+        let mut ctx = EvalContext::new();
+        let ours = plan.check_in_env(&mut ctx, &base, &reads, &writes).unwrap();
+        let theirs = prog.check(&base, &reads, &writes).unwrap();
+        assert_eq!(ours, theirs);
+        assert!(!ours[0].passed);
+    }
+
+    #[test]
+    fn compile_rejects_bad_applications() {
+        let parse = |s| CatProgram::parse(s).unwrap();
+        assert!(Plan::compile(&parse("let f(x) = x\nacyclic f as c")).is_err());
+        assert!(Plan::compile(&parse("let r = po\nacyclic r(rf) as c")).is_err());
+        assert!(Plan::compile(&parse("acyclic po(rf) as c")).is_err());
+        assert!(Plan::compile(&parse("let f(x) = f(x)\nacyclic f(po) as c")).is_err());
+    }
+
+    #[test]
+    fn unbound_base_is_an_eval_error() {
+        let (base, reads, writes) = env3();
+        let plan = plan_of("acyclic nosuch as c");
+        let mut ctx = EvalContext::new();
+        let err = plan
+            .check_in_env(&mut ctx, &base, &reads, &writes)
+            .unwrap_err();
+        assert!(err.0.contains("unbound"), "{err}");
+        assert!(plan
+            .allows_in_env(&mut ctx, &base, &reads, &writes)
+            .is_err());
+    }
+
+    #[test]
+    fn fast_order_puts_cheap_checks_first() {
+        let p = plan_of("acyclic (po ; rf)+ as expensive\nempty 0 as cheap");
+        assert_eq!(p.fast_order, vec![1, 0]);
+    }
+
+    #[test]
+    fn env_eval_matches_interpreter_on_operators() {
+        let (base, reads, writes) = env3();
+        let mut ctx = EvalContext::new();
+        for src in [
+            "empty po & rf as c",
+            "empty po \\ po as c",
+            "empty (po ; rf) as c",
+            "irreflexive (po ; rf) as c",
+            "empty rf^-1 as c",
+            "acyclic po+ as c",
+            "irreflexive po* as c",
+            "empty 0 as c",
+            "acyclic po? as c",
+            "empty WW(po) as c",
+            "empty RR(po) as c",
+            "irreflexive RW(po) | WR(rf) as c",
+        ] {
+            let prog = CatProgram::parse(src).unwrap();
+            let plan = Plan::compile(&prog).unwrap();
+            assert_eq!(
+                plan.check_in_env(&mut ctx, &base, &reads, &writes).unwrap(),
+                prog.check(&base, &reads, &writes).unwrap(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn exec_eval_matches_env_eval_on_candidates() {
+        // The execution fast path must agree with evaluating the same
+        // program over `base_relations()` through the interpreter.
+        let src = "\
+let com = rf | co | fr
+let po-loc-llh = WW(po-loc) | WR(po-loc) | RW(po-loc)
+acyclic (po-loc-llh | com) as sc-per-loc-llh
+acyclic (po | com) as sc
+irreflexive (fre ; coe) as aux
+";
+        let prog = CatProgram::parse(src).unwrap();
+        let plan = Plan::compile(&prog).unwrap();
+        let mut ctx = EvalContext::new();
+        let test = corpus::sb(ThreadScope::IntraCta, None);
+        for cand in enumerate_executions(&test, &EnumConfig::default()).unwrap() {
+            let exec = &cand.execution;
+            let interp = prog
+                .check(&exec.base_relations(), &exec.read_set(), &exec.write_set())
+                .unwrap();
+            assert_eq!(plan.check_exec(&mut ctx, exec).unwrap(), interp);
+            assert_eq!(
+                plan.allows_exec(&mut ctx, exec).unwrap(),
+                interp.iter().all(|c| c.passed)
+            );
+        }
+    }
+
+    #[test]
+    fn context_survives_plan_and_universe_changes() {
+        let (base, reads, writes) = env3();
+        let p1 = plan_of("acyclic po as c");
+        let p2 = plan_of("let com = rf | co | fr\nacyclic (po | com) as sc");
+        let mut ctx = EvalContext::new();
+        let test = corpus::mp(ThreadScope::InterCta, None);
+        let cands = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+        for _ in 0..2 {
+            // Alternate between a 3-event map environment and a larger
+            // execution, and between two different plans, through one
+            // context: epoch bumps must prevent any stale-buffer reuse.
+            assert!(p1.allows_in_env(&mut ctx, &base, &reads, &writes).unwrap());
+            let _ = p2.allows_exec(&mut ctx, &cands[0].execution).unwrap();
+            let _ = p1.allows_exec(&mut ctx, &cands[0].execution).unwrap();
+        }
+    }
+
+    #[test]
+    fn let_shadowing_matches_interpreter() {
+        // A let can shadow a base relation for subsequent statements.
+        let (base, reads, writes) = env3();
+        let src = "empty po & rf as before\nlet po = 0\nempty po as after";
+        let prog = CatProgram::parse(src).unwrap();
+        let plan = Plan::compile(&prog).unwrap();
+        let mut ctx = EvalContext::new();
+        let ours = plan.check_in_env(&mut ctx, &base, &reads, &writes).unwrap();
+        assert_eq!(ours, prog.check(&base, &reads, &writes).unwrap());
+        assert!(ours[1].passed, "shadowed po is empty");
+    }
+}

@@ -5,6 +5,14 @@
 //! Litmus executions have at most a few dozen events, so an `n × n` bit
 //! matrix (one `u64` row segment per 64 events) is both the simplest and the
 //! fastest representation.
+//!
+//! Every operator comes in two forms: an allocating method (`union`,
+//! `seq`, …) returning a fresh [`Relation`], and an in-place `*_from`
+//! variant writing into an existing buffer (`union_from`, `seq_from`, …).
+//! The in-place forms reuse the destination's allocation whenever the
+//! universe fits its capacity, which is what lets the compiled-plan
+//! evaluator ([`crate::plan`]) judge thousands of candidate executions
+//! without touching the heap.
 
 use std::fmt;
 
@@ -13,6 +21,13 @@ use std::fmt;
 pub struct EventSet {
     n: usize,
     bits: Vec<u64>,
+}
+
+impl Default for EventSet {
+    /// The empty set over the empty universe.
+    fn default() -> Self {
+        EventSet::empty(0)
+    }
 }
 
 impl EventSet {
@@ -24,13 +39,14 @@ impl EventSet {
         }
     }
 
-    /// The full set over a universe of `n` events.
+    /// The full set over a universe of `n` events: whole words are set at
+    /// once and the tail word masked, rather than inserting bit by bit.
     pub fn full(n: usize) -> Self {
-        let mut s = EventSet::empty(n);
-        for i in 0..n {
-            s.insert(i);
+        let mut bits = vec![!0u64; n.div_ceil(64)];
+        if let Some(last) = bits.last_mut() {
+            *last &= tail_mask(n);
         }
-        s
+        EventSet { n, bits }
     }
 
     /// Builds a set from the ids yielded by `iter`.
@@ -40,6 +56,21 @@ impl EventSet {
             s.insert(i);
         }
         s
+    }
+
+    /// Reinitialises to the empty set over `n` events, reusing the
+    /// allocation when the capacity suffices.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.bits.clear();
+        self.bits.resize(n.div_ceil(64), 0);
+    }
+
+    /// Becomes a copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &EventSet) {
+        self.n = src.n;
+        self.bits.clear();
+        self.bits.extend_from_slice(&src.bits);
     }
 
     /// Universe size.
@@ -76,6 +107,19 @@ impl EventSet {
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.n).filter(|&i| self.contains(i))
     }
+
+    /// The `w`-th 64-bit word of the membership mask (0 past the end).
+    fn word(&self, w: usize) -> u64 {
+        self.bits.get(w).copied().unwrap_or(0)
+    }
+}
+
+/// The mask selecting the valid bits of the last word of an `n`-bit row.
+fn tail_mask(n: usize) -> u64 {
+    match n % 64 {
+        0 => !0,
+        k => (1u64 << k) - 1,
+    }
 }
 
 /// A binary relation over event ids `0..n`.
@@ -84,6 +128,13 @@ pub struct Relation {
     n: usize,
     words: usize,
     rows: Vec<u64>,
+}
+
+impl Default for Relation {
+    /// The empty relation over the empty universe.
+    fn default() -> Self {
+        Relation::empty(0)
+    }
 }
 
 impl Relation {
@@ -100,20 +151,15 @@ impl Relation {
     /// The identity relation over `n` events.
     pub fn identity(n: usize) -> Self {
         let mut r = Relation::empty(n);
-        for i in 0..n {
-            r.add(i, i);
-        }
+        r.add_identity();
         r
     }
 
-    /// The full (universal) relation over `n` events.
+    /// The full (universal) relation over `n` events: each row is written
+    /// as whole words with a masked tail, not bit by bit.
     pub fn full(n: usize) -> Self {
         let mut r = Relation::empty(n);
-        for i in 0..n {
-            for j in 0..n {
-                r.add(i, j);
-            }
-        }
+        r.fill_full();
         r
     }
 
@@ -129,6 +175,36 @@ impl Relation {
     /// Universe size.
     pub fn universe(&self) -> usize {
         self.n
+    }
+
+    /// Reinitialises to the empty relation over `n` events, reusing the
+    /// allocation when the capacity suffices.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.words = n.div_ceil(64).max(1);
+        self.rows.clear();
+        self.rows.resize(n * self.words, 0);
+    }
+
+    /// Makes this the full relation over its current universe.
+    pub fn fill_full(&mut self) {
+        let mask = tail_mask(self.n);
+        for row in self.rows.chunks_mut(self.words) {
+            let full_words = self.n / 64;
+            for w in row.iter_mut().take(full_words) {
+                *w = !0;
+            }
+            if !self.n.is_multiple_of(64) {
+                row[full_words] = mask;
+            }
+        }
+    }
+
+    /// Adds every pair `(i, i)`.
+    pub fn add_identity(&mut self) {
+        for i in 0..self.n {
+            self.rows[i * self.words + i / 64] |= 1 << (i % 64);
+        }
     }
 
     /// Adds the pair `(a, b)`.
@@ -169,18 +245,51 @@ impl Relation {
         })
     }
 
-    fn zip_with(&self, rhs: &Relation, f: impl Fn(u64, u64) -> u64) -> Relation {
-        assert_eq!(self.n, rhs.n, "relation universes differ");
-        Relation {
-            n: self.n,
-            words: self.words,
-            rows: self
-                .rows
-                .iter()
-                .zip(&rhs.rows)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+    /// Calls `f(a, b)` for every pair in row-major order, scanning whole
+    /// words instead of probing every `(a, b)` combination.
+    pub fn for_each_pair(&self, mut f: impl FnMut(usize, usize)) {
+        for a in 0..self.n {
+            let row = &self.rows[a * self.words..(a + 1) * self.words];
+            for (w, &word) in row.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    f(a, w * 64 + bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
+                }
+            }
         }
+    }
+
+    /// The smallest successor of `node` that is `>= from`, scanning words.
+    fn next_succ(&self, node: usize, from: usize) -> Option<usize> {
+        if from >= self.n {
+            return None;
+        }
+        let row = &self.rows[node * self.words..(node + 1) * self.words];
+        let mut w = from / 64;
+        let mut bits = row.get(w)? & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            bits = *row.get(w)?;
+        }
+    }
+
+    fn zip_with(&self, rhs: &Relation, f: impl Fn(u64, u64) -> u64) -> Relation {
+        let mut out = Relation::default();
+        out.zip_from(self, rhs, f);
+        out
+    }
+
+    fn zip_from(&mut self, a: &Relation, b: &Relation, f: impl Fn(u64, u64) -> u64) {
+        assert_eq!(a.n, b.n, "relation universes differ");
+        self.n = a.n;
+        self.words = a.words;
+        self.rows.clear();
+        self.rows
+            .extend(a.rows.iter().zip(&b.rows).map(|(&x, &y)| f(x, y)));
     }
 
     /// Union.
@@ -198,77 +307,174 @@ impl Relation {
         self.zip_with(rhs, |a, b| a & !b)
     }
 
+    /// In-place union: `self = a ∪ b`.
+    pub fn union_from(&mut self, a: &Relation, b: &Relation) {
+        self.zip_from(a, b, |x, y| x | y);
+    }
+
+    /// In-place intersection: `self = a ∩ b`.
+    pub fn inter_from(&mut self, a: &Relation, b: &Relation) {
+        self.zip_from(a, b, |x, y| x & y);
+    }
+
+    /// In-place difference: `self = a \ b`.
+    pub fn diff_from(&mut self, a: &Relation, b: &Relation) {
+        self.zip_from(a, b, |x, y| x & !y);
+    }
+
+    /// Becomes a copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Relation) {
+        self.n = src.n;
+        self.words = src.words;
+        self.rows.clear();
+        self.rows.extend_from_slice(&src.rows);
+    }
+
+    /// ORs `rhs` into `self`, reporting whether any new pair appeared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn or_in_place(&mut self, rhs: &Relation) -> bool {
+        assert_eq!(self.n, rhs.n, "relation universes differ");
+        let mut changed = false;
+        for (d, &s) in self.rows.iter_mut().zip(&rhs.rows) {
+            let next = *d | s;
+            changed |= next != *d;
+            *d = next;
+        }
+        changed
+    }
+
     /// Relational composition `self ; rhs`.
     pub fn seq(&self, rhs: &Relation) -> Relation {
-        assert_eq!(self.n, rhs.n, "relation universes differ");
-        let mut out = Relation::empty(self.n);
-        for a in 0..self.n {
-            // out[a] = ⋃ { rhs[b] : (a,b) ∈ self }
-            for b in 0..self.n {
-                if self.contains(a, b) {
-                    let (dst, src) = (a * self.words, b * self.words);
-                    for w in 0..self.words {
-                        out.rows[dst + w] |= rhs.rows[src + w];
+        let mut out = Relation::default();
+        out.seq_from(self, rhs);
+        out
+    }
+
+    /// In-place composition: `self = a ; b`.
+    pub fn seq_from(&mut self, a: &Relation, b: &Relation) {
+        assert_eq!(a.n, b.n, "relation universes differ");
+        self.reset(a.n);
+        for x in 0..a.n {
+            // self[x] = ⋃ { b[y] : (x,y) ∈ a }, one word-OR sweep per y.
+            let row = &a.rows[x * a.words..(x + 1) * a.words];
+            for (w, &word) in row.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let y = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let (dst, src) = (x * self.words, y * b.words);
+                    for k in 0..self.words {
+                        self.rows[dst + k] |= b.rows[src + k];
                     }
                 }
             }
         }
-        out
     }
 
     /// Inverse (`r^-1`).
     pub fn inverse(&self) -> Relation {
-        let mut out = Relation::empty(self.n);
-        for (a, b) in self.iter_pairs() {
-            out.add(b, a);
-        }
+        let mut out = Relation::default();
+        out.inverse_from(self);
         out
+    }
+
+    /// In-place inverse: `self = a^-1`.
+    pub fn inverse_from(&mut self, a: &Relation) {
+        self.reset(a.n);
+        a.for_each_pair(|x, y| {
+            self.rows[y * self.words + x / 64] |= 1 << (x % 64);
+        });
     }
 
     /// Transitive closure (`r+`).
     pub fn transitive_closure(&self) -> Relation {
-        let mut out = self.clone();
-        // Floyd–Warshall on bits: via repeated squaring until fixpoint.
+        let mut out = Relation::default();
+        out.plus_from(self, &mut Relation::default());
+        out
+    }
+
+    /// In-place transitive closure: `self = a+`, by repeated squaring to a
+    /// fixpoint. `scratch` holds the intermediate products.
+    pub fn plus_from(&mut self, a: &Relation, scratch: &mut Relation) {
+        self.copy_from(a);
         loop {
-            let next = out.union(&out.seq(&out));
-            if next == out {
-                return out;
+            scratch.seq_from(self, self);
+            if !self.or_in_place(scratch) {
+                return;
             }
-            out = next;
         }
     }
 
     /// Reflexive-transitive closure (`r*`).
     pub fn reflexive_transitive_closure(&self) -> Relation {
-        self.transitive_closure().union(&Relation::identity(self.n))
+        let mut out = Relation::default();
+        out.star_from(self, &mut Relation::default());
+        out
+    }
+
+    /// In-place reflexive-transitive closure: `self = a*`.
+    pub fn star_from(&mut self, a: &Relation, scratch: &mut Relation) {
+        self.plus_from(a, scratch);
+        self.add_identity();
     }
 
     /// Optional closure (`r?` = r ∪ id).
     pub fn optional(&self) -> Relation {
-        self.union(&Relation::identity(self.n))
+        let mut out = Relation::default();
+        out.opt_from(self);
+        out
+    }
+
+    /// In-place optional closure: `self = a ∪ id`.
+    pub fn opt_from(&mut self, a: &Relation) {
+        self.copy_from(a);
+        self.add_identity();
     }
 
     /// Restriction to pairs with source in `dom` and target in `rng`.
     pub fn restrict(&self, dom: &EventSet, rng: &EventSet) -> Relation {
-        let mut out = Relation::empty(self.n);
-        for (a, b) in self.iter_pairs() {
-            if dom.contains(a) && rng.contains(b) {
-                out.add(a, b);
-            }
-        }
+        let mut out = Relation::default();
+        out.restrict_from(self, dom, rng);
         out
     }
 
+    /// In-place restriction: `self = { (a,b) ∈ src : a ∈ dom, b ∈ rng }`.
+    /// Each kept row is ANDed against the range mask word by word.
+    pub fn restrict_from(&mut self, src: &Relation, dom: &EventSet, rng: &EventSet) {
+        self.reset(src.n);
+        for a in 0..src.n {
+            if !dom.contains(a) {
+                continue;
+            }
+            let base = a * src.words;
+            for w in 0..src.words {
+                self.rows[base + w] = src.rows[base + w] & rng.word(w);
+            }
+        }
+    }
+
     /// `true` if the relation contains no cycle (self-loops are cycles).
-    ///
-    /// Uses an iterative depth-first search with white/grey/black colouring.
     pub fn is_acyclic(&self) -> bool {
+        self.is_acyclic_with(&mut Vec::new(), &mut Vec::new())
+    }
+
+    /// [`Relation::is_acyclic`] with caller-owned scratch buffers, so a
+    /// loop over many relations never reallocates. Both buffers are
+    /// cleared and regrown as needed; their previous contents are ignored.
+    ///
+    /// Uses an iterative depth-first search with white/grey/black
+    /// colouring; `stack` holds `(node, next successor to examine)`
+    /// frames.
+    pub fn is_acyclic_with(&self, colour: &mut Vec<u8>, stack: &mut Vec<(usize, usize)>) -> bool {
         const WHITE: u8 = 0;
         const GREY: u8 = 1;
         const BLACK: u8 = 2;
-        let mut colour = vec![WHITE; self.n];
-        // Stack frames: (node, next successor index to examine).
-        let mut stack: Vec<(usize, usize)> = Vec::new();
+        colour.clear();
+        colour.resize(self.n, WHITE);
+        stack.clear();
         for start in 0..self.n {
             if colour[start] != WHITE {
                 continue;
@@ -278,21 +484,18 @@ impl Relation {
             while let Some(&(node, frame_next)) = stack.last() {
                 let mut next = frame_next;
                 let mut pushed = false;
-                while next < self.n {
-                    let succ = next;
-                    next += 1;
-                    if self.contains(node, succ) {
-                        match colour[succ] {
-                            GREY => return false,
-                            WHITE => {
-                                colour[succ] = GREY;
-                                stack.last_mut().expect("frame exists").1 = next;
-                                stack.push((succ, 0));
-                                pushed = true;
-                                break;
-                            }
-                            _ => {}
+                while let Some(succ) = self.next_succ(node, next) {
+                    next = succ + 1;
+                    match colour[succ] {
+                        GREY => return false,
+                        WHITE => {
+                            colour[succ] = GREY;
+                            stack.last_mut().expect("frame exists").1 = next;
+                            stack.push((succ, 0));
+                            pushed = true;
+                            break;
                         }
+                        _ => {}
                     }
                 }
                 if !pushed {
@@ -393,6 +596,39 @@ mod tests {
     }
 
     #[test]
+    fn full_set_masks_the_tail_word() {
+        // Word-filled construction must not set ghost bits past n.
+        for n in [0usize, 1, 63, 64, 65, 127, 128, 130] {
+            let s = EventSet::full(n);
+            assert_eq!(s.len(), n, "n={n}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+            assert!(!s.contains(n));
+        }
+    }
+
+    #[test]
+    fn full_relation_masks_the_tail_word() {
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let r = Relation::full(n);
+            assert_eq!(r.len(), n * n, "n={n}");
+            if n > 0 {
+                assert!(r.contains(n - 1, n - 1));
+                assert!(!r.contains(n - 1, n));
+            }
+        }
+    }
+
+    #[test]
+    fn set_reset_reuses_and_clears() {
+        let mut s = EventSet::full(100);
+        s.reset(70);
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 70);
+        s.insert(69);
+        assert!(s.contains(69));
+    }
+
+    #[test]
     #[should_panic(expected = "out of universe")]
     fn set_insert_out_of_range() {
         EventSet::empty(3).insert(3);
@@ -432,6 +668,55 @@ mod tests {
     }
 
     #[test]
+    fn in_place_ops_match_allocating_ones() {
+        let a = Relation::from_pairs(70, [(0, 1), (1, 65), (65, 2), (69, 69)]);
+        let b = Relation::from_pairs(70, [(1, 65), (2, 3), (65, 0)]);
+        let dom = EventSet::from_iter_n(70, [0, 1, 65]);
+        let rng = EventSet::from_iter_n(70, [2, 3, 65]);
+        // Start from a dirty buffer of a different universe to prove the
+        // reset path.
+        let mut out = Relation::full(3);
+        let mut scratch = Relation::full(5);
+        out.union_from(&a, &b);
+        assert_eq!(out, a.union(&b));
+        out.inter_from(&a, &b);
+        assert_eq!(out, a.inter(&b));
+        out.diff_from(&a, &b);
+        assert_eq!(out, a.diff(&b));
+        out.seq_from(&a, &b);
+        assert_eq!(out, a.seq(&b));
+        out.inverse_from(&a);
+        assert_eq!(out, a.inverse());
+        out.plus_from(&a, &mut scratch);
+        assert_eq!(out, a.transitive_closure());
+        out.star_from(&a, &mut scratch);
+        assert_eq!(out, a.reflexive_transitive_closure());
+        out.opt_from(&a);
+        assert_eq!(out, a.optional());
+        out.restrict_from(&a, &dom, &rng);
+        assert_eq!(out, a.restrict(&dom, &rng));
+        out.copy_from(&b);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn or_in_place_reports_change() {
+        let mut a = Relation::from_pairs(4, [(0, 1)]);
+        let b = Relation::from_pairs(4, [(1, 2)]);
+        assert!(a.or_in_place(&b));
+        assert!(!a.or_in_place(&b), "second OR adds nothing");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn for_each_pair_matches_iter_pairs() {
+        let r = Relation::from_pairs(130, [(0, 129), (64, 64), (129, 0), (5, 63)]);
+        let mut seen = Vec::new();
+        r.for_each_pair(|a, b| seen.push((a, b)));
+        assert_eq!(seen, r.iter_pairs().collect::<Vec<_>>());
+    }
+
+    #[test]
     fn acyclicity() {
         assert!(Relation::from_pairs(4, [(0, 1), (1, 2), (2, 3)]).is_acyclic());
         assert!(!Relation::from_pairs(4, [(0, 1), (1, 2), (2, 0)]).is_acyclic());
@@ -440,6 +725,18 @@ mod tests {
         assert!(Relation::empty(4).is_acyclic());
         // Two disjoint components, one cyclic.
         assert!(!Relation::from_pairs(6, [(0, 1), (4, 5), (5, 4)]).is_acyclic());
+    }
+
+    #[test]
+    fn acyclicity_with_reused_scratch() {
+        let mut colour = Vec::new();
+        let mut stack = Vec::new();
+        let acyclic = Relation::from_pairs(70, [(0, 69), (69, 65)]);
+        let cyclic = Relation::from_pairs(70, [(0, 69), (69, 0)]);
+        for _ in 0..3 {
+            assert!(acyclic.is_acyclic_with(&mut colour, &mut stack));
+            assert!(!cyclic.is_acyclic_with(&mut colour, &mut stack));
+        }
     }
 
     #[test]

@@ -119,6 +119,10 @@ fn letter(id: usize) -> char {
 /// Why a `.cat` model forbids an execution: the failing checks, each with
 /// a cycle witness rendered through event labels.
 ///
+/// Uses the plan's full-outcome mode ([`CatModel::check`]) rather than
+/// the short-circuiting `allows` fast path, so every failing check is
+/// named even when an earlier (cheaper) one already decides the verdict.
+///
 /// Returns an empty vector when the model allows the execution.
 pub fn explain_verdict(model: &CatModel, exec: &Execution) -> Vec<String> {
     let mut reasons = Vec::new();

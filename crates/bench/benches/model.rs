@@ -1,0 +1,141 @@
+//! Criterion benchmark for the axiomatic verdict-evaluation hot path —
+//! the **cache-miss** side of the sweep, where a test's shape has not
+//! been judged yet and every candidate execution must be run through the
+//! model.
+//!
+//! Two evaluators over identical pre-enumerated candidates:
+//!
+//! * **tree-walk** — the legacy interpreter retained as the differential
+//!   oracle: `base_relations()` (a fresh `String`-keyed `BTreeMap` of
+//!   relations per execution) plus an AST walk that clones every `let`
+//!   binding at each use;
+//! * **plan** — the compiled evaluation plan behind `Model::allows_with`:
+//!   names resolved to slots at compile time, bindings shared across
+//!   checks, cheapest-first short-circuiting, and a reusable
+//!   `EvalContext` arena (zero allocation per execution).
+//!
+//! Besides the criterion numbers, a JSON summary with verdicts/sec for
+//! both paths is written to `BENCH_model.json` at the repository root so
+//! the cache-miss path's throughput is tracked across PRs (skipped under
+//! `--test`). The ISSUE-4 acceptance bar is `plan_speedup >= 3`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use weakgpu_axiom::enumerate::{enumerate_executions, EnumConfig};
+use weakgpu_axiom::plan::EvalContext;
+use weakgpu_axiom::{CatModel, Execution};
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_litmus::corpus;
+use weakgpu_models::ptx_model;
+
+/// Pre-enumerated executions of a mixed workload: every corpus idiom
+/// plus a slice of the generated `small` family — the same candidates
+/// both evaluators judge.
+fn workload() -> Vec<Execution> {
+    let cfg = EnumConfig::default();
+    let mut execs = Vec::new();
+    for test in corpus::all() {
+        for cand in enumerate_executions(&test, &cfg).unwrap() {
+            execs.push(cand.execution);
+        }
+    }
+    for test in generate(&GenConfig::small()).into_iter().take(40) {
+        for cand in enumerate_executions(&test, &cfg).unwrap() {
+            execs.push(cand.execution);
+        }
+    }
+    execs
+}
+
+/// The legacy path: tree-walk interpretation per execution.
+fn treewalk_verdicts(model: &CatModel, execs: &[Execution]) -> usize {
+    execs
+        .iter()
+        .filter(|e| model.allows_tree_walk(e).unwrap())
+        .count()
+}
+
+/// The compiled path: plan evaluation through one reused context.
+fn plan_verdicts(model: &CatModel, ctx: &mut EvalContext, execs: &[Execution]) -> usize {
+    execs.iter().filter(|e| model.allows_with(ctx, e)).count()
+}
+
+fn bench_verdict_evaluators(c: &mut Criterion) {
+    let execs = workload();
+    let model = ptx_model();
+    let mut ctx = EvalContext::new();
+    // Both paths must agree before we time anything.
+    assert_eq!(
+        treewalk_verdicts(&model, &execs),
+        plan_verdicts(&model, &mut ctx, &execs)
+    );
+    let mut g = c.benchmark_group("model_verdicts");
+    g.bench_function("tree_walk", |b| {
+        b.iter(|| black_box(treewalk_verdicts(&model, &execs)));
+    });
+    g.bench_function("compiled_plan", |b| {
+        b.iter(|| black_box(plan_verdicts(&model, &mut ctx, &execs)));
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_verdict_evaluators
+}
+
+/// Measures verdicts/sec over a fixed workload (outside criterion, so
+/// the two numbers are directly comparable) and writes the JSON summary.
+fn write_bench_json() {
+    let execs = workload();
+    let model = ptx_model();
+    let mut ctx = EvalContext::new();
+
+    // Repeat the workload so each measurement spans >= ~1s of work.
+    let rounds = 40;
+    let t0 = Instant::now();
+    let mut a = 0usize;
+    for _ in 0..rounds {
+        a += black_box(treewalk_verdicts(&model, &execs));
+    }
+    let treewalk_vps = (rounds * execs.len()) as f64 / t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut b = 0usize;
+    for _ in 0..rounds {
+        b += black_box(plan_verdicts(&model, &mut ctx, &execs));
+    }
+    let plan_vps = (rounds * execs.len()) as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(a, b, "both evaluators must agree on every verdict");
+
+    let json = format!(
+        "{{\n  \"bench\": \"model\",\n  \"model\": \"ptx-rmo-scoped\",\n  \"workload\": \"corpus + small[..40] candidate executions\",\n  \"executions\": {},\n  \"treewalk_verdicts_per_sec\": {treewalk_vps:.0},\n  \"plan_verdicts_per_sec\": {plan_vps:.0},\n  \"plan_speedup\": {:.3}\n}}\n",
+        execs.len(),
+        plan_vps / treewalk_vps
+    );
+    // CARGO_MANIFEST_DIR is crates/bench; the summary lives at the repo
+    // root regardless of the invoking working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_model.json");
+    std::fs::write(path, &json).expect("write BENCH_model.json");
+    println!("wrote {path}:\n{json}");
+}
+
+fn main() {
+    benches();
+    // `cargo test --benches` smoke-runs with `--test`: skip the timing
+    // sweep there, it would measure a debug build.
+    if !std::env::args().any(|a| a == "--test") {
+        write_bench_json();
+    }
+}

@@ -1,0 +1,51 @@
+//! Corpus-wide differential assertion for the compiled-plan refactor:
+//! over the whole `small` generated family, the per-test model verdicts
+//! ([`ModelOutcomes`]) computed through the compiled plan must be
+//! **bit-identical** to the legacy tree-walking interpreter's — same
+//! outcome sets, same counts, same witness flag, for every test.
+
+use weakgpu_axiom::enumerate::{model_outcomes, EnumConfig};
+use weakgpu_axiom::{CatModel, Execution, Model};
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_models::{ptx_model, sc_model};
+
+/// The differential oracle: the same `.cat` model evaluated through the
+/// retained tree-walking interpreter instead of the compiled plan.
+struct TreeWalk(CatModel);
+
+impl Model for TreeWalk {
+    fn name(&self) -> &str {
+        Model::name(&self.0)
+    }
+
+    fn allows(&self, exec: &Execution) -> bool {
+        self.0
+            .allows_tree_walk(exec)
+            .unwrap_or_else(|e| panic!("oracle failed to evaluate: {e}"))
+    }
+}
+
+#[test]
+fn small_family_verdicts_bit_identical_to_tree_walk() {
+    let family = generate(&GenConfig::small());
+    assert!(!family.is_empty());
+    let cfg = EnumConfig::default();
+    for (model, oracle) in [
+        (ptx_model(), TreeWalk(ptx_model())),
+        (sc_model(), TreeWalk(sc_model())),
+    ] {
+        for test in &family {
+            let planned = model_outcomes(test, &model, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+            let walked = model_outcomes(test, &oracle, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+            assert_eq!(
+                planned,
+                walked,
+                "{} under {}: plan and tree-walk verdicts diverge",
+                test.name(),
+                Model::name(&model)
+            );
+        }
+    }
+}

@@ -16,6 +16,12 @@
 //! fixed seed regardless of worker count, scheduling, or host machine,
 //! and identical to running each cell alone through `run_test`.
 //!
+//! Progress callbacks run on the worker threads. A callback that judges
+//! cells against an axiomatic model (as the sweep's does) should keep
+//! one `weakgpu_axiom::plan::EvalContext` per worker — e.g. in a
+//! `thread_local!` — so repeated verdicts reuse one evaluation arena;
+//! see `crate::sweep` for the pattern.
+//!
 //! ```
 //! use weakgpu_harness::campaign::{run_campaign, CampaignConfig, CellSpec};
 //! use weakgpu_litmus::corpus;

@@ -34,7 +34,7 @@ pub use campaign::{
 pub use histogram::Histogram;
 pub use report::ObsTable;
 pub use runner::{run_test, RunConfig, TestReport, STREAM_CHUNKS};
-pub use soundness::{check_soundness, SoundnessReport};
+pub use soundness::{check_soundness, check_soundness_with, SoundnessReport};
 pub use sweep::{
     run_sweep, run_sweep_with, CellRecord, Shard, SweepConfig, SweepError, SweepReport,
 };

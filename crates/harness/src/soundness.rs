@@ -2,8 +2,9 @@
 //! by a memory model? (Paper Sec. 5.4: "whenever the hardware exhibits a
 //! behaviour, our model allows it".)
 
-use weakgpu_axiom::enumerate::{model_outcomes, EnumConfig, EnumError};
+use weakgpu_axiom::enumerate::{model_outcomes_with, EnumConfig, EnumError};
 use weakgpu_axiom::model::Model;
+use weakgpu_axiom::plan::EvalContext;
 use weakgpu_litmus::{LitmusTest, Outcome};
 
 use crate::histogram::Histogram;
@@ -41,7 +42,24 @@ pub fn check_soundness(
     model: &dyn Model,
     cfg: &EnumConfig,
 ) -> Result<SoundnessReport, EnumError> {
-    let verdict = model_outcomes(test, model, cfg)?;
+    check_soundness_with(test, observations, model, cfg, &mut EvalContext::new())
+}
+
+/// [`check_soundness`] with a caller-owned evaluation context, so a loop
+/// of soundness checks (one per sweep cell, say) reuses one arena for
+/// every model verdict.
+///
+/// # Errors
+///
+/// Propagates enumeration failures from the axiomatic engine.
+pub fn check_soundness_with(
+    test: &LitmusTest,
+    observations: &Histogram,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+) -> Result<SoundnessReport, EnumError> {
+    let verdict = model_outcomes_with(test, model, cfg, ctx)?;
     let violations: Vec<Outcome> = observations
         .outcomes()
         .filter(|o| !verdict.allowed_outcomes.contains(*o))

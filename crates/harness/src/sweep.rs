@@ -15,17 +15,24 @@
 //!   shape, so a [`VerdictCache`] enumerates each shape once (cells of
 //!   one test racing on first completion may enumerate twice; the first
 //!   publish wins) and answers the other chips' cells from the cache
-//!   (the hot path measured in `BENCH_sweep.json`).
+//!   (the hot path measured in `BENCH_sweep.json`). Cache misses are
+//!   judged through the model's compiled plan with one
+//!   [`EvalContext`] per worker thread (the cache-miss hot path measured
+//!   in `BENCH_model.json`), composing the two optimisations: the cache
+//!   removes repeat enumerations, the plan makes the remaining ones
+//!   cheap.
 //! * **Machine-readable reports** — each completed cell streams a JSONL
 //!   [`CellRecord`]; the aggregate [`SweepReport`] serialises to JSON,
 //!   parses back, and [`SweepReport::merge`]s across shards into totals
 //!   identical to an unsharded run at the same seed.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Mutex;
 
 use weakgpu_axiom::cache::VerdictCache;
 use weakgpu_axiom::enumerate::{EnumConfig, EnumError};
+use weakgpu_axiom::plan::EvalContext;
 use weakgpu_litmus::LitmusTest;
 use weakgpu_models::ptx_model;
 use weakgpu_sim::chip::Chip;
@@ -714,25 +721,41 @@ where
             // held (distinct shapes judge concurrently) and publish the
             // result. Two chips of one test racing may both enumerate —
             // first write wins, so `cache.misses >= cache.entries`.
+            // Each campaign worker thread keeps its own evaluation
+            // context, so every miss it judges reuses one relation arena
+            // instead of reallocating per candidate execution.
+            thread_local! {
+                static EVAL_CTX: RefCell<EvalContext> = RefCell::new(EvalContext::new());
+            }
             let probed = cache
                 .lock()
                 .expect("no poisoned locks")
                 .lookup(test, &model, &enum_cfg);
             let verdict = match probed {
                 Some(v) => v,
-                None => match weakgpu_axiom::model_outcomes(test, &model, &enum_cfg) {
-                    Ok(v) => cache
-                        .lock()
-                        .expect("no poisoned locks")
-                        .publish(test, &model, &enum_cfg, v),
-                    Err(e) => {
-                        enum_err
+                None => {
+                    let judged = EVAL_CTX.with(|ctx| {
+                        weakgpu_axiom::model_outcomes_with(
+                            test,
+                            &model,
+                            &enum_cfg,
+                            &mut ctx.borrow_mut(),
+                        )
+                    });
+                    match judged {
+                        Ok(v) => cache
                             .lock()
                             .expect("no poisoned locks")
-                            .get_or_insert((test.name().to_owned(), e));
-                        return;
+                            .publish(test, &model, &enum_cfg, v),
+                        Err(e) => {
+                            enum_err
+                                .lock()
+                                .expect("no poisoned locks")
+                                .get_or_insert((test.name().to_owned(), e));
+                            return;
+                        }
                     }
-                },
+                }
             };
             let unsound: Vec<String> = report
                 .histogram

@@ -284,6 +284,55 @@ mod tests {
     }
 
     #[test]
+    fn all_models_ship_precompiled_plans() {
+        // Every shipped model compiles its `.cat` source into an
+        // evaluation plan at construction; the plan's instruction stream
+        // is non-trivial (CSE notwithstanding) and reads only base
+        // relations the execution layer defines.
+        use std::collections::BTreeSet;
+        let known: BTreeSet<&str> = [
+            "po",
+            "po-loc",
+            "addr",
+            "data",
+            "ctrl",
+            "rmw",
+            "rf",
+            "rfe",
+            "rfi",
+            "co",
+            "coe",
+            "coi",
+            "fr",
+            "fre",
+            "fri",
+            "ext",
+            "int",
+            "loc",
+            "id",
+            "membar.cta",
+            "membar.gl",
+            "membar.sys",
+            "cta",
+            "gl",
+            "sys",
+        ]
+        .into_iter()
+        .collect();
+        for m in all_models() {
+            let plan = m.plan();
+            assert!(plan.num_ops() > 0, "{} has an empty plan", Model::name(&m));
+            for base in plan.base_names() {
+                assert!(
+                    known.contains(base),
+                    "{} reads unknown base {base:?}",
+                    Model::name(&m)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn all_models_allow_sc_outcomes() {
         // Sanity: every model allows the trivially sequential outcome of mp
         // (r1=1, r2=1).

@@ -2,10 +2,12 @@
 //!
 //! The build environment has no network access to crates.io, so this crate
 //! implements the subset of the proptest API the workspace's property
-//! suites use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
-//! `prop_recursive` / `boxed`, tuple and `Vec` strategies, integer-range
-//! strategies, `prop::collection::{vec, btree_map}`, `prop::bool::ANY`,
-//! [`Just`], `prop_oneof!`, the `proptest!` macro with an optional
+//! suites use: the [`Strategy`](strategy::Strategy) trait with `prop_map`
+//! / `prop_flat_map` / `prop_recursive` / `boxed`, tuple and `Vec`
+//! strategies, integer-range strategies,
+//! `prop::collection::{vec, btree_map}`, `prop::bool::ANY`,
+//! [`Just`](strategy::Just), `prop_oneof!`, the `proptest!` macro with an
+//! optional
 //! `#![proptest_config(..)]` block, and `prop_assert!`-style macros.
 //!
 //! Differences from upstream, by design:
