@@ -5,7 +5,7 @@
 //! verdict depends only on the test's *shape* (instructions, register
 //! initialisation, scope tree, memory regions and condition), never on
 //! the chip. [`shape_key`] extracts a canonical serialisation of exactly
-//! the inputs [`model_outcomes`] consumes, and [`VerdictCache`] memoises
+//! the inputs [`model_outcomes`](crate::enumerate::model_outcomes) consumes, and [`VerdictCache`] memoises
 //! enumeration results by that key, so re-judging the same shape — the
 //! same test on another chip, or structurally identical tests under
 //! different names — is a hash lookup instead of a fresh enumeration.
@@ -66,7 +66,7 @@ pub fn shape_key(test: &LitmusTest) -> String {
     key
 }
 
-/// A memoising wrapper around [`model_outcomes`], keyed by
+/// A memoising wrapper around [`model_outcomes`](crate::enumerate::model_outcomes), keyed by
 /// `(model name, enumeration config, shape_key)`.
 ///
 /// The model contributes only its **name** to the key: the cache assumes
@@ -78,7 +78,7 @@ pub fn shape_key(test: &LitmusTest) -> String {
 /// cloning the (potentially large) allowed-outcome sets, and so the cache
 /// can be used behind a short-lived lock: clone the `Arc` out, drop the
 /// lock, then inspect the verdict. For concurrent fill, pair
-/// [`VerdictCache::lookup`] (under the lock) with [`model_outcomes`]
+/// [`VerdictCache::lookup`] (under the lock) with [`model_outcomes`](crate::enumerate::model_outcomes)
 /// outside it and [`VerdictCache::publish`] to store the result — the
 /// enumeration itself then never blocks other threads.
 #[derive(Default)]
@@ -116,7 +116,9 @@ impl VerdictCache {
 
     /// [`VerdictCache::outcomes`] with a caller-owned [`EvalContext`] for
     /// the miss path, so repeated misses (the first judgement of each
-    /// shape in a sweep) reuse one evaluation arena.
+    /// shape in a sweep) reuse one evaluation arena. Misses stream the
+    /// candidate space through the skeleton/overlay visitor — no
+    /// `Vec<Candidate>` is ever materialised.
     ///
     /// # Errors
     ///

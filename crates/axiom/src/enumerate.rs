@@ -12,20 +12,29 @@
 //!    same-value write, or the initial state) and every coherence order per
 //!    location is enumerated.
 //!
-//! The result is the complete set of candidate [`Execution`]s with their
-//! observable [`Outcome`]s; a [`crate::model::Model`] implementation then partitions
-//! them into allowed and forbidden.
+//! Stage 3 is **streaming**: each trace combination becomes one immutable
+//! [`ExecutionSkeleton`] and each rf×co
+//! choice a lightweight in-place [`Overlay`];
+//! [`for_each_execution`] visits every candidate as a borrowed
+//! [`ExecutionView`] without materialising a `Vec<Candidate>` — no heap
+//! allocation per candidate, and visitors can stop early (first witness
+//! found, forbidden outcome observed) via [`ControlFlow::Break`].
+//!
+//! [`model_outcomes`] runs a [`crate::model::Model`] over the stream and
+//! partitions the outcomes into allowed and forbidden;
+//! [`enumerate_executions`] survives as a thin materialising wrapper over
+//! the visitor for rendering, diagnostics and differential testing.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::ControlFlow;
 
-use weakgpu_litmus::{FinalExpr, LitmusTest, Loc, Outcome, Reg};
+use weakgpu_litmus::{FinalExpr, Instr, LitmusTest, Loc, Operand, Outcome, Reg};
 
-use crate::event::Event;
 use crate::exec::Execution;
 use crate::model::Model;
 use crate::plan::EvalContext;
-use crate::relation::Relation;
+use crate::skeleton::{ExecutionSkeleton, ExecutionView, Overlay};
 use crate::symbolic::{enumerate_thread_traces, SymError, ThreadTrace};
 
 /// Bounds for the enumeration.
@@ -38,7 +47,10 @@ pub struct EnumConfig {
     pub domain_iters: usize,
     /// Bound on the traces enumerated per thread.
     pub max_traces_per_thread: usize,
-    /// Bound on the total number of candidate executions.
+    /// Bound on the number of candidate executions **visited**. Under the
+    /// streaming visitor this counts candidates actually handed to the
+    /// callback, not candidates materialised: a visitor that exits early
+    /// (via [`ControlFlow::Break`]) before the limit never trips it.
     pub max_executions: usize,
 }
 
@@ -58,7 +70,7 @@ impl Default for EnumConfig {
 pub enum EnumError {
     /// Symbolic execution failed.
     Sym(SymError),
-    /// More than [`EnumConfig::max_executions`] candidates.
+    /// More than [`EnumConfig::max_executions`] candidates visited.
     TooManyExecutions,
 }
 
@@ -79,17 +91,109 @@ impl From<SymError> for EnumError {
     }
 }
 
-/// Computes the per-location read-value domains by fixed point.
-fn value_domains(
-    test: &LitmusTest,
-    cfg: &EnumConfig,
-) -> Result<BTreeMap<Loc, BTreeSet<i64>>, EnumError> {
+/// Collects the statically known write-value domains: when every store
+/// in `test` writes an immediate constant to a named location
+/// *unconditionally* (no read-modify-writes, no predicated stores), the
+/// values memory can ever hold are the initial values plus those
+/// constants — no symbolic iteration needed. Returns `None` when any
+/// write's value, address or *execution* is data-dependent: a guarded
+/// store only contributes its value in traces where the guard fires, a
+/// reachability question only the iterated fixed point answers (adding
+/// it unconditionally would let such a store justify its own guard —
+/// out-of-thin-air candidates).
+fn static_domains(test: &LitmusTest) -> Option<BTreeMap<Loc, BTreeSet<i64>>> {
+    fn collect(instr: &Instr, domains: &mut BTreeMap<Loc, BTreeSet<i64>>) -> bool {
+        match instr {
+            // A guard is fine around anything that writes nothing; a
+            // guarded write bails to the fixed point.
+            Instr::Guard { inner, .. } => match &**inner {
+                Instr::St { .. } | Instr::Cas { .. } | Instr::Exch { .. } | Instr::Inc { .. } => {
+                    false
+                }
+                other => collect(other, domains),
+            },
+            Instr::St {
+                addr: Operand::Sym(loc),
+                src: Operand::Imm(n),
+                ..
+            } => {
+                domains.entry(loc.clone()).or_default().insert(*n);
+                true
+            }
+            Instr::St { .. } | Instr::Cas { .. } | Instr::Exch { .. } | Instr::Inc { .. } => false,
+            _ => true,
+        }
+    }
     let mut domains: BTreeMap<Loc, BTreeSet<i64>> = test
         .memory()
         .iter()
         .map(|(l, mi)| (l.clone(), [mi.init].into_iter().collect()))
         .collect();
-    for _ in 0..cfg.domain_iters {
+    for thread in test.threads() {
+        for instr in thread {
+            if !collect(instr, &mut domains) {
+                return None;
+            }
+        }
+    }
+    Some(domains)
+}
+
+/// Enumerates every thread's traces at the read-value fixed point.
+///
+/// Immediate-store tests (the whole generated paper family) take the
+/// static fast path: their domains are closed under
+/// [`static_domains`], so a single enumeration pass suffices. The
+/// static set can exceed the iterated one only by values of stores that
+/// never execute — reads of such values have no matching write event,
+/// so the candidate set is unchanged.
+///
+/// Otherwise the per-location read-value domains are iterated to a
+/// fixed point (at most [`EnumConfig::domain_iters`] updates); the
+/// traces of the first iteration that adds nothing new are already the
+/// fixed-point traces, so they are returned directly instead of being
+/// re-enumerated. Returns the final domains alongside for inspection.
+#[allow(clippy::type_complexity)]
+fn fixed_point_traces(
+    test: &LitmusTest,
+    cfg: &EnumConfig,
+) -> Result<(BTreeMap<Loc, BTreeSet<i64>>, Vec<Vec<ThreadTrace>>), EnumError> {
+    let mut domains: BTreeMap<Loc, BTreeSet<i64>> = test
+        .memory()
+        .iter()
+        .map(|(l, mi)| (l.clone(), [mi.init].into_iter().collect()))
+        .collect();
+    let enumerate_all = |domains: &BTreeMap<Loc, BTreeSet<i64>>| {
+        test.threads()
+            .iter()
+            .enumerate()
+            .map(|(tid, code)| {
+                let init = |r: &Reg| test.reg_init_value(tid, r);
+                enumerate_thread_traces(
+                    tid,
+                    code,
+                    &init,
+                    domains,
+                    cfg.max_steps_per_thread,
+                    cfg.max_traces_per_thread,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()
+    };
+    if cfg.domain_iters == 0 {
+        let per_thread = enumerate_all(&domains)?;
+        return Ok((domains, per_thread));
+    }
+    if let Some(domains) = static_domains(test) {
+        let per_thread = enumerate_all(&domains)?;
+        return Ok((domains, per_thread));
+    }
+    let mut iterations = 0usize;
+    loop {
+        // One fixed-point iteration, updating the domains thread by
+        // thread (later threads see earlier threads' new writes, exactly
+        // like the original two-phase computation).
+        let mut per_thread = Vec::with_capacity(test.num_threads());
         let mut changed = false;
         for (tid, code) in test.threads().iter().enumerate() {
             let init = |r: &Reg| test.reg_init_value(tid, r);
@@ -111,15 +215,26 @@ fn value_domains(
                     }
                 }
             }
+            per_thread.push(traces);
         }
+        iterations += 1;
         if !changed {
-            break;
+            // Fixed point: nothing moved this iteration, so every
+            // thread's traces were enumerated at the final domains —
+            // reuse them instead of enumerating again.
+            return Ok((domains, per_thread));
+        }
+        if iterations >= cfg.domain_iters {
+            // Budget spent mid-change: the collected traces are stale
+            // mixtures, so enumerate once more at the final domains.
+            let per_thread = enumerate_all(&domains)?;
+            return Ok((domains, per_thread));
         }
     }
-    Ok(domains)
 }
 
-/// One candidate execution together with its observable outcome.
+/// One candidate execution together with its observable outcome, in the
+/// legacy materialised form (see [`enumerate_executions`]).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Candidate {
     /// The execution graph.
@@ -128,29 +243,81 @@ pub struct Candidate {
     pub outcome: Outcome,
 }
 
-/// Enumerates all candidate executions of `test`.
+/// Streams every candidate execution of `test` through `f` as a borrowed
+/// [`ExecutionView`], sharing one [`ExecutionSkeleton`] per thread-trace
+/// combination and rewriting one rf/co [`Overlay`] in place per
+/// candidate — the steady-state loop performs **no heap allocation per
+/// candidate**.
+///
+/// Returning [`ControlFlow::Break`] from `f` stops the enumeration
+/// immediately; the break value comes back as `Ok(Some(value))`, and
+/// `Ok(None)` means the candidate space was exhausted. Candidates are
+/// visited in the same deterministic order [`enumerate_executions`]
+/// materialises them.
+///
+/// ```
+/// use std::ops::ControlFlow;
+/// use weakgpu_axiom::enumerate::{for_each_execution, EnumConfig};
+/// use weakgpu_litmus::{corpus, ThreadScope};
+///
+/// let test = corpus::sb(ThreadScope::IntraCta, None);
+/// // Count candidates without materialising any of them …
+/// let mut count = 0usize;
+/// let done = for_each_execution(&test, &EnumConfig::default(), |_view| {
+///     count += 1;
+///     ControlFlow::<()>::Continue(())
+/// })
+/// .unwrap();
+/// assert!(done.is_none() && count > 0);
+///
+/// // … or stop at the first candidate witnessing the weak outcome.
+/// let witness = for_each_execution(&test, &EnumConfig::default(), |view| {
+///     if test.cond().witnessed_by(&view.outcome()) {
+///         ControlFlow::Break(view.to_execution())
+///     } else {
+///         ControlFlow::Continue(())
+///     }
+/// })
+/// .unwrap();
+/// assert!(witness.is_some());
+/// ```
 ///
 /// # Errors
 ///
-/// Fails if symbolic execution fails (bad addresses, unbounded loops) or the
-/// candidate count exceeds [`EnumConfig::max_executions`].
-pub fn enumerate_executions(
+/// Fails if symbolic execution fails (bad addresses, unbounded loops) or
+/// more than [`EnumConfig::max_executions`] candidates are visited.
+pub fn for_each_execution<B, F>(
     test: &LitmusTest,
     cfg: &EnumConfig,
-) -> Result<Vec<Candidate>, EnumError> {
-    let domains = value_domains(test, cfg)?;
-    let mut per_thread: Vec<Vec<ThreadTrace>> = Vec::new();
-    for (tid, code) in test.threads().iter().enumerate() {
-        let init = |r: &Reg| test.reg_init_value(tid, r);
-        per_thread.push(enumerate_thread_traces(
-            tid,
-            code,
-            &init,
-            &domains,
-            cfg.max_steps_per_thread,
-            cfg.max_traces_per_thread,
-        )?);
+    mut f: F,
+) -> Result<Option<B>, EnumError>
+where
+    F: FnMut(&ExecutionView<'_>) -> ControlFlow<B>,
+{
+    // The enumeration scratch (skeleton, overlay, rf/co working set) is
+    // kept per thread so consecutive tests reuse one warm buffer set. A
+    // nested enumeration (a visitor that itself enumerates) falls back
+    // to a fresh scratch.
+    thread_local! {
+        static ENUM_SCRATCH: std::cell::RefCell<EnumScratch> =
+            std::cell::RefCell::new(EnumScratch::new());
     }
+    ENUM_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => for_each_execution_with(test, cfg, &mut scratch, &mut f),
+        Err(_) => for_each_execution_with(test, cfg, &mut EnumScratch::new(), &mut f),
+    })
+}
+
+fn for_each_execution_with<B, F>(
+    test: &LitmusTest,
+    cfg: &EnumConfig,
+    scratch: &mut EnumScratch,
+    f: &mut F,
+) -> Result<Option<B>, EnumError>
+where
+    F: FnMut(&ExecutionView<'_>) -> ControlFlow<B>,
+{
+    let (_domains, per_thread) = fixed_point_traces(test, cfg)?;
 
     let thread_cta: Vec<usize> = (0..test.num_threads())
         .map(|t| test.scope_tree().placement(t).cta)
@@ -162,23 +329,24 @@ pub fn enumerate_executions(
         .collect();
     let observed = test.observed();
 
-    let mut out = Vec::new();
+    let mut visited = 0usize;
+    let mut traces: Vec<&ThreadTrace> = Vec::with_capacity(per_thread.len());
     let mut combo = vec![0usize; per_thread.len()];
     'combos: loop {
-        let traces: Vec<&ThreadTrace> = combo
-            .iter()
-            .zip(&per_thread)
-            .map(|(&i, ts)| &ts[i])
-            .collect();
-        expand_communications(
-            test,
+        traces.clear();
+        traces.extend(combo.iter().zip(&per_thread).map(|(&i, ts)| &ts[i]));
+        if let ControlFlow::Break(b) = visit_combination(
             &traces,
             &thread_cta,
             &init_mem,
             &observed,
             cfg,
-            &mut out,
-        )?;
+            scratch,
+            &mut visited,
+            f,
+        )? {
+            return Ok(Some(b));
+        }
 
         // Advance the mixed-radix counter over thread traces.
         for t in (0..combo.len()).rev() {
@@ -190,189 +358,261 @@ pub fn enumerate_executions(
         }
         break;
     }
-    Ok(out)
+    Ok(None)
 }
 
-/// Builds the global event list for one trace combination and enumerates
-/// rf/co choices.
-fn expand_communications(
-    test: &LitmusTest,
+/// Buffers reused across a [`for_each_execution`] call's trace
+/// combinations: the skeleton, the overlay, and the rf-choice /
+/// coherence-permutation working set. After the first combination has
+/// sized them, later combinations (and every candidate) allocate
+/// nothing beyond growth to a new high-water mark.
+struct EnumScratch {
+    skel: ExecutionSkeleton,
+    overlay: Overlay,
+    /// Read event ids of the current skeleton.
+    reads: Vec<usize>,
+    /// Per read: its candidate rf sources. Grow-only; entries past the
+    /// current read count are stale spares.
+    rf_choices: Vec<Vec<Option<usize>>>,
+    /// Per written location: every permutation of its writes. Grow-only
+    /// nested buffers; `co_perm_counts` holds the live permutation
+    /// count per location.
+    co_perms: Vec<Vec<Vec<usize>>>,
+    co_perm_counts: Vec<usize>,
+    perm_scratch: Vec<usize>,
+    perm_used: Vec<bool>,
+    rf_idx: Vec<usize>,
+    co_idx: Vec<usize>,
+    /// Skeleton stamp for which `co_perms` and the overlay sizing were
+    /// last built (0 = never).
+    working_set_skel: u64,
+}
+
+impl EnumScratch {
+    fn new() -> Self {
+        EnumScratch {
+            skel: ExecutionSkeleton::empty(),
+            overlay: Overlay::new(),
+            reads: Vec::new(),
+            rf_choices: Vec::new(),
+            co_perms: Vec::new(),
+            co_perm_counts: Vec::new(),
+            perm_scratch: Vec::new(),
+            perm_used: Vec::new(),
+            rf_idx: Vec::new(),
+            co_idx: Vec::new(),
+            working_set_skel: 0,
+        }
+    }
+}
+
+/// Writes every permutation of `items` into `out`, reusing `out`'s
+/// buffers (`out` is truncated to the permutation count). Emission
+/// order matches the classical recursive formulation: permutations
+/// starting with `items[0]` first, then `items[1]`, and so on.
+/// Returns the permutation count; `out` is grow-only (entries past the
+/// count are stale spares kept for their allocations).
+fn fill_permutations(
+    items: &[usize],
+    out: &mut Vec<Vec<usize>>,
+    scratch: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+) -> usize {
+    scratch.clear();
+    used.clear();
+    used.resize(items.len(), false);
+    let mut count = 0usize;
+    emit_permutations(items, scratch, used, out, &mut count);
+    count
+}
+
+fn emit_permutations(
+    items: &[usize],
+    scratch: &mut Vec<usize>,
+    used: &mut [bool],
+    out: &mut Vec<Vec<usize>>,
+    count: &mut usize,
+) {
+    if scratch.len() == items.len() {
+        if *count < out.len() {
+            out[*count].clear();
+            out[*count].extend_from_slice(scratch);
+        } else {
+            out.push(scratch.clone());
+        }
+        *count += 1;
+        return;
+    }
+    for i in 0..items.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        scratch.push(items[i]);
+        emit_permutations(items, scratch, used, out, count);
+        scratch.pop();
+        used[i] = false;
+    }
+}
+
+/// Fills one trace combination's skeleton and streams its rf×co
+/// overlays through `f`, reusing every buffer in `scratch`.
+#[allow(clippy::too_many_arguments)]
+fn visit_combination<B, F>(
     traces: &[&ThreadTrace],
     thread_cta: &[usize],
     init_mem: &BTreeMap<Loc, i64>,
     observed: &[FinalExpr],
     cfg: &EnumConfig,
-    out: &mut Vec<Candidate>,
-) -> Result<(), EnumError> {
-    // Global event ids: thread events concatenated.
-    let mut events: Vec<Event> = Vec::new();
-    let mut offsets = Vec::with_capacity(traces.len());
-    for tr in traces {
-        offsets.push(events.len());
-        for (i, e) in tr.events.iter().enumerate() {
-            events.push(Event {
-                id: events.len(),
-                tid: tr.tid,
-                po_idx: i,
-                kind: e.kind,
-                loc: e.loc.clone(),
-                value: e.value,
-                cache: e.cache,
-                volatile: e.volatile,
-                atomic: e.atomic,
-                instr_idx: e.instr_idx,
-            });
-        }
-    }
-    let n = events.len();
-
-    let mut addr = Relation::empty(n);
-    let mut data = Relation::empty(n);
-    let mut ctrl = Relation::empty(n);
-    let mut rmw = Relation::empty(n);
-    for (tr, &off) in traces.iter().zip(&offsets) {
-        for (i, e) in tr.events.iter().enumerate() {
-            for &d in &e.addr_deps {
-                addr.add(off + d, off + i);
-            }
-            for &d in &e.data_deps {
-                data.add(off + d, off + i);
-            }
-            for &d in &e.ctrl_deps {
-                ctrl.add(off + d, off + i);
-            }
-        }
-        for &(r, w) in &tr.rmw_pairs {
-            rmw.add(off + r, off + w);
-        }
-    }
+    scratch: &mut EnumScratch,
+    visited: &mut usize,
+    f: &mut F,
+) -> Result<ControlFlow<B>, EnumError>
+where
+    F: FnMut(&ExecutionView<'_>) -> ControlFlow<B>,
+{
+    scratch.skel.fill(traces, thread_cta, init_mem, observed);
+    let skel = &scratch.skel;
+    let events = skel.events();
 
     // Read-from candidates per read.
-    let reads: Vec<usize> = events
-        .iter()
-        .filter(|e| e.is_read())
-        .map(|e| e.id)
-        .collect();
-    let mut rf_choices: Vec<Vec<Option<usize>>> = Vec::with_capacity(reads.len());
-    for &r in &reads {
-        let loc = events[r].loc.as_ref().expect("reads have locations");
+    scratch.reads.clear();
+    scratch
+        .reads
+        .extend(events.iter().filter(|e| e.is_read()).map(|e| e.id));
+    let reads = &scratch.reads;
+    if scratch.rf_choices.len() < reads.len() {
+        scratch.rf_choices.resize(reads.len(), Vec::new());
+    }
+    for cands in &mut scratch.rf_choices[..reads.len()] {
+        cands.clear();
+    }
+    for (k, &r) in reads.iter().enumerate() {
         let v = events[r].value;
-        let mut cands: Vec<Option<usize>> = Vec::new();
-        if init_mem.get(loc).copied().unwrap_or(0) == v {
-            cands.push(None);
-        }
-        for e in &events {
-            if e.is_write() && e.accesses(loc) && e.value == v {
-                cands.push(Some(e.id));
+        let cands = &mut scratch.rf_choices[k];
+        let li = skel.loc_index(r);
+        if li == usize::MAX {
+            // The location is never written: the read can only see init.
+            let loc = events[r].loc.as_ref().expect("reads have locations");
+            if init_mem.get(loc).copied().unwrap_or(0) == v {
+                cands.push(None);
+            }
+        } else {
+            if skel.init_value(li) == v {
+                cands.push(None);
+            }
+            for &w in &skel.writes_per_loc()[li] {
+                if events[w].value == v {
+                    cands.push(Some(w));
+                }
             }
         }
         if cands.is_empty() {
-            return Ok(()); // this trace combination is unrealisable
-        }
-        rf_choices.push(cands);
-    }
-
-    // Coherence: permutations of writes per location.
-    let mut writes_by_loc: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
-    for e in &events {
-        if e.is_write() {
-            writes_by_loc
-                .entry(e.loc.clone().expect("writes have locations"))
-                .or_default()
-                .push(e.id);
+            return Ok(ControlFlow::Continue(())); // unrealisable combination
         }
     }
-    let co_orders: Vec<(Loc, Vec<Vec<usize>>)> = writes_by_loc
-        .into_iter()
-        .map(|(l, ws)| (l, permutations(&ws)))
-        .collect();
 
-    // Product: rf assignment × co choice.
-    let mut rf_idx = vec![0usize; reads.len()];
+    // Coherence: permutations of writes per location, aligned with the
+    // skeleton's written-location axes. Both the permutations and the
+    // overlay sizing depend only on the skeleton's structure, so they
+    // are rebuilt only when the skeleton identity changed since they
+    // were last built (value-only combination changes reuse them).
+    let num_locs = skel.writes_per_loc().len();
+    if scratch.working_set_skel != skel.id() {
+        if scratch.co_perms.len() < num_locs {
+            scratch.co_perms.resize_with(num_locs, Vec::new);
+        }
+        scratch.co_perm_counts.clear();
+        scratch.co_perm_counts.resize(num_locs, 0);
+        for (li, ws) in skel.writes_per_loc().iter().enumerate() {
+            scratch.co_perm_counts[li] = fill_permutations(
+                ws,
+                &mut scratch.co_perms[li],
+                &mut scratch.perm_scratch,
+                &mut scratch.perm_used,
+            );
+        }
+        scratch.overlay.reset(skel);
+        scratch.working_set_skel = skel.id();
+    }
+
+    // Product: rf assignment × co choice, rewriting the overlay in place.
+    scratch.rf_idx.clear();
+    scratch.rf_idx.resize(reads.len(), 0);
     'rf: loop {
-        let mut rf = vec![None; n];
         for (k, &r) in reads.iter().enumerate() {
-            rf[r] = rf_choices[k][rf_idx[k]];
+            scratch
+                .overlay
+                .set_rf(r, scratch.rf_choices[k][scratch.rf_idx[k]]);
         }
 
-        let mut co_idx = vec![0usize; co_orders.len()];
+        scratch.co_idx.clear();
+        scratch.co_idx.resize(num_locs, 0);
+        for (li, perms) in scratch.co_perms[..num_locs].iter().enumerate() {
+            scratch.overlay.set_co(li, &perms[0]);
+        }
         'co: loop {
-            let co: BTreeMap<Loc, Vec<usize>> = co_orders
-                .iter()
-                .zip(&co_idx)
-                .map(|((l, perms), &i)| (l.clone(), perms[i].clone()))
-                .collect();
+            scratch.overlay.stamp();
 
-            let execution = Execution {
-                events: events.clone(),
-                thread_cta: thread_cta.to_vec(),
-                rf: rf.clone(),
-                co,
-                init: init_mem.clone(),
-                addr: addr.clone(),
-                data: data.clone(),
-                ctrl: ctrl.clone(),
-                rmw: rmw.clone(),
-            };
-            let outcome = outcome_of(test, traces, &execution, observed);
-            out.push(Candidate { execution, outcome });
-            if out.len() > cfg.max_executions {
+            *visited += 1;
+            if *visited > cfg.max_executions {
                 return Err(EnumError::TooManyExecutions);
             }
+            let view = ExecutionView::new(skel, &scratch.overlay);
+            if let ControlFlow::Break(b) = f(&view) {
+                return Ok(ControlFlow::Break(b));
+            }
 
-            for i in (0..co_idx.len()).rev() {
-                co_idx[i] += 1;
-                if co_idx[i] < co_orders[i].1.len() {
+            // Advance, rewriting only the coherence axes that moved.
+            for i in (0..scratch.co_idx.len()).rev() {
+                scratch.co_idx[i] += 1;
+                if scratch.co_idx[i] < scratch.co_perm_counts[i] {
+                    scratch
+                        .overlay
+                        .set_co(i, &scratch.co_perms[i][scratch.co_idx[i]]);
                     continue 'co;
                 }
-                co_idx[i] = 0;
+                scratch.co_idx[i] = 0;
+                scratch.overlay.set_co(i, &scratch.co_perms[i][0]);
             }
             break;
         }
 
-        for k in (0..rf_idx.len()).rev() {
-            rf_idx[k] += 1;
-            if rf_idx[k] < rf_choices[k].len() {
+        for k in (0..scratch.rf_idx.len()).rev() {
+            scratch.rf_idx[k] += 1;
+            if scratch.rf_idx[k] < scratch.rf_choices[k].len() {
                 continue 'rf;
             }
-            rf_idx[k] = 0;
+            scratch.rf_idx[k] = 0;
         }
         break;
     }
-    Ok(())
+    Ok(ControlFlow::Continue(()))
 }
 
-fn outcome_of(
-    _test: &LitmusTest,
-    traces: &[&ThreadTrace],
-    execution: &Execution,
-    observed: &[FinalExpr],
-) -> Outcome {
-    let mut o = Outcome::new();
-    for expr in observed {
-        let v = match expr {
-            FinalExpr::Reg(tid, reg) => traces.get(*tid).map(|tr| tr.final_int(reg)).unwrap_or(0),
-            FinalExpr::Mem(loc) => execution.final_memory(loc),
-        };
-        o.set(expr.clone(), v);
-    }
-    o
-}
-
-fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
-    if items.is_empty() {
-        return vec![Vec::new()];
-    }
+/// Materialises all candidate executions of `test` — a thin wrapper over
+/// [`for_each_execution`] kept for rendering, diagnostics and as the
+/// differential oracle of the streaming path. Verdict code should use
+/// [`model_outcomes`] (or the visitor directly) instead: this clones the
+/// shared skeleton into an owned [`Execution`] per candidate.
+///
+/// # Errors
+///
+/// Fails if symbolic execution fails (bad addresses, unbounded loops) or
+/// the candidate count exceeds [`EnumConfig::max_executions`].
+pub fn enumerate_executions(
+    test: &LitmusTest,
+    cfg: &EnumConfig,
+) -> Result<Vec<Candidate>, EnumError> {
     let mut out = Vec::new();
-    for (i, &x) in items.iter().enumerate() {
-        let mut rest: Vec<usize> = items.to_vec();
-        rest.remove(i);
-        for mut tail in permutations(&rest) {
-            tail.insert(0, x);
-            out.push(tail);
-        }
-    }
-    out
+    for_each_execution(test, cfg, |view| {
+        out.push(Candidate {
+            execution: view.to_execution(),
+            outcome: view.outcome(),
+        });
+        ControlFlow::<()>::Continue(())
+    })?;
+    Ok(out)
 }
 
 /// The model-level verdict on a litmus test.
@@ -411,11 +651,13 @@ pub fn model_outcomes(
     model_outcomes_with(test, model, cfg, &mut EvalContext::new())
 }
 
-/// [`model_outcomes`] with a caller-owned [`EvalContext`], threaded
-/// through every candidate's verdict — for plan-backed models the whole
-/// judgement loop then runs without heap allocation per execution. Sweep
-/// workers hold one context each and pass it here on verdict-cache
-/// misses.
+/// [`model_outcomes`] with a caller-owned [`EvalContext`], streamed over
+/// the skeleton/overlay visitor: the skeleton's base relations are
+/// filled once per trace combination, each candidate refills only the
+/// rf/co-derived ones, and outcome dedup runs against reused value
+/// buffers — for plan-backed models the whole judgement loop performs no
+/// heap allocation per candidate. Sweep workers hold one context each
+/// and pass it here on verdict-cache misses.
 ///
 /// # Errors
 ///
@@ -426,28 +668,175 @@ pub fn model_outcomes_with(
     cfg: &EnumConfig,
     ctx: &mut EvalContext,
 ) -> Result<ModelOutcomes, EnumError> {
-    let candidates = enumerate_executions(test, cfg)?;
+    let cond = test.cond();
     let mut all = BTreeSet::new();
-    let mut allowed = BTreeSet::new();
-    let mut num_allowed = 0;
+    let mut allowed: BTreeSet<Outcome> = BTreeSet::new();
+    let mut num_candidates = 0usize;
+    let mut num_allowed = 0usize;
     let mut witnessed = false;
-    for c in &candidates {
-        all.insert(c.outcome.clone());
-        if model.allows_with(ctx, &c.execution) {
+    // Dedup by observed-value vector: `vals` is refilled per candidate
+    // and matched against the distinct vectors seen so far (a handful
+    // per test, so a linear scan beats hashing). The interner allocates
+    // only on first sight of a vector, never per candidate.
+    let mut vals: Vec<i64> = Vec::new();
+    let mut seen = SeenOutcomes::new();
+    let mut allowed_seen: Vec<bool> = Vec::new();
+    // When a test observes only registers, the outcome is fixed per
+    // trace combination: probe the interner once per combination. For
+    // memory-observing tests a single-entry memo still answers most
+    // probes — consecutive candidates usually share their outcome.
+    let mut fixed: Option<(u64, usize)> = None;
+    let mut last: Option<(Vec<i64>, usize)> = None;
+    for_each_execution(test, cfg, |view| {
+        num_candidates += 1;
+        let idx = match fixed {
+            Some((combo, i)) if combo == view.combination_id() => i,
+            _ => {
+                view.fill_observed(&mut vals);
+                let i = match &last {
+                    Some((lv, li)) if *lv == vals => *li,
+                    _ => {
+                        let i = match seen.find(&vals) {
+                            Some(i) => i,
+                            None => {
+                                let outcome = view.outcome();
+                                let witnesses = cond.witnessed_by(&outcome);
+                                all.insert(outcome.clone());
+                                allowed_seen.push(false);
+                                seen.insert(&vals, outcome, witnesses)
+                            }
+                        };
+                        match &mut last {
+                            Some((lv, li)) => {
+                                lv.clear();
+                                lv.extend_from_slice(&vals);
+                                *li = i;
+                            }
+                            None => last = Some((vals.clone(), i)),
+                        }
+                        i
+                    }
+                };
+                if view.observed_is_skeleton_fixed() {
+                    fixed = Some((view.combination_id(), i));
+                }
+                i
+            }
+        };
+        if model.allows_view(ctx, view) {
             num_allowed += 1;
-            if test.cond().witnessed_by(&c.outcome) {
+            let (outcome, witnesses) = seen.get(idx);
+            if witnesses {
                 witnessed = true;
             }
-            allowed.insert(c.outcome.clone());
+            if !allowed_seen[idx] {
+                allowed_seen[idx] = true;
+                allowed.insert(outcome.clone());
+            }
         }
-    }
+        ControlFlow::<()>::Continue(())
+    })?;
     Ok(ModelOutcomes {
         all_outcomes: all,
         allowed_outcomes: allowed,
-        num_candidates: candidates.len(),
+        num_candidates,
         num_allowed,
         condition_witnessed: witnessed,
     })
+}
+
+/// Interner over observed-value vectors: entries are kept sorted by
+/// value vector, so the per-candidate probe is a binary search (a
+/// test's distinct outcomes number at most a few dozen — cheaper than
+/// hashing, log-cost on the RMW-heavy tests with many outcomes).
+struct SeenOutcomes {
+    /// `(values, entry index)` sorted by values.
+    order: Vec<(Vec<i64>, usize)>,
+    entries: Vec<(Outcome, bool)>,
+}
+
+impl SeenOutcomes {
+    fn new() -> Self {
+        SeenOutcomes {
+            order: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    fn find(&self, vals: &[i64]) -> Option<usize> {
+        self.order
+            .binary_search_by(|(v, _)| v.as_slice().cmp(vals))
+            .ok()
+            .map(|pos| self.order[pos].1)
+    }
+
+    fn insert(&mut self, vals: &[i64], outcome: Outcome, witnesses: bool) -> usize {
+        let idx = self.entries.len();
+        self.entries.push((outcome, witnesses));
+        let pos = self
+            .order
+            .binary_search_by(|(v, _)| v.as_slice().cmp(vals))
+            .unwrap_err();
+        self.order.insert(pos, (vals.to_vec(), idx));
+        idx
+    }
+
+    fn get(&self, idx: usize) -> (&Outcome, bool) {
+        let (outcome, witnesses) = &self.entries[idx];
+        (outcome, *witnesses)
+    }
+
+    fn witnesses(&self, idx: usize) -> bool {
+        self.entries[idx].1
+    }
+}
+
+/// `true` iff some model-allowed candidate witnesses the test's final
+/// condition — the early-exit form of
+/// [`ModelOutcomes::condition_witnessed`]: the stream stops at the first
+/// allowed witness instead of enumerating the full candidate space.
+///
+/// # Errors
+///
+/// Propagates [`EnumError`]s from the enumeration. Because the visit
+/// count stops at the first witness, this can succeed where
+/// [`model_outcomes`] exceeds [`EnumConfig::max_executions`].
+pub fn condition_witnessed_with(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+) -> Result<bool, EnumError> {
+    let cond = test.cond();
+    let mut vals: Vec<i64> = Vec::new();
+    let mut seen = SeenOutcomes::new();
+    let mut fixed: Option<(u64, usize)> = None;
+    let hit = for_each_execution(test, cfg, |view| {
+        let idx = match fixed {
+            Some((combo, i)) if combo == view.combination_id() => i,
+            _ => {
+                view.fill_observed(&mut vals);
+                let i = match seen.find(&vals) {
+                    Some(i) => i,
+                    None => {
+                        let outcome = view.outcome();
+                        let witnesses = cond.witnessed_by(&outcome);
+                        seen.insert(&vals, outcome, witnesses)
+                    }
+                };
+                if view.observed_is_skeleton_fixed() {
+                    fixed = Some((view.combination_id(), i));
+                }
+                i
+            }
+        };
+        if seen.witnesses(idx) && model.allows_view(ctx, view) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })?;
+    Ok(hit.is_some())
 }
 
 #[cfg(test)]
@@ -456,6 +845,13 @@ mod tests {
     use weakgpu_litmus::corpus;
     use weakgpu_litmus::ThreadScope;
 
+    fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let count = fill_permutations(items, &mut out, &mut Vec::new(), &mut Vec::new());
+        out.truncate(count);
+        out
+    }
+
     #[test]
     fn permutations_count() {
         assert_eq!(permutations(&[]).len(), 1);
@@ -463,6 +859,33 @@ mod tests {
         assert_eq!(permutations(&[1, 2, 3]).len(), 6);
         let ps = permutations(&[1, 2]);
         assert!(ps.contains(&vec![1, 2]) && ps.contains(&vec![2, 1]));
+    }
+
+    #[test]
+    fn fill_permutations_reuses_buffers_and_keeps_order() {
+        // Buffer reuse across calls must not leak stale entries into the
+        // live prefix, and the emission order must stay the classical
+        // recursive one (first element varies slowest).
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut used = Vec::new();
+        assert_eq!(
+            fill_permutations(&[1, 2, 3], &mut out, &mut scratch, &mut used),
+            6
+        );
+        assert_eq!(out[0], vec![1, 2, 3]);
+        assert_eq!(out[1], vec![1, 3, 2]);
+        assert_eq!(out[5], vec![3, 2, 1]);
+        // A smaller follow-up call reports a smaller live count while
+        // keeping the spare buffers (and their allocations) behind it.
+        assert_eq!(
+            fill_permutations(&[7], &mut out, &mut scratch, &mut used),
+            1
+        );
+        assert_eq!(out[0], vec![7]);
+        assert_eq!(out.len(), 6, "spares are kept, not dropped");
+        assert_eq!(fill_permutations(&[], &mut out, &mut scratch, &mut used), 1);
+        assert_eq!(out[0], Vec::<usize>::new());
     }
 
     #[test]
@@ -485,9 +908,11 @@ mod tests {
         // dlb-mp has `t := load t + 1`, needing iterated domains.
         let test = corpus::dlb_mp(false);
         let cfg = EnumConfig::default();
-        let domains = value_domains(&test, &cfg).unwrap();
+        let (domains, per_thread) = fixed_point_traces(&test, &cfg).unwrap();
         let t = domains.get(&Loc::new("t")).unwrap();
         assert!(t.contains(&0) && t.contains(&1));
+        assert_eq!(per_thread.len(), test.num_threads());
+        assert!(per_thread.iter().all(|ts| !ts.is_empty()));
     }
 
     #[test]
@@ -529,5 +954,54 @@ mod tests {
             enumerate_executions(&test, &tiny).unwrap_err(),
             EnumError::TooManyExecutions
         );
+    }
+
+    #[test]
+    fn visitor_counts_match_materialised_candidates() {
+        for test in [
+            corpus::corr(),
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::dlb_lb(false),
+        ] {
+            let cands = enumerate_executions(&test, &EnumConfig::default()).unwrap();
+            let mut visits = 0usize;
+            for_each_execution(&test, &EnumConfig::default(), |_| {
+                visits += 1;
+                ControlFlow::<()>::Continue(())
+            })
+            .unwrap();
+            assert_eq!(visits, cands.len(), "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn candidate_limit_counts_visits_not_materialisations() {
+        let test = corpus::corr();
+        let total = enumerate_executions(&test, &EnumConfig::default())
+            .unwrap()
+            .len();
+        assert!(total > 2);
+        let tight = EnumConfig {
+            max_executions: 2,
+            ..EnumConfig::default()
+        };
+        // Visiting everything trips the limit …
+        let err = for_each_execution(&test, &tight, |_| ControlFlow::<()>::Continue(()));
+        assert_eq!(err.unwrap_err(), EnumError::TooManyExecutions);
+        // … but an early-exiting visitor stays under it.
+        let broke = for_each_execution(&test, &tight, |_| ControlFlow::Break(42)).unwrap();
+        assert_eq!(broke, Some(42));
+        // Breaking exactly at the limit is still within bounds.
+        let mut visits = 0usize;
+        let broke = for_each_execution(&test, &tight, |_| {
+            visits += 1;
+            if visits == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+        assert!(broke.is_some() && visits == 2);
     }
 }

@@ -27,6 +27,115 @@ pub enum RmwAtomicity {
     None,
 }
 
+/// Fills `r` with program order over `events`: intra-thread, by position.
+pub(crate) fn po_into(events: &[Event], r: &mut Relation) {
+    r.reset(events.len());
+    for a in events {
+        for b in events {
+            if a.tid == b.tid && a.po_idx < b.po_idx {
+                r.add(a.id, b.id);
+            }
+        }
+    }
+}
+
+/// Fills `r` with program order restricted to same-location accesses.
+pub(crate) fn po_loc_into(events: &[Event], r: &mut Relation) {
+    r.reset(events.len());
+    for a in events {
+        for b in events {
+            if a.tid == b.tid && a.po_idx < b.po_idx && a.loc.is_some() && a.loc == b.loc {
+                r.add(a.id, b.id);
+            }
+        }
+    }
+}
+
+/// Fills `r` with pairs of events from different threads.
+pub(crate) fn ext_into(events: &[Event], r: &mut Relation) {
+    r.reset(events.len());
+    for a in events {
+        for b in events {
+            if a.tid != b.tid {
+                r.add(a.id, b.id);
+            }
+        }
+    }
+}
+
+/// Fills `r` with pairs of events from the same thread.
+pub(crate) fn int_into(events: &[Event], r: &mut Relation) {
+    r.reset(events.len());
+    for a in events {
+        for b in events {
+            if a.tid == b.tid {
+                r.add(a.id, b.id);
+            }
+        }
+    }
+}
+
+/// Fills `r` with pairs of accesses to the same location.
+pub(crate) fn same_loc_into(events: &[Event], r: &mut Relation) {
+    r.reset(events.len());
+    for a in events {
+        for b in events {
+            if a.loc.is_some() && a.loc == b.loc {
+                r.add(a.id, b.id);
+            }
+        }
+    }
+}
+
+/// Fills `r` with the fence relation for `scope`: pairs `(a, b)` with a
+/// fence of exactly that scope po-between them.
+pub(crate) fn fence_rel_into(events: &[Event], scope: FenceScope, r: &mut Relation) {
+    r.reset(events.len());
+    for f in events {
+        if f.kind != EventKind::Fence(scope) {
+            continue;
+        }
+        for a in events {
+            if a.tid != f.tid || a.po_idx >= f.po_idx {
+                continue;
+            }
+            for b in events {
+                if b.tid == f.tid && b.po_idx > f.po_idx {
+                    r.add(a.id, b.id);
+                }
+            }
+        }
+    }
+}
+
+/// Fills `r` with pairs of events whose threads share a CTA.
+pub(crate) fn scope_cta_into(events: &[Event], thread_cta: &[usize], r: &mut Relation) {
+    r.reset(events.len());
+    for a in events {
+        for b in events {
+            if thread_cta[a.tid] == thread_cta[b.tid] {
+                r.add(a.id, b.id);
+            }
+        }
+    }
+}
+
+/// Fills `s` with the ids of the read events.
+pub(crate) fn read_set_into(events: &[Event], s: &mut EventSet) {
+    s.reset(events.len());
+    for e in events.iter().filter(|e| e.is_read()) {
+        s.insert(e.id);
+    }
+}
+
+/// Fills `s` with the ids of the write events.
+pub(crate) fn write_set_into(events: &[Event], s: &mut EventSet) {
+    s.reset(events.len());
+    for e in events.iter().filter(|e| e.is_write()) {
+        s.insert(e.id);
+    }
+}
+
 /// A complete candidate execution of a litmus test.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Execution {
@@ -72,10 +181,7 @@ impl Execution {
 
     /// In-place [`Execution::read_set`].
     pub fn fill_read_set(&self, s: &mut EventSet) {
-        s.reset(self.len());
-        for e in self.events.iter().filter(|e| e.is_read()) {
-            s.insert(e.id);
-        }
+        read_set_into(&self.events, s);
     }
 
     /// Event ids of writes.
@@ -87,10 +193,7 @@ impl Execution {
 
     /// In-place [`Execution::write_set`].
     pub fn fill_write_set(&self, s: &mut EventSet) {
-        s.reset(self.len());
-        for e in self.events.iter().filter(|e| e.is_write()) {
-            s.insert(e.id);
-        }
+        write_set_into(&self.events, s);
     }
 
     /// Event ids of fences.
@@ -110,14 +213,7 @@ impl Execution {
 
     /// In-place [`Execution::po`].
     pub fn fill_po(&self, r: &mut Relation) {
-        r.reset(self.len());
-        for a in &self.events {
-            for b in &self.events {
-                if a.tid == b.tid && a.po_idx < b.po_idx {
-                    r.add(a.id, b.id);
-                }
-            }
-        }
+        po_into(&self.events, r);
     }
 
     /// Program order restricted to accesses of the same location.
@@ -129,14 +225,7 @@ impl Execution {
 
     /// In-place [`Execution::po_loc`].
     pub fn fill_po_loc(&self, r: &mut Relation) {
-        r.reset(self.len());
-        for a in &self.events {
-            for b in &self.events {
-                if a.tid == b.tid && a.po_idx < b.po_idx && a.loc.is_some() && a.loc == b.loc {
-                    r.add(a.id, b.id);
-                }
-            }
-        }
+        po_loc_into(&self.events, r);
     }
 
     /// Read-from as a relation (init edges have no source, so they do not
@@ -224,14 +313,7 @@ impl Execution {
 
     /// In-place [`Execution::ext`].
     pub fn fill_ext(&self, r: &mut Relation) {
-        r.reset(self.len());
-        for a in &self.events {
-            for b in &self.events {
-                if a.tid != b.tid {
-                    r.add(a.id, b.id);
-                }
-            }
-        }
+        ext_into(&self.events, r);
     }
 
     /// Pairs of events from the same thread (including identical events).
@@ -243,14 +325,7 @@ impl Execution {
 
     /// In-place [`Execution::int`].
     pub fn fill_int(&self, r: &mut Relation) {
-        r.reset(self.len());
-        for a in &self.events {
-            for b in &self.events {
-                if a.tid == b.tid {
-                    r.add(a.id, b.id);
-                }
-            }
-        }
+        int_into(&self.events, r);
     }
 
     /// Pairs of accesses to the same location.
@@ -262,14 +337,7 @@ impl Execution {
 
     /// In-place [`Execution::same_loc`].
     pub fn fill_same_loc(&self, r: &mut Relation) {
-        r.reset(self.len());
-        for a in &self.events {
-            for b in &self.events {
-                if a.loc.is_some() && a.loc == b.loc {
-                    r.add(a.id, b.id);
-                }
-            }
-        }
+        same_loc_into(&self.events, r);
     }
 
     /// The fence relation for scope `scope`: pairs `(a, b)` with a fence of
@@ -282,22 +350,7 @@ impl Execution {
 
     /// In-place [`Execution::fence_rel`].
     pub fn fill_fence_rel(&self, scope: FenceScope, r: &mut Relation) {
-        r.reset(self.len());
-        for f in &self.events {
-            if f.kind != EventKind::Fence(scope) {
-                continue;
-            }
-            for a in &self.events {
-                if a.tid != f.tid || a.po_idx >= f.po_idx {
-                    continue;
-                }
-                for b in &self.events {
-                    if b.tid == f.tid && b.po_idx > f.po_idx {
-                        r.add(a.id, b.id);
-                    }
-                }
-            }
-        }
+        fence_rel_into(&self.events, scope, r);
     }
 
     /// Scope relation `cta`: pairs of events whose threads share a CTA.
@@ -309,14 +362,7 @@ impl Execution {
 
     /// In-place [`Execution::scope_cta`].
     pub fn fill_scope_cta(&self, r: &mut Relation) {
-        r.reset(self.len());
-        for a in &self.events {
-            for b in &self.events {
-                if self.thread_cta[a.tid] == self.thread_cta[b.tid] {
-                    r.add(a.id, b.id);
-                }
-            }
-        }
+        scope_cta_into(&self.events, &self.thread_cta, r);
     }
 
     /// Scope relation `gl`: a single grid, so all pairs.
@@ -379,7 +425,7 @@ impl Execution {
     /// `(r, w)`, no (qualifying) write to the same location lies strictly
     /// coherence-between `r`'s source and `w`.
     pub fn rmw_atomicity_holds(&self, mode: RmwAtomicity) -> bool {
-        if mode == RmwAtomicity::None {
+        if mode == RmwAtomicity::None || self.rmw.is_empty() {
             return true;
         }
         for (r, w) in self.rmw.iter_pairs() {

@@ -5,8 +5,11 @@
 //! 1. **unwinds** each thread symbolically into memory [`event::Event`]s,
 //!    using a read-value oracle and tracking address/data/control
 //!    dependencies ([`symbolic`]);
-//! 2. **enumerates candidate executions** — every consistent choice of
-//!    read-from (`rf`) and coherence (`co`) relations ([`enumerate`]);
+//! 2. **streams candidate executions** — every consistent choice of
+//!    read-from (`rf`) and coherence (`co`) relations, decomposed into one
+//!    shared [`skeleton::ExecutionSkeleton`] per trace combination plus an
+//!    in-place rf/co [`skeleton::Overlay`] per candidate
+//!    ([`enumerate::for_each_execution`]);
 //! 3. **evaluates a memory model** over each candidate, either written in
 //!    the [`cat`] relational DSL (the format of the paper's Figs. 15–16) or
 //!    implemented natively via the [`model::Model`] trait.
@@ -41,14 +44,17 @@ pub mod model;
 pub mod plan;
 pub mod relation;
 pub mod render;
+pub mod skeleton;
 pub mod symbolic;
 
 pub use cache::{shape_key, VerdictCache};
 pub use enumerate::{
-    enumerate_executions, model_outcomes, model_outcomes_with, EnumConfig, ModelOutcomes,
+    condition_witnessed_with, enumerate_executions, for_each_execution, model_outcomes,
+    model_outcomes_with, EnumConfig, ModelOutcomes,
 };
 pub use event::{Event, EventKind};
 pub use exec::Execution;
 pub use model::{CatModel, Model, RmwAtomicity};
 pub use plan::{EvalContext, Plan};
 pub use relation::{EventSet, Relation};
+pub use skeleton::{ExecutionSkeleton, ExecutionView, Overlay};

@@ -15,6 +15,7 @@ use crate::cat::{CatError, CatProgram, CheckOutcome};
 use crate::exec::Execution;
 pub use crate::exec::RmwAtomicity;
 use crate::plan::{EvalContext, Plan};
+use crate::skeleton::ExecutionView;
 
 /// A memory consistency model: a predicate on candidate executions
 /// (paper Sec. 5.2).
@@ -32,6 +33,37 @@ pub trait Model {
     fn allows_with(&self, ctx: &mut EvalContext, exec: &Execution) -> bool {
         let _ = ctx;
         self.allows(exec)
+    }
+
+    /// The verdict on a streamed skeleton/overlay candidate
+    /// ([`ExecutionView`]), the form the streaming enumerator hands out.
+    /// The default materialises an owned [`Execution`] and defers to
+    /// [`Model::allows_with`] — correct for any model; plan-backed
+    /// models override it to evaluate the view directly, refilling only
+    /// rf/co-derived base relations per candidate.
+    fn allows_view(&self, ctx: &mut EvalContext, view: &ExecutionView<'_>) -> bool {
+        self.allows_with(ctx, &view.to_execution())
+    }
+}
+
+/// Models pass through [`std::sync::Arc`], so registry-shared models
+/// (`weakgpu-models`' lazy statics) can be used anywhere a model is
+/// expected, including as `&dyn Model`.
+impl<M: Model + ?Sized> Model for std::sync::Arc<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn allows(&self, exec: &Execution) -> bool {
+        (**self).allows(exec)
+    }
+
+    fn allows_with(&self, ctx: &mut EvalContext, exec: &Execution) -> bool {
+        (**self).allows_with(ctx, exec)
+    }
+
+    fn allows_view(&self, ctx: &mut EvalContext, view: &ExecutionView<'_>) -> bool {
+        (**self).allows_view(ctx, view)
     }
 }
 
@@ -135,6 +167,24 @@ impl CatModel {
             .unwrap_or_else(|e| panic!("model {:?} failed to evaluate: {e}", self.name))
     }
 
+    /// The streamed form of [`CatModel::allows_with`]: the RMW side
+    /// condition evaluated against the overlay's coherence orders, then
+    /// the compiled plan over the view — skeleton-derived relations and
+    /// registers are reused across all of a skeleton's candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `.cat` program references relations the execution
+    /// layer does not define — a defect in the model source.
+    pub fn allows_view(&self, ctx: &mut EvalContext, view: &ExecutionView<'_>) -> bool {
+        if !view.rmw_atomicity_holds(self.rmw) {
+            return false;
+        }
+        self.plan
+            .allows_view(ctx, view)
+            .unwrap_or_else(|e| panic!("model {:?} failed to evaluate: {e}", self.name))
+    }
+
     /// The legacy tree-walking evaluation of the same verdict (RMW side
     /// condition plus [`CatProgram::allows`] over
     /// [`Execution::base_relations`]). Retained purely as the
@@ -182,6 +232,10 @@ impl Model for CatModel {
 
     fn allows_with(&self, ctx: &mut EvalContext, exec: &Execution) -> bool {
         CatModel::allows_with(self, ctx, exec)
+    }
+
+    fn allows_view(&self, ctx: &mut EvalContext, view: &ExecutionView<'_>) -> bool {
+        CatModel::allows_view(self, ctx, view)
     }
 }
 

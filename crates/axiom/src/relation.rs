@@ -207,6 +207,61 @@ impl Relation {
         }
     }
 
+    /// ORs the successor range `[lo, hi)` into row `a`, whole words at a
+    /// time — the workhorse of the skeleton's relation fills, where
+    /// thread blocks are contiguous id ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is outside the universe or `hi > n`.
+    pub(crate) fn or_range(&mut self, a: usize, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        assert!(a < self.n && hi <= self.n, "range row out of universe");
+        let row = &mut self.rows[a * self.words..(a + 1) * self.words];
+        let (wl, wh) = (lo / 64, (hi - 1) / 64);
+        let start_mask = !0u64 << (lo % 64);
+        let end_mask = tail_mask(hi);
+        if wl == wh {
+            row[wl] |= start_mask & end_mask;
+        } else {
+            row[wl] |= start_mask;
+            for w in &mut row[wl + 1..wh] {
+                *w = !0;
+            }
+            row[wh] |= end_mask;
+        }
+    }
+
+    /// ORs `mask` (a word bitmap over the universe) into row `a`.
+    pub(crate) fn or_mask(&mut self, a: usize, mask: &[u64]) {
+        let row = &mut self.rows[a * self.words..(a + 1) * self.words];
+        for (w, &m) in row.iter_mut().zip(mask) {
+            *w |= m;
+        }
+    }
+
+    /// ORs `mask` restricted to the range `[lo, hi)` into row `a`.
+    pub(crate) fn or_mask_range(&mut self, a: usize, mask: &[u64], lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        let row = &mut self.rows[a * self.words..(a + 1) * self.words];
+        let (wl, wh) = (lo / 64, (hi - 1) / 64);
+        let start_mask = !0u64 << (lo % 64);
+        let end_mask = tail_mask(hi);
+        if wl == wh {
+            row[wl] |= mask[wl] & start_mask & end_mask;
+        } else {
+            row[wl] |= mask[wl] & start_mask;
+            for w in wl + 1..wh {
+                row[w] |= mask[w];
+            }
+            row[wh] |= mask[wh] & end_mask;
+        }
+    }
+
     /// Adds the pair `(a, b)`.
     ///
     /// # Panics

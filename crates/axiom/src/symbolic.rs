@@ -53,8 +53,8 @@ pub struct ThreadTrace {
     pub events: Vec<ThreadEvent>,
     /// Read/write event pairs of successful atomics.
     pub rmw_pairs: Vec<(usize, usize)>,
-    /// Final register file.
-    pub final_regs: BTreeMap<Reg, Value>,
+    /// Final register file, sorted by register name.
+    pub final_regs: Vec<(Reg, Value)>,
     /// The oracle consumed (one entry per read event, in order).
     pub oracle: Vec<i64>,
 }
@@ -63,8 +63,12 @@ impl ThreadTrace {
     /// The final integer value of `reg` (pointers and unset registers
     /// read as 0, the hardware reset value).
     pub fn final_int(&self, reg: &Reg) -> i64 {
-        match self.final_regs.get(reg) {
-            Some(Value::Int(n)) => *n,
+        match self
+            .final_regs
+            .binary_search_by(|e| e.0.cmp(reg))
+            .map(|i| &self.final_regs[i].1)
+        {
+            Ok(Value::Int(n)) => *n,
             _ => 0,
         }
     }
@@ -143,52 +147,125 @@ pub enum SymResult {
     Error(SymError),
 }
 
+/// A value plus the sorted, deduplicated read events it derives from.
+/// Taint sets hold at most a handful of indices, so a sorted `Vec`
+/// (cloned per operand read) is much cheaper than a tree set.
 #[derive(Clone, Default)]
 struct Tainted {
     value: Value,
-    taint: BTreeSet<usize>,
+    taint: Vec<usize>,
+}
+
+/// Inserts `v` into a sorted, deduplicated vector.
+fn taint_insert(taint: &mut Vec<usize>, v: usize) {
+    if let Err(pos) = taint.binary_search(&v) {
+        taint.insert(pos, v);
+    }
+}
+
+/// Merges `src` into the sorted, deduplicated `dst`.
+fn taint_union(dst: &mut Vec<usize>, src: &[usize]) {
+    for &v in src {
+        taint_insert(dst, v);
+    }
 }
 
 struct ThreadState<'a> {
     tid: usize,
-    regs: BTreeMap<Reg, Tainted>,
+    /// The register file, sorted by register name — a thread touches a
+    /// handful of registers, so a sorted vector beats a tree map for
+    /// the per-oracle clone and per-instruction lookups.
+    regs: Vec<(Reg, Tainted)>,
     events: Vec<ThreadEvent>,
     rmw_pairs: Vec<(usize, usize)>,
     oracle: &'a [i64],
     oracle_pos: usize,
     /// Reads that every subsequent event control-depends on (conditional
-    /// branches taken so far).
-    path_taint: BTreeSet<usize>,
+    /// branches taken so far), sorted and deduplicated.
+    path_taint: Vec<usize>,
 }
 
 impl ThreadState<'_> {
     fn eval(&self, op: &Operand) -> Tainted {
         match op {
-            Operand::Reg(r) => self.regs.get(r).cloned().unwrap_or_default(),
+            Operand::Reg(r) => self
+                .regs
+                .binary_search_by(|e| e.0.cmp(r))
+                .map(|i| self.regs[i].1.clone())
+                .unwrap_or_default(),
             Operand::Imm(n) => Tainted {
                 value: Value::Int(*n),
-                taint: BTreeSet::new(),
+                taint: Vec::new(),
             },
             Operand::Sym(l) => Tainted {
                 value: Value::ptr(l.as_str()),
-                taint: BTreeSet::new(),
+                taint: Vec::new(),
             },
         }
     }
 
     fn set(&mut self, reg: &Reg, t: Tainted) {
-        self.regs.insert(reg.clone(), t);
+        match self.regs.binary_search_by(|e| e.0.cmp(reg)) {
+            Ok(i) => self.regs[i].1 = t,
+            Err(i) => self.regs.insert(i, (reg.clone(), t)),
+        }
     }
 
     fn resolve_addr(&self, op: &Operand, instr_idx: usize) -> Result<(Loc, Vec<usize>), SymError> {
         let t = self.eval(op);
         match t.value {
-            Value::Ptr { loc, offset: 0 } => Ok((loc, t.taint.iter().copied().collect())),
+            Value::Ptr { loc, offset: 0 } => Ok((loc, t.taint)),
             _ => Err(SymError::BadAddress {
                 tid: self.tid,
                 instr_idx,
             }),
         }
+    }
+}
+
+/// The oracle-independent setup of one thread's symbolic execution:
+/// resolved branch labels plus the pre-seeded initial register file.
+/// Computing this once per thread (instead of once per oracle attempt)
+/// is what keeps depth-first oracle enumeration cheap — the per-oracle
+/// restart then only clones the register map.
+struct ThreadSetup<'a> {
+    labels: BTreeMap<&'a Label, usize>,
+    init_regs: Vec<(Reg, Tainted)>,
+}
+
+impl<'a> ThreadSetup<'a> {
+    fn new(instrs: &'a [Instr], reg_init: &dyn Fn(&Reg) -> Value) -> Self {
+        let mut labels: BTreeMap<&Label, usize> = BTreeMap::new();
+        for (i, instr) in instrs.iter().enumerate() {
+            if let Instr::LabelDef(l) = instr {
+                labels.insert(l, i);
+            }
+        }
+        // Pre-seed registers mentioned by instructions with their
+        // initial values so `final_regs` is total over used registers.
+        let mut init_regs: Vec<(Reg, Tainted)> = Vec::new();
+        for instr in instrs {
+            for r in instr
+                .read_regs()
+                .into_iter()
+                .chain(instr.written_reg().cloned())
+            {
+                if let Err(i) = init_regs.binary_search_by(|e| e.0.cmp(&r)) {
+                    let value = reg_init(&r);
+                    init_regs.insert(
+                        i,
+                        (
+                            r,
+                            Tainted {
+                                value,
+                                taint: Vec::new(),
+                            },
+                        ),
+                    );
+                }
+            }
+        }
+        ThreadSetup { labels, init_regs }
     }
 }
 
@@ -204,38 +281,32 @@ pub fn run_thread(
     oracle: &[i64],
     max_steps: usize,
 ) -> SymResult {
-    // Resolve labels.
-    let mut labels: BTreeMap<&Label, usize> = BTreeMap::new();
-    for (i, instr) in instrs.iter().enumerate() {
-        if let Instr::LabelDef(l) = instr {
-            labels.insert(l, i);
-        }
-    }
+    run_thread_prepared(
+        tid,
+        instrs,
+        &ThreadSetup::new(instrs, reg_init),
+        oracle,
+        max_steps,
+    )
+}
 
+/// [`run_thread`] against a precomputed [`ThreadSetup`].
+fn run_thread_prepared(
+    tid: usize,
+    instrs: &[Instr],
+    setup: &ThreadSetup<'_>,
+    oracle: &[i64],
+    max_steps: usize,
+) -> SymResult {
     let mut st = ThreadState {
         tid,
-        regs: BTreeMap::new(),
+        regs: setup.init_regs.clone(),
         events: Vec::new(),
         rmw_pairs: Vec::new(),
         oracle,
         oracle_pos: 0,
-        path_taint: BTreeSet::new(),
+        path_taint: Vec::new(),
     };
-
-    // Pre-seed registers mentioned by instructions with their initial
-    // values so `final_regs` is total over used registers.
-    for instr in instrs {
-        for r in instr
-            .read_regs()
-            .into_iter()
-            .chain(instr.written_reg().cloned())
-        {
-            st.regs.entry(r.clone()).or_insert_with(|| Tainted {
-                value: reg_init(&r),
-                taint: BTreeSet::new(),
-            });
-        }
-    }
 
     let mut pc = 0usize;
     let mut steps = 0usize;
@@ -245,7 +316,7 @@ pub fn run_thread(
             return SymResult::Error(SymError::StepLimit { tid });
         }
         let instr = &instrs[pc];
-        match step(&mut st, instr, pc, &labels) {
+        match step(&mut st, instr, pc, &setup.labels) {
             Ok(Flow::Next) => pc += 1,
             Ok(Flow::Jump(target)) => pc = target,
             Err(StepFail::NeedValue(loc)) => return SymResult::NeedValue { loc },
@@ -284,7 +355,7 @@ fn step(
     pc: usize,
     labels: &BTreeMap<&Label, usize>,
 ) -> Result<Flow, StepFail> {
-    step_guarded(st, instr, pc, labels, &BTreeSet::new())
+    step_guarded(st, instr, pc, labels, &[])
 }
 
 fn step_guarded(
@@ -292,10 +363,12 @@ fn step_guarded(
     instr: &Instr,
     pc: usize,
     labels: &BTreeMap<&Label, usize>,
-    guard_taint: &BTreeSet<usize>,
+    guard_taint: &[usize],
 ) -> Result<Flow, StepFail> {
     let ctrl_now = |st: &ThreadState<'_>| -> Vec<usize> {
-        st.path_taint.union(guard_taint).copied().collect()
+        let mut v = st.path_taint.clone();
+        taint_union(&mut v, guard_taint);
+        v
     };
     match instr {
         Instr::Guard {
@@ -309,15 +382,15 @@ fn step_guarded(
                 // Skipped; a conditional *branch* not taken still taints the
                 // suffix (the decision was made either way).
                 if matches!(**inner, Instr::Bra { .. }) {
-                    st.path_taint.extend(p.taint.iter().copied());
+                    taint_union(&mut st.path_taint, &p.taint);
                 }
                 return Ok(Flow::Next);
             }
             if matches!(**inner, Instr::Bra { .. }) {
-                st.path_taint.extend(p.taint.iter().copied());
+                taint_union(&mut st.path_taint, &p.taint);
             }
-            let mut gt = guard_taint.clone();
-            gt.extend(p.taint.iter().copied());
+            let mut gt = guard_taint.to_vec();
+            taint_union(&mut gt, &p.taint);
             step_guarded(st, inner, pc, labels, &gt)
         }
         Instr::LabelDef(_) => Ok(Flow::Next),
@@ -357,7 +430,7 @@ fn step_guarded(
                 dst,
                 Tainted {
                     value: Value::Int(v),
-                    taint: [idx].into_iter().collect(),
+                    taint: vec![idx],
                 },
             );
             Ok(Flow::Next)
@@ -389,7 +462,7 @@ fn step_guarded(
                 atomic: false,
                 instr_idx: pc,
                 addr_deps,
-                data_deps: sv.taint.iter().copied().collect(),
+                data_deps: sv.taint.clone(),
                 ctrl_deps: ctrl_now(st),
             });
             Ok(Flow::Next)
@@ -438,7 +511,7 @@ fn step_guarded(
                 if !ctrl.contains(&ridx) {
                     ctrl.push(ridx);
                 }
-                let mut data: Vec<usize> = des.taint.iter().copied().collect();
+                let mut data: Vec<usize> = des.taint.clone();
                 data.extend(exp.taint.iter().copied());
                 st.events.push(ThreadEvent {
                     kind: EventKind::Write,
@@ -458,7 +531,7 @@ fn step_guarded(
                 dst,
                 Tainted {
                     value: Value::Int(old),
-                    taint: [ridx].into_iter().collect(),
+                    taint: vec![ridx],
                 },
             );
             Ok(Flow::Next)
@@ -504,7 +577,7 @@ fn step_guarded(
                 atomic: true,
                 instr_idx: pc,
                 addr_deps,
-                data_deps: sv.taint.iter().copied().collect(),
+                data_deps: sv.taint.clone(),
                 ctrl_deps: ctrl_now(st),
             });
             st.rmw_pairs.push((ridx, widx));
@@ -512,7 +585,7 @@ fn step_guarded(
                 dst,
                 Tainted {
                     value: Value::Int(old),
-                    taint: [ridx].into_iter().collect(),
+                    taint: vec![ridx],
                 },
             );
             Ok(Flow::Next)
@@ -556,7 +629,7 @@ fn step_guarded(
                 dst,
                 Tainted {
                     value: Value::Int(old),
-                    taint: [ridx].into_iter().collect(),
+                    taint: vec![ridx],
                 },
             );
             Ok(Flow::Next)
@@ -613,15 +686,10 @@ fn alu(
 ) {
     let ta = st.eval(a);
     let tb = st.eval(b);
+    let value = f(&ta.value, &tb.value);
     let mut taint = ta.taint;
-    taint.extend(tb.taint.iter().copied());
-    st.set(
-        dst,
-        Tainted {
-            value: f(&ta.value, &tb.value),
-            taint,
-        },
-    );
+    taint_union(&mut taint, &tb.taint);
+    st.set(dst, Tainted { value, taint });
 }
 
 fn setp(st: &mut ThreadState<'_>, dst: &Reg, a: &Operand, b: &Operand, eq: bool) {
@@ -630,7 +698,7 @@ fn setp(st: &mut ThreadState<'_>, dst: &Reg, a: &Operand, b: &Operand, eq: bool)
     let same = ta.value == tb.value;
     let truth = if eq { same } else { !same };
     let mut taint = ta.taint;
-    taint.extend(tb.taint.iter().copied());
+    taint_union(&mut taint, &tb.taint);
     st.set(
         dst,
         Tainted {
@@ -658,10 +726,11 @@ pub fn enumerate_thread_traces(
     max_steps: usize,
     max_traces: usize,
 ) -> Result<Vec<ThreadTrace>, SymError> {
+    let setup = ThreadSetup::new(instrs, reg_init);
     let mut traces = Vec::new();
     let mut stack: Vec<Vec<i64>> = vec![Vec::new()];
     while let Some(oracle) = stack.pop() {
-        match run_thread(tid, instrs, reg_init, &oracle, max_steps) {
+        match run_thread_prepared(tid, instrs, &setup, &oracle, max_steps) {
             SymResult::Complete(tr) => {
                 traces.push(tr);
                 if traces.len() > max_traces {

@@ -1,0 +1,87 @@
+//! Proves the ISSUE-5 allocation bound: the steady-state streaming
+//! visitor loop performs **zero heap allocation per candidate**.
+//!
+//! A counting global allocator wraps the system allocator. After the
+//! enumeration scratch has warmed, the allocation counter is read
+//! inside the visitor at the first and at the last candidate: every
+//! inter-candidate step (overlay rewrites, skeleton refills for later
+//! trace combinations, rf/co advancement) lies between those two reads,
+//! so their equality is exactly the claim.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter has
+// no effect on allocation behaviour.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+use weakgpu_axiom::enumerate::{for_each_execution, EnumConfig};
+use weakgpu_litmus::{corpus, ThreadScope};
+
+#[test]
+fn steady_state_visitor_loop_is_allocation_free() {
+    let cfg = EnumConfig::default();
+    for test in [
+        corpus::corr(),
+        corpus::mp(ThreadScope::InterCta, None),
+        corpus::sb(ThreadScope::IntraCta, None),
+        corpus::dlb_lb(false),
+    ] {
+        // Warm the thread-local enumeration scratch and the symbolic
+        // layer's buffers for this test's shapes.
+        for _ in 0..2 {
+            for_each_execution(&test, &cfg, |_| ControlFlow::<()>::Continue(())).unwrap();
+        }
+
+        let mut candidates = 0usize;
+        let mut at_first = 0u64;
+        let mut at_last = 0u64;
+        for_each_execution(&test, &cfg, |_| {
+            let now = ALLOCS.load(Ordering::Relaxed);
+            if candidates == 0 {
+                at_first = now;
+            }
+            at_last = now;
+            candidates += 1;
+            ControlFlow::<()>::Continue(())
+        })
+        .unwrap();
+
+        assert!(
+            candidates > 1,
+            "{} must have several candidates",
+            test.name()
+        );
+        assert_eq!(
+            at_first,
+            at_last,
+            "{}: {} heap allocations across {} candidates in the steady-state visitor loop",
+            test.name(),
+            at_last - at_first,
+            candidates
+        );
+    }
+}

@@ -1,27 +1,65 @@
-//! Corpus-wide differential assertion for the compiled-plan refactor:
-//! over the whole `small` generated family, the per-test model verdicts
-//! ([`ModelOutcomes`]) computed through the compiled plan must be
-//! **bit-identical** to the legacy tree-walking interpreter's — same
-//! outcome sets, same counts, same witness flag, for every test.
+//! Corpus-wide differential assertions for the axiomatic engine's two
+//! big refactors, over the whole `small` generated family:
+//!
+//! * **plan vs tree-walk** — per-test [`ModelOutcomes`] computed through
+//!   the compiled plan must be bit-identical to the legacy tree-walking
+//!   interpreter's;
+//! * **streaming vs materialised** — the skeleton/overlay streaming
+//!   enumerator behind [`model_outcomes`] must agree bit-for-bit with
+//!   judging a fully materialised `Vec<Candidate>` candidate by
+//!   candidate.
 
-use weakgpu_axiom::enumerate::{model_outcomes, EnumConfig};
+use std::sync::Arc;
+
+use weakgpu_axiom::enumerate::{enumerate_executions, model_outcomes, EnumConfig, ModelOutcomes};
+use weakgpu_axiom::plan::EvalContext;
 use weakgpu_axiom::{CatModel, Execution, Model};
 use weakgpu_diy::{generate, GenConfig};
+use weakgpu_litmus::LitmusTest;
 use weakgpu_models::{ptx_model, sc_model};
 
 /// The differential oracle: the same `.cat` model evaluated through the
 /// retained tree-walking interpreter instead of the compiled plan.
-struct TreeWalk(CatModel);
+struct TreeWalk(Arc<CatModel>);
 
 impl Model for TreeWalk {
     fn name(&self) -> &str {
-        Model::name(&self.0)
+        Model::name(&*self.0)
     }
 
     fn allows(&self, exec: &Execution) -> bool {
         self.0
             .allows_tree_walk(exec)
             .unwrap_or_else(|e| panic!("oracle failed to evaluate: {e}"))
+    }
+}
+
+/// The pre-streaming judgement loop: materialise every candidate, judge
+/// each owned [`Execution`] through the plan's execution entry point.
+/// Kept as the oracle for the streaming visitor.
+fn materialised_outcomes(test: &LitmusTest, model: &dyn Model, cfg: &EnumConfig) -> ModelOutcomes {
+    let candidates = enumerate_executions(test, cfg).unwrap();
+    let mut ctx = EvalContext::new();
+    let mut all = std::collections::BTreeSet::new();
+    let mut allowed = std::collections::BTreeSet::new();
+    let mut num_allowed = 0;
+    let mut witnessed = false;
+    for c in &candidates {
+        all.insert(c.outcome.clone());
+        if model.allows_with(&mut ctx, &c.execution) {
+            num_allowed += 1;
+            if test.cond().witnessed_by(&c.outcome) {
+                witnessed = true;
+            }
+            allowed.insert(c.outcome.clone());
+        }
+    }
+    ModelOutcomes {
+        all_outcomes: all,
+        allowed_outcomes: allowed,
+        num_candidates: candidates.len(),
+        num_allowed,
+        condition_witnessed: witnessed,
     }
 }
 
@@ -43,6 +81,27 @@ fn small_family_verdicts_bit_identical_to_tree_walk() {
                 planned,
                 walked,
                 "{} under {}: plan and tree-walk verdicts diverge",
+                test.name(),
+                Model::name(&model)
+            );
+        }
+    }
+}
+
+#[test]
+fn small_family_streaming_matches_materialised_enumeration() {
+    let family = generate(&GenConfig::small());
+    assert!(!family.is_empty());
+    let cfg = EnumConfig::default();
+    for model in [ptx_model(), sc_model()] {
+        for test in &family {
+            let streamed = model_outcomes(test, &model, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+            let materialised = materialised_outcomes(test, &model, &cfg);
+            assert_eq!(
+                streamed,
+                materialised,
+                "{} under {}: streaming and materialised verdicts diverge",
                 test.name(),
                 Model::name(&model)
             );

@@ -47,7 +47,9 @@ pub fn check_soundness(
 
 /// [`check_soundness`] with a caller-owned evaluation context, so a loop
 /// of soundness checks (one per sweep cell, say) reuses one arena for
-/// every model verdict.
+/// every model verdict. The verdict streams the candidate space through
+/// the skeleton/overlay visitor (one skeleton per trace combination, an
+/// in-place rf/co overlay per candidate) rather than materialising it.
 ///
 /// # Errors
 ///

@@ -29,6 +29,7 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use weakgpu_axiom::cache::VerdictCache;
 use weakgpu_axiom::enumerate::{EnumConfig, EnumError};
@@ -172,13 +173,23 @@ pub struct CellRecord {
     pub distinct: usize,
     /// Observed outcomes the model forbids (rendered; empty = sound).
     pub unsound: Vec<String>,
+    /// Cumulative verdict-cache hits at the moment this cell completed
+    /// (bookkeeping, not semantic: depends on completion order).
+    pub cache_hits: u64,
+    /// Cumulative verdict-cache misses at the moment this cell
+    /// completed.
+    pub cache_misses: u64,
+    /// Wall-clock time this cell spent streaming candidate executions
+    /// through the model on a verdict-cache miss, in microseconds (0 on
+    /// a hit) — attributes sweep wins to skeleton sharing vs caching.
+    pub enum_micros: u64,
 }
 
 impl CellRecord {
     /// One JSONL line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
         format!(
-            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}]}}",
+            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}], \"cache_hits\": {}, \"cache_misses\": {}, \"enum_micros\": {}}}",
             json::escape(&self.test),
             self.index,
             json::escape(&self.chip),
@@ -190,6 +201,9 @@ impl CellRecord {
                 .map(|o| json::escape(o))
                 .collect::<Vec<_>>()
                 .join(", "),
+            self.cache_hits,
+            self.cache_misses,
+            self.enum_micros,
         )
     }
 }
@@ -225,7 +239,7 @@ pub struct UnsoundCell {
     pub outcomes: Vec<String>,
 }
 
-/// Verdict-cache statistics.
+/// Verdict-cache statistics, plus the enumeration time they saved.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
     /// Distinct shapes enumerated.
@@ -234,6 +248,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that enumerated.
     pub misses: u64,
+    /// Total wall-clock microseconds spent streaming candidates through
+    /// the model on the miss path (this shard; merge sums shards).
+    pub enum_micros: u64,
 }
 
 /// The aggregate result of one sweep (or of merging shard sweeps).
@@ -381,8 +398,8 @@ impl SweepReport {
         }
         s.push_str("],\n");
         s.push_str(&format!(
-            "  \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}}}\n",
-            self.cache.entries, self.cache.hits, self.cache.misses
+            "  \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"enum_micros\": {}}}\n",
+            self.cache.entries, self.cache.hits, self.cache.misses, self.cache.enum_micros
         ));
         s.push_str("}\n");
         s
@@ -439,6 +456,9 @@ impl SweepReport {
                 entries: u64_field(c, "entries")?,
                 hits: u64_field(c, "hits")?,
                 misses: u64_field(c, "misses")?,
+                // Absent in pre-streaming reports; default rather than
+                // reject so old shard artifacts still merge.
+                enum_micros: c.get("enum_micros").and_then(Json::as_u64).unwrap_or(0),
             },
             None => CacheStats::default(),
         };
@@ -592,6 +612,7 @@ impl SweepReport {
             out.cache.entries += r.cache.entries;
             out.cache.hits += r.cache.hits;
             out.cache.misses += r.cache.misses;
+            out.cache.enum_micros += r.cache.enum_micros;
         }
         if out.tests_run != out.family_size {
             return Err(SweepError::Merge(format!(
@@ -727,13 +748,15 @@ where
             thread_local! {
                 static EVAL_CTX: RefCell<EvalContext> = RefCell::new(EvalContext::new());
             }
-            let probed = cache
-                .lock()
-                .expect("no poisoned locks")
-                .lookup(test, &model, &enum_cfg);
+            let (probed, mut cache_hits, mut cache_misses) = {
+                let mut c = cache.lock().expect("no poisoned locks");
+                (c.lookup(test, &model, &enum_cfg), c.hits(), c.misses())
+            };
+            let mut enum_micros = 0u64;
             let verdict = match probed {
                 Some(v) => v,
                 None => {
+                    let t0 = Instant::now();
                     let judged = EVAL_CTX.with(|ctx| {
                         weakgpu_axiom::model_outcomes_with(
                             test,
@@ -742,11 +765,14 @@ where
                             &mut ctx.borrow_mut(),
                         )
                     });
+                    enum_micros = t0.elapsed().as_micros() as u64;
                     match judged {
-                        Ok(v) => cache
-                            .lock()
-                            .expect("no poisoned locks")
-                            .publish(test, &model, &enum_cfg, v),
+                        Ok(v) => {
+                            let mut c = cache.lock().expect("no poisoned locks");
+                            let published = c.publish(test, &model, &enum_cfg, v);
+                            (cache_hits, cache_misses) = (c.hits(), c.misses());
+                            published
+                        }
                         Err(e) => {
                             enum_err
                                 .lock()
@@ -771,6 +797,9 @@ where
                 witnesses: report.witnesses,
                 distinct: report.histogram.distinct(),
                 unsound,
+                cache_hits,
+                cache_misses,
+                enum_micros,
             };
             on_cell(&record);
             *records[ci].lock().expect("no poisoned locks") = Some(record);
@@ -833,6 +862,7 @@ where
         }
     }
 
+    let enum_micros: u64 = records.iter().map(|r| r.enum_micros).sum();
     let cache = cache.into_inner().expect("no poisoned locks");
     Ok(SweepReport {
         family: cfg.family.clone(),
@@ -854,6 +884,7 @@ where
             entries: cache.len() as u64,
             hits: cache.hits(),
             misses: cache.misses(),
+            enum_micros,
         },
     })
 }
@@ -914,6 +945,7 @@ mod tests {
                 entries: 5,
                 hits: 0,
                 misses: 5,
+                enum_micros: 120,
             },
         }
     }
@@ -990,6 +1022,7 @@ mod tests {
         assert_eq!(merged.total_witnesses, 6);
         assert_eq!(merged.per_chip[0].runs, 1000);
         assert_eq!(merged.cache.misses, 10);
+        assert_eq!(merged.cache.enum_micros, 240);
         assert!(merged.is_sound());
     }
 
@@ -1003,10 +1036,28 @@ mod tests {
             witnesses: 1,
             distinct: 3,
             unsound: vec!["1:r1=7; ".to_owned()],
+            cache_hits: 3,
+            cache_misses: 9,
+            enum_micros: 42,
         };
         let v = json::parse(&rec.to_jsonl()).unwrap();
         assert_eq!(v.get("index").unwrap().as_u64(), Some(12));
         assert_eq!(v.get("test").unwrap().as_str(), Some(rec.test.as_str()));
         assert_eq!(v.get("unsound").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(v.get("cache_hits").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("cache_misses").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("enum_micros").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn cache_stats_survive_json_and_tolerate_old_reports() {
+        let r = tiny_report(1, 2);
+        let parsed = SweepReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.cache.enum_micros, 120);
+        // A pre-streaming report without the timing field still parses.
+        let legacy = r.to_json().replace(", \"enum_micros\": 120", "");
+        let parsed = SweepReport::from_json(&legacy).unwrap();
+        assert_eq!(parsed.cache.enum_micros, 0);
+        assert_eq!(parsed.cache.misses, 5);
     }
 }

@@ -185,6 +185,14 @@ fn sharded_cells_equal_their_unsharded_counterparts() {
         })
         .unwrap();
         let mut recs = records.into_inner().unwrap();
+        // Cache counters and enumeration timing are bookkeeping, not
+        // semantics: they depend on completion order and wall clock, so
+        // normalise them before the bit-identity comparison.
+        for r in &mut recs {
+            r.cache_hits = 0;
+            r.cache_misses = 0;
+            r.enum_micros = 0;
+        }
         recs.sort_by_key(|a| (a.index, a.chip.clone()));
         recs
     };

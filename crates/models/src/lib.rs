@@ -29,48 +29,66 @@
 pub mod native;
 pub mod sources;
 
+use std::sync::{Arc, OnceLock};
+
 use weakgpu_axiom::{CatModel, RmwAtomicity};
+
+/// Builds (once) and shares a registry-backed model: the `.cat` source
+/// is parsed and compiled into its evaluation plan on the first call in
+/// the process; every later call — from any thread, worker or sweep —
+/// clones the same [`Arc`].
+macro_rules! registry_model {
+    ($build:expr) => {{
+        static MODEL: OnceLock<Arc<CatModel>> = OnceLock::new();
+        Arc::clone(MODEL.get_or_init(|| Arc::new($build)))
+    }};
+}
 
 /// The paper's PTX model: RMO per scope (Figs. 15 and 16), with
 /// PTX-semantics RMW atomicity (atomics are only atomic against other
 /// atomics, Sec. 3.2.3).
-pub fn ptx_model() -> CatModel {
-    CatModel::new("ptx-rmo-scoped", sources::PTX_CAT)
+///
+/// Parsed and compiled once per process; subsequent calls return the
+/// shared [`Arc`] from the lazy registry.
+pub fn ptx_model() -> Arc<CatModel> {
+    registry_model!(CatModel::new("ptx-rmo-scoped", sources::PTX_CAT)
         .expect("embedded PTX model parses")
-        .with_rmw_atomicity(RmwAtomicity::AmongAtomics)
+        .with_rmw_atomicity(RmwAtomicity::AmongAtomics))
 }
 
 /// Sequential consistency (Lamport): all communication and program order
 /// embed into one total order.
-pub fn sc_model() -> CatModel {
-    CatModel::new("sc", sources::SC_CAT)
+pub fn sc_model() -> Arc<CatModel> {
+    registry_model!(CatModel::new("sc", sources::SC_CAT)
         .expect("embedded SC model parses")
-        .with_rmw_atomicity(RmwAtomicity::Full)
+        .with_rmw_atomicity(RmwAtomicity::Full))
 }
 
 /// Total store order in the x86-TSO style: only write→read pairs may
 /// reorder, and any `membar` restores them.
-pub fn tso_model() -> CatModel {
-    CatModel::new("tso", sources::TSO_CAT)
+pub fn tso_model() -> Arc<CatModel> {
+    registry_model!(CatModel::new("tso", sources::TSO_CAT)
         .expect("embedded TSO model parses")
-        .with_rmw_atomicity(RmwAtomicity::Full)
+        .with_rmw_atomicity(RmwAtomicity::Full))
 }
 
 /// Plain SPARC RMO (Fig. 15 alone, with every fence scope treated as a
 /// full fence): the CPU model the paper's GPU model generalises.
-pub fn rmo_model() -> CatModel {
-    CatModel::new("rmo", sources::RMO_CAT)
+pub fn rmo_model() -> Arc<CatModel> {
+    registry_model!(CatModel::new("rmo", sources::RMO_CAT)
         .expect("embedded RMO model parses")
-        .with_rmw_atomicity(RmwAtomicity::AmongAtomics)
+        .with_rmw_atomicity(RmwAtomicity::AmongAtomics))
 }
 
 /// The PTX model with the load-load hazard *removed* (read-read pairs
 /// back in SC-per-location) — an unsound ablation variant showing the
 /// hazard exclusion is forced by the `coRR` observations (Fig. 1).
-pub fn ptx_model_without_llh() -> CatModel {
-    CatModel::new("ptx-no-llh (ablation)", sources::PTX_NO_LLH_CAT)
-        .expect("embedded ablation model parses")
-        .with_rmw_atomicity(RmwAtomicity::AmongAtomics)
+pub fn ptx_model_without_llh() -> Arc<CatModel> {
+    registry_model!(
+        CatModel::new("ptx-no-llh (ablation)", sources::PTX_NO_LLH_CAT)
+            .expect("embedded ablation model parses")
+            .with_rmw_atomicity(RmwAtomicity::AmongAtomics)
+    )
 }
 
 /// An axiomatic rendering of the operational GPU model of Sorensen et
@@ -79,14 +97,16 @@ pub fn ptx_model_without_llh() -> CatModel {
 ///
 /// The paper shows this model is unsound w.r.t. hardware: it forbids
 /// inter-CTA `lb+membar.ctas`, observed 586 times on GTX Titan.
-pub fn operational_baseline() -> CatModel {
-    CatModel::new("operational-baseline", sources::OPERATIONAL_CAT)
-        .expect("embedded operational model parses")
-        .with_rmw_atomicity(RmwAtomicity::AmongAtomics)
+pub fn operational_baseline() -> Arc<CatModel> {
+    registry_model!(
+        CatModel::new("operational-baseline", sources::OPERATIONAL_CAT)
+            .expect("embedded operational model parses")
+            .with_rmw_atomicity(RmwAtomicity::AmongAtomics)
+    )
 }
 
-/// Every model, for sweeps: `(constructor name, model)`.
-pub fn all_models() -> Vec<CatModel> {
+/// Every registry model, for sweeps.
+pub fn all_models() -> Vec<Arc<CatModel>> {
     vec![
         ptx_model(),
         sc_model(),

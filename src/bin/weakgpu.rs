@@ -456,8 +456,11 @@ fn print_sweep_summary(report: &SweepReport, to_stderr: bool) {
         report.weak_tests, report.tests_run, report.total_runs
     ));
     line(format!(
-        "verdict cache: {} shapes enumerated, {} hits / {} misses",
-        report.cache.entries, report.cache.hits, report.cache.misses
+        "verdict cache: {} shapes enumerated, {} hits / {} misses, {:.1} ms enumerating",
+        report.cache.entries,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.enum_micros as f64 / 1_000.0
     ));
     if report.is_sound() {
         line("RESULT: sound — every observation is allowed by the PTX model".to_owned());
