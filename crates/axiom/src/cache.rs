@@ -69,6 +69,12 @@ pub fn shape_key(test: &LitmusTest) -> String {
 /// A memoising wrapper around [`model_outcomes`](crate::enumerate::model_outcomes), keyed by
 /// `(model name, enumeration config, shape_key)`.
 ///
+/// The key covers the **whole** `EnumConfig` debug form — including
+/// [`EnumConfig::pruning`](crate::enumerate::EnumConfig::pruning) — so
+/// the pruned and exhaustive arms keep separate entries and can never
+/// serve each other's verdicts (they are bit-identical by construction,
+/// but the cache does not rely on that).
+///
 /// The model contributes only its **name** to the key: the cache assumes
 /// distinct model semantics carry distinct names (true of every model in
 /// `weakgpu-models`). Do not share one cache across two differently-built
@@ -282,6 +288,16 @@ mod tests {
         cache.outcomes(&t, &model, &a).unwrap();
         cache.outcomes(&t, &model, &b).unwrap();
         assert_eq!(cache.len(), 2, "different bounds must not share verdicts");
+        // The pruning flag splits entries too — and the arms agree bit
+        // for bit, so either entry answers the same verdict.
+        let pruned = EnumConfig {
+            pruning: true,
+            ..EnumConfig::default()
+        };
+        let p = cache.outcomes(&t, &model, &pruned).unwrap();
+        assert_eq!(cache.len(), 3, "the pruning flag must split the key");
+        let e = cache.outcomes(&t, &model, &a).unwrap();
+        assert_eq!(*p, *e);
     }
 
     #[test]

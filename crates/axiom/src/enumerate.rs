@@ -24,6 +24,16 @@
 //! partitions the outcomes into allowed and forbidden;
 //! [`enumerate_executions`] survives as a thin materialising wrapper over
 //! the visitor for rendering, diagnostics and differential testing.
+//!
+//! With [`EnumConfig::pruning`] set, the verdict paths switch to
+//! [`for_each_execution_pruned`]: rf slots and coherence axes become the
+//! levels of a decision tree, and a subtree is cut whenever the
+//! partially-filled overlay already forces the model's verdict
+//! ([`crate::model::Model::partial_verdict`], a three-valued interval
+//! evaluation over the compiled plan). Cut subtrees are reported as one
+//! [`PrunedClass`] spanning all their candidates — same outcomes, same
+//! counts, exponentially fewer evaluations on conflict-heavy tests. The
+//! exhaustive stream stays available as the differential oracle.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -34,7 +44,7 @@ use weakgpu_litmus::{FinalExpr, Instr, LitmusTest, Loc, Operand, Outcome, Reg};
 use crate::exec::Execution;
 use crate::model::Model;
 use crate::plan::EvalContext;
-use crate::skeleton::{ExecutionSkeleton, ExecutionView, Overlay};
+use crate::skeleton::{ExecutionSkeleton, ExecutionView, Overlay, PartialView};
 use crate::symbolic::{enumerate_thread_traces, SymError, ThreadTrace};
 
 /// Bounds for the enumeration.
@@ -51,7 +61,19 @@ pub struct EnumConfig {
     /// streaming visitor this counts candidates actually handed to the
     /// callback, not candidates materialised: a visitor that exits early
     /// (via [`ControlFlow::Break`]) before the limit never trips it.
+    /// Under the pruned walk ([`for_each_execution_pruned`]) it counts
+    /// **visited classes** — the nodes handed to the visitor — so a
+    /// budget that the exhaustive stream exceeds can still complete when
+    /// pruning collapses the space.
     pub max_executions: usize,
+    /// Route the verdict paths ([`model_outcomes_with`],
+    /// [`condition_witnessed_with`] and everything above them) through
+    /// the rf-class decision tree with conflict-driven subtree cutoffs
+    /// ([`for_each_execution_pruned`]) instead of the exhaustive stream.
+    /// Verdicts are bit-identical either way; pruning trades a
+    /// three-valued check per tree node for skipping entire rf×co
+    /// subtrees whose verdict is already forced.
+    pub pruning: bool,
 }
 
 impl Default for EnumConfig {
@@ -61,6 +83,7 @@ impl Default for EnumConfig {
             domain_iters: 3,
             max_traces_per_thread: 4096,
             max_executions: 1_000_000,
+            pruning: false,
         }
     }
 }
@@ -294,18 +317,19 @@ pub fn for_each_execution<B, F>(
 where
     F: FnMut(&ExecutionView<'_>) -> ControlFlow<B>,
 {
-    // The enumeration scratch (skeleton, overlay, rf/co working set) is
-    // kept per thread so consecutive tests reuse one warm buffer set. A
-    // nested enumeration (a visitor that itself enumerates) falls back
-    // to a fresh scratch.
-    thread_local! {
-        static ENUM_SCRATCH: std::cell::RefCell<EnumScratch> =
-            std::cell::RefCell::new(EnumScratch::new());
-    }
     ENUM_SCRATCH.with(|cell| match cell.try_borrow_mut() {
         Ok(mut scratch) => for_each_execution_with(test, cfg, &mut scratch, &mut f),
         Err(_) => for_each_execution_with(test, cfg, &mut EnumScratch::new(), &mut f),
     })
+}
+
+// The enumeration scratch (skeleton, overlay, rf/co working set) is
+// kept per thread so consecutive tests reuse one warm buffer set. A
+// nested enumeration (a visitor that itself enumerates) falls back to a
+// fresh scratch.
+thread_local! {
+    static ENUM_SCRATCH: std::cell::RefCell<EnumScratch> =
+        std::cell::RefCell::new(EnumScratch::new());
 }
 
 fn for_each_execution_with<B, F>(
@@ -383,6 +407,10 @@ struct EnumScratch {
     perm_used: Vec<bool>,
     rf_idx: Vec<usize>,
     co_idx: Vec<usize>,
+    /// Pruned-walk scratch: `suffix[d]` = candidates spanned by the
+    /// subtree below tree level `d` (product of the branch factors at
+    /// levels `>= d`).
+    suffix: Vec<usize>,
     /// Skeleton stamp for which `co_perms` and the overlay sizing were
     /// last built (0 = never).
     working_set_skel: u64,
@@ -401,6 +429,7 @@ impl EnumScratch {
             perm_used: Vec::new(),
             rf_idx: Vec::new(),
             co_idx: Vec::new(),
+            suffix: Vec::new(),
             working_set_skel: 0,
         }
     }
@@ -455,22 +484,20 @@ fn emit_permutations(
     }
 }
 
-/// Fills one trace combination's skeleton and streams its rf×co
-/// overlays through `f`, reusing every buffer in `scratch`.
-#[allow(clippy::too_many_arguments)]
-fn visit_combination<B, F>(
+/// Fills one trace combination's skeleton and working set (rf-candidate
+/// lists, coherence permutations, overlay sizing) into `scratch`.
+/// Returns `false` when the combination is unrealisable — some read's
+/// value matches neither the initial state nor any same-location write —
+/// in which case the working set is left untouched and the combination
+/// contributes no candidates. Shared prologue of the exhaustive and
+/// pruned walks.
+fn prepare_combination(
     traces: &[&ThreadTrace],
     thread_cta: &[usize],
     init_mem: &BTreeMap<Loc, i64>,
     observed: &[FinalExpr],
-    cfg: &EnumConfig,
     scratch: &mut EnumScratch,
-    visited: &mut usize,
-    f: &mut F,
-) -> Result<ControlFlow<B>, EnumError>
-where
-    F: FnMut(&ExecutionView<'_>) -> ControlFlow<B>,
-{
+) -> bool {
     scratch.skel.fill(traces, thread_cta, init_mem, observed);
     let skel = &scratch.skel;
     let events = skel.events();
@@ -508,7 +535,7 @@ where
             }
         }
         if cands.is_empty() {
-            return Ok(ControlFlow::Continue(())); // unrealisable combination
+            return false; // unrealisable combination
         }
     }
 
@@ -535,6 +562,31 @@ where
         scratch.overlay.reset(skel);
         scratch.working_set_skel = skel.id();
     }
+    true
+}
+
+/// Fills one trace combination's skeleton and streams its rf×co
+/// overlays through `f`, reusing every buffer in `scratch`.
+#[allow(clippy::too_many_arguments)]
+fn visit_combination<B, F>(
+    traces: &[&ThreadTrace],
+    thread_cta: &[usize],
+    init_mem: &BTreeMap<Loc, i64>,
+    observed: &[FinalExpr],
+    cfg: &EnumConfig,
+    scratch: &mut EnumScratch,
+    visited: &mut usize,
+    f: &mut F,
+) -> Result<ControlFlow<B>, EnumError>
+where
+    F: FnMut(&ExecutionView<'_>) -> ControlFlow<B>,
+{
+    if !prepare_combination(traces, thread_cta, init_mem, observed, scratch) {
+        return Ok(ControlFlow::Continue(()));
+    }
+    let skel = &scratch.skel;
+    let reads = &scratch.reads;
+    let num_locs = skel.writes_per_loc().len();
 
     // Product: rf assignment × co choice, rewriting the overlay in place.
     scratch.rf_idx.clear();
@@ -588,6 +640,391 @@ where
         break;
     }
     Ok(ControlFlow::Continue(()))
+}
+
+/// Minimum subtree size (in candidates spanned) for which a tree node
+/// attempts the three-valued partial check. Below this the check costs
+/// more than the candidates it could skip: a partial evaluation is
+/// roughly as expensive as one concrete evaluation, so cutting must
+/// save at least a few leaves to pay for itself (and for the wasted
+/// checks at nodes whose verdict is not yet forced).
+const CUT_MIN: usize = 4;
+
+/// Counters reported by the pruned walk: how many tree nodes were
+/// handed to the visitor and how many candidate executions were skipped
+/// by forced-verdict cuts. `classes_visited + candidates_pruned` equals
+/// the exhaustive candidate count — cut classes and leaves partition
+/// the candidate space exactly.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct PruneStats {
+    /// Tree nodes handed to the visitor (forced-cut classes + leaves).
+    pub classes_visited: u64,
+    /// Candidates subsumed by forced-cut classes beyond the one
+    /// evaluation each cut performed.
+    pub candidates_pruned: u64,
+}
+
+/// One node of the pruned walk handed to the visitor: either a **leaf**
+/// (a single fully-assigned candidate, judged concretely) or a
+/// **forced class** (a subtree whose verdict the three-valued partial
+/// check already decided for *every* extension). Either way the node
+/// spans [`PrunedClass::size`] candidates, all sharing the verdict
+/// [`PrunedClass::allowed`], and its observable outcomes are spanned
+/// exactly by [`PrunedClass::observed_combos`] /
+/// [`PrunedClass::fill_observed`] — which is why folding classes
+/// reproduces the exhaustive [`ModelOutcomes`] bit for bit.
+pub struct PrunedClass<'a> {
+    partial: PartialView<'a>,
+    size: usize,
+    allowed: bool,
+    forced: bool,
+}
+
+impl<'a> PrunedClass<'a> {
+    /// Number of candidate executions this class spans (1 for a leaf).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The model's verdict, shared by every candidate in the class.
+    pub fn allowed(&self) -> bool {
+        self.allowed
+    }
+
+    /// `true` when the verdict was forced by the partial check (the
+    /// subtree was cut); `false` for a concretely judged leaf.
+    pub fn is_forced(&self) -> bool {
+        self.forced
+    }
+
+    /// The underlying partially-assigned view.
+    pub fn partial(&self) -> &PartialView<'a> {
+        &self.partial
+    }
+
+    /// The trace combination's stamp (see
+    /// [`ExecutionView::combination_id`]).
+    pub fn combination_id(&self) -> u64 {
+        self.partial.combination_id()
+    }
+
+    /// How many distinct observed-value vectors the class spans.
+    pub fn observed_combos(&self) -> usize {
+        self.partial.observed_combos()
+    }
+
+    /// Fills `out` with observed combination `combo`
+    /// (`0..observed_combos()`), in `LitmusTest::observed` order.
+    pub fn fill_observed(&self, combo: usize, out: &mut Vec<i64>) {
+        self.partial.fill_observed_combo(combo, out);
+    }
+
+    /// Zips a value vector from [`PrunedClass::fill_observed`] with the
+    /// observed expressions into an [`Outcome`].
+    pub fn outcome_from_vals(&self, vals: &[i64]) -> Outcome {
+        self.partial.outcome_from_vals(vals)
+    }
+}
+
+/// Streams `test`'s candidate space through `f` as a sequence of
+/// [`PrunedClass`]es — the conflict-driven pruned counterpart of
+/// [`for_each_execution`].
+///
+/// The rf slots and coherence axes of each skeleton become the levels
+/// of a decision tree (rf outer, co inner, matching the exhaustive
+/// stream's lexicographic order). At each node spanning at least a few
+/// candidates the model's three-valued partial verdict
+/// ([`crate::model::Model::partial_verdict`]) is consulted: `Some(v)`
+/// means *every* extension of the node's partially-filled overlay gets
+/// verdict `v`, so the subtree is emitted as one forced class and never
+/// descended. Leaves are judged concretely with
+/// [`crate::model::Model::allows_view`]. Models without a partial
+/// check (the trait's default returns `None`) degrade gracefully to
+/// per-leaf evaluation with identical results.
+///
+/// Classes and leaves partition the candidate space: summing
+/// [`PrunedClass::size`] over all visited nodes reproduces the
+/// exhaustive candidate count, and folding each class's spanned
+/// outcomes reproduces the exhaustive outcome sets —
+/// [`model_outcomes_counted`] relies on exactly this.
+///
+/// `stats` accumulates the visited-class / pruned-candidate counters.
+/// Returning [`ControlFlow::Break`] from `f` stops the walk; the break
+/// value comes back as `Ok(Some(value))`.
+///
+/// # Errors
+///
+/// Fails if symbolic execution fails or more than
+/// [`EnumConfig::max_executions`] **classes** are visited (the pruned
+/// walk budgets visited nodes, not spanned candidates, so a budget the
+/// exhaustive stream exceeds can still complete under pruning).
+pub fn for_each_execution_pruned<B, F>(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+    stats: &mut PruneStats,
+    mut f: F,
+) -> Result<Option<B>, EnumError>
+where
+    F: FnMut(&PrunedClass<'_>) -> ControlFlow<B>,
+{
+    ENUM_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            for_each_execution_pruned_with(test, model, cfg, ctx, &mut scratch, stats, &mut f)
+        }
+        Err(_) => for_each_execution_pruned_with(
+            test,
+            model,
+            cfg,
+            ctx,
+            &mut EnumScratch::new(),
+            stats,
+            &mut f,
+        ),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn for_each_execution_pruned_with<B, F>(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+    scratch: &mut EnumScratch,
+    stats: &mut PruneStats,
+    f: &mut F,
+) -> Result<Option<B>, EnumError>
+where
+    F: FnMut(&PrunedClass<'_>) -> ControlFlow<B>,
+{
+    let (_domains, per_thread) = fixed_point_traces(test, cfg)?;
+
+    let thread_cta: Vec<usize> = (0..test.num_threads())
+        .map(|t| test.scope_tree().placement(t).cta)
+        .collect();
+    let init_mem: BTreeMap<Loc, i64> = test
+        .memory()
+        .iter()
+        .map(|(l, mi)| (l.clone(), mi.init))
+        .collect();
+    let observed = test.observed();
+
+    let mut visited = 0usize;
+    let mut traces: Vec<&ThreadTrace> = Vec::with_capacity(per_thread.len());
+    let mut combo = vec![0usize; per_thread.len()];
+    'combos: loop {
+        traces.clear();
+        traces.extend(combo.iter().zip(&per_thread).map(|(&i, ts)| &ts[i]));
+        if prepare_combination(&traces, &thread_cta, &init_mem, &observed, scratch) {
+            if let ControlFlow::Break(b) =
+                visit_combination_pruned(model, ctx, cfg, scratch, &mut visited, stats, f)?
+            {
+                return Ok(Some(b));
+            }
+        }
+
+        for t in (0..combo.len()).rev() {
+            combo[t] += 1;
+            if combo[t] < per_thread[t].len() {
+                continue 'combos;
+            }
+            combo[t] = 0;
+        }
+        break;
+    }
+    Ok(None)
+}
+
+/// Borrowed working set of one combination's pruned walk — the
+/// immutable slices [`PruneWalk::descend`] threads through the
+/// recursion, leaving only the overlay and contexts mutable.
+struct PruneWalk<'a, 'm> {
+    skel: &'a ExecutionSkeleton,
+    reads: &'a [usize],
+    rf_choices: &'a [Vec<Option<usize>>],
+    co_perms: &'a [Vec<Vec<usize>>],
+    co_perm_counts: &'a [usize],
+    /// `suffix[d]` = candidates spanned below tree level `d`.
+    suffix: &'a [usize],
+    model: &'m dyn Model,
+    cfg: &'m EnumConfig,
+}
+
+impl PruneWalk<'_, '_> {
+    fn descend<B, F>(
+        &self,
+        overlay: &mut Overlay,
+        ctx: &mut EvalContext,
+        depth: usize,
+        visited: &mut usize,
+        stats: &mut PruneStats,
+        f: &mut F,
+    ) -> Result<ControlFlow<B>, EnumError>
+    where
+        F: FnMut(&PrunedClass<'_>) -> ControlFlow<B>,
+    {
+        let num_reads = self.reads.len();
+        let num_levels = num_reads + self.co_perms.len();
+        if depth == num_levels {
+            // Leaf: every slot committed — judge the candidate
+            // concretely, exactly like the exhaustive stream.
+            overlay.stamp();
+            *visited += 1;
+            if *visited > self.cfg.max_executions {
+                return Err(EnumError::TooManyExecutions);
+            }
+            stats.classes_visited += 1;
+            let view = ExecutionView::new(self.skel, overlay);
+            let allowed = self.model.allows_view(ctx, &view);
+            let partial = PartialView::new(
+                self.skel,
+                overlay,
+                self.reads,
+                self.rf_choices,
+                num_reads,
+                self.co_perms.len(),
+            );
+            let class = PrunedClass {
+                partial,
+                size: 1,
+                allowed,
+                forced: false,
+            };
+            return Ok(f(&class));
+        }
+
+        let branch = if depth < num_reads {
+            self.rf_choices[depth].len()
+        } else {
+            self.co_perm_counts[depth - num_reads]
+        };
+        for choice in 0..branch {
+            if depth < num_reads {
+                overlay.set_rf(self.reads[depth], self.rf_choices[depth][choice]);
+            } else {
+                let li = depth - num_reads;
+                overlay.set_co(li, &self.co_perms[li][choice]);
+            }
+            let remaining = self.suffix[depth + 1];
+            if remaining >= CUT_MIN {
+                overlay.stamp();
+                let partial = PartialView::new(
+                    self.skel,
+                    overlay,
+                    self.reads,
+                    self.rf_choices,
+                    (depth + 1).min(num_reads),
+                    (depth + 1).saturating_sub(num_reads),
+                );
+                if let Some(allowed) = self.model.partial_verdict(ctx, &partial) {
+                    // Forced: no extension can change the verdict — cut
+                    // the subtree and report it as one class.
+                    *visited += 1;
+                    if *visited > self.cfg.max_executions {
+                        return Err(EnumError::TooManyExecutions);
+                    }
+                    stats.classes_visited += 1;
+                    stats.candidates_pruned += (remaining - 1) as u64;
+                    let class = PrunedClass {
+                        partial,
+                        size: remaining,
+                        allowed,
+                        forced: true,
+                    };
+                    if let ControlFlow::Break(b) = f(&class) {
+                        return Ok(ControlFlow::Break(b));
+                    }
+                    continue;
+                }
+            }
+            if let ControlFlow::Break(b) =
+                self.descend(overlay, ctx, depth + 1, visited, stats, f)?
+            {
+                return Ok(ControlFlow::Break(b));
+            }
+        }
+        Ok(ControlFlow::Continue(()))
+    }
+}
+
+/// Runs the pruned decision-tree walk over one prepared combination
+/// (see [`prepare_combination`]).
+#[allow(clippy::too_many_arguments)]
+fn visit_combination_pruned<B, F>(
+    model: &dyn Model,
+    ctx: &mut EvalContext,
+    cfg: &EnumConfig,
+    scratch: &mut EnumScratch,
+    visited: &mut usize,
+    stats: &mut PruneStats,
+    f: &mut F,
+) -> Result<ControlFlow<B>, EnumError>
+where
+    F: FnMut(&PrunedClass<'_>) -> ControlFlow<B>,
+{
+    let num_reads = scratch.reads.len();
+    let num_locs = scratch.skel.writes_per_loc().len();
+    let num_levels = num_reads + num_locs;
+
+    // Subtree sizes per level (saturating: only compared against
+    // CUT_MIN and added into u64 counters after subtraction of the one
+    // candidate actually evaluated).
+    scratch.suffix.clear();
+    scratch.suffix.resize(num_levels + 1, 1);
+    for d in (0..num_levels).rev() {
+        let branch = if d < num_reads {
+            scratch.rf_choices[d].len()
+        } else {
+            scratch.co_perm_counts[d - num_reads]
+        };
+        scratch.suffix[d] = scratch.suffix[d + 1].saturating_mul(branch);
+    }
+
+    let EnumScratch {
+        skel,
+        overlay,
+        reads,
+        rf_choices,
+        co_perms,
+        co_perm_counts,
+        suffix,
+        ..
+    } = scratch;
+    let walk = PruneWalk {
+        skel,
+        reads,
+        rf_choices: &rf_choices[..num_reads],
+        co_perms: &co_perms[..num_locs],
+        co_perm_counts: &co_perm_counts[..num_locs],
+        suffix,
+        model,
+        cfg,
+    };
+
+    // Root check: the combination may be forced before anything is
+    // committed (e.g. single-candidate rf slots inducing a definite
+    // conflict) — then the whole combination is one class.
+    if walk.suffix[0] >= CUT_MIN {
+        overlay.stamp();
+        let partial = PartialView::new(walk.skel, overlay, walk.reads, walk.rf_choices, 0, 0);
+        if let Some(allowed) = model.partial_verdict(ctx, &partial) {
+            *visited += 1;
+            if *visited > cfg.max_executions {
+                return Err(EnumError::TooManyExecutions);
+            }
+            stats.classes_visited += 1;
+            stats.candidates_pruned += (walk.suffix[0] - 1) as u64;
+            let class = PrunedClass {
+                partial,
+                size: walk.suffix[0],
+                allowed,
+                forced: true,
+            };
+            return Ok(f(&class));
+        }
+    }
+    walk.descend(overlay, ctx, 0, visited, stats, f)
 }
 
 /// Materialises all candidate executions of `test` — a thin wrapper over
@@ -659,10 +1096,105 @@ pub fn model_outcomes(
 /// heap allocation per candidate. Sweep workers hold one context each
 /// and pass it here on verdict-cache misses.
 ///
+/// With [`EnumConfig::pruning`] set the judgement runs over
+/// [`for_each_execution_pruned`] instead — same `ModelOutcomes`, bit
+/// for bit, with forced subtrees folded in as classes. Callers that
+/// want the pruning counters use [`model_outcomes_counted`].
+///
 /// # Errors
 ///
 /// Propagates [`EnumError`]s from the enumeration.
 pub fn model_outcomes_with(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+) -> Result<ModelOutcomes, EnumError> {
+    model_outcomes_counted(test, model, cfg, ctx).map(|(outcomes, _)| outcomes)
+}
+
+/// [`model_outcomes_with`] plus the [`PruneStats`] of the run. On the
+/// exhaustive path (pruning off) the stats degenerate to
+/// `classes_visited == num_candidates`, `candidates_pruned == 0`, so
+/// sweep cells report comparable counters on both arms.
+///
+/// # Errors
+///
+/// Propagates [`EnumError`]s from the enumeration.
+pub fn model_outcomes_counted(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+) -> Result<(ModelOutcomes, PruneStats), EnumError> {
+    if !cfg.pruning {
+        let outcomes = model_outcomes_exhaustive(test, model, cfg, ctx)?;
+        let stats = PruneStats {
+            classes_visited: outcomes.num_candidates as u64,
+            candidates_pruned: 0,
+        };
+        return Ok((outcomes, stats));
+    }
+    let cond = test.cond();
+    let mut all = BTreeSet::new();
+    let mut allowed: BTreeSet<Outcome> = BTreeSet::new();
+    let mut num_candidates = 0usize;
+    let mut num_allowed = 0usize;
+    let mut witnessed = false;
+    let mut vals: Vec<i64> = Vec::new();
+    let mut seen = SeenOutcomes::new();
+    let mut allowed_seen: Vec<bool> = Vec::new();
+    let mut stats = PruneStats::default();
+    for_each_execution_pruned(test, model, cfg, ctx, &mut stats, |class| {
+        num_candidates += class.size();
+        if class.allowed() {
+            num_allowed += class.size();
+        }
+        // Fold the class's spanned outcomes: each observed combination
+        // occurs in at least one candidate of the class, and candidates
+        // outside the class contribute their outcomes via their own
+        // classes — the union over classes is exactly the exhaustive
+        // outcome set.
+        for combo in 0..class.observed_combos() {
+            class.fill_observed(combo, &mut vals);
+            let idx = match seen.find(&vals) {
+                Some(i) => i,
+                None => {
+                    let outcome = class.outcome_from_vals(&vals);
+                    let witnesses = cond.witnessed_by(&outcome);
+                    all.insert(outcome.clone());
+                    allowed_seen.push(false);
+                    seen.insert(&vals, outcome, witnesses)
+                }
+            };
+            if class.allowed() {
+                if seen.witnesses(idx) {
+                    witnessed = true;
+                }
+                if !allowed_seen[idx] {
+                    allowed_seen[idx] = true;
+                    allowed.insert(seen.get(idx).0.clone());
+                }
+            }
+        }
+        ControlFlow::<()>::Continue(())
+    })?;
+    Ok((
+        ModelOutcomes {
+            all_outcomes: all,
+            allowed_outcomes: allowed,
+            num_candidates,
+            num_allowed,
+            condition_witnessed: witnessed,
+        },
+        stats,
+    ))
+}
+
+/// The exhaustive-stream judgement loop backing
+/// [`model_outcomes_counted`] — and the differential oracle the pruned
+/// arm is tested against.
+fn model_outcomes_exhaustive(
     test: &LitmusTest,
     model: &dyn Model,
     cfg: &EnumConfig,
@@ -808,6 +1340,24 @@ pub fn condition_witnessed_with(
     ctx: &mut EvalContext,
 ) -> Result<bool, EnumError> {
     let cond = test.cond();
+    if cfg.pruning {
+        // Pruned arm: an allowed class witnesses the condition iff one
+        // of its spanned observed combinations does — stop at the first.
+        let mut vals: Vec<i64> = Vec::new();
+        let mut stats = PruneStats::default();
+        let hit = for_each_execution_pruned(test, model, cfg, ctx, &mut stats, |class| {
+            if class.allowed() {
+                for combo in 0..class.observed_combos() {
+                    class.fill_observed(combo, &mut vals);
+                    if cond.witnessed_by(&class.outcome_from_vals(&vals)) {
+                        return ControlFlow::Break(());
+                    }
+                }
+            }
+            ControlFlow::Continue(())
+        })?;
+        return Ok(hit.is_some());
+    }
     let mut vals: Vec<i64> = Vec::new();
     let mut seen = SeenOutcomes::new();
     let mut fixed: Option<(u64, usize)> = None;
@@ -1003,5 +1553,157 @@ mod tests {
         })
         .unwrap();
         assert!(broke.is_some() && visits == 2);
+    }
+
+    #[test]
+    fn pruned_classes_partition_the_candidate_space() {
+        let model = crate::model::sc_model();
+        for test in [
+            corpus::corr(),
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::sb(ThreadScope::IntraCta, None),
+            corpus::dlb_lb(false),
+        ] {
+            let cfg = EnumConfig {
+                pruning: true,
+                ..EnumConfig::default()
+            };
+            let exhaustive = enumerate_executions(&test, &EnumConfig::default())
+                .unwrap()
+                .len();
+            let mut ctx = EvalContext::new();
+            let mut stats = PruneStats::default();
+            let mut spanned = 0usize;
+            let mut classes = 0u64;
+            for_each_execution_pruned(&test, &model, &cfg, &mut ctx, &mut stats, |class| {
+                spanned += class.size();
+                classes += 1;
+                // Cuts only fire on subtrees of at least CUT_MIN
+                // candidates; leaves span exactly one.
+                assert!(class.size() == 1 || class.size() >= CUT_MIN);
+                assert_eq!(class.is_forced(), class.size() > 1);
+                ControlFlow::<()>::Continue(())
+            })
+            .unwrap();
+            assert_eq!(
+                spanned,
+                exhaustive,
+                "{}: classes must partition",
+                test.name()
+            );
+            assert_eq!(classes, stats.classes_visited, "{}", test.name());
+            assert_eq!(
+                stats.classes_visited + stats.candidates_pruned,
+                exhaustive as u64,
+                "{}: counters must account for every candidate",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_outcomes_match_exhaustive() {
+        let model = crate::model::sc_model();
+        for test in [
+            corpus::corr(),
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::dlb_mp(false),
+        ] {
+            let mut ctx = EvalContext::new();
+            let exhaustive =
+                model_outcomes_with(&test, &model, &EnumConfig::default(), &mut ctx).unwrap();
+            let pruned_cfg = EnumConfig {
+                pruning: true,
+                ..EnumConfig::default()
+            };
+            let (pruned, stats) =
+                model_outcomes_counted(&test, &model, &pruned_cfg, &mut ctx).unwrap();
+            assert_eq!(pruned, exhaustive, "{}", test.name());
+            assert_eq!(
+                stats.classes_visited + stats.candidates_pruned,
+                exhaustive.num_candidates as u64,
+                "{}",
+                test.name()
+            );
+            assert!(
+                condition_witnessed_with(&test, &model, &pruned_cfg, &mut ctx).unwrap()
+                    == exhaustive.condition_witnessed,
+                "{}",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_limit_counts_classes_not_candidates() {
+        // The read-fan shape under SC prunes heavily: most value
+        // patterns embed a forbidden new-then-old read pair, so the
+        // class count falls far below the candidate count and a budget
+        // the exhaustive stream exceeds still completes under pruning.
+        let model = crate::model::sc_model();
+        let test = weakgpu_litmus::corpus_extra::corr_fan(2, 6);
+        let candidates = enumerate_executions(&test, &EnumConfig::default())
+            .unwrap()
+            .len();
+        let mut ctx = EvalContext::new();
+        let mut stats = PruneStats::default();
+        let cfg = EnumConfig {
+            pruning: true,
+            ..EnumConfig::default()
+        };
+        for_each_execution_pruned(&test, &model, &cfg, &mut ctx, &mut stats, |_| {
+            ControlFlow::<()>::Continue(())
+        })
+        .unwrap();
+        let classes = stats.classes_visited;
+        assert!(
+            (classes as usize) < candidates,
+            "pruning must collapse sb's candidate space ({classes} vs {candidates})"
+        );
+        // A budget between the two completes pruned but trips exhaustive.
+        let between = EnumConfig {
+            max_executions: classes as usize,
+            pruning: true,
+            ..EnumConfig::default()
+        };
+        let mut stats = PruneStats::default();
+        assert!(
+            for_each_execution_pruned(&test, &model, &between, &mut ctx, &mut stats, |_| {
+                ControlFlow::<()>::Continue(())
+            })
+            .is_ok()
+        );
+        let exhaustive_budget = EnumConfig {
+            max_executions: classes as usize,
+            ..EnumConfig::default()
+        };
+        assert_eq!(
+            for_each_execution(&test, &exhaustive_budget, |_| ControlFlow::<()>::Continue(
+                ()
+            ))
+            .unwrap_err(),
+            EnumError::TooManyExecutions
+        );
+        // One class fewer trips the pruned limit too …
+        let tight = EnumConfig {
+            max_executions: classes as usize - 1,
+            pruning: true,
+            ..EnumConfig::default()
+        };
+        let mut stats = PruneStats::default();
+        assert_eq!(
+            for_each_execution_pruned(&test, &model, &tight, &mut ctx, &mut stats, |_| {
+                ControlFlow::<()>::Continue(())
+            })
+            .unwrap_err(),
+            EnumError::TooManyExecutions
+        );
+        // … unless the visitor exits before reaching it.
+        let mut stats = PruneStats::default();
+        let broke = for_each_execution_pruned(&test, &model, &tight, &mut ctx, &mut stats, |_| {
+            ControlFlow::Break(7)
+        })
+        .unwrap();
+        assert_eq!(broke, Some(7));
     }
 }

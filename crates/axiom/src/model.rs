@@ -15,7 +15,7 @@ use crate::cat::{CatError, CatProgram, CheckOutcome};
 use crate::exec::Execution;
 pub use crate::exec::RmwAtomicity;
 use crate::plan::{EvalContext, Plan};
-use crate::skeleton::ExecutionView;
+use crate::skeleton::{ExecutionView, PartialView};
 
 /// A memory consistency model: a predicate on candidate executions
 /// (paper Sec. 5.2).
@@ -44,6 +44,20 @@ pub trait Model {
     fn allows_view(&self, ctx: &mut EvalContext, view: &ExecutionView<'_>) -> bool {
         self.allows_with(ctx, &view.to_execution())
     }
+
+    /// Three-valued verdict on a *partially* committed candidate: the
+    /// conflict-driven cutoff of the pruned enumerator
+    /// ([`crate::enumerate::for_each_execution_pruned`]). `Some(v)`
+    /// asserts that **every** concrete extension of `partial`'s open rf
+    /// slots and coherence axes gets verdict `v`; `None` means "cannot
+    /// tell, keep descending". The default returns `None` — always
+    /// sound, never prunes — so third-party models degrade to per-leaf
+    /// evaluation; plan-backed models override it with the interval
+    /// evaluation of [`Plan::check_partial_view`].
+    fn partial_verdict(&self, ctx: &mut EvalContext, partial: &PartialView<'_>) -> Option<bool> {
+        let _ = (ctx, partial);
+        None
+    }
 }
 
 /// Models pass through [`std::sync::Arc`], so registry-shared models
@@ -64,6 +78,10 @@ impl<M: Model + ?Sized> Model for std::sync::Arc<M> {
 
     fn allows_view(&self, ctx: &mut EvalContext, view: &ExecutionView<'_>) -> bool {
         (**self).allows_view(ctx, view)
+    }
+
+    fn partial_verdict(&self, ctx: &mut EvalContext, partial: &PartialView<'_>) -> Option<bool> {
+        (**self).partial_verdict(ctx, partial)
     }
 }
 
@@ -185,6 +203,36 @@ impl CatModel {
             .unwrap_or_else(|e| panic!("model {:?} failed to evaluate: {e}", self.name))
     }
 
+    /// Three-valued verdict on a partially committed candidate: the RMW
+    /// side condition and the compiled plan's interval evaluation
+    /// ([`Plan::check_partial_view`]), combined as a three-valued AND —
+    /// a definite failure of either forces `Some(false)` for the whole
+    /// subtree, `Some(true)` needs both definitely passing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `.cat` program references relations the execution
+    /// layer does not define — a defect in the model source.
+    pub fn partial_verdict(
+        &self,
+        ctx: &mut EvalContext,
+        partial: &PartialView<'_>,
+    ) -> Option<bool> {
+        let rmw = partial.rmw_atomicity_partial(self.rmw);
+        if rmw == Some(false) {
+            return Some(false);
+        }
+        let plan = self
+            .plan
+            .check_partial_view(ctx, partial)
+            .unwrap_or_else(|e| panic!("model {:?} failed to evaluate: {e}", self.name));
+        match (rmw, plan) {
+            (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        }
+    }
+
     /// The legacy tree-walking evaluation of the same verdict (RMW side
     /// condition plus [`CatProgram::allows`] over
     /// [`Execution::base_relations`]). Retained purely as the
@@ -236,6 +284,10 @@ impl Model for CatModel {
 
     fn allows_view(&self, ctx: &mut EvalContext, view: &ExecutionView<'_>) -> bool {
         CatModel::allows_view(self, ctx, view)
+    }
+
+    fn partial_verdict(&self, ctx: &mut EvalContext, partial: &PartialView<'_>) -> Option<bool> {
+        CatModel::partial_verdict(self, ctx, partial)
     }
 }
 

@@ -61,7 +61,7 @@ use weakgpu_litmus::FenceScope;
 use crate::cat::{CatError, CatProgram, CheckKind, CheckOutcome, Expr, Stmt};
 use crate::exec::Execution;
 use crate::relation::{EventSet, Relation};
-use crate::skeleton::{next_stamp, ExecutionView};
+use crate::skeleton::{next_stamp, ExecutionView, PartialView};
 
 /// Maximum function-inlining depth; beyond this the program is assumed to
 /// be (mutually) recursive, which the interpreter cannot evaluate either.
@@ -241,6 +241,14 @@ pub struct EvalContext {
     base_epoch: Vec<u64>,
     regs: Vec<Relation>,
     reg_epoch: Vec<u64>,
+    /// Upper-bound companions of `bases`/`regs` for three-valued partial
+    /// evaluation ([`Plan::check_partial_view`]): overlay-dependent slots
+    /// hold `[lo, hi]` intervals there (`lo` lives in the regular
+    /// buffer), sized lazily on the first partial evaluation. One epoch
+    /// vector covers both halves — every tree node stamps its overlay,
+    /// so partial and concrete evaluations never share an epoch.
+    bases_hi: Vec<Relation>,
+    regs_hi: Vec<Relation>,
     reads: EventSet,
     writes: EventSet,
     scratch_a: Relation,
@@ -287,6 +295,18 @@ impl EvalContext {
         match s {
             Src::Base(i) => &self.bases[i],
             Src::Reg(i) => &self.regs[i],
+        }
+    }
+
+    /// Grows the upper-bound buffers to `plan`'s slot counts (no-op once
+    /// warm).
+    fn size_hi(&mut self, plan: &Plan) {
+        if self.bases_hi.len() < plan.base_names.len() {
+            self.bases_hi
+                .resize_with(plan.base_names.len(), Relation::default);
+        }
+        if self.regs_hi.len() < plan.ops.len() {
+            self.regs_hi.resize_with(plan.ops.len(), Relation::default);
         }
     }
 }
@@ -825,6 +845,275 @@ impl Plan {
     ) -> Result<Vec<CheckOutcome>, CatError> {
         self.begin_view(ctx, view);
         self.check_inner(ctx, &EnvSource::View(view))
+    }
+
+    /// Three-valued evaluation over a partially committed candidate:
+    /// `Ok(Some(v))` when every concrete extension of `partial`'s open
+    /// rf slots and coherence axes yields verdict `v`, `Ok(None)` when
+    /// extensions may disagree (or the bounds are too loose to tell) —
+    /// the conflict-driven cutoff of
+    /// [`crate::enumerate::for_each_execution_pruned`].
+    ///
+    /// Every overlay-dependent base relation and register is evaluated
+    /// as an interval `[lo, hi]` with `lo ⊆ R ⊆ hi` for every extension
+    /// `R` ([`PartialView::fill_rf_bounds`] and friends supply the base
+    /// intervals). All operators are monotone in both operands except
+    /// difference, which is antitone in its right operand and swaps
+    /// bounds there (`lo = a.lo \ b.hi`, `hi = a.hi \ b.lo`). A check is
+    /// definite when the bound that could still change it already
+    /// cannot: `empty`/`irreflexive`/`acyclic` pass for every extension
+    /// when `hi` passes, and fail for every extension when `lo` fails.
+    /// A definite failure short-circuits (any failing check forbids the
+    /// whole subtree); `Some(true)` requires every check definite-true.
+    ///
+    /// # Errors
+    ///
+    /// See [`Plan::allows_exec`].
+    pub fn check_partial_view(
+        &self,
+        ctx: &mut EvalContext,
+        partial: &PartialView<'_>,
+    ) -> Result<Option<bool>, CatError> {
+        let view = partial.as_view();
+        self.begin_view(ctx, &view);
+        ctx.size_hi(self);
+        let mut all_definite = true;
+        for &ci in &self.fast_order {
+            let check = &self.checks[ci];
+            for &op in &check.deps {
+                self.run_op_partial(ctx, op, partial, &view)?;
+            }
+            self.ensure_src_partial(ctx, check.src, partial, &view)?;
+            match self.check_passes_partial(ctx, check) {
+                Some(true) => {}
+                Some(false) => return Ok(Some(false)),
+                None => all_definite = false,
+            }
+        }
+        Ok(if all_definite { Some(true) } else { None })
+    }
+
+    /// The upper-bound companion of [`EvalContext::src_rel`]: for
+    /// overlay-dependent slots the `hi` half of the interval, for
+    /// skeleton-derived ones the exact relation (`lo == hi`).
+    fn src_hi<'c>(&self, ctx: &'c EvalContext, s: Src) -> &'c Relation {
+        match s {
+            Src::Base(i) => {
+                if self.base_overlay[i] {
+                    &ctx.bases_hi[i]
+                } else {
+                    &ctx.bases[i]
+                }
+            }
+            Src::Reg(i) => {
+                if self.op_overlay[i] {
+                    &ctx.regs_hi[i]
+                } else {
+                    &ctx.regs[i]
+                }
+            }
+        }
+    }
+
+    /// Interval variant of [`Plan::ensure_base`]: overlay bases get
+    /// `[lo, hi]` bounds from the partial view, skeleton-derived ones
+    /// fall through to the exact fill.
+    fn ensure_base_partial(
+        &self,
+        ctx: &mut EvalContext,
+        slot: usize,
+        partial: &PartialView<'_>,
+        view: &ExecutionView<'_>,
+    ) -> Result<(), CatError> {
+        if !self.base_overlay[slot] {
+            return self.ensure_base(ctx, slot, &EnvSource::View(view));
+        }
+        if ctx.base_epoch[slot] >= ctx.epoch {
+            return Ok(());
+        }
+        let name = self.base_names[slot].as_str();
+        let mut lo = mem::take(&mut ctx.bases[slot]);
+        let mut hi = mem::take(&mut ctx.bases_hi[slot]);
+        match name {
+            "rf" => partial.fill_rf_bounds(&mut lo, &mut hi),
+            "co" => partial.fill_co_bounds(&mut lo, &mut hi),
+            "fr" => partial.fill_fr_bounds(&mut lo, &mut hi),
+            "rfe" | "rfi" | "coe" | "coi" | "fre" | "fri" => {
+                // An internal/external variant is the plain interval
+                // intersected with the (exact, skeleton-derived)
+                // ext/int relation — intersection is monotone, so the
+                // bounds intersect componentwise.
+                match &name[..2] {
+                    "rf" => partial.fill_rf_bounds(&mut ctx.scratch_a, &mut ctx.scratch_b),
+                    "co" => partial.fill_co_bounds(&mut ctx.scratch_a, &mut ctx.scratch_b),
+                    _ => partial.fill_fr_bounds(&mut ctx.scratch_a, &mut ctx.scratch_b),
+                }
+                let other = if name.ends_with('e') {
+                    view.ext()
+                } else {
+                    view.int()
+                };
+                lo.inter_from(&ctx.scratch_a, other);
+                hi.inter_from(&ctx.scratch_b, other);
+            }
+            _ => unreachable!("overlay bases are rf/co/fr and their variants"),
+        }
+        ctx.bases[slot] = lo;
+        ctx.bases_hi[slot] = hi;
+        ctx.base_epoch[slot] = ctx.epoch;
+        Ok(())
+    }
+
+    fn ensure_src_partial(
+        &self,
+        ctx: &mut EvalContext,
+        s: Src,
+        partial: &PartialView<'_>,
+        view: &ExecutionView<'_>,
+    ) -> Result<(), CatError> {
+        if let Src::Base(slot) = s {
+            self.ensure_base_partial(ctx, slot, partial, view)?;
+        }
+        Ok(())
+    }
+
+    /// Interval variant of [`Plan::run_op`]: overlay-dependent
+    /// instructions compute both interval halves (into `regs`/`regs_hi`),
+    /// skeleton-derived ones run exactly once per skeleton as usual.
+    fn run_op_partial(
+        &self,
+        ctx: &mut EvalContext,
+        i: usize,
+        partial: &PartialView<'_>,
+        view: &ExecutionView<'_>,
+    ) -> Result<(), CatError> {
+        if !self.op_overlay[i] {
+            return self.run_op(ctx, i, &EnvSource::View(view));
+        }
+        if ctx.reg_epoch[i] >= ctx.epoch {
+            return Ok(());
+        }
+        let op = self.ops[i];
+        let mut src_err = Ok(());
+        op.for_each_src(&self.operands, |s| {
+            if src_err.is_ok() {
+                src_err = self.ensure_src_partial(ctx, s, partial, view);
+            }
+        });
+        src_err?;
+        let mut lo = mem::take(&mut ctx.regs[i]);
+        let mut hi = mem::take(&mut ctx.regs_hi[i]);
+        match op {
+            Op::Zero => {
+                lo.reset(ctx.n);
+                hi.reset(ctx.n);
+            }
+            Op::Union(a, b) => {
+                lo.union_from(ctx.src_rel(a), ctx.src_rel(b));
+                hi.union_from(self.src_hi(ctx, a), self.src_hi(ctx, b));
+            }
+            Op::UnionN { start, len } => {
+                let operands = &self.operands[start as usize..(start + len) as usize];
+                lo.copy_from(ctx.src_rel(operands[0]));
+                hi.copy_from(self.src_hi(ctx, operands[0]));
+                for &s in &operands[1..] {
+                    lo.or_in_place(ctx.src_rel(s));
+                    hi.or_in_place(self.src_hi(ctx, s));
+                }
+            }
+            Op::Inter(a, b) => {
+                lo.inter_from(ctx.src_rel(a), ctx.src_rel(b));
+                hi.inter_from(self.src_hi(ctx, a), self.src_hi(ctx, b));
+            }
+            Op::Diff(a, b) => {
+                // Antitone right operand: the tightest lower bound
+                // removes the most (`b.hi`), the loosest upper bound
+                // removes the least (`b.lo`).
+                lo.diff_from(ctx.src_rel(a), self.src_hi(ctx, b));
+                hi.diff_from(self.src_hi(ctx, a), ctx.src_rel(b));
+            }
+            Op::Seq(a, b) => {
+                lo.seq_from(ctx.src_rel(a), ctx.src_rel(b));
+                hi.seq_from(self.src_hi(ctx, a), self.src_hi(ctx, b));
+            }
+            Op::Inverse(a) => {
+                lo.inverse_from(ctx.src_rel(a));
+                hi.inverse_from(self.src_hi(ctx, a));
+            }
+            Op::Opt(a) => {
+                lo.opt_from(ctx.src_rel(a));
+                hi.opt_from(self.src_hi(ctx, a));
+            }
+            Op::Plus(a) => {
+                let mut scratch = mem::take(&mut ctx.scratch_a);
+                lo.plus_from(ctx.src_rel(a), &mut scratch);
+                hi.plus_from(self.src_hi(ctx, a), &mut scratch);
+                ctx.scratch_a = scratch;
+            }
+            Op::Star(a) => {
+                let mut scratch = mem::take(&mut ctx.scratch_a);
+                lo.star_from(ctx.src_rel(a), &mut scratch);
+                hi.star_from(self.src_hi(ctx, a), &mut scratch);
+                ctx.scratch_a = scratch;
+            }
+            Op::Restrict(a, dom, rng) => {
+                let dom = match dom {
+                    Sort::Reads => &ctx.reads,
+                    Sort::Writes => &ctx.writes,
+                };
+                let rng = match rng {
+                    Sort::Reads => &ctx.reads,
+                    Sort::Writes => &ctx.writes,
+                };
+                lo.restrict_from(ctx.src_rel(a), dom, rng);
+                hi.restrict_from(self.src_hi(ctx, a), dom, rng);
+            }
+        }
+        ctx.regs[i] = lo;
+        ctx.regs_hi[i] = hi;
+        ctx.reg_epoch[i] = ctx.epoch;
+        Ok(())
+    }
+
+    /// Three-valued check over an interval: passing on `hi` proves every
+    /// extension passes, failing on `lo` proves every extension fails.
+    fn check_passes_partial(&self, ctx: &mut EvalContext, check: &PlanCheck) -> Option<bool> {
+        let mut colour = mem::take(&mut ctx.colour);
+        let mut stack = mem::take(&mut ctx.stack);
+        let lo = ctx.src_rel(check.src);
+        let hi = self.src_hi(ctx, check.src);
+        let verdict = match check.kind {
+            CheckKind::Empty => {
+                if hi.is_empty() {
+                    Some(true)
+                } else if !lo.is_empty() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CheckKind::Irreflexive => {
+                if hi.is_irreflexive() {
+                    Some(true)
+                } else if !lo.is_irreflexive() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CheckKind::Acyclic => {
+                if hi.is_acyclic_with(&mut colour, &mut stack) {
+                    Some(true)
+                } else if !lo.is_acyclic_with(&mut colour, &mut stack) {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        };
+        ctx.colour = colour;
+        ctx.stack = stack;
+        verdict
     }
 
     /// Prologue of the view entry points: full invalidation on a new

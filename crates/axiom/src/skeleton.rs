@@ -772,3 +772,371 @@ impl<'a> ExecutionView<'a> {
         }
     }
 }
+
+/// A *partially* assigned candidate: the first `rf_depth` read slots and
+/// the first `co_depth` coherence axes of the overlay are committed, the
+/// rest are still open. This is the node type of the pruned enumerator's
+/// decision tree ([`crate::enumerate::for_each_execution_pruned`]): rf
+/// slots form the outer tree levels (in ascending read-event order),
+/// coherence axes the inner ones (in sorted location order), matching
+/// the exhaustive stream's lexicographic candidate order exactly.
+///
+/// The partial view answers *interval* questions — for each overlay
+/// base relation it can produce a lower bound (pairs present in every
+/// extension) and an upper bound (pairs present in some extension),
+/// which [`crate::plan::Plan::check_partial_view`] turns into a
+/// three-valued verdict. It also spans the observable outcomes of the
+/// subtree ([`PartialView::observed_combos`]): outcomes depend only on
+/// fixed register values and the last write of each observed location,
+/// so the open axes contribute a mixed-radix product of "which write is
+/// last", independent of the open rf slots.
+#[derive(Clone, Copy, Debug)]
+pub struct PartialView<'a> {
+    skel: &'a ExecutionSkeleton,
+    overlay: &'a Overlay,
+    /// Read event ids with at least one rf candidate, ascending — the
+    /// tree's rf levels.
+    reads: &'a [usize],
+    /// Per read slot: its value-consistent rf candidates.
+    rf_choices: &'a [Vec<Option<usize>>],
+    rf_depth: usize,
+    co_depth: usize,
+}
+
+impl<'a> PartialView<'a> {
+    /// Pairs a skeleton/overlay with a committed prefix: the first
+    /// `rf_depth` reads and `co_depth` coherence axes of the overlay are
+    /// live, everything beyond may hold stale data and is never read.
+    pub(crate) fn new(
+        skel: &'a ExecutionSkeleton,
+        overlay: &'a Overlay,
+        reads: &'a [usize],
+        rf_choices: &'a [Vec<Option<usize>>],
+        rf_depth: usize,
+        co_depth: usize,
+    ) -> Self {
+        PartialView {
+            skel,
+            overlay,
+            reads,
+            rf_choices,
+            rf_depth,
+            co_depth,
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.skel.len()
+    }
+
+    /// `true` when there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.skel.is_empty()
+    }
+
+    /// The skeleton's process-unique stamp.
+    pub fn skeleton_id(&self) -> u64 {
+        self.skel.id
+    }
+
+    /// The trace combination's stamp (see
+    /// [`ExecutionView::combination_id`]).
+    pub fn combination_id(&self) -> u64 {
+        self.skel.combo_gen
+    }
+
+    /// The overlay's candidate stamp: every tree node is stamped before
+    /// evaluation, so partial and concrete evaluations never share one.
+    pub fn overlay_gen(&self) -> u64 {
+        self.overlay.gen
+    }
+
+    /// How many read slots are committed.
+    pub fn rf_depth(&self) -> usize {
+        self.rf_depth
+    }
+
+    /// How many coherence axes are committed.
+    pub fn co_depth(&self) -> usize {
+        self.co_depth
+    }
+
+    /// `true` when every slot is committed — the node is a leaf and the
+    /// view describes exactly one candidate.
+    pub fn is_complete(&self) -> bool {
+        self.rf_depth == self.reads.len() && self.co_depth == self.skel.locs.len()
+    }
+
+    /// The same skeleton/overlay pair as a concrete view — only valid
+    /// for skeleton-derived (communication-independent) queries unless
+    /// [`PartialView::is_complete`].
+    pub(crate) fn as_view(&self) -> ExecutionView<'a> {
+        ExecutionView::new(self.skel, self.overlay)
+    }
+
+    /// Bounds on the read-from relation: `lo` holds edges of committed
+    /// slots (plus forced single-candidate open slots), `hi` adds every
+    /// candidate edge of the open slots.
+    pub(crate) fn fill_rf_bounds(&self, lo: &mut Relation, hi: &mut Relation) {
+        let n = self.skel.len();
+        lo.reset(n);
+        hi.reset(n);
+        for (k, &r) in self.reads.iter().enumerate() {
+            if k < self.rf_depth {
+                if let Some(w) = self.overlay.rf[r] {
+                    lo.add(w, r);
+                    hi.add(w, r);
+                }
+            } else {
+                let cands = &self.rf_choices[k];
+                for w in cands.iter().flatten() {
+                    hi.add(*w, r);
+                }
+                if cands.len() == 1 {
+                    if let Some(w) = cands[0] {
+                        lo.add(w, r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bounds on coherence: committed axes contribute their transitive
+    /// order to both bounds; open axes contribute every ordered pair of
+    /// same-location writes (both directions) to `hi` only.
+    pub(crate) fn fill_co_bounds(&self, lo: &mut Relation, hi: &mut Relation) {
+        let n = self.skel.len();
+        lo.reset(n);
+        hi.reset(n);
+        for li in 0..self.skel.locs.len() {
+            if li < self.co_depth {
+                let order = &self.overlay.co[li];
+                for i in 0..order.len() {
+                    for j in (i + 1)..order.len() {
+                        lo.add(order[i], order[j]);
+                        hi.add(order[i], order[j]);
+                    }
+                }
+            } else {
+                let ws = &self.skel.writes_by_loc[li];
+                for &a in ws {
+                    for &b in ws {
+                        if a != b {
+                            hi.add(a, b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bounds on from-read. A committed init read precedes every write
+    /// of its location under *any* coherence order — those edges are
+    /// definite even while the axis is open, which is the main source of
+    /// early conflict cuts. Open rf slots contribute an edge to `lo`
+    /// only when every candidate source implies it.
+    pub(crate) fn fill_fr_bounds(&self, lo: &mut Relation, hi: &mut Relation) {
+        let n = self.skel.len();
+        lo.reset(n);
+        hi.reset(n);
+        for (k, &r) in self.reads.iter().enumerate() {
+            let li = self.skel.loc_idx[r];
+            if li == usize::MAX {
+                continue; // the location is never written: no fr edges
+            }
+            let ws = &self.skel.writes_by_loc[li];
+            if k < self.rf_depth {
+                match self.overlay.rf[r] {
+                    None => {
+                        for &w in ws {
+                            lo.add(r, w);
+                            hi.add(r, w);
+                        }
+                    }
+                    Some(src) => {
+                        if li < self.co_depth {
+                            let order = &self.overlay.co[li];
+                            let pos = order
+                                .iter()
+                                .position(|&w| w == src)
+                                .expect("rf source is in co");
+                            for &w in &order[pos + 1..] {
+                                lo.add(r, w);
+                                hi.add(r, w);
+                            }
+                        } else {
+                            for &w in ws {
+                                if w != src {
+                                    hi.add(r, w);
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                let cands = &self.rf_choices[k];
+                for &w in ws {
+                    let mut in_all = true;
+                    let mut in_any = false;
+                    for c in cands {
+                        let (all, any) = match c {
+                            None => (true, true),
+                            Some(src) if *src == w => (false, false),
+                            Some(src) => {
+                                if li < self.co_depth {
+                                    let order = &self.overlay.co[li];
+                                    let spos = order
+                                        .iter()
+                                        .position(|&x| x == *src)
+                                        .expect("rf source is in co");
+                                    let wpos =
+                                        order.iter().position(|&x| x == w).expect("write is in co");
+                                    let after = spos < wpos;
+                                    (after, after)
+                                } else {
+                                    (false, true)
+                                }
+                            }
+                        };
+                        in_all &= all;
+                        in_any |= any;
+                    }
+                    if in_all {
+                        lo.add(r, w);
+                    }
+                    if in_any {
+                        hi.add(r, w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Three-valued RMW exclusivity: `Some(v)` when every extension
+    /// agrees on `v`, `None` otherwise. A pair is only judged once both
+    /// its read's rf slot and its location's coherence axis are
+    /// committed; a committed violation forces `Some(false)` regardless
+    /// of other pairs.
+    pub fn rmw_atomicity_partial(&self, mode: RmwAtomicity) -> Option<bool> {
+        if mode == RmwAtomicity::None || self.skel.rmw.is_empty() {
+            return Some(true);
+        }
+        let mut definite = true;
+        for (r, w) in self.skel.rmw.iter_pairs() {
+            let li = self.skel.loc_idx[r];
+            if li == usize::MAX {
+                continue;
+            }
+            let k = match self.reads.binary_search(&r) {
+                Ok(k) => k,
+                Err(_) => continue, // no rf candidate: the slot never opens
+            };
+            if k >= self.rf_depth || li >= self.co_depth {
+                definite = false;
+                continue;
+            }
+            let order = &self.overlay.co[li];
+            let wpos = order
+                .iter()
+                .position(|&x| x == w)
+                .expect("rmw write is in co");
+            let start = match self.overlay.rf[r] {
+                None => 0,
+                Some(src) => match order.iter().position(|&x| x == src) {
+                    Some(p) => p + 1,
+                    None => continue,
+                },
+            };
+            if start >= wpos {
+                continue;
+            }
+            for &mid in &order[start..wpos] {
+                let interferes = match mode {
+                    RmwAtomicity::Full => true,
+                    RmwAtomicity::AmongAtomics => self.skel.events[mid].atomic,
+                    RmwAtomicity::None => false,
+                };
+                if interferes {
+                    return Some(false);
+                }
+            }
+        }
+        if definite {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// How many distinct observed-value vectors the subtree under this
+    /// node spans: a mixed-radix product over the *open* observed memory
+    /// locations (each contributes "which write lands last"), saturating
+    /// on overflow. Duplicate observations of one location share an
+    /// axis; committed axes and fixed slots contribute nothing. The open
+    /// rf slots contribute nothing either — rf choices never change an
+    /// observed value.
+    pub fn observed_combos(&self) -> usize {
+        let mut combos = 1usize;
+        for (j, slot) in self.skel.observed_slots.iter().enumerate() {
+            if let ObservedSlot::Mem(li) = *slot {
+                if li >= self.co_depth && self.first_mem_occurrence(li) == j {
+                    combos = combos.saturating_mul(self.skel.writes_by_loc[li].len());
+                }
+            }
+        }
+        combos
+    }
+
+    /// Index of the first observed slot naming location `li`.
+    fn first_mem_occurrence(&self, li: usize) -> usize {
+        self.skel
+            .observed_slots
+            .iter()
+            .position(|s| matches!(s, ObservedSlot::Mem(l) if *l == li))
+            .expect("li comes from an observed slot")
+    }
+
+    /// Fills `out` with the observed values of combination `combo`
+    /// (`0..observed_combos()`), in `LitmusTest::observed` order. Each
+    /// open observed location decodes one mixed-radix digit of `combo`
+    /// selecting which of its writes lands last.
+    pub fn fill_observed_combo(&self, mut combo: usize, out: &mut Vec<i64>) {
+        out.clear();
+        for (j, slot) in self.skel.observed_slots.iter().enumerate() {
+            let v = match *slot {
+                ObservedSlot::Fixed(v) => v,
+                ObservedSlot::Mem(li) => {
+                    if li < self.co_depth {
+                        let w = *self.overlay.co[li]
+                            .last()
+                            .expect("written locations have non-empty coherence orders");
+                        self.skel.events[w].value
+                    } else {
+                        let fj = self.first_mem_occurrence(li);
+                        if fj == j {
+                            let ws = &self.skel.writes_by_loc[li];
+                            let d = combo % ws.len();
+                            combo /= ws.len();
+                            self.skel.events[ws[d]].value
+                        } else {
+                            out[fj] // one `out` entry per slot: already decoded
+                        }
+                    }
+                }
+            };
+            out.push(v);
+        }
+    }
+
+    /// Zips a value vector (from [`PartialView::fill_observed_combo`])
+    /// with the observed expressions into an [`Outcome`].
+    pub fn outcome_from_vals(&self, vals: &[i64]) -> Outcome {
+        self.skel
+            .observed_exprs
+            .iter()
+            .cloned()
+            .zip(vals.iter().copied())
+            .collect()
+    }
+}

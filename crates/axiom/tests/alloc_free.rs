@@ -1,12 +1,15 @@
-//! Proves the ISSUE-5 allocation bound: the steady-state streaming
-//! visitor loop performs **zero heap allocation per candidate**.
+//! Proves the ISSUE-5/6 allocation bounds: the steady-state streaming
+//! visitor loop performs **zero heap allocation per candidate**, and
+//! the pruned decision-tree walk performs **zero heap allocation per
+//! visited class** — partial interval evaluations included.
 //!
 //! A counting global allocator wraps the system allocator. After the
 //! enumeration scratch has warmed, the allocation counter is read
-//! inside the visitor at the first and at the last candidate: every
-//! inter-candidate step (overlay rewrites, skeleton refills for later
-//! trace combinations, rf/co advancement) lies between those two reads,
-//! so their equality is exactly the claim.
+//! inside the visitor at the first and at the last visit: every
+//! inter-visit step (overlay rewrites, skeleton refills for later
+//! trace combinations, rf/co advancement, three-valued partial checks)
+//! lies between those two reads, so their equality is exactly the
+//! claim. The measurement harness is shared by both tests.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::ops::ControlFlow;
@@ -38,8 +41,31 @@ unsafe impl GlobalAlloc for Counting {
 #[global_allocator]
 static COUNTER: Counting = Counting;
 
-use weakgpu_axiom::enumerate::{for_each_execution, EnumConfig};
-use weakgpu_litmus::{corpus, ThreadScope};
+use weakgpu_axiom::enumerate::{
+    for_each_execution, for_each_execution_pruned, EnumConfig, PruneStats,
+};
+use weakgpu_axiom::model::sc_model;
+use weakgpu_axiom::plan::EvalContext;
+use weakgpu_litmus::{corpus, corpus_extra, ThreadScope};
+
+/// The shared measurement harness: `enumerate` must invoke the passed
+/// hook once per visited node (candidate or pruned class). Returns the
+/// visit count and the allocations observed between the first and the
+/// last visit — zero is the steady-state claim both tests assert.
+fn allocs_across_visits(enumerate: impl FnOnce(&mut dyn FnMut())) -> (usize, u64) {
+    let mut visits = 0usize;
+    let mut at_first = 0u64;
+    let mut at_last = 0u64;
+    enumerate(&mut || {
+        let now = ALLOCS.load(Ordering::Relaxed);
+        if visits == 0 {
+            at_first = now;
+        }
+        at_last = now;
+        visits += 1;
+    });
+    (visits, at_last - at_first)
+}
 
 #[test]
 fn steady_state_visitor_loop_is_allocation_free() {
@@ -56,19 +82,13 @@ fn steady_state_visitor_loop_is_allocation_free() {
             for_each_execution(&test, &cfg, |_| ControlFlow::<()>::Continue(())).unwrap();
         }
 
-        let mut candidates = 0usize;
-        let mut at_first = 0u64;
-        let mut at_last = 0u64;
-        for_each_execution(&test, &cfg, |_| {
-            let now = ALLOCS.load(Ordering::Relaxed);
-            if candidates == 0 {
-                at_first = now;
-            }
-            at_last = now;
-            candidates += 1;
-            ControlFlow::<()>::Continue(())
-        })
-        .unwrap();
+        let (candidates, allocs) = allocs_across_visits(|visit| {
+            for_each_execution(&test, &cfg, |_| {
+                visit();
+                ControlFlow::<()>::Continue(())
+            })
+            .unwrap();
+        });
 
         assert!(
             candidates > 1,
@@ -76,12 +96,58 @@ fn steady_state_visitor_loop_is_allocation_free() {
             test.name()
         );
         assert_eq!(
-            at_first,
-            at_last,
-            "{}: {} heap allocations across {} candidates in the steady-state visitor loop",
-            test.name(),
-            at_last - at_first,
-            candidates
+            allocs,
+            0,
+            "{}: {allocs} heap allocations across {candidates} candidates \
+             in the steady-state visitor loop",
+            test.name()
+        );
+    }
+}
+
+#[test]
+fn steady_state_pruned_walk_is_allocation_free() {
+    let model = sc_model();
+    let cfg = EnumConfig {
+        pruning: true,
+        ..EnumConfig::default()
+    };
+    let mut ctx = EvalContext::new();
+    for test in [
+        // The fan shape exercises real subtree cuts (forced classes);
+        // the corpus tests cover the leaf-heavy degenerate walks.
+        corpus_extra::corr_fan(2, 6),
+        corpus::corr(),
+        corpus::mp(ThreadScope::InterCta, None),
+        corpus::dlb_lb(false),
+    ] {
+        // Warm the enumeration scratch and the evaluation context's
+        // interval buffers (`bases_hi`/`regs_hi` grow on first use).
+        for _ in 0..2 {
+            let mut stats = PruneStats::default();
+            for_each_execution_pruned(&test, &model, &cfg, &mut ctx, &mut stats, |_| {
+                ControlFlow::<()>::Continue(())
+            })
+            .unwrap();
+        }
+
+        let mut stats = PruneStats::default();
+        let (classes, allocs) = allocs_across_visits(|visit| {
+            for_each_execution_pruned(&test, &model, &cfg, &mut ctx, &mut stats, |_| {
+                visit();
+                ControlFlow::<()>::Continue(())
+            })
+            .unwrap();
+        });
+
+        assert!(classes > 1, "{} must visit several classes", test.name());
+        assert_eq!(classes as u64, stats.classes_visited, "{}", test.name());
+        assert_eq!(
+            allocs,
+            0,
+            "{}: {allocs} heap allocations across {classes} classes \
+             in the steady-state pruned walk",
+            test.name()
         );
     }
 }

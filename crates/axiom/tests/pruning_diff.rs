@@ -1,0 +1,290 @@
+//! Pruned ≡ exhaustive, proven differentially.
+//!
+//! The rf-class decision tree behind [`EnumConfig::pruning`] cuts
+//! subtrees whose verdict the three-valued partial check already
+//! forced. The only safe way to ship a pruner is to prove, bit for
+//! bit, that it changes nothing observable: for **every** built-in
+//! model (PTX, SC, TSO, RMO, the operational baseline, the no-LLH
+//! ablation, and the natively-implemented PTX model, which exercises
+//! the `partial_verdict` default fallback), over the full hand-written
+//! corpus **and** the whole generated `small` family, the pruned
+//! [`ModelOutcomes`] must equal the exhaustive one — outcome sets,
+//! candidate/allowed counts and witness flag alike. Proptests extend
+//! the battery to random corpus variants × random `.cat` programs, and
+//! a gated oversized test demonstrates the capability the pruner
+//! unlocks: a read-fan shape whose candidate space blows the exhaustive
+//! budget but collapses by orders of magnitude under pruning.
+
+use std::ops::ControlFlow;
+
+use proptest::prelude::*;
+use weakgpu_axiom::enumerate::{
+    condition_witnessed_with, for_each_execution, for_each_execution_pruned,
+    model_outcomes_counted, EnumConfig, EnumError, PruneStats,
+};
+use weakgpu_axiom::plan::EvalContext;
+use weakgpu_axiom::{model_outcomes, CatModel, Model};
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_litmus::{corpus, corpus_extra, FenceScope, LitmusTest, ThreadScope};
+use weakgpu_models::{all_models, native::NativePtxModel, ptx_model_without_llh};
+
+fn pruning_cfg() -> EnumConfig {
+    EnumConfig {
+        pruning: true,
+        ..EnumConfig::default()
+    }
+}
+
+/// Asserts the headline property for one (test, model) pair and returns
+/// the pruning counters for invariant checks on top.
+fn assert_pruned_matches_exhaustive(
+    test: &LitmusTest,
+    model: &dyn Model,
+    ctx: &mut EvalContext,
+) -> PruneStats {
+    let (exhaustive, ex_stats) = model_outcomes_counted(test, model, &EnumConfig::default(), ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    assert_eq!(
+        ex_stats.classes_visited as usize,
+        exhaustive.num_candidates,
+        "{}: exhaustive stats must degenerate to the candidate count",
+        test.name()
+    );
+    assert_eq!(ex_stats.candidates_pruned, 0, "{}", test.name());
+    let (pruned, stats) = model_outcomes_counted(test, model, &pruning_cfg(), ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    assert_eq!(
+        pruned,
+        exhaustive,
+        "{} under {}: pruned and exhaustive ModelOutcomes diverge",
+        test.name(),
+        model.name()
+    );
+    assert_eq!(
+        stats.classes_visited + stats.candidates_pruned,
+        exhaustive.num_candidates as u64,
+        "{} under {}: classes and cuts must partition the candidate space",
+        test.name(),
+        model.name()
+    );
+    stats
+}
+
+fn test_suite() -> Vec<LitmusTest> {
+    let mut tests = corpus::all();
+    tests.extend([
+        corpus::mp(ThreadScope::IntraCta, Some(FenceScope::Cta)),
+        corpus::sb(ThreadScope::IntraCta, None),
+        corpus::lb(ThreadScope::InterCta, Some(FenceScope::Cta)),
+        corpus::mp_dep(ThreadScope::InterCta, FenceScope::Gl),
+    ]);
+    tests
+}
+
+#[test]
+fn pruned_matches_exhaustive_for_every_builtin_model() {
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in test_suite() {
+            assert_pruned_matches_exhaustive(&test, &model, &mut ctx);
+        }
+    }
+}
+
+#[test]
+fn pruned_matches_exhaustive_for_the_ablation_and_native_models() {
+    let mut ctx = EvalContext::new();
+    for test in test_suite() {
+        assert_pruned_matches_exhaustive(&test, &ptx_model_without_llh(), &mut ctx);
+        // The native model has no plan, so `partial_verdict` stays at
+        // the trait default (`None`): the walk degrades to per-leaf
+        // evaluation and must still agree bit for bit, with nothing cut.
+        let stats = assert_pruned_matches_exhaustive(&test, &NativePtxModel::new(), &mut ctx);
+        assert_eq!(stats.candidates_pruned, 0, "{}", test.name());
+    }
+}
+
+#[test]
+fn pruned_matches_exhaustive_over_the_small_family() {
+    let family = generate(&GenConfig::small());
+    assert!(!family.is_empty());
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in &family {
+            assert_pruned_matches_exhaustive(test, &model, &mut ctx);
+        }
+    }
+}
+
+#[test]
+fn pruned_witness_query_matches_exhaustive() {
+    let cfg = pruning_cfg();
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in test_suite() {
+            let full = model_outcomes(&test, &model, &EnumConfig::default()).unwrap();
+            let fast = condition_witnessed_with(&test, &model, &cfg, &mut ctx).unwrap();
+            assert_eq!(
+                fast,
+                full.condition_witnessed,
+                "{} under {}",
+                test.name(),
+                Model::name(&model)
+            );
+        }
+    }
+}
+
+/// The capability gate: `corr-fan-2w12r` spans over a million
+/// candidates — beyond the default exhaustive budget — yet the pruned
+/// walk visits a few tens of thousands of classes and finishes well
+/// inside the CI budget, with the verdict a smaller sibling proves
+/// bit-identical.
+#[test]
+fn oversized_fan_completes_only_under_pruning() {
+    let test = corpus_extra::corr_fan(2, 12);
+    let budget = EnumConfig {
+        max_traces_per_thread: 1 << 13,
+        max_executions: 100_000,
+        ..EnumConfig::default()
+    };
+    // Exhaustively the shape blows the class budget …
+    let err = for_each_execution(&test, &budget, |_| ControlFlow::<()>::Continue(()));
+    assert_eq!(err.unwrap_err(), EnumError::TooManyExecutions);
+    // … but pruning collapses it to a fraction of the budget.
+    let model = weakgpu_models::sc_model();
+    let pruned_budget = EnumConfig {
+        pruning: true,
+        ..budget
+    };
+    let mut ctx = EvalContext::new();
+    let (outcomes, stats) =
+        model_outcomes_counted(&test, &model, &pruned_budget, &mut ctx).unwrap();
+    assert!(
+        stats.classes_visited < 50_000,
+        "expected a collapsed class count, got {}",
+        stats.classes_visited
+    );
+    assert!(stats.candidates_pruned > 1_000_000);
+    assert_eq!(
+        stats.classes_visited + stats.candidates_pruned,
+        outcomes.num_candidates as u64
+    );
+    // SC forbids the long-distance new-then-old coRR pattern.
+    assert!(!outcomes.condition_witnessed);
+    // The same shape at a size both arms can afford is bit-identical —
+    // the oversized run is the same walk, only deeper.
+    let sibling = corpus_extra::corr_fan(2, 7);
+    assert_pruned_matches_exhaustive(&sibling, &model, &mut ctx);
+}
+
+#[test]
+fn pruned_early_exit_stops_the_walk() {
+    let model = weakgpu_models::sc_model();
+    let test = corpus_extra::corr_fan(2, 5);
+    let cfg = pruning_cfg();
+    let mut ctx = EvalContext::new();
+    let mut stats = PruneStats::default();
+    let mut total = 0u64;
+    for_each_execution_pruned(&test, &model, &cfg, &mut ctx, &mut stats, |_| {
+        total += 1;
+        ControlFlow::<()>::Continue(())
+    })
+    .unwrap();
+    assert!(total > 3);
+    for stop_at in [1u64, 2, total] {
+        let mut stats = PruneStats::default();
+        let mut visits = 0u64;
+        let out = for_each_execution_pruned(&test, &model, &cfg, &mut ctx, &mut stats, |_| {
+            visits += 1;
+            if visits == stop_at {
+                ControlFlow::Break(visits)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+        assert_eq!(out, Some(stop_at));
+        assert_eq!(visits, stop_at, "the visitor ran past its break");
+        assert_eq!(stats.classes_visited, stop_at);
+    }
+}
+
+/// Random corpus variant: idiom × scope × fence (the `streaming.rs`
+/// shape, shared so both batteries sample the same space).
+fn arb_corpus_test() -> impl Strategy<Value = LitmusTest> {
+    let scopes = [ThreadScope::IntraCta, ThreadScope::InterCta];
+    let fences = [
+        None,
+        Some(FenceScope::Cta),
+        Some(FenceScope::Gl),
+        Some(FenceScope::Sys),
+    ];
+    (0..5usize, 0..2usize, 0..4usize).prop_map(move |(idiom, s, f)| {
+        let (scope, fence) = (scopes[s], fences[f]);
+        match idiom {
+            0 => corpus::mp(scope, fence),
+            1 => corpus::sb(scope, fence),
+            2 => corpus::lb(scope, fence),
+            3 => match fence {
+                Some(fs) => corpus::corr_fenced(fs),
+                None => corpus::corr(),
+            },
+            _ => corpus::dlb_mp(f % 2 == 0),
+        }
+    })
+}
+
+/// A random scoped `.cat` model over overlay- and skeleton-derived
+/// bases alike — including a `Diff` axiom, the one non-monotone
+/// operator of the interval evaluation.
+fn arb_model() -> impl Strategy<Value = CatModel> {
+    let axioms = [
+        "acyclic (po | rf | co | fr) as sc",
+        "acyclic (po-loc | rf | co | fr) as coherence",
+        "irreflexive (fre ; coe ; rfi?) as obs",
+        "acyclic ((addr | data | ctrl) | rfe | membar.gl) & cta as scoped",
+        "empty rmw \\ rmw as trivial",
+        "irreflexive ((rf | co) \\ po) ; fr as mixed",
+    ];
+    prop::collection::vec(0..axioms.len(), 1..3).prop_map(move |picks| {
+        let src: Vec<&str> = picks.iter().map(|&i| axioms[i]).collect();
+        // Duplicate axiom names are fine for `allows`; rename per line.
+        let src = src
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.replace(" as ", &format!(" as a{i}-")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        CatModel::new("random", &src).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The headline pruning property over random corpus variants and
+    /// random models: the pruned `ModelOutcomes` is bit-identical to
+    /// the exhaustive one and the counters partition the space.
+    #[test]
+    fn pruned_outcomes_match_exhaustive_on_random_pairs(
+        test in arb_corpus_test(),
+        model in arb_model(),
+    ) {
+        let mut ctx = EvalContext::new();
+        assert_pruned_matches_exhaustive(&test, &model, &mut ctx);
+    }
+
+    /// The early-exit witness query agrees between the arms on random
+    /// pairs too.
+    #[test]
+    fn pruned_witness_query_matches_on_random_pairs(
+        test in arb_corpus_test(),
+        model in arb_model(),
+    ) {
+        let mut ctx = EvalContext::new();
+        let full = model_outcomes(&test, &model, &EnumConfig::default()).unwrap();
+        let fast = condition_witnessed_with(&test, &model, &pruning_cfg(), &mut ctx).unwrap();
+        prop_assert_eq!(fast, full.condition_witnessed);
+    }
+}

@@ -36,6 +36,7 @@ fn main() {
         iterations,
         seed: args.seed,
         parallelism: args.parallelism,
+        pruning: false,
     };
     let total = tests.len() * cfg.chips.len();
     println!(

@@ -119,6 +119,12 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Worker threads (`None` = all cores). Wall-clock only.
     pub parallelism: Option<usize>,
+    /// Judge cache-miss cells through the rf-class pruned enumerator
+    /// ([`weakgpu_axiom::enumerate::EnumConfig::pruning`]) instead of
+    /// the exhaustive stream. Verdicts are bit-identical; the pruned
+    /// and exhaustive arms keep separate verdict-cache entries (the
+    /// cache key covers the enumeration config).
+    pub pruning: bool,
 }
 
 /// Sweep failure.
@@ -183,13 +189,21 @@ pub struct CellRecord {
     /// through the model on a verdict-cache miss, in microseconds (0 on
     /// a hit) — attributes sweep wins to skeleton sharing vs caching.
     pub enum_micros: u64,
+    /// Enumeration-tree nodes visited while judging this cell's shape
+    /// on a verdict-cache miss (0 on a hit). Under the exhaustive
+    /// stream this equals the candidate count; under pruning it is the
+    /// forced-class + leaf count.
+    pub classes_visited: u64,
+    /// Candidate executions skipped by forced-verdict subtree cuts on a
+    /// verdict-cache miss (always 0 without `SweepConfig::pruning`).
+    pub candidates_pruned: u64,
 }
 
 impl CellRecord {
     /// One JSONL line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
         format!(
-            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}], \"cache_hits\": {}, \"cache_misses\": {}, \"enum_micros\": {}}}",
+            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}], \"cache_hits\": {}, \"cache_misses\": {}, \"enum_micros\": {}, \"classes_visited\": {}, \"candidates_pruned\": {}}}",
             json::escape(&self.test),
             self.index,
             json::escape(&self.chip),
@@ -204,6 +218,8 @@ impl CellRecord {
             self.cache_hits,
             self.cache_misses,
             self.enum_micros,
+            self.classes_visited,
+            self.candidates_pruned,
         )
     }
 }
@@ -726,7 +742,10 @@ where
     }
 
     let model = ptx_model();
-    let enum_cfg = EnumConfig::default();
+    let enum_cfg = EnumConfig {
+        pruning: cfg.pruning,
+        ..EnumConfig::default()
+    };
     let cache = Mutex::new(VerdictCache::new());
     let enum_err: Mutex<Option<(String, EnumError)>> = Mutex::new(None);
     let records: Vec<Mutex<Option<CellRecord>>> = cells.iter().map(|_| Mutex::new(None)).collect();
@@ -753,12 +772,14 @@ where
                 (c.lookup(test, &model, &enum_cfg), c.hits(), c.misses())
             };
             let mut enum_micros = 0u64;
+            let mut classes_visited = 0u64;
+            let mut candidates_pruned = 0u64;
             let verdict = match probed {
                 Some(v) => v,
                 None => {
                     let t0 = Instant::now();
                     let judged = EVAL_CTX.with(|ctx| {
-                        weakgpu_axiom::model_outcomes_with(
+                        weakgpu_axiom::model_outcomes_counted(
                             test,
                             &model,
                             &enum_cfg,
@@ -767,7 +788,9 @@ where
                     });
                     enum_micros = t0.elapsed().as_micros() as u64;
                     match judged {
-                        Ok(v) => {
+                        Ok((v, stats)) => {
+                            (classes_visited, candidates_pruned) =
+                                (stats.classes_visited, stats.candidates_pruned);
                             let mut c = cache.lock().expect("no poisoned locks");
                             let published = c.publish(test, &model, &enum_cfg, v);
                             (cache_hits, cache_misses) = (c.hits(), c.misses());
@@ -800,6 +823,8 @@ where
                 cache_hits,
                 cache_misses,
                 enum_micros,
+                classes_visited,
+                candidates_pruned,
             };
             on_cell(&record);
             *records[ci].lock().expect("no poisoned locks") = Some(record);
@@ -1039,6 +1064,8 @@ mod tests {
             cache_hits: 3,
             cache_misses: 9,
             enum_micros: 42,
+            classes_visited: 17,
+            candidates_pruned: 5,
         };
         let v = json::parse(&rec.to_jsonl()).unwrap();
         assert_eq!(v.get("index").unwrap().as_u64(), Some(12));
@@ -1047,6 +1074,8 @@ mod tests {
         assert_eq!(v.get("cache_hits").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("cache_misses").unwrap().as_u64(), Some(9));
         assert_eq!(v.get("enum_micros").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("classes_visited").unwrap().as_u64(), Some(17));
+        assert_eq!(v.get("candidates_pruned").unwrap().as_u64(), Some(5));
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn small_cfg(shard: Option<Shard>) -> SweepConfig {
         iterations: 300,
         seed: 0xabcd,
         parallelism: None,
+        pruning: false,
     }
 }
 
@@ -85,6 +86,7 @@ fn sweep_reports_are_model_sound_and_witness_weak_behaviour() {
         iterations: 1_000,
         seed: 0x7a11,
         parallelism: None,
+        pruning: false,
     };
     let records = Mutex::new(Vec::new());
     let report = run_sweep_with(&family, &cfg, |rec| {
@@ -128,6 +130,7 @@ fn verdict_cache_collapses_chip_columns() {
         iterations: 50,
         seed: 1,
         parallelism: None,
+        pruning: false,
     };
     let report = run_sweep(&family, &cfg).unwrap();
     let chips = Chip::NVIDIA_TABLED.len() as u64;
@@ -154,6 +157,7 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
         iterations: 400,
         seed: 0x57,
         parallelism: None,
+        pruning: false,
     };
     let report = run_sweep(&family, &cfg).unwrap();
     assert_eq!(
@@ -162,6 +166,44 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
     );
     assert_eq!(report.weak_tests, 0);
     assert!(report.is_sound());
+}
+
+#[test]
+fn pruned_sweep_is_bit_identical_to_the_exhaustive_sweep() {
+    // Threading `SweepConfig::pruning` through the workers must change
+    // bookkeeping only: same seeds, same histograms, same verdicts —
+    // every cell record agrees once the pruning counters and cache
+    // bookkeeping are normalised.
+    let family: Vec<_> = generate(&GenConfig::small()).into_iter().take(30).collect();
+    let collect = |pruning| {
+        let mut cfg = small_cfg(None);
+        cfg.pruning = pruning;
+        let records = Mutex::new(Vec::new());
+        let report = run_sweep_with(&family, &cfg, |rec| {
+            records.lock().unwrap().push(rec.clone());
+        })
+        .unwrap();
+        let mut recs = records.into_inner().unwrap();
+        recs.sort_by_key(|a| (a.index, a.chip.clone()));
+        (report, recs)
+    };
+    let (ex_report, mut exhaustive) = collect(false);
+    let (pr_report, mut pruned) = collect(true);
+    assert_eq!(ex_report.is_sound(), pr_report.is_sound());
+    assert_eq!(ex_report.total_witnesses, pr_report.total_witnesses);
+    assert_eq!(ex_report.weak_tests, pr_report.weak_tests);
+    // Miss cells really went through the counted enumeration, and the
+    // exhaustive arm never cuts.
+    assert!(pruned.iter().any(|r| r.classes_visited > 0));
+    assert!(exhaustive.iter().all(|r| r.candidates_pruned == 0));
+    for r in exhaustive.iter_mut().chain(pruned.iter_mut()) {
+        r.cache_hits = 0;
+        r.cache_misses = 0;
+        r.enum_micros = 0;
+        r.classes_visited = 0;
+        r.candidates_pruned = 0;
+    }
+    assert_eq!(exhaustive, pruned);
 }
 
 #[test]
@@ -192,6 +234,8 @@ fn sharded_cells_equal_their_unsharded_counterparts() {
             r.cache_hits = 0;
             r.cache_misses = 0;
             r.enum_micros = 0;
+            r.classes_visited = 0;
+            r.candidates_pruned = 0;
         }
         recs.sort_by_key(|a| (a.index, a.chip.clone()));
         recs

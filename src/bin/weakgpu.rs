@@ -34,6 +34,7 @@ const USAGE: &str = "usage:
   weakgpu campaign [NAME|FILE ...] [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
   weakgpu sweep [--family small|paper] [--shard K/N] [--out FILE.json]
                 [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
+                [--pruned]
   weakgpu sweep --merge FILE.json FILE.json ... [--out FILE.json]
   weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
   weakgpu show <file.litmus> [--dot]
@@ -50,8 +51,10 @@ of N deterministic, disjoint slices of the family (per-test seeds depend
 only on the test's canonical index, so shards recombine exactly);
 --out FILE.json writes the aggregate report there and streams one JSONL
 record per cell to FILE.jsonl. --merge recombines shard reports, failing
-on a missing shard or any model-forbidden observation. Exit status is
-non-zero if any observation is unsound.
+on a missing shard or any model-forbidden observation. --pruned judges
+cache-miss cells through the rf-class pruned enumerator (bit-identical
+verdicts; the per-cell JSONL records the classes visited and candidates
+cut). Exit status is non-zero if any observation is unsound.
 
 --parallelism N pins the worker-thread count (default: all cores). It
 affects wall-clock time only: for a fixed --seed the full histogram is
@@ -313,6 +316,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let parallelism = take_opt(&mut args, "--parallelism")
         .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
         .transpose()?;
+    let pruning = take_flag(&mut args, "--pruned");
     if let Some(extra) = args.first() {
         return Err(format!("sweep: unexpected argument {extra:?}"));
     }
@@ -325,6 +329,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         iterations,
         seed,
         parallelism,
+        pruning,
     };
     let shard_tests = (0..tests.len())
         .filter(|&i| shard.is_none_or(|sh| sh.selects(i)))

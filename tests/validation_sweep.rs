@@ -27,6 +27,7 @@ fn generated_family_observations_are_model_sound() {
         iterations: 1_000,
         seed: 0x7a11,
         parallelism: None,
+        pruning: false,
     };
     let report = run_sweep(&tests, &cfg).unwrap();
     assert!(
@@ -57,6 +58,11 @@ fn generated_family_observations_are_model_sound() {
 #[test]
 fn strong_chip_never_witnesses_any_generated_cycle() {
     let tests = generate(&GenConfig::small());
+    // This sweep judges its cells through the pruned enumerator — the
+    // verdicts are bit-identical to the exhaustive arm (proven by the
+    // differential battery in `crates/axiom/tests/pruning_diff.rs`), so
+    // the soundness claim is unchanged while the integration path gets
+    // exercised end to end.
     let cfg = SweepConfig {
         family: "small".to_owned(),
         shard: None,
@@ -64,6 +70,7 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
         iterations: 800,
         seed: 0x57,
         parallelism: None,
+        pruning: true,
     };
     let report = run_sweep(&tests, &cfg).unwrap();
     assert_eq!(
@@ -85,6 +92,7 @@ fn sharded_validation_recombines_exactly() {
         iterations: 250,
         seed: 0xc1,
         parallelism: None,
+        pruning: false,
     };
     let whole = run_sweep(&tests, &cfg(None)).unwrap();
     let shards: Vec<SweepReport> = (1..=4)
