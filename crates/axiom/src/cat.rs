@@ -1,14 +1,18 @@
 //! A `.cat` relational DSL, sufficient for the paper's model files
-//! (Figs. 15 and 16).
+//! (Figs. 15 and 16) and widened toward the herd7 surface syntax.
 //!
 //! Supported statements:
 //!
 //! ```text
+//! "Model title"                    (optional leading title, herd7-style;
+//! PTX                               a bare identifier works too)
 //! let name = expr                  (relation definition)
 //! let name(param) = expr           (parameterised definition)
 //! acyclic expr as name             (acyclicity check)
 //! irreflexive expr as name         (irreflexivity check)
 //! empty expr as name               (emptiness check)
+//! acyclic expr                     (unnamed check — auto-named check-N)
+//! show expr / unshow expr          (parsed and ignored, with a warning)
 //! ```
 //!
 //! Expressions combine identifiers with union `|`, intersection `&`,
@@ -16,7 +20,17 @@
 //! function application `f(e)`, and the sort filters `WW(e)`, `WR(e)`,
 //! `RW(e)`, `RR(e)` which restrict a relation to write→write, write→read,
 //! read→write and read→read pairs respectively. Line comments start with
-//! `//`; `(* … *)` block comments are also accepted.
+//! `//`; `(* … *)` block comments nest and are accepted anywhere.
+//!
+//! herd7 syntax this subset deliberately rejects — each with a targeted
+//! diagnostic rather than a generic parse error: `include "…"` (the
+//! compiler is include-free), `let rec` (no fixpoints), and the
+//! complement operator `~`.
+//!
+//! Parsing is built on [`weakgpu_front`]: a spanned lexer feeds a token
+//! [`Cursor`] with expected-set accumulation and a packrat [`Memo`] on the
+//! atom rule, and statement-level recovery reports every error in one
+//! pass ([`CatProgram::parse_with_diagnostics`]).
 //!
 //! A model *allows* an execution iff every check passes
 //! ([`CatProgram::check`]).
@@ -24,7 +38,14 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use weakgpu_front::{
+    Cursor, Diagnostic, LineCol, Memo, Parsed, SourceFile, Span, Token, TokenKind,
+};
+
 use crate::relation::{EventSet, Relation};
+
+#[doc(hidden)]
+pub mod legacy;
 
 /// Expressions of the `.cat` language.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -100,6 +121,7 @@ pub enum Stmt {
 /// A parsed `.cat` program.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CatProgram {
+    title: Option<String>,
     stmts: Vec<Stmt>,
 }
 
@@ -115,12 +137,44 @@ pub struct CheckOutcome {
 }
 
 /// `.cat` parse or evaluation failure.
+///
+/// The compact error of the original API, now carrying the source
+/// position when one is attributable. The diagnostics-first entry point
+/// [`CatProgram::parse_with_diagnostics`] reports rich spanned
+/// [`Diagnostic`]s instead; this type is the projection of the first
+/// error for callers that only want a one-liner.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct CatError(pub String);
+pub struct CatError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based `line:col`, when attributable.
+    pub pos: Option<LineCol>,
+}
+
+impl CatError {
+    /// An error with no position.
+    pub fn new(message: impl Into<String>) -> Self {
+        CatError {
+            message: message.into(),
+            pos: None,
+        }
+    }
+
+    /// An error at a 1-based `line:col`.
+    pub fn at(message: impl Into<String>, pos: LineCol) -> Self {
+        CatError {
+            message: message.into(),
+            pos: Some(pos),
+        }
+    }
+}
 
 impl fmt::Display for CatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cat error: {}", self.0)
+        match self.pos {
+            Some(p) => write!(f, "cat error at {p}: {}", self.message),
+            None => write!(f, "cat error: {}", self.message),
+        }
     }
 }
 
@@ -129,8 +183,9 @@ impl std::error::Error for CatError {}
 // ---------------------------------------------------------------- lexing
 
 #[derive(Clone, PartialEq, Eq, Debug)]
-enum Tok {
+enum CatK {
     Ident(String),
+    Str(String),
     Let,
     As,
     Acyclic,
@@ -140,6 +195,7 @@ enum Tok {
     Amp,
     Backslash,
     Semi,
+    Comma,
     LParen,
     RParen,
     Eq,
@@ -148,272 +204,469 @@ enum Tok {
     Star,
     Question,
     Zero,
+    Tilde,
 }
 
-fn lex(src: &str) -> Result<Vec<Tok>, CatError> {
+impl TokenKind for CatK {
+    fn describe(&self) -> String {
+        match self {
+            CatK::Ident(s) => format!("`{s}`"),
+            CatK::Str(_) => "string literal".into(),
+            CatK::Let => "`let`".into(),
+            CatK::As => "`as`".into(),
+            CatK::Acyclic => "`acyclic`".into(),
+            CatK::Irreflexive => "`irreflexive`".into(),
+            CatK::Empty => "`empty`".into(),
+            CatK::Pipe => "`|`".into(),
+            CatK::Amp => "`&`".into(),
+            CatK::Backslash => "`\\`".into(),
+            CatK::Semi => "`;`".into(),
+            CatK::Comma => "`,`".into(),
+            CatK::LParen => "`(`".into(),
+            CatK::RParen => "`)`".into(),
+            CatK::Eq => "`=`".into(),
+            CatK::Inv => "`^-1`".into(),
+            CatK::Plus => "`+`".into(),
+            CatK::Star => "`*`".into(),
+            CatK::Question => "`?`".into(),
+            CatK::Zero => "`0`".into(),
+            CatK::Tilde => "`~`".into(),
+        }
+    }
+}
+
+/// Lexes with spans, recovering from bad characters (each is reported
+/// once and skipped). Block comments `(* … *)` nest, herd7-style.
+fn lex(file: &SourceFile) -> (Vec<Token<CatK>>, Vec<Diagnostic>) {
+    let src = file.text();
     let mut toks = Vec::new();
-    let b: Vec<char> = src.chars().collect();
+    let mut diags = Vec::new();
+    let b: Vec<(usize, char)> = src.char_indices().collect();
+    let len = src.len();
     let mut i = 0;
+    let mut push = |kind: CatK, a: usize, e: usize| toks.push(Token::new(kind, Span::new(a, e)));
     while i < b.len() {
-        let c = b[i];
+        let (at, c) = b[i];
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
-            '/' if b.get(i + 1) == Some(&'/') => {
-                while i < b.len() && b[i] != '\n' {
+            '/' if b.get(i + 1).map(|t| t.1) == Some('/') => {
+                while i < b.len() && b[i].1 != '\n' {
                     i += 1;
                 }
             }
-            '(' if b.get(i + 1) == Some(&'*') => {
+            '(' if b.get(i + 1).map(|t| t.1) == Some('*') => {
+                let open = at;
+                let mut depth = 1;
                 i += 2;
-                while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == ')') {
+                while i < b.len() && depth > 0 {
+                    if b[i].1 == '(' && b.get(i + 1).map(|t| t.1) == Some('*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i].1 == '*' && b.get(i + 1).map(|t| t.1) == Some(')') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    diags.push(
+                        Diagnostic::error("unterminated block comment")
+                            .with_span(Span::new(open, open + 2)),
+                    );
+                }
+            }
+            '"' => {
+                let open = at;
+                i += 1;
+                let start = i;
+                while i < b.len() && b[i].1 != '"' && b[i].1 != '\n' {
                     i += 1;
                 }
-                i = (i + 2).min(b.len());
+                if i < b.len() && b[i].1 == '"' {
+                    let text: String = b[start..i].iter().map(|t| t.1).collect();
+                    push(CatK::Str(text), open, b[i].0 + 1);
+                    i += 1;
+                } else {
+                    diags.push(
+                        Diagnostic::error("unterminated string literal")
+                            .with_span(Span::new(open, open + 1)),
+                    );
+                }
             }
-            '|' => {
-                toks.push(Tok::Pipe);
-                i += 1;
-            }
-            '&' => {
-                toks.push(Tok::Amp);
-                i += 1;
-            }
-            '\\' => {
-                toks.push(Tok::Backslash);
-                i += 1;
-            }
-            ';' => {
-                toks.push(Tok::Semi);
-                i += 1;
-            }
-            '(' => {
-                toks.push(Tok::LParen);
-                i += 1;
-            }
-            ')' => {
-                toks.push(Tok::RParen);
-                i += 1;
-            }
-            '=' => {
-                toks.push(Tok::Eq);
-                i += 1;
-            }
-            '+' => {
-                toks.push(Tok::Plus);
-                i += 1;
-            }
-            '*' => {
-                toks.push(Tok::Star);
-                i += 1;
-            }
-            '?' => {
-                toks.push(Tok::Question);
+            '|' | '&' | '\\' | ';' | ',' | '(' | ')' | '=' | '+' | '*' | '?' | '~' => {
+                let kind = match c {
+                    '|' => CatK::Pipe,
+                    '&' => CatK::Amp,
+                    '\\' => CatK::Backslash,
+                    ';' => CatK::Semi,
+                    ',' => CatK::Comma,
+                    '(' => CatK::LParen,
+                    ')' => CatK::RParen,
+                    '=' => CatK::Eq,
+                    '+' => CatK::Plus,
+                    '*' => CatK::Star,
+                    '?' => CatK::Question,
+                    _ => CatK::Tilde,
+                };
+                push(kind, at, at + c.len_utf8());
                 i += 1;
             }
             '^' => {
-                if b.get(i + 1) == Some(&'-') && b.get(i + 2) == Some(&'1') {
-                    toks.push(Tok::Inv);
+                if b.get(i + 1).map(|t| t.1) == Some('-') && b.get(i + 2).map(|t| t.1) == Some('1')
+                {
+                    push(CatK::Inv, at, at + 3);
                     i += 3;
                 } else {
-                    return Err(CatError(format!("stray '^' at offset {i}")));
+                    diags.push(
+                        Diagnostic::error("stray '^' (the inverse operator is written `^-1`)")
+                            .with_span(Span::new(at, at + 1)),
+                    );
+                    i += 1;
                 }
             }
             '0' if !b
                 .get(i + 1)
-                .is_some_and(|c| c.is_alphanumeric() || *c == '.' || *c == '-') =>
+                .is_some_and(|t| t.1.is_alphanumeric() || t.1 == '.' || t.1 == '-') =>
             {
-                toks.push(Tok::Zero);
+                push(CatK::Zero, at, at + 1);
                 i += 1;
             }
             c if c.is_alphanumeric() || c == '_' || c == '.' => {
                 let start = i;
                 while i < b.len()
-                    && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.' || b[i] == '-')
+                    && (b[i].1.is_alphanumeric() || b[i].1 == '_' || b[i].1 == '.' || b[i].1 == '-')
                 {
                     i += 1;
                 }
-                let word: String = b[start..i].iter().collect();
-                toks.push(match word.as_str() {
-                    "let" => Tok::Let,
-                    "as" => Tok::As,
-                    "acyclic" => Tok::Acyclic,
-                    "irreflexive" => Tok::Irreflexive,
-                    "empty" => Tok::Empty,
-                    _ => Tok::Ident(word),
-                });
+                let end = b.get(i).map_or(len, |t| t.0);
+                let word: String = b[start..i].iter().map(|t| t.1).collect();
+                let kind = match word.as_str() {
+                    "let" => CatK::Let,
+                    "as" => CatK::As,
+                    "acyclic" => CatK::Acyclic,
+                    "irreflexive" => CatK::Irreflexive,
+                    "empty" => CatK::Empty,
+                    _ => CatK::Ident(word),
+                };
+                push(kind, at, end);
             }
-            other => return Err(CatError(format!("unexpected character {other:?}"))),
+            other => {
+                diags.push(
+                    Diagnostic::error(format!("unexpected character {other:?}"))
+                        .with_span(Span::new(at, at + other.len_utf8())),
+                );
+                i += 1;
+            }
         }
     }
-    Ok(toks)
+    (toks, diags)
 }
 
 // ---------------------------------------------------------------- parsing
 
-struct Parser {
-    toks: Vec<Tok>,
-    pos: usize,
+type PCur<'t> = Cursor<'t, CatK>;
+type PMemo = Memo<Result<Expr, Diagnostic>>;
+
+/// Rule id for the packrat memo on the atom rule.
+const RULE_ATOM: u32 = 0;
+
+fn is_stmt_start(k: &CatK) -> bool {
+    matches!(
+        k,
+        CatK::Let | CatK::Acyclic | CatK::Irreflexive | CatK::Empty
+    ) || matches!(k, CatK::Ident(w) if w == "include" || w == "show" || w == "unshow")
 }
 
-impl Parser {
-    fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
-    }
+fn eat_ident(cur: &mut PCur<'_>) -> Option<(String, Span)> {
+    cur.eat_map("identifier", |k| match k {
+        CatK::Ident(s) => Some(s.clone()),
+        _ => None,
+    })
+}
 
-    fn next(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).cloned();
-        if t.is_some() {
-            self.pos += 1;
-        }
-        t
-    }
+fn expect_ident(cur: &mut PCur<'_>) -> Result<(String, Span), Diagnostic> {
+    eat_ident(cur).ok_or_else(|| cur.expected_error())
+}
 
-    fn eat(&mut self, t: &Tok) -> bool {
-        if self.peek() == Some(t) {
-            self.pos += 1;
-            true
+fn expr(cur: &mut PCur<'_>, memo: &mut PMemo) -> Result<Expr, Diagnostic> {
+    let mut e = seq_expr(cur, memo)?;
+    while cur.eat(&CatK::Pipe).is_some() {
+        let rhs = seq_expr(cur, memo)?;
+        e = Expr::Union(Box::new(e), Box::new(rhs));
+    }
+    Ok(e)
+}
+
+fn seq_expr(cur: &mut PCur<'_>, memo: &mut PMemo) -> Result<Expr, Diagnostic> {
+    let mut e = diff_expr(cur, memo)?;
+    while cur.eat(&CatK::Semi).is_some() {
+        let rhs = diff_expr(cur, memo)?;
+        e = Expr::Seq(Box::new(e), Box::new(rhs));
+    }
+    Ok(e)
+}
+
+fn diff_expr(cur: &mut PCur<'_>, memo: &mut PMemo) -> Result<Expr, Diagnostic> {
+    let mut e = inter_expr(cur, memo)?;
+    while cur.eat(&CatK::Backslash).is_some() {
+        let rhs = inter_expr(cur, memo)?;
+        e = Expr::Diff(Box::new(e), Box::new(rhs));
+    }
+    Ok(e)
+}
+
+fn inter_expr(cur: &mut PCur<'_>, memo: &mut PMemo) -> Result<Expr, Diagnostic> {
+    let mut e = postfix_expr(cur, memo)?;
+    while cur.eat(&CatK::Amp).is_some() {
+        let rhs = postfix_expr(cur, memo)?;
+        e = Expr::Inter(Box::new(e), Box::new(rhs));
+    }
+    Ok(e)
+}
+
+fn postfix_expr(cur: &mut PCur<'_>, memo: &mut PMemo) -> Result<Expr, Diagnostic> {
+    let mut e = atom(cur, memo)?;
+    loop {
+        if cur.eat(&CatK::Inv).is_some() {
+            e = Expr::Inverse(Box::new(e));
+        } else if cur.eat(&CatK::Plus).is_some() {
+            e = Expr::Plus(Box::new(e));
+        } else if cur.eat(&CatK::Star).is_some() {
+            e = Expr::Star(Box::new(e));
+        } else if cur.eat(&CatK::Question).is_some() {
+            e = Expr::Opt(Box::new(e));
         } else {
-            false
+            return Ok(e);
         }
     }
+}
 
-    fn expect_ident(&mut self) -> Result<String, CatError> {
-        match self.next() {
-            Some(Tok::Ident(s)) => Ok(s),
-            other => Err(CatError(format!("expected identifier, found {other:?}"))),
+/// The atom rule, memoised packrat-style under [`RULE_ATOM`] so repeated
+/// descents over the same position (the grammar is PEG-shaped) stay
+/// linear.
+fn atom(cur: &mut PCur<'_>, memo: &mut PMemo) -> Result<Expr, Diagnostic> {
+    memo.apply(RULE_ATOM, cur, |cur, memo| Some(atom_inner(cur, memo)))
+        .unwrap_or_else(|| Err(Diagnostic::error("expected expression")))
+}
+
+fn atom_inner(cur: &mut PCur<'_>, memo: &mut PMemo) -> Result<Expr, Diagnostic> {
+    if let Some((name, _)) = eat_ident(cur) {
+        if cur.eat(&CatK::LParen).is_some() {
+            let arg = expr(cur, memo)?;
+            cur.expect(&CatK::RParen)?;
+            return Ok(Expr::App(name, Box::new(arg)));
         }
+        return Ok(Expr::Id(name));
     }
+    if cur.eat(&CatK::LParen).is_some() {
+        let e = expr(cur, memo)?;
+        cur.expect(&CatK::RParen)?;
+        return Ok(e);
+    }
+    if cur.eat(&CatK::Zero).is_some() {
+        return Ok(Expr::Zero);
+    }
+    if let Some(t) = cur.eat(&CatK::Tilde) {
+        return Err(
+            Diagnostic::error("the complement operator `~` is not supported")
+                .with_span(t.span)
+                .with_note("this .cat subset has no complement; rewrite with `\\` set difference"),
+        );
+    }
+    Err(cur.expected_error())
+}
 
-    fn stmt(&mut self) -> Result<Stmt, CatError> {
-        match self.next() {
-            Some(Tok::Let) => {
-                let name = self.expect_ident()?;
-                let param = if self.eat(&Tok::LParen) {
-                    let p = self.expect_ident()?;
-                    if !self.eat(&Tok::RParen) {
-                        return Err(CatError("expected ')' after parameter".into()));
+/// One statement, or `None` for directives that are consumed without
+/// producing a statement (`show` / `unshow`).
+fn stmt(
+    cur: &mut PCur<'_>,
+    memo: &mut PMemo,
+    diags: &mut Vec<Diagnostic>,
+    auto_checks: &mut usize,
+) -> Result<Option<Stmt>, Diagnostic> {
+    // herd7 directives this subset rejects or ignores, with targeted
+    // diagnostics.
+    if let Some(CatK::Ident(w)) = cur.peek_kind() {
+        match w.as_str() {
+            "include" => {
+                let t = cur.bump().expect("peeked");
+                let span = match cur.peek_kind() {
+                    Some(CatK::Str(_)) => cur.bump().expect("peeked").span.join(t.span),
+                    _ => t.span,
+                };
+                return Err(Diagnostic::error(
+                    "`include` is not supported: this .cat subset is include-free",
+                )
+                .with_span(span)
+                .with_note("inline the included definitions instead"));
+            }
+            "show" | "unshow" => {
+                let directive = w.clone();
+                let t = cur.bump().expect("peeked");
+                diags.push(
+                    Diagnostic::warning(format!(
+                        "`{directive}` is a display directive; parsed and ignored"
+                    ))
+                    .with_span(t.span),
+                );
+                // Swallow the directive's operands: idents, commas and
+                // `as` renames up to the next statement.
+                while let Some(k) = cur.peek_kind() {
+                    if is_stmt_start(k) {
+                        break;
                     }
-                    Some(p)
-                } else {
-                    None
-                };
-                if !self.eat(&Tok::Eq) {
-                    return Err(CatError(format!("expected '=' in let {name}")));
+                    match k {
+                        CatK::Ident(_) | CatK::Comma | CatK::As => {
+                            cur.bump();
+                        }
+                        _ => break,
+                    }
                 }
-                let body = self.expr()?;
-                Ok(Stmt::Let { name, param, body })
+                return Ok(None);
             }
-            Some(tok @ (Tok::Acyclic | Tok::Irreflexive | Tok::Empty)) => {
-                let kind = match tok {
-                    Tok::Acyclic => CheckKind::Acyclic,
-                    Tok::Irreflexive => CheckKind::Irreflexive,
-                    _ => CheckKind::Empty,
-                };
-                let expr = self.expr()?;
-                if !self.eat(&Tok::As) {
-                    return Err(CatError("expected 'as' after check expression".into()));
-                }
-                let name = self.expect_ident()?;
-                Ok(Stmt::Check { kind, expr, name })
+            _ => {}
+        }
+    }
+    if let Some(t) = cur.eat(&CatK::Let) {
+        // `let rec` fixpoints are out of scope — report them clearly
+        // rather than parsing `rec` as the bound name.
+        let mark = cur.mark();
+        if let Some((w, span)) = eat_ident(cur) {
+            if w == "rec" && matches!(cur.peek_kind(), Some(CatK::Ident(_))) {
+                return Err(Diagnostic::error(
+                    "`let rec` is not supported: no recursive definitions",
+                )
+                .with_span(span.join(t.span))
+                .with_note("unfold the recursion or use `+`/`*` closures"));
             }
-            other => Err(CatError(format!("expected statement, found {other:?}"))),
+            cur.rewind(mark);
         }
+        let (name, _) = expect_ident(cur)?;
+        let param = if cur.eat(&CatK::LParen).is_some() {
+            let (p, _) = expect_ident(cur)?;
+            cur.expect(&CatK::RParen)?;
+            Some(p)
+        } else {
+            None
+        };
+        cur.expect(&CatK::Eq)?;
+        let body = expr(cur, memo)?;
+        return Ok(Some(Stmt::Let { name, param, body }));
     }
-
-    // Precedence (loosest→tightest): | ; ; ; \ ; & ; postfix ; atom.
-    fn expr(&mut self) -> Result<Expr, CatError> {
-        let mut e = self.seq_expr()?;
-        while self.eat(&Tok::Pipe) {
-            let rhs = self.seq_expr()?;
-            e = Expr::Union(Box::new(e), Box::new(rhs));
-        }
-        Ok(e)
-    }
-
-    fn seq_expr(&mut self) -> Result<Expr, CatError> {
-        let mut e = self.diff_expr()?;
-        while self.eat(&Tok::Semi) {
-            let rhs = self.diff_expr()?;
-            e = Expr::Seq(Box::new(e), Box::new(rhs));
-        }
-        Ok(e)
-    }
-
-    fn diff_expr(&mut self) -> Result<Expr, CatError> {
-        let mut e = self.inter_expr()?;
-        while self.eat(&Tok::Backslash) {
-            let rhs = self.inter_expr()?;
-            e = Expr::Diff(Box::new(e), Box::new(rhs));
-        }
-        Ok(e)
-    }
-
-    fn inter_expr(&mut self) -> Result<Expr, CatError> {
-        let mut e = self.postfix_expr()?;
-        while self.eat(&Tok::Amp) {
-            let rhs = self.postfix_expr()?;
-            e = Expr::Inter(Box::new(e), Box::new(rhs));
-        }
-        Ok(e)
-    }
-
-    fn postfix_expr(&mut self) -> Result<Expr, CatError> {
-        let mut e = self.atom()?;
-        loop {
-            if self.eat(&Tok::Inv) {
-                e = Expr::Inverse(Box::new(e));
-            } else if self.eat(&Tok::Plus) {
-                e = Expr::Plus(Box::new(e));
-            } else if self.eat(&Tok::Star) {
-                e = Expr::Star(Box::new(e));
-            } else if self.eat(&Tok::Question) {
-                e = Expr::Opt(Box::new(e));
+    for (tok, kind) in [
+        (CatK::Acyclic, CheckKind::Acyclic),
+        (CatK::Irreflexive, CheckKind::Irreflexive),
+        (CatK::Empty, CheckKind::Empty),
+    ] {
+        if cur.eat(&tok).is_some() {
+            let e = expr(cur, memo)?;
+            let name = if cur.eat(&CatK::As).is_some() {
+                expect_ident(cur)?.0
             } else {
-                return Ok(e);
-            }
+                // herd7 allows unnamed checks; give them stable names.
+                *auto_checks += 1;
+                format!("check-{auto_checks}")
+            };
+            return Ok(Some(Stmt::Check {
+                kind,
+                expr: e,
+                name,
+            }));
         }
     }
-
-    fn atom(&mut self) -> Result<Expr, CatError> {
-        match self.next() {
-            Some(Tok::Ident(name)) => {
-                if self.eat(&Tok::LParen) {
-                    let arg = self.expr()?;
-                    if !self.eat(&Tok::RParen) {
-                        return Err(CatError(format!("expected ')' after {name}(…")));
-                    }
-                    Ok(Expr::App(name, Box::new(arg)))
-                } else {
-                    Ok(Expr::Id(name))
-                }
-            }
-            Some(Tok::LParen) => {
-                let e = self.expr()?;
-                if !self.eat(&Tok::RParen) {
-                    return Err(CatError("expected ')'".into()));
-                }
-                Ok(e)
-            }
-            Some(Tok::Zero) => Ok(Expr::Zero),
-            other => Err(CatError(format!("expected expression, found {other:?}"))),
-        }
-    }
+    let found = cur
+        .peek_kind()
+        .map_or("end of input".to_string(), CatK::describe);
+    Err(Diagnostic::error(format!(
+        "expected a statement (`let`, `acyclic`, `irreflexive` or `empty`), found {found}"
+    ))
+    .with_span(cur.here()))
 }
 
 impl CatProgram {
     /// Parses a `.cat` source text.
     ///
+    /// Compatibility wrapper over [`CatProgram::parse_with_diagnostics`]:
+    /// reports only the first error, as a [`CatError`] with its
+    /// `line:col` preserved.
+    ///
     /// # Errors
     ///
     /// Returns a [`CatError`] on lexical or syntactic problems.
     pub fn parse(src: &str) -> Result<Self, CatError> {
-        let toks = lex(src)?;
-        let mut p = Parser { toks, pos: 0 };
-        let mut stmts = Vec::new();
-        while p.peek().is_some() {
-            stmts.push(p.stmt()?);
+        let file = SourceFile::new("<cat>", src);
+        match Self::parse_with_diagnostics(&file).into_result() {
+            Ok(p) => Ok(p),
+            Err(diags) => {
+                let first = diags
+                    .iter()
+                    .find(|d| d.is_error())
+                    .cloned()
+                    .unwrap_or_else(|| Diagnostic::error("parse failed"));
+                Err(CatError {
+                    pos: first.span.map(|s| file.pos(s)),
+                    message: first.message,
+                })
+            }
         }
-        Ok(CatProgram { stmts })
+    }
+
+    /// Parses a `.cat` source, collecting *all* diagnostics in one pass.
+    ///
+    /// Recovery is statement-level: after an error the parser
+    /// resynchronises on the next statement keyword, so a file with three
+    /// broken statements yields three diagnostics. The value is `Some`
+    /// when at least the well-formed statements could be kept, but
+    /// [`Parsed::into_result`] still fails if any *error* was reported.
+    pub fn parse_with_diagnostics(file: &SourceFile) -> Parsed<CatProgram> {
+        let (toks, mut diags) = lex(file);
+        let mut cur = Cursor::new(&toks, file.text().len());
+        let mut memo = Memo::new();
+        // Optional herd7-style model title: a leading string literal or a
+        // bare identifier (anything a statement cannot start with).
+        let title = match cur.peek_kind() {
+            Some(CatK::Str(s)) => {
+                let s = s.clone();
+                cur.bump();
+                Some(s)
+            }
+            Some(CatK::Ident(w)) if !is_stmt_start(&CatK::Ident(w.clone())) => {
+                let s = w.clone();
+                cur.bump();
+                Some(s)
+            }
+            _ => None,
+        };
+        let mut stmts = Vec::new();
+        let mut auto_checks = 0usize;
+        while !cur.at_end() {
+            let start = cur.pos();
+            match stmt(&mut cur, &mut memo, &mut diags, &mut auto_checks) {
+                Ok(Some(s)) => stmts.push(s),
+                Ok(None) => {}
+                Err(d) => {
+                    diags.push(d);
+                    // Resynchronise on the next statement keyword.
+                    if cur.pos() == start {
+                        cur.bump();
+                    }
+                    cur.skip_until(is_stmt_start);
+                }
+            }
+        }
+        // Lexer diagnostics were collected up front; interleave them with
+        // the parser's in source order.
+        diags.sort_by_key(|d| d.span.map_or(u32::MAX, |s| s.start));
+        Parsed {
+            value: Some(CatProgram { title, stmts }),
+            diagnostics: diags,
+        }
+    }
+
+    /// The model's title, when the source carried one.
+    pub fn title(&self) -> Option<&str> {
+        self.title.as_deref()
     }
 
     /// The parsed statements.
@@ -521,7 +774,7 @@ impl Env<'_> {
         if let Some(r) = self.base.get(name) {
             return Ok(Binding::Rel(r.clone()));
         }
-        Err(CatError(format!("unbound identifier {name:?}")))
+        Err(CatError::new(format!("unbound identifier {name:?}")))
     }
 
     fn eval(&mut self, e: &Expr) -> Result<Relation, CatError> {
@@ -529,9 +782,9 @@ impl Env<'_> {
             Expr::Zero => Ok(Relation::empty(self.n)),
             Expr::Id(name) => match self.lookup(name)? {
                 Binding::Rel(r) => Ok(r),
-                Binding::Fun { .. } => {
-                    Err(CatError(format!("{name:?} is a function, not a relation")))
-                }
+                Binding::Fun { .. } => Err(CatError::new(format!(
+                    "{name:?} is a function, not a relation"
+                ))),
             },
             Expr::App(name, arg) => {
                 let argv = self.eval(arg)?;
@@ -556,7 +809,7 @@ impl Env<'_> {
                             }
                             result
                         }
-                        Binding::Rel(_) => Err(CatError(format!(
+                        Binding::Rel(_) => Err(CatError::new(format!(
                             "{name:?} is a relation, cannot be applied"
                         ))),
                     },
@@ -614,9 +867,12 @@ impl fmt::Display for Stmt {
 }
 
 impl fmt::Display for CatProgram {
-    /// Renders the program one statement per line; the output re-parses
-    /// to an equal program.
+    /// Renders the program one statement per line (with its title first,
+    /// when present); the output re-parses to an equal program.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(t) = &self.title {
+            writeln!(f, "\"{t}\"")?;
+        }
         for stmt in &self.stmts {
             writeln!(f, "{stmt}")?;
         }
@@ -627,6 +883,7 @@ impl fmt::Display for CatProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use weakgpu_front::render_all;
 
     fn base3() -> (BTreeMap<String, Relation>, EventSet, EventSet) {
         // Universe {0,1,2}: 0 is a write, 1 a read, 2 a write.
@@ -670,6 +927,106 @@ let rmo(fence) = dp | fence | rfe | co | fr
         let src = "// line comment\n(* block *) let x = po\nacyclic x as c1";
         let p = CatProgram::parse(src).unwrap();
         assert_eq!(p.stmts().len(), 2);
+    }
+
+    #[test]
+    fn block_comments_nest_and_appear_anywhere() {
+        let src = "let x = po (* outer (* inner *) still out *) | rf\nacyclic x as c";
+        let p = CatProgram::parse(src).unwrap();
+        assert_eq!(p.stmts().len(), 2);
+        assert!(matches!(
+            &p.stmts()[0],
+            Stmt::Let {
+                body: Expr::Union(..),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn model_titles_are_accepted() {
+        let p = CatProgram::parse("\"PTX model\"\nacyclic po as c").unwrap();
+        assert_eq!(p.title(), Some("PTX model"));
+        assert_eq!(p.stmts().len(), 1);
+        let p2 = CatProgram::parse("PTX\nacyclic po as c").unwrap();
+        assert_eq!(p2.title(), Some("PTX"));
+        // Round trip through Display keeps the title.
+        let p3 = CatProgram::parse(&p.to_string()).unwrap();
+        assert_eq!(p3, p);
+    }
+
+    #[test]
+    fn unnamed_checks_are_auto_named() {
+        let p = CatProgram::parse("acyclic po\nempty rf\nacyclic co as named").unwrap();
+        assert_eq!(p.check_names(), vec!["check-1", "check-2", "named"]);
+    }
+
+    #[test]
+    fn show_is_ignored_with_warning() {
+        let file = SourceFile::new("m.cat", "show po, rf\nlet x = po\nacyclic x as c\n");
+        let parsed = CatProgram::parse_with_diagnostics(&file);
+        assert!(!parsed.has_errors());
+        assert_eq!(parsed.diagnostics.len(), 1);
+        assert!(parsed.diagnostics[0].message.contains("ignored"));
+        assert_eq!(parsed.value.unwrap().stmts().len(), 2);
+    }
+
+    #[test]
+    fn include_and_let_rec_and_complement_are_clearly_rejected() {
+        let file = SourceFile::new(
+            "m.cat",
+            "include \"cos.cat\"\nlet rec r = po\nlet y = ~po\nacyclic y as c\n",
+        );
+        let parsed = CatProgram::parse_with_diagnostics(&file);
+        let msgs: Vec<_> = parsed
+            .diagnostics
+            .iter()
+            .filter(|d| d.is_error())
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("`include` is not supported"), "{msgs:?}");
+        assert!(msgs[1].contains("`let rec` is not supported"), "{msgs:?}");
+        assert!(msgs[2].contains("`~` is not supported"), "{msgs:?}");
+    }
+
+    #[test]
+    fn recovery_reports_every_broken_statement() {
+        let file = SourceFile::new(
+            "m.cat",
+            "let = po\nlet good = rf\nacyclic po rf as c\nempty good as ok\n",
+        );
+        let parsed = CatProgram::parse_with_diagnostics(&file);
+        let errors: Vec<_> = parsed.diagnostics.iter().filter(|d| d.is_error()).collect();
+        assert!(errors.len() >= 2, "{:?}", parsed.diagnostics);
+        // The good statements survived recovery.
+        let p = parsed.value.unwrap();
+        assert!(p
+            .stmts()
+            .iter()
+            .any(|s| matches!(s, Stmt::Let { name, .. } if name == "good")));
+        assert!(p.check_names().contains(&"ok"));
+    }
+
+    #[test]
+    fn diagnostics_carry_line_and_col() {
+        let file = SourceFile::new("m.cat", "let x = po\nlet y = po ^ 2\n");
+        let parsed = CatProgram::parse_with_diagnostics(&file);
+        assert!(parsed.has_errors());
+        let rendered = render_all(&parsed.diagnostics, &file);
+        assert!(rendered.contains("m.cat:2:12"), "{rendered}");
+        assert!(rendered.contains("^ 2"), "{rendered}");
+        // And the compact CatError keeps the position.
+        let err = CatProgram::parse(file.text()).unwrap_err();
+        assert_eq!(err.pos.map(|p| (p.line, p.col)), Some((2, 12)));
+    }
+
+    #[test]
+    fn expected_sets_accumulate() {
+        let err = CatProgram::parse("let x po").unwrap_err();
+        // After `let x` either `(`, `=` would continue the statement.
+        assert!(err.message.contains("expected"), "{err}");
+        assert!(err.message.contains("`=`"), "{err}");
     }
 
     #[test]
@@ -722,7 +1079,7 @@ acyclic f(po) as c
         let (base, reads, writes) = base3();
         let p = CatProgram::parse("acyclic nosuch as c").unwrap();
         let err = p.check(&base, &reads, &writes).unwrap_err();
-        assert!(err.0.contains("unbound"), "{err}");
+        assert!(err.message.contains("unbound"), "{err}");
     }
 
     #[test]
@@ -765,9 +1122,23 @@ acyclic f(po) as c
     #[test]
     fn parse_errors() {
         assert!(CatProgram::parse("let = po").is_err());
-        assert!(CatProgram::parse("acyclic po").is_err()); // missing as
         assert!(CatProgram::parse("let f(x = x").is_err());
         assert!(CatProgram::parse("bogus po as c").is_err());
         assert!(CatProgram::parse("let x = po ^ 2").is_err()); // stray ^
+    }
+
+    #[test]
+    fn agrees_with_legacy_on_paper_models() {
+        let src = "
+let com = rf | co | fr
+let po-loc-llh = WW(po-loc) | WR(po-loc) | RW(po-loc)
+acyclic (po-loc-llh | com) as sc-per-loc-llh
+let rmo(fence) = dp | fence | rfe | co | fr
+empty rmo(membar.gl) \\ hb as dead
+irreflexive (po ; rf)^-1+ as twisted
+";
+        let new = CatProgram::parse(src).unwrap();
+        let old = legacy::parse(src).unwrap();
+        assert_eq!(new, old);
     }
 }

@@ -1,0 +1,296 @@
+//! The pre-diagnostics `.cat` lexer/parser, kept verbatim so the
+//! differential test suite can assert the new frontend accepts the same
+//! language and builds identical ASTs. Not part of the public API.
+
+use super::{CatError, CatProgram, CheckKind, Expr, Stmt};
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Let,
+    As,
+    Acyclic,
+    Irreflexive,
+    Empty,
+    Pipe,
+    Amp,
+    Backslash,
+    Semi,
+    LParen,
+    RParen,
+    Eq,
+    Inv,
+    Plus,
+    Star,
+    Question,
+    Zero,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, CatError> {
+    let mut toks = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' if b.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == ')') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            '|' => {
+                toks.push(Tok::Pipe);
+                i += 1;
+            }
+            '&' => {
+                toks.push(Tok::Amp);
+                i += 1;
+            }
+            '\\' => {
+                toks.push(Tok::Backslash);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '?' => {
+                toks.push(Tok::Question);
+                i += 1;
+            }
+            '^' => {
+                if b.get(i + 1) == Some(&'-') && b.get(i + 2) == Some(&'1') {
+                    toks.push(Tok::Inv);
+                    i += 3;
+                } else {
+                    return Err(CatError::new(format!("stray '^' at offset {i}")));
+                }
+            }
+            '0' if !b
+                .get(i + 1)
+                .is_some_and(|c| c.is_alphanumeric() || *c == '.' || *c == '-') =>
+            {
+                toks.push(Tok::Zero);
+                i += 1;
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.' || b[i] == '-')
+                {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                toks.push(match word.as_str() {
+                    "let" => Tok::Let,
+                    "as" => Tok::As,
+                    "acyclic" => Tok::Acyclic,
+                    "irreflexive" => Tok::Irreflexive,
+                    "empty" => Tok::Empty,
+                    _ => Tok::Ident(word),
+                });
+            }
+            other => return Err(CatError::new(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CatError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(CatError::new(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CatError> {
+        match self.next() {
+            Some(Tok::Let) => {
+                let name = self.expect_ident()?;
+                let param = if self.eat(&Tok::LParen) {
+                    let p = self.expect_ident()?;
+                    if !self.eat(&Tok::RParen) {
+                        return Err(CatError::new("expected ')' after parameter"));
+                    }
+                    Some(p)
+                } else {
+                    None
+                };
+                if !self.eat(&Tok::Eq) {
+                    return Err(CatError::new(format!("expected '=' in let {name}")));
+                }
+                let body = self.expr()?;
+                Ok(Stmt::Let { name, param, body })
+            }
+            Some(tok @ (Tok::Acyclic | Tok::Irreflexive | Tok::Empty)) => {
+                let kind = match tok {
+                    Tok::Acyclic => CheckKind::Acyclic,
+                    Tok::Irreflexive => CheckKind::Irreflexive,
+                    _ => CheckKind::Empty,
+                };
+                let expr = self.expr()?;
+                if !self.eat(&Tok::As) {
+                    return Err(CatError::new("expected 'as' after check expression"));
+                }
+                let name = self.expect_ident()?;
+                Ok(Stmt::Check { kind, expr, name })
+            }
+            other => Err(CatError::new(format!(
+                "expected statement, found {other:?}"
+            ))),
+        }
+    }
+
+    // Precedence (loosest→tightest): | ; ; ; \ ; & ; postfix ; atom.
+    fn expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.seq_expr()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.seq_expr()?;
+            e = Expr::Union(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn seq_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.diff_expr()?;
+        while self.eat(&Tok::Semi) {
+            let rhs = self.diff_expr()?;
+            e = Expr::Seq(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn diff_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.inter_expr()?;
+        while self.eat(&Tok::Backslash) {
+            let rhs = self.inter_expr()?;
+            e = Expr::Diff(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn inter_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.postfix_expr()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.postfix_expr()?;
+            e = Expr::Inter(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.atom()?;
+        loop {
+            if self.eat(&Tok::Inv) {
+                e = Expr::Inverse(Box::new(e));
+            } else if self.eat(&Tok::Plus) {
+                e = Expr::Plus(Box::new(e));
+            } else if self.eat(&Tok::Star) {
+                e = Expr::Star(Box::new(e));
+            } else if self.eat(&Tok::Question) {
+                e = Expr::Opt(Box::new(e));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, CatError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LParen) {
+                    let arg = self.expr()?;
+                    if !self.eat(&Tok::RParen) {
+                        return Err(CatError::new(format!("expected ')' after {name}(…")));
+                    }
+                    Ok(Expr::App(name, Box::new(arg)))
+                } else {
+                    Ok(Expr::Id(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(CatError::new("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(Tok::Zero) => Ok(Expr::Zero),
+            other => Err(CatError::new(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parses a `.cat` source with the original single-error parser.
+///
+/// # Errors
+///
+/// Returns a [`CatError`] on the first lexical or syntactic problem.
+pub fn parse(src: &str) -> Result<CatProgram, CatError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while p.peek().is_some() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(CatProgram { title: None, stmts })
+}

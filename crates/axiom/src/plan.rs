@@ -405,9 +405,9 @@ impl Compiler {
             Expr::Zero => Ok(self.emit(Op::Zero)),
             Expr::Id(name) => match self.lets.get(name.as_str()) {
                 Some(Binding::Rel(src)) => Ok(*src),
-                Some(Binding::Fun { .. }) => {
-                    Err(CatError(format!("{name:?} is a function, not a relation")))
-                }
+                Some(Binding::Fun { .. }) => Err(CatError::new(format!(
+                    "{name:?} is a function, not a relation"
+                ))),
                 None => Ok(self.base(name)),
             },
             Expr::App(name, arg) => {
@@ -420,7 +420,7 @@ impl Compiler {
                     _ => match self.lets.get(name.as_str()).cloned() {
                         Some(Binding::Fun { param, body }) => {
                             if self.depth >= MAX_INLINE_DEPTH {
-                                return Err(CatError(format!(
+                                return Err(CatError::new(format!(
                                     "function {name:?} recurses deeper than {MAX_INLINE_DEPTH}"
                                 )));
                             }
@@ -441,14 +441,14 @@ impl Compiler {
                             self.depth -= 1;
                             result
                         }
-                        Some(Binding::Rel(_)) => Err(CatError(format!(
+                        Some(Binding::Rel(_)) => Err(CatError::new(format!(
                             "{name:?} is a relation, cannot be applied"
                         ))),
                         // A base relation can never be a function, so an
                         // application of an unknown name is an error
                         // either way; report it like the interpreter
                         // would on a missing base.
-                        None => Err(CatError(format!(
+                        None => Err(CatError::new(format!(
                             "{name:?} is not a function, cannot be applied"
                         ))),
                     },
@@ -674,7 +674,7 @@ impl Plan {
         };
         ctx.bases[slot] = dst;
         if !filled {
-            return Err(CatError(format!("unbound identifier {name:?}")));
+            return Err(CatError::new(format!("unbound identifier {name:?}")));
         }
         ctx.base_epoch[slot] = ctx.epoch;
         Ok(())
@@ -856,7 +856,7 @@ impl Plan {
     ///
     /// Every overlay-dependent base relation and register is evaluated
     /// as an interval `[lo, hi]` with `lo ⊆ R ⊆ hi` for every extension
-    /// `R` ([`PartialView::fill_rf_bounds`] and friends supply the base
+    /// `R` (`PartialView::fill_rf_bounds` and friends supply the base
     /// intervals). All operators are monotone in both operands except
     /// difference, which is antitone in its right operand and swaps
     /// bounds there (`lo = a.lo \ b.hi`, `hi = a.hi \ b.lo`). A check is
@@ -1418,7 +1418,7 @@ mod tests {
         let err = plan
             .check_in_env(&mut ctx, &base, &reads, &writes)
             .unwrap_err();
-        assert!(err.0.contains("unbound"), "{err}");
+        assert!(err.message.contains("unbound"), "{err}");
         assert!(plan
             .allows_in_env(&mut ctx, &base, &reads, &writes)
             .is_err());

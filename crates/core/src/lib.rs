@@ -17,6 +17,7 @@
 
 pub use weakgpu_axiom as axiom;
 pub use weakgpu_diy as diy;
+pub use weakgpu_front as front;
 pub use weakgpu_harness as harness;
 pub use weakgpu_litmus as litmus;
 pub use weakgpu_models as models;

@@ -1,0 +1,45 @@
+//! Shared parsing frontend for the `weakgpu` textual formats.
+//!
+//! Both front doors of the system — the GPU litmus format (paper Fig. 12)
+//! and the `.cat` model language (paper Figs. 15–16) — parse through this
+//! crate. It provides the substrate a diagnostics-first frontend needs:
+//!
+//! * [`SourceFile`] / [`SourceMap`] — named source texts with byte-offset →
+//!   `line:col` mapping and line extraction,
+//! * [`Span`] / [`Spanned`] — half-open byte ranges attached to tokens and
+//!   AST nodes,
+//! * [`Diagnostic`] — severity + message + span + notes, rendered as a
+//!   compiler-style caret underline ([`Diagnostic::render`]),
+//! * [`Cursor`] — a recursive-descent cursor over a spanned token stream
+//!   with *expected-token-set accumulation*: every failed [`Cursor::eat`]
+//!   at the furthest point reached is remembered, so the eventual error
+//!   reads "expected X, Y or Z, found W at line:col",
+//! * [`Memo`] — a packrat memo table keyed by `(rule, position)` so
+//!   backtracking grammars stay linear.
+//!
+//! The crate is deliberately dependency-free and knows nothing about
+//! litmus tests or `.cat` programs; the language crates build their
+//! grammars on top of it.
+//!
+//! # Example
+//!
+//! ```
+//! use weakgpu_front::{Diagnostic, SourceFile};
+//!
+//! let file = SourceFile::new("demo.litmus", "GPU_PTX t\nfrobnicate r1 ;\n");
+//! let span = file.span_of_substr("frobnicate").unwrap();
+//! let diag = Diagnostic::error("unknown opcode \"frobnicate\"").with_span(span);
+//! let rendered = diag.render(&file);
+//! assert!(rendered.contains("demo.litmus:2:1"));
+//! assert!(rendered.contains("^^^^^^^^^^"));
+//! ```
+
+pub mod cursor;
+pub mod diag;
+pub mod source;
+pub mod span;
+
+pub use cursor::{Cursor, Memo, Token, TokenKind};
+pub use diag::{has_errors, render_all, Diagnostic, Note, Parsed, Severity};
+pub use source::{LineCol, SourceFile, SourceMap};
+pub use span::{Span, Spanned};

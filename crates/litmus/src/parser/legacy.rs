@@ -1,0 +1,819 @@
+//! The pre-diagnostics litmus parser, kept verbatim so the differential
+//! test suite can assert the new frontend accepts exactly the same
+//! language and builds identical ASTs. Not part of the public API.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::ParseError;
+use crate::cond::{FinalCond, FinalExpr, Predicate, Quantifier};
+use crate::instr::{CacheOp, FenceScope, Instr, Label, Operand, Reg};
+use crate::program::{LitmusTest, ValidateError};
+use crate::scope::ScopeTree;
+use crate::value::{Loc, Value};
+
+/// Parses a litmus test with the original single-error parser.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed syntax.
+pub fn parse(src: &str) -> Result<LitmusTest, ParseError> {
+    let mut lines = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with("(*") && !l.starts_with("//"));
+
+    // Header.
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::new("empty litmus source", None))?;
+    let mut hparts = header.split_whitespace();
+    let arch = hparts.next().unwrap_or_default();
+    if arch != "GPU_PTX" {
+        return Err(ParseError::new(
+            format!("expected GPU_PTX header, found {arch:?}"),
+            Some(hline),
+        ));
+    }
+    let name = hparts
+        .next()
+        .ok_or_else(|| ParseError::new("missing test name in header", Some(hline)))?
+        .to_owned();
+
+    let rest: Vec<(usize, &str)> = lines.collect();
+    let mut idx = 0;
+
+    // Optional register block (may span multiple physical lines).
+    let mut reg_decls: BTreeMap<usize, BTreeSet<Reg>> = BTreeMap::new();
+    let mut reg_inits: Vec<(usize, Reg, Value)> = Vec::new();
+    if idx < rest.len() && rest[idx].1.starts_with('{') {
+        let start_line = rest[idx].0;
+        let mut body = String::new();
+        let mut closed = false;
+        while idx < rest.len() {
+            let (_, l) = rest[idx];
+            body.push_str(l);
+            body.push(' ');
+            idx += 1;
+            if l.contains('}') {
+                closed = true;
+                break;
+            }
+        }
+        if !closed {
+            return Err(ParseError::new(
+                "unterminated register block",
+                Some(start_line),
+            ));
+        }
+        let inner = body
+            .trim()
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+            .trim_end_matches('}')
+            .to_owned();
+        let inner = inner.trim_end_matches('}');
+        for entry in inner.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (tid, reg, value) = parse_reg_decl(entry, start_line)?;
+            reg_decls.entry(tid).or_default().insert(reg.clone());
+            if let Some(v) = value {
+                reg_inits.push((tid, reg, v));
+            }
+        }
+    }
+
+    // Thread header row: `T0 | T1 ;`.
+    if idx >= rest.len() {
+        return Err(ParseError::new("missing thread header row", None));
+    }
+    let (thline, throw) = rest[idx];
+    idx += 1;
+    let throw = throw.trim_end_matches(';').trim();
+    let mut tids = Vec::new();
+    for cell in throw.split('|') {
+        let cell = cell.trim();
+        let t: usize = cell
+            .strip_prefix('T')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                ParseError::new(format!("bad thread header cell {cell:?}"), Some(thline))
+            })?;
+        tids.push(t);
+    }
+    if tids.iter().enumerate().any(|(i, &t)| i != t) {
+        return Err(ParseError::new(
+            format!("thread header must be T0 | T1 | …, got {throw:?}"),
+            Some(thline),
+        ));
+    }
+    let nthreads = tids.len();
+
+    // Instruction rows until the ScopeTree line.
+    let mut threads: Vec<Vec<Instr>> = vec![Vec::new(); nthreads];
+    let classifier = RegClassifier { decls: &reg_decls };
+    while idx < rest.len() {
+        let (lno, l) = rest[idx];
+        if l.starts_with("ScopeTree") || is_cond_line(l) || is_memmap_line(l) {
+            break;
+        }
+        idx += 1;
+        let row = l.trim_end_matches(';').trim_end();
+        let cells: Vec<&str> = row.split('|').collect();
+        if cells.len() > nthreads {
+            return Err(ParseError::new(
+                format!(
+                    "row has {} cells but there are {nthreads} threads",
+                    cells.len()
+                ),
+                Some(lno),
+            ));
+        }
+        for (tid, cell) in cells.iter().enumerate() {
+            let cell = cell.trim();
+            if cell.is_empty() {
+                continue;
+            }
+            let instr =
+                parse_instr(cell, tid, &classifier).map_err(|m| ParseError::new(m, Some(lno)))?;
+            threads[tid].push(instr);
+        }
+    }
+
+    // ScopeTree line (optional; defaults to inter-CTA).
+    let mut scope_tree = None;
+    if idx < rest.len() && rest[idx].1.starts_with("ScopeTree") {
+        let (lno, l) = rest[idx];
+        idx += 1;
+        scope_tree = Some(parse_scope_tree(l).map_err(|m| ParseError::new(m, Some(lno)))?);
+    }
+
+    // Memory map line (optional): `x: shared, y: global=1`.
+    let mut mem: Vec<(Loc, crate::memmap::Region, i64)> = Vec::new();
+    if idx < rest.len() && !is_cond_line(rest[idx].1) {
+        let (lno, l) = rest[idx];
+        idx += 1;
+        for entry in l.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (loc, spec) = entry.split_once(':').ok_or_else(|| {
+                ParseError::new(format!("bad memory-map entry {entry:?}"), Some(lno))
+            })?;
+            let spec = spec.trim();
+            let (region_str, init) = match spec.split_once('=') {
+                Some((r, v)) => (
+                    r.trim(),
+                    v.trim().parse::<i64>().map_err(|_| {
+                        ParseError::new(format!("bad initial value in {entry:?}"), Some(lno))
+                    })?,
+                ),
+                None => (spec, 0),
+            };
+            let region = match region_str {
+                "global" => crate::memmap::Region::Global,
+                "shared" => crate::memmap::Region::Shared,
+                other => {
+                    return Err(ParseError::new(
+                        format!("unknown region {other:?}"),
+                        Some(lno),
+                    ))
+                }
+            };
+            mem.push((Loc::new(loc.trim()), region, init));
+        }
+    }
+
+    // Final condition.
+    if idx >= rest.len() {
+        return Err(ParseError::new("missing final condition", None));
+    }
+    let (clno, cline) = rest[idx];
+    idx += 1;
+    let cond = parse_cond(cline).map_err(|m| ParseError::new(m, Some(clno)))?;
+    if idx < rest.len() {
+        return Err(ParseError::new(
+            format!("unexpected trailing line {:?}", rest[idx].1),
+            Some(rest[idx].0),
+        ));
+    }
+
+    // Assemble. Locations referenced but not mapped default to global=0, as
+    // in the paper's format where the memory map only lists exceptions.
+    let mut builder = LitmusTest::builder(name);
+    for thread in threads {
+        builder = builder.thread(thread);
+    }
+    for (tid, reg, v) in reg_inits {
+        builder = builder.reg_init(tid, reg, v);
+    }
+    let mapped: BTreeSet<Loc> = mem.iter().map(|(l, _, _)| l.clone()).collect();
+    for (loc, region, init) in mem {
+        builder = match region {
+            crate::memmap::Region::Global => builder.global(loc, init),
+            crate::memmap::Region::Shared => builder.shared(loc, init),
+        };
+    }
+    if let Some(tree) = scope_tree {
+        builder = builder.scope_tree(tree);
+    }
+    builder = builder.cond(cond);
+    // Default-map unmentioned locations.
+    let probe = builder.clone().build();
+    if let Err(ValidateError::UnmappedLoc(_)) = probe {
+        // Collect all referenced locations by building with a permissive map.
+        let mut b2 = builder.clone();
+        // Build a throwaway test to learn referenced locations: map
+        // everything we can see syntactically.
+        let referenced = referenced_locs_of_builder(&builder);
+        for loc in referenced {
+            if !mapped.contains(&loc) {
+                b2 = b2.global(loc, 0);
+            }
+        }
+        return b2.build().map_err(ParseError::from);
+    }
+    probe.map_err(ParseError::from)
+}
+
+fn referenced_locs_of_builder(builder: &crate::program::LitmusTestBuilder) -> BTreeSet<Loc> {
+    // Re-parse is avoided: we conservatively rebuild from a clone with a
+    // dummy condition to extract referenced locations.
+    let clone = builder.clone();
+    match clone.build() {
+        Ok(t) => t.referenced_locs(),
+        Err(_) => {
+            // Fall back: build incrementally by adding global mappings for
+            // every UnmappedLoc error until it validates or fails otherwise.
+            let mut b = builder.clone();
+            let mut locs = BTreeSet::new();
+            for _ in 0..64 {
+                match b.clone().build() {
+                    Err(ValidateError::UnmappedLoc(l)) => {
+                        locs.insert(l.clone());
+                        b = b.global(l, 0);
+                    }
+                    Ok(t) => {
+                        locs.extend(t.referenced_locs());
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+            locs
+        }
+    }
+}
+
+fn is_cond_line(l: &str) -> bool {
+    l.starts_with("exists") || l.starts_with("~exists") || l.starts_with("forall")
+}
+
+/// `true` for lines of the shape `x: shared, y: global=1` — every
+/// comma-separated entry must be `name: region[=init]`.
+fn is_memmap_line(l: &str) -> bool {
+    !l.is_empty()
+        && l.split(',').all(|e| {
+            let e = e.trim();
+            match e.split_once(':') {
+                Some((name, spec)) => {
+                    let region = spec.trim().split('=').next().unwrap_or_default().trim();
+                    !name.trim().is_empty() && (region == "global" || region == "shared")
+                }
+                None => false,
+            }
+        })
+}
+
+fn parse_reg_decl(entry: &str, line: usize) -> Result<(usize, Reg, Option<Value>), ParseError> {
+    // `0:.reg .s32 r0` or `0:.reg .b64 r1 = x` or `0:r1 = x`.
+    let (tid_str, rest) = entry.split_once(':').ok_or_else(|| {
+        ParseError::new(format!("bad register declaration {entry:?}"), Some(line))
+    })?;
+    let tid: usize = tid_str.trim().parse().map_err(|_| {
+        ParseError::new(
+            format!("bad thread id in declaration {entry:?}"),
+            Some(line),
+        )
+    })?;
+    let (lhs, init) = match rest.split_once('=') {
+        Some((l, r)) => (l, Some(r.trim())),
+        None => (rest, None),
+    };
+    let mut name = None;
+    for tok in lhs.split_whitespace() {
+        if tok.starts_with('.') || tok == "reg" {
+            continue; // type / .reg keywords
+        }
+        name = Some(tok);
+    }
+    let name = name.ok_or_else(|| {
+        ParseError::new(format!("missing register name in {entry:?}"), Some(line))
+    })?;
+    let value = match init {
+        None => None,
+        Some(v) => Some(if let Ok(n) = v.parse::<i64>() {
+            Value::Int(n)
+        } else if let Some((base, off)) = v.split_once('+') {
+            Value::Ptr {
+                loc: Loc::new(base.trim()),
+                offset: off.trim().parse().map_err(|_| {
+                    ParseError::new(format!("bad pointer offset in {entry:?}"), Some(line))
+                })?,
+            }
+        } else {
+            Value::ptr(v)
+        }),
+    };
+    Ok((tid, Reg::new(name), value))
+}
+
+struct RegClassifier<'a> {
+    decls: &'a BTreeMap<usize, BTreeSet<Reg>>,
+}
+
+impl RegClassifier<'_> {
+    /// Is `name` a register of thread `tid`? Uses declarations when present,
+    /// else the `r0`/`p0` naming heuristic.
+    fn is_reg(&self, tid: usize, name: &str) -> bool {
+        if let Some(set) = self.decls.get(&tid) {
+            if !set.is_empty() {
+                return set.iter().any(|r| r.as_str() == name);
+            }
+        }
+        let mut chars = name.chars();
+        matches!(chars.next(), Some('r') | Some('p')) && chars.all(|c| c.is_ascii_digit())
+    }
+}
+
+fn parse_operand(tok: &str, tid: usize, cls: &RegClassifier<'_>) -> Result<Operand, String> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err("empty operand".into());
+    }
+    if let Ok(n) = tok.parse::<i64>() {
+        return Ok(Operand::Imm(n));
+    }
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        if let Ok(n) = i64::from_str_radix(hex, 16) {
+            return Ok(Operand::Imm(n));
+        }
+    }
+    if cls.is_reg(tid, tok) {
+        Ok(Operand::Reg(Reg::new(tok)))
+    } else {
+        Ok(Operand::Sym(Loc::new(tok)))
+    }
+}
+
+fn parse_addr(tok: &str, tid: usize, cls: &RegClassifier<'_>) -> Result<Operand, String> {
+    let inner = tok
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [address], found {tok:?}"))?;
+    parse_operand(inner, tid, cls)
+}
+
+/// Parses one instruction cell, e.g. `@!p4 ld.cg r1,[d]`.
+fn parse_instr(cell: &str, tid: usize, cls: &RegClassifier<'_>) -> Result<Instr, String> {
+    let cell = cell.trim();
+    // Guards.
+    if let Some(rest) = cell.strip_prefix('@') {
+        let (guard, body) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("guard without instruction in {cell:?}"))?;
+        let (expect, pred) = match guard.strip_prefix('!') {
+            Some(p) => (false, p),
+            None => (true, guard),
+        };
+        let inner = parse_instr(body, tid, cls)?;
+        if matches!(inner, Instr::Guard { .. } | Instr::LabelDef(_)) {
+            return Err(format!("cannot guard {body:?}"));
+        }
+        return Ok(Instr::Guard {
+            pred: Reg::new(pred),
+            expect,
+            inner: Box::new(inner),
+        });
+    }
+    // Labels.
+    if let Some(name) = cell.strip_suffix(':') {
+        if !name.contains(char::is_whitespace) {
+            return Ok(Instr::LabelDef(Label::new(name)));
+        }
+    }
+
+    let (opcode, rest) = match cell.split_once(char::is_whitespace) {
+        Some((o, r)) => (o, r.trim()),
+        None => (cell, ""),
+    };
+    let parts: Vec<&str> = opcode.split('.').collect();
+    let base = parts[0];
+    let mods: BTreeSet<&str> = parts[1..].iter().copied().collect();
+    let volatile = mods.contains("volatile");
+    let cache = if mods.contains("ca") {
+        CacheOp::Ca
+    } else {
+        CacheOp::Cg
+    };
+
+    // Split operands at top level on commas; `[…]` groups contain no commas
+    // in this fragment.
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let nops = ops.len();
+    let want = |n: usize| -> Result<(), String> {
+        if nops == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "{base} expects {n} operands, found {nops} in {cell:?}"
+            ))
+        }
+    };
+    let regop = |i: usize| -> Result<Reg, String> {
+        match parse_operand(ops[i], tid, cls)? {
+            Operand::Reg(r) => Ok(r),
+            other => Err(format!(
+                "operand {i} of {cell:?} must be a register, found {other}"
+            )),
+        }
+    };
+
+    match base {
+        "ld" => {
+            want(2)?;
+            Ok(Instr::Ld {
+                dst: regop(0)?,
+                addr: parse_addr(ops[1], tid, cls)?,
+                cache,
+                volatile,
+            })
+        }
+        "st" => {
+            want(2)?;
+            Ok(Instr::St {
+                addr: parse_addr(ops[0], tid, cls)?,
+                src: parse_operand(ops[1], tid, cls)?,
+                cache,
+                volatile,
+            })
+        }
+        "atom" => {
+            if mods.contains("cas") {
+                want(4)?;
+                Ok(Instr::Cas {
+                    dst: regop(0)?,
+                    addr: parse_addr(ops[1], tid, cls)?,
+                    expected: parse_operand(ops[2], tid, cls)?,
+                    desired: parse_operand(ops[3], tid, cls)?,
+                })
+            } else if mods.contains("exch") {
+                want(3)?;
+                Ok(Instr::Exch {
+                    dst: regop(0)?,
+                    addr: parse_addr(ops[1], tid, cls)?,
+                    src: parse_operand(ops[2], tid, cls)?,
+                })
+            } else if mods.contains("inc") {
+                want(2)?;
+                Ok(Instr::Inc {
+                    dst: regop(0)?,
+                    addr: parse_addr(ops[1], tid, cls)?,
+                })
+            } else {
+                Err(format!("unsupported atomic {opcode:?}"))
+            }
+        }
+        "membar" => {
+            want(0)?;
+            let scope = if mods.contains("cta") {
+                FenceScope::Cta
+            } else if mods.contains("gl") {
+                FenceScope::Gl
+            } else if mods.contains("sys") {
+                FenceScope::Sys
+            } else {
+                return Err(format!("membar needs a scope in {cell:?}"));
+            };
+            Ok(Instr::Membar { scope })
+        }
+        "mov" => {
+            want(2)?;
+            Ok(Instr::Mov {
+                dst: regop(0)?,
+                src: parse_operand(ops[1], tid, cls)?,
+            })
+        }
+        "add" | "and" | "xor" => {
+            want(3)?;
+            let (dst, a, b) = (
+                regop(0)?,
+                parse_operand(ops[1], tid, cls)?,
+                parse_operand(ops[2], tid, cls)?,
+            );
+            Ok(match base {
+                "add" => Instr::Add { dst, a, b },
+                "and" => Instr::And { dst, a, b },
+                _ => Instr::Xor { dst, a, b },
+            })
+        }
+        "cvt" => {
+            want(2)?;
+            Ok(Instr::Cvt {
+                dst: regop(0)?,
+                src: parse_operand(ops[1], tid, cls)?,
+            })
+        }
+        "setp" => {
+            want(3)?;
+            let (dst, a, b) = (
+                regop(0)?,
+                parse_operand(ops[1], tid, cls)?,
+                parse_operand(ops[2], tid, cls)?,
+            );
+            if mods.contains("ne") {
+                Ok(Instr::SetpNe { dst, a, b })
+            } else {
+                Ok(Instr::SetpEq { dst, a, b })
+            }
+        }
+        "bra" => {
+            want(1)?;
+            Ok(Instr::Bra {
+                target: Label::new(ops[0]),
+            })
+        }
+        other => Err(format!("unknown opcode {other:?}")),
+    }
+}
+
+/// Parses `ScopeTree(grid(cta(warp T0)(warp T1))(cta(warp T2)))`.
+fn parse_scope_tree(l: &str) -> Result<ScopeTree, String> {
+    let inner = l
+        .trim()
+        .strip_prefix("ScopeTree")
+        .map(str::trim)
+        .and_then(|s| s.strip_prefix('('))
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or("malformed ScopeTree line")?;
+    let toks = tokenize_tree(inner);
+    let mut pos = 0;
+    let tree = parse_grid(&toks, &mut pos)?;
+    if pos != toks.len() {
+        return Err("trailing tokens in scope tree".into());
+    }
+    Ok(tree)
+}
+
+#[derive(PartialEq, Eq, Debug)]
+enum TreeTok {
+    Open,
+    Close,
+    Word(String),
+}
+
+fn tokenize_tree(s: &str) -> Vec<TreeTok> {
+    let mut toks = Vec::new();
+    let mut word = String::new();
+    for c in s.chars() {
+        match c {
+            '(' | ')' => {
+                if !word.is_empty() {
+                    toks.push(TreeTok::Word(std::mem::take(&mut word)));
+                }
+                toks.push(if c == '(' {
+                    TreeTok::Open
+                } else {
+                    TreeTok::Close
+                });
+            }
+            c if c.is_whitespace() => {
+                if !word.is_empty() {
+                    toks.push(TreeTok::Word(std::mem::take(&mut word)));
+                }
+            }
+            c => word.push(c),
+        }
+    }
+    if !word.is_empty() {
+        toks.push(TreeTok::Word(word));
+    }
+    toks
+}
+
+fn expect_word(toks: &[TreeTok], pos: &mut usize, w: &str) -> Result<(), String> {
+    match toks.get(*pos) {
+        Some(TreeTok::Word(s)) if s == w => {
+            *pos += 1;
+            Ok(())
+        }
+        other => Err(format!("expected {w:?} in scope tree, found {other:?}")),
+    }
+}
+
+fn parse_grid(toks: &[TreeTok], pos: &mut usize) -> Result<ScopeTree, String> {
+    expect_word(toks, pos, "grid")?;
+    let mut ctas = Vec::new();
+    while toks.get(*pos) == Some(&TreeTok::Open) {
+        *pos += 1;
+        expect_word(toks, pos, "cta")?;
+        let mut warps = Vec::new();
+        while toks.get(*pos) == Some(&TreeTok::Open) {
+            *pos += 1;
+            expect_word(toks, pos, "warp")?;
+            let mut threads = Vec::new();
+            while let Some(TreeTok::Word(w)) = toks.get(*pos) {
+                let t: usize = w
+                    .strip_prefix('T')
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("bad thread name {w:?} in scope tree"))?;
+                threads.push(t);
+                *pos += 1;
+            }
+            if toks.get(*pos) != Some(&TreeTok::Close) {
+                return Err("unterminated warp in scope tree".into());
+            }
+            *pos += 1;
+            warps.push(threads);
+        }
+        if toks.get(*pos) != Some(&TreeTok::Close) {
+            return Err("unterminated cta in scope tree".into());
+        }
+        *pos += 1;
+        ctas.push(warps);
+    }
+    if ctas.is_empty() {
+        return Err("scope tree has no CTAs".into());
+    }
+    Ok(ScopeTree::new(ctas))
+}
+
+/// Parses the final-condition line.
+fn parse_cond(l: &str) -> Result<FinalCond, String> {
+    let (quant, rest) = if let Some(r) = l.strip_prefix("~exists") {
+        (Quantifier::NotExists, r)
+    } else if let Some(r) = l.strip_prefix("exists") {
+        (Quantifier::Exists, r)
+    } else if let Some(r) = l.strip_prefix("forall") {
+        (Quantifier::Forall, r)
+    } else {
+        return Err(format!("expected exists/~exists/forall, found {l:?}"));
+    };
+    let mut toks = CondLexer::new(rest.trim());
+    let pred = parse_or(&mut toks)?;
+    if toks.peek().is_some() {
+        return Err(format!("trailing tokens in condition: {:?}", toks.peek()));
+    }
+    Ok(FinalCond {
+        quantifier: quant,
+        pred,
+    })
+}
+
+struct CondLexer<'a> {
+    toks: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> CondLexer<'a> {
+    fn new(s: &'a str) -> Self {
+        // Tokens: ( ) /\ \/ not != = identifiers numbers `t:r`.
+        let mut toks = Vec::new();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' => i += 1,
+                '(' | ')' => {
+                    toks.push(&s[i..i + 1]);
+                    i += 1;
+                }
+                '/' if s[i..].starts_with("/\\") => {
+                    toks.push(&s[i..i + 2]);
+                    i += 2;
+                }
+                '\\' if s[i..].starts_with("\\/") => {
+                    toks.push(&s[i..i + 2]);
+                    i += 2;
+                }
+                '!' if s[i..].starts_with("!=") => {
+                    toks.push(&s[i..i + 2]);
+                    i += 2;
+                }
+                '=' => {
+                    toks.push(&s[i..i + 1]);
+                    i += 1;
+                }
+                _ => {
+                    let start = i;
+                    while i < bytes.len()
+                        && !" \t()=!".contains(bytes[i] as char)
+                        && !s[i..].starts_with("/\\")
+                        && !s[i..].starts_with("\\/")
+                    {
+                        i += 1;
+                    }
+                    toks.push(&s[start..i]);
+                }
+            }
+        }
+        CondLexer { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.toks.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &str) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn parse_or(lx: &mut CondLexer<'_>) -> Result<Predicate, String> {
+    let mut p = parse_and(lx)?;
+    while lx.eat("\\/") {
+        let q = parse_and(lx)?;
+        p = p.or(q);
+    }
+    Ok(p)
+}
+
+fn parse_and(lx: &mut CondLexer<'_>) -> Result<Predicate, String> {
+    let mut p = parse_unary(lx)?;
+    while lx.eat("/\\") {
+        let q = parse_unary(lx)?;
+        p = p.and(q);
+    }
+    Ok(p)
+}
+
+fn parse_unary(lx: &mut CondLexer<'_>) -> Result<Predicate, String> {
+    match lx.peek() {
+        Some("not") => {
+            lx.next();
+            Ok(parse_unary(lx)?.negate())
+        }
+        Some("(") => {
+            lx.next();
+            let p = parse_or(lx)?;
+            if !lx.eat(")") {
+                return Err("missing closing parenthesis in condition".into());
+            }
+            Ok(p)
+        }
+        Some("true") => {
+            lx.next();
+            Ok(Predicate::True)
+        }
+        Some(_) => parse_atom(lx),
+        None => Err("unexpected end of condition".into()),
+    }
+}
+
+fn parse_atom(lx: &mut CondLexer<'_>) -> Result<Predicate, String> {
+    let lhs = lx.next().ok_or("expected atom in condition")?;
+    let op = lx
+        .next()
+        .ok_or_else(|| format!("expected = or != after {lhs:?}"))?;
+    let rhs = lx
+        .next()
+        .ok_or_else(|| format!("expected value after {lhs:?} {op}"))?;
+    let n: i64 = rhs
+        .parse()
+        .map_err(|_| format!("bad value {rhs:?} in condition"))?;
+    let expr = match lhs.split_once(':') {
+        Some((t, r)) => {
+            let tid: usize = t.parse().map_err(|_| format!("bad thread id in {lhs:?}"))?;
+            FinalExpr::Reg(tid, Reg::new(r))
+        }
+        None => FinalExpr::Mem(Loc::new(lhs)),
+    };
+    match op {
+        "=" => Ok(Predicate::Eq(expr, n)),
+        "!=" => Ok(Predicate::Ne(expr, n)),
+        other => Err(format!("unknown comparison {other:?}")),
+    }
+}

@@ -88,6 +88,17 @@ let anyfence = membar.cta | membar.gl | membar.sys
 acyclic (dp | anyfence | rfe | co | fr) as op-constraint
 ";
 
+/// Every shipped `.cat` source, by model name. `weakgpu check --builtin`
+/// lints this list.
+pub const ALL: &[(&str, &str)] = &[
+    ("ptx", PTX_CAT),
+    ("sc", SC_CAT),
+    ("tso", TSO_CAT),
+    ("rmo", RMO_CAT),
+    ("ptx-no-llh", PTX_NO_LLH_CAT),
+    ("operational", OPERATIONAL_CAT),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,13 +106,7 @@ mod tests {
 
     #[test]
     fn all_sources_parse() {
-        for (name, src) in [
-            ("ptx", PTX_CAT),
-            ("sc", SC_CAT),
-            ("tso", TSO_CAT),
-            ("rmo", RMO_CAT),
-            ("operational", OPERATIONAL_CAT),
-        ] {
+        for &(name, src) in ALL {
             let p = CatProgram::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(!p.check_names().is_empty(), "{name} has no checks");
         }

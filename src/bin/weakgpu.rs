@@ -8,19 +8,25 @@
 //! weakgpu sweep [--family small|paper] [--shard K/N] [--out FILE.json] [--chips ..] [..]
 //! weakgpu sweep --merge a.json b.json ... [--out FILE.json]
 //! weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
+//! weakgpu check <file ...> [--builtin]
 //! weakgpu show <file.litmus> [--dot]
 //! weakgpu corpus [NAME]
 //! ```
+//!
+//! Parse errors are reported as caret diagnostics with the offending
+//! source line, via the shared [`weakgpu::front`] infrastructure.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use weakgpu::axiom::cat::CatProgram;
 use weakgpu::axiom::enumerate::{enumerate_executions, model_outcomes, EnumConfig};
 use weakgpu::axiom::render;
-use weakgpu::axiom::Model;
+use weakgpu::axiom::{Model, Plan};
 use weakgpu::diy::{generate, GenConfig};
+use weakgpu::front::{has_errors, render_all, Diagnostic, SourceFile};
 use weakgpu::harness::campaign::{run_campaign_with, CampaignConfig, CellSpec};
 use weakgpu::harness::report::ObsTable;
 use weakgpu::harness::runner::{run_test, RunConfig};
@@ -37,6 +43,7 @@ const USAGE: &str = "usage:
                 [--pruned]
   weakgpu sweep --merge FILE.json FILE.json ... [--out FILE.json]
   weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
+  weakgpu check <file ...> [--builtin]
   weakgpu show <file.litmus> [--dot]
   weakgpu corpus [NAME]
 
@@ -55,6 +62,12 @@ on a missing shard or any model-forbidden observation. --pruned judges
 cache-miss cells through the rf-class pruned enumerator (bit-identical
 verdicts; the per-cell JSONL records the classes visited and candidates
 cut). Exit status is non-zero if any observation is unsound.
+
+`check` with one .litmus file judges its condition against a model.
+With several files, any .cat file, or --builtin it is a linter instead:
+each file is parsed with the diagnostics frontend, every error is shown
+as a path:line:col caret diagnostic, and the exit status is non-zero if
+any file has errors. --builtin also lints the shipped model sources.
 
 --parallelism N pins the worker-thread count (default: all cores). It
 affects wall-clock time only: for a fixed --seed the full histogram is
@@ -101,7 +114,20 @@ fn load(path: &str) -> Result<LitmusTest, String> {
         return Ok(test);
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parser::parse(&text).map_err(|e| format!("{path}: {e}"))
+    let file = SourceFile::new(path, &text);
+    match parser::parse_with_diagnostics(&file).into_result() {
+        Ok(test) => Ok(test),
+        Err(diags) => {
+            // Full caret diagnostics (with the offending source lines)
+            // go to stderr; the returned error stays a one-liner.
+            eprintln!("{}", render_all(&diags, &file));
+            let n = diags.iter().filter(|d| d.is_error()).count();
+            Err(format!(
+                "{path}: {n} parse error{}",
+                if n == 1 { "" } else { "s" }
+            ))
+        }
+    }
 }
 
 fn corpus_by_name(name: &str) -> Option<LitmusTest> {
@@ -487,7 +513,16 @@ fn print_sweep_summary(report: &SweepReport, to_stderr: bool) {
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
-    let model = model_by_name(&take_opt(&mut args, "--model").unwrap_or_else(|| "ptx".into()))?;
+    let builtin = take_flag(&mut args, "--builtin");
+    let model_opt = take_opt(&mut args, "--model");
+    // Lint mode: several files, any .cat file, or --builtin.
+    if builtin || args.len() > 1 || args.iter().any(|a| a.ends_with(".cat")) {
+        if model_opt.is_some() {
+            return Err("check: --model only applies to a single-file verdict".to_owned());
+        }
+        return lint(&args, builtin);
+    }
+    let model = model_by_name(&model_opt.unwrap_or_else(|| "ptx".into()))?;
     let path = args.first().ok_or("check: missing litmus file")?;
     let test = load(path)?;
     let verdict =
@@ -516,6 +551,66 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         }
     );
     Ok(())
+}
+
+/// Diagnostics-only `check`: parses every file (and, with `builtin`, the
+/// shipped model sources), printing caret diagnostics for every problem
+/// found; exits non-zero if any error diagnostic was produced.
+fn lint(paths: &[String], builtin: bool) -> Result<(), String> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        sources.push((path.clone(), text));
+    }
+    if builtin {
+        for &(name, src) in weakgpu::models::sources::ALL {
+            sources.push((format!("<builtin:{name}.cat>"), src.to_owned()));
+        }
+    }
+    if sources.is_empty() {
+        return Err("check: no files to lint".to_owned());
+    }
+    let mut errors = 0usize;
+    for (name, text) in &sources {
+        let file = SourceFile::new(name, text);
+        let diags = if name.ends_with(".cat") || name.ends_with(".cat>") {
+            lint_cat(&file)
+        } else {
+            parser::parse_with_diagnostics(&file).diagnostics
+        };
+        if diags.is_empty() {
+            println!("{name}: ok");
+        } else {
+            println!("{}", render_all(&diags, &file));
+        }
+        errors += diags.iter().filter(|d| d.is_error()).count();
+    }
+    if errors > 0 {
+        eprintln!(
+            "check: {errors} error{} in {} file{}",
+            if errors == 1 { "" } else { "s" },
+            sources.len(),
+            if sources.len() == 1 { "" } else { "s" }
+        );
+        std::process::exit(1);
+    }
+    println!("check: {} file(s) ok", sources.len());
+    Ok(())
+}
+
+/// Lints one `.cat` source: parse diagnostics, then (when the parse was
+/// clean) compile-stage problems reported as unspanned diagnostics.
+fn lint_cat(file: &SourceFile) -> Vec<Diagnostic> {
+    let parsed = CatProgram::parse_with_diagnostics(file);
+    let mut diags = parsed.diagnostics;
+    if !has_errors(&diags) {
+        if let Some(program) = parsed.value {
+            if let Err(e) = Plan::compile(&program) {
+                diags.push(Diagnostic::error(e.message));
+            }
+        }
+    }
+    diags
 }
 
 fn cmd_show(args: &[String]) -> Result<(), String> {

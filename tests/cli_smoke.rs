@@ -39,6 +39,62 @@ fn check_runs_on_a_corpus_file() {
 }
 
 #[test]
+fn check_lints_every_shipped_source() {
+    // Lint mode: every on-disk .litmus file plus (via --builtin) every
+    // shipped .cat model source must be diagnostic-free.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 6);
+    let out = weakgpu()
+        .arg("check")
+        .args(&files)
+        .arg("--builtin")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        out.status.success(),
+        "check lint exited {:?}\n{stdout}",
+        out.status
+    );
+    assert!(stdout.contains("sb.litmus: ok"), "{stdout}");
+    assert!(stdout.contains("<builtin:ptx.cat>: ok"), "{stdout}");
+}
+
+#[test]
+fn check_lint_reports_carets_and_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("weakgpu-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad_lit = dir.join("bad.litmus");
+    std::fs::write(
+        &bad_lit,
+        "GPU_PTX bad\n{0:.reg .s32 r1}\nT0 ;\nfrobnicate r1 ;\nexists (0:r1=0)\n",
+    )
+    .unwrap();
+    let bad_cat = dir.join("bad.cat");
+    std::fs::write(&bad_cat, "let = po\nacyclic po rf as c\n").unwrap();
+    let out = weakgpu()
+        .arg("check")
+        .arg(&bad_lit)
+        .arg(&bad_cat)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "lint of bad files must fail");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Caret diagnostics with path:line:col and the offending line.
+    assert!(stdout.contains("bad.litmus:4:1"), "{stdout}");
+    assert!(stdout.contains("frobnicate r1 ;"), "{stdout}");
+    assert!(stdout.contains('^'), "{stdout}");
+    assert!(stdout.contains("bad.cat:1:5"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_command_exits_nonzero() {
     let out = weakgpu().arg("frobnicate").output().unwrap();
     assert!(!out.status.success(), "unknown command must fail");

@@ -1,0 +1,232 @@
+//! Integration suite for the shared diagnostics frontend
+//! (`weakgpu::front`): caret diagnostics with `path:line:col`,
+//! multi-error recovery, differential equivalence between the new packrat
+//! parsers and the legacy single-error parsers, printer/parser
+//! round-trips over the corpora and generated families, and no-panic
+//! fuzzing of both grammars.
+
+use proptest::prelude::*;
+
+use weakgpu::axiom::cat::{self, CatProgram};
+use weakgpu::diy::{generate, GenConfig};
+use weakgpu::front::{render_all, SourceFile};
+use weakgpu::litmus::{corpus, corpus_extra, parser, LitmusTest};
+use weakgpu::models::sources;
+
+/// Every built-in test, printed back to its textual form.
+fn corpus_texts() -> Vec<(String, String)> {
+    corpus::all()
+        .into_iter()
+        .chain(corpus_extra::all_extra())
+        .map(|t| (t.name().to_owned(), t.to_string()))
+        .collect()
+}
+
+/// The shipped on-disk `.litmus` files.
+fn litmus_files() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
+    let mut v = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "litmus") {
+            v.push((
+                path.display().to_string(),
+                std::fs::read_to_string(&path).unwrap(),
+            ));
+        }
+    }
+    assert!(v.len() >= 6, "shipped corpus missing: {} files", v.len());
+    v
+}
+
+// ------------------------------------------------ caret diagnostics
+
+#[test]
+fn malformed_litmus_yields_path_line_col_caret() {
+    let src = "GPU_PTX bad\n{ 0:r1=x; }\nfrobnicate r1 ;\nexists (x == 1)\n";
+    let file = SourceFile::new("tests/bad.litmus", src);
+    let parsed = parser::parse_with_diagnostics(&file);
+    assert!(parsed.has_errors());
+    let rendered = render_all(&parsed.diagnostics, &file);
+    assert!(rendered.contains("tests/bad.litmus:3:1"), "{rendered}");
+    assert!(rendered.contains("frobnicate r1 ;"), "{rendered}");
+    assert!(rendered.contains("^^^^^^^^^^"), "{rendered}");
+}
+
+#[test]
+fn malformed_cat_yields_path_line_col_caret() {
+    let src = "let com = rf | co\nacyclic (com | as oops\n";
+    let file = SourceFile::new("models/bad.cat", src);
+    let parsed = CatProgram::parse_with_diagnostics(&file);
+    assert!(parsed.has_errors());
+    let rendered = render_all(&parsed.diagnostics, &file);
+    assert!(rendered.contains("models/bad.cat:2:"), "{rendered}");
+    assert!(rendered.contains("acyclic (com | as oops"), "{rendered}");
+    assert!(rendered.contains('^'), "{rendered}");
+}
+
+#[test]
+fn multi_error_files_report_every_problem_in_one_pass() {
+    // Two bad opcodes on one row, in different columns.
+    let lit = "GPU_PTX multi\n\
+        {0:.reg .s32 r1; 1:.reg .s32 r2}\n\
+        T0 | T1 ;\n\
+        frobnicate r1 | zorble r2 ;\n\
+        ScopeTree(grid(cta(warp T0)(warp T1)))\n\
+        exists (0:r1=0)\n";
+    let file = SourceFile::new("multi.litmus", lit);
+    let parsed = parser::parse_with_diagnostics(&file);
+    let errors: Vec<_> = parsed.diagnostics.iter().filter(|d| d.is_error()).collect();
+    assert!(errors.len() >= 2, "{:?}", parsed.diagnostics);
+
+    // Three bad statements in one .cat file.
+    let cat = "let = po\nacyclic po rf as c\nlet y = ~po\n";
+    let file = SourceFile::new("multi.cat", cat);
+    let parsed = CatProgram::parse_with_diagnostics(&file);
+    let errors: Vec<_> = parsed.diagnostics.iter().filter(|d| d.is_error()).collect();
+    assert!(errors.len() >= 2, "{:?}", parsed.diagnostics);
+}
+
+// ------------------------------------------------ differential suite
+
+#[test]
+fn new_litmus_parser_matches_legacy_on_all_corpora() {
+    let mut texts = corpus_texts();
+    texts.extend(litmus_files());
+    for (name, text) in &texts {
+        let new = parser::parse(text).unwrap_or_else(|e| panic!("{name} (new): {e}"));
+        let old = parser::legacy::parse(text).unwrap_or_else(|e| panic!("{name} (legacy): {e}"));
+        assert_eq!(new, old, "{name}: ASTs diverge");
+    }
+}
+
+#[test]
+fn new_cat_parser_matches_legacy_on_shipped_models() {
+    for &(name, src) in sources::ALL {
+        let new = CatProgram::parse(src).unwrap_or_else(|e| panic!("{name} (new): {e}"));
+        let old = cat::legacy::parse(src).unwrap_or_else(|e| panic!("{name} (legacy): {e}"));
+        assert_eq!(new, old, "{name}: ASTs diverge");
+    }
+}
+
+// ------------------------------------------------ round-trips
+
+fn assert_roundtrip(name: &str, test: &LitmusTest) {
+    let printed = test.to_string();
+    let reparsed = parser::parse(&printed)
+        .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n{printed}"));
+    // Compare everything semantic; `doc` is builder-only metadata that the
+    // textual format carries as a comment, which parsing (rightly) drops.
+    assert_eq!(test.name(), reparsed.name(), "{name}");
+    assert_eq!(test.threads(), reparsed.threads(), "{name}");
+    assert_eq!(test.memory(), reparsed.memory(), "{name}");
+    assert_eq!(test.scope_tree(), reparsed.scope_tree(), "{name}");
+    assert_eq!(test.cond(), reparsed.cond(), "{name}");
+    let init = |t: &LitmusTest| {
+        t.reg_init()
+            .map(|(tid, r, v)| (tid, r.clone(), v.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(init(test), init(&reparsed), "{name}");
+    // The diagnostics entry point agrees and is silent on good input.
+    let file = SourceFile::new(name, &printed);
+    let parsed = parser::parse_with_diagnostics(&file);
+    assert!(parsed.diagnostics.is_empty(), "{:?}", parsed.diagnostics);
+}
+
+#[test]
+fn printer_parser_roundtrip_over_corpora() {
+    for test in corpus::all().iter().chain(corpus_extra::all_extra().iter()) {
+        assert_roundtrip(test.name(), test);
+    }
+}
+
+#[test]
+fn printer_parser_roundtrip_over_generated_family() {
+    let family = generate(&GenConfig::named("small").unwrap());
+    assert!(!family.is_empty());
+    // A deterministic sample: every 7th test keeps the suite fast while
+    // spanning the family's shapes.
+    for test in family.iter().step_by(7) {
+        assert_roundtrip(test.name(), test);
+    }
+}
+
+#[test]
+fn cat_display_roundtrip_over_shipped_models() {
+    for &(name, src) in sources::ALL {
+        let p = CatProgram::parse(src).unwrap();
+        let reparsed = CatProgram::parse(&p.to_string())
+            .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
+        assert_eq!(p, reparsed, "{name}");
+    }
+}
+
+// ------------------------------------------------ no-panic fuzzing
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes never panic either frontend — they produce
+    /// diagnostics (or succeed) instead.
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255u8, 0..200)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let file = SourceFile::new("<fuzz>", &*text);
+        let _ = parser::parse_with_diagnostics(&file);
+        let _ = CatProgram::parse_with_diagnostics(&file);
+        let _ = parser::parse(&text);
+        let _ = CatProgram::parse(&text);
+    }
+
+    /// Mutated corpus text never panics the new parser, and whenever the
+    /// new parser accepts a mutation the legacy parser agrees exactly.
+    /// (The direction matters: legacy aborts on some malformed names that
+    /// the new frontend reports as diagnostics, so legacy is only run on
+    /// inputs the new parser accepted.)
+    #[test]
+    fn mutated_corpus_never_panics_and_stays_equivalent(
+        which in 0usize..6,
+        edits in prop::collection::vec((0usize..4096, 0u8..=127u8), 1..8),
+    ) {
+        let texts = corpus_texts();
+        let (_, base) = &texts[which % texts.len()];
+        let mut bytes = base.clone().into_bytes();
+        for &(pos, byte) in &edits {
+            let i = pos % bytes.len();
+            bytes[i] = byte;
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let file = SourceFile::new("<mutated>", &text);
+        let _ = parser::parse_with_diagnostics(&file);
+        if let Ok(new) = parser::parse(&text) {
+            let old = parser::legacy::parse(&text);
+            prop_assert!(old.is_ok(), "new accepts, legacy rejects: {:?}\n{text}", old.err());
+            prop_assert_eq!(new, old.unwrap());
+        }
+    }
+
+    /// Same property for the `.cat` grammar: mutations never panic, and
+    /// legacy-accepted mutations parse identically under the new frontend
+    /// (which accepts a superset, so only the legacy-Ok direction holds).
+    #[test]
+    fn mutated_cat_sources_never_panic_and_stay_equivalent(
+        which in 0usize..6,
+        edits in prop::collection::vec((0usize..1024, 0u8..=127u8), 1..8),
+    ) {
+        let (_, base) = sources::ALL[which % sources::ALL.len()];
+        let mut bytes = base.as_bytes().to_vec();
+        for &(pos, byte) in &edits {
+            let i = pos % bytes.len();
+            bytes[i] = byte;
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let file = SourceFile::new("<mutated>", &text);
+        let _ = CatProgram::parse_with_diagnostics(&file);
+        if let Ok(old) = cat::legacy::parse(&text) {
+            let new = CatProgram::parse(&text);
+            prop_assert!(new.is_ok(), "legacy accepts, new rejects: {:?}\n{text}", new.err());
+            prop_assert_eq!(new.unwrap(), old);
+        }
+    }
+}
