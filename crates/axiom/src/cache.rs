@@ -87,11 +87,24 @@ pub fn shape_key(test: &LitmusTest) -> String {
 /// [`VerdictCache::lookup`] (under the lock) with [`model_outcomes`](crate::enumerate::model_outcomes)
 /// outside it and [`VerdictCache::publish`] to store the result — the
 /// enumeration itself then never blocks other threads.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct VerdictCache {
-    map: HashMap<String, Arc<ModelOutcomes>>,
+    map: HashMap<String, Entry>,
     hits: u64,
     misses: u64,
+    warm_entries: u64,
+    warm_hits: u64,
+}
+
+/// One cached verdict plus its provenance: entries judged in this
+/// process are *fresh*; entries restored from a persisted cache file
+/// ([`crate::persist`]) are *warm*, and hits on them are counted
+/// separately so a warm-started run can prove the preloaded cache
+/// actually paid off.
+#[derive(Debug)]
+struct Entry {
+    verdict: Arc<ModelOutcomes>,
+    warm: bool,
 }
 
 impl VerdictCache {
@@ -100,8 +113,17 @@ impl VerdictCache {
         VerdictCache::default()
     }
 
-    fn key(test: &LitmusTest, model: &dyn Model, cfg: &EnumConfig) -> String {
+    /// The full cache key of one judgement: model name, the whole
+    /// [`EnumConfig`] debug form, and the test's [`shape_key`]. This is
+    /// also the key persisted by [`crate::persist`] — it contains no
+    /// process-specific state, so a key computed in one process answers
+    /// lookups in another.
+    pub fn entry_key(test: &LitmusTest, model: &dyn Model, cfg: &EnumConfig) -> String {
         format!("{}\u{0}{cfg:?}\u{0}{}", model.name(), shape_key(test))
+    }
+
+    fn key(test: &LitmusTest, model: &dyn Model, cfg: &EnumConfig) -> String {
+        Self::entry_key(test, model, cfg)
     }
 
     /// The verdict of `model` on `test`, enumerating executions only if
@@ -140,11 +162,20 @@ impl VerdictCache {
         let key = Self::key(test, model, cfg);
         if let Some(hit) = self.map.get(&key) {
             self.hits += 1;
-            return Ok(Arc::clone(hit));
+            if hit.warm {
+                self.warm_hits += 1;
+            }
+            return Ok(Arc::clone(&hit.verdict));
         }
         let verdict = Arc::new(model_outcomes_with(test, model, cfg, ctx)?);
         self.misses += 1;
-        self.map.insert(key, Arc::clone(&verdict));
+        self.map.insert(
+            key,
+            Entry {
+                verdict: Arc::clone(&verdict),
+                warm: false,
+            },
+        );
         Ok(verdict)
     }
 
@@ -159,11 +190,14 @@ impl VerdictCache {
         model: &dyn Model,
         cfg: &EnumConfig,
     ) -> Option<Arc<ModelOutcomes>> {
-        let hit = self.map.get(&Self::key(test, model, cfg)).map(Arc::clone);
-        if hit.is_some() {
+        let hit = self.map.get(&Self::key(test, model, cfg));
+        if let Some(entry) = hit {
             self.hits += 1;
+            if entry.warm {
+                self.warm_hits += 1;
+            }
         }
-        hit
+        hit.map(|e| Arc::clone(&e.verdict))
     }
 
     /// Publish half of the concurrent protocol: stores `verdict` for this
@@ -181,10 +215,40 @@ impl VerdictCache {
     ) -> Arc<ModelOutcomes> {
         self.misses += 1;
         Arc::clone(
-            self.map
+            &self
+                .map
                 .entry(Self::key(test, model, cfg))
-                .or_insert_with(|| Arc::new(verdict)),
+                .or_insert_with(|| Entry {
+                    verdict: Arc::new(verdict),
+                    warm: false,
+                })
+                .verdict,
         )
+    }
+
+    /// Installs a verdict restored from a persisted cache
+    /// ([`crate::persist`]) under its full [`VerdictCache::entry_key`].
+    /// Warm entries count neither a hit nor a miss at insertion; later
+    /// lookups that they answer are tallied in
+    /// [`VerdictCache::warm_hits`] as well as [`VerdictCache::hits`].
+    /// An already-present key is left untouched (a fresh judgement or an
+    /// earlier restore wins), so absorbing the same file twice is
+    /// idempotent.
+    pub fn insert_warm(&mut self, key: String, verdict: ModelOutcomes) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.map.entry(key) {
+            slot.insert(Entry {
+                verdict: Arc::new(verdict),
+                warm: true,
+            });
+            self.warm_entries += 1;
+        }
+    }
+
+    /// Every cached entry as `(full key, verdict)`, in hash order — the
+    /// persistence layer sorts before writing, so file output stays
+    /// deterministic regardless.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &ModelOutcomes)> {
+        self.map.iter().map(|(k, e)| (k.as_str(), &*e.verdict))
     }
 
     /// Number of distinct shapes judged so far.
@@ -205,6 +269,35 @@ impl VerdictCache {
     /// Number of lookups that had to enumerate.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of entries restored from a persisted cache file (via
+    /// [`VerdictCache::insert_warm`]) rather than judged in this
+    /// process.
+    pub fn warm_entries(&self) -> u64 {
+        self.warm_entries
+    }
+
+    /// Number of hits answered by a warm (restored) entry — the measure
+    /// of what preloading the cache actually saved.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+
+    /// Unions `other` into `self`: entries already present in `self`
+    /// win (for identical keys the verdicts are identical anyway — the
+    /// enumeration is deterministic — so which side wins only matters
+    /// for the warm flag). Counters other than the warm-entry count are
+    /// not transferred: hits and misses describe a run, not a cache.
+    pub fn absorb(&mut self, other: VerdictCache) {
+        for (key, entry) in other.map {
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.map.entry(key) {
+                if entry.warm {
+                    self.warm_entries += 1;
+                }
+                slot.insert(entry);
+            }
+        }
     }
 }
 

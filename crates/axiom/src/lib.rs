@@ -41,6 +41,7 @@ pub mod enumerate;
 pub mod event;
 pub mod exec;
 pub mod model;
+pub mod persist;
 pub mod plan;
 pub mod relation;
 pub mod render;

@@ -1,0 +1,587 @@
+//! Persistent, shareable verdict caches (the `weakgpu-cache/1` format).
+//!
+//! A [`VerdictCache`] pays the cache-miss
+//! enumeration cost once per process — and then throws the result away
+//! at exit. This module serialises the cache to a versioned on-disk
+//! format so the *next* process (another CI shard, tomorrow's sweep, a
+//! long-running `weakgpu serve` daemon) starts warm:
+//!
+//! * **Versioned** — the first line is the schema tag
+//!   [`SCHEMA`] (`weakgpu-cache/1`); a loader that meets any other tag
+//!   refuses with a diagnostic instead of misreading the records.
+//! * **Line-oriented and append-friendly** — after the header, each
+//!   line is one complete `key → ModelOutcomes` record, so a writer can
+//!   append new judgements to an existing file ([`CacheWriter`]) and a
+//!   truncated tail invalidates only itself (and is *detected*: every
+//!   record carries its own field and outcome counts).
+//! * **Deterministic** — [`save`] writes records sorted by key, so two
+//!   caches with the same entries produce byte-identical files, and
+//!   [`merge`] unions caches with a first-wins rule that does not depend
+//!   on hash order.
+//!
+//! Records are keyed by the full
+//! [`VerdictCache::entry_key`](crate::cache::VerdictCache::entry_key)
+//! (model name, enumeration config, test shape), so one file can hold
+//! verdicts for several models and configs side by side. The key is an
+//! opaque string to this module: a format change upstream (say a new
+//! `EnumConfig` field) simply stops old entries from being hit — it can
+//! never make them answer the wrong question.
+//!
+//! ```
+//! use weakgpu_axiom::cache::VerdictCache;
+//! use weakgpu_axiom::enumerate::EnumConfig;
+//! use weakgpu_axiom::model::sc_model;
+//! use weakgpu_axiom::persist;
+//! use weakgpu_litmus::{corpus, ThreadScope};
+//!
+//! let mp = corpus::mp(ThreadScope::InterCta, None);
+//! let model = sc_model();
+//! let cfg = EnumConfig::default();
+//! let mut cache = VerdictCache::new();
+//! cache.outcomes(&mp, &model, &cfg).unwrap();
+//!
+//! // Serialise, restore, and the warm cache answers without enumerating.
+//! let file = persist::render(&cache);
+//! let mut warm = persist::parse(&file).unwrap();
+//! let verdict = warm.outcomes(&mp, &model, &cfg).unwrap();
+//! assert_eq!((warm.hits(), warm.warm_hits(), warm.misses()), (1, 1, 0));
+//! assert!(!verdict.condition_witnessed);
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::Path;
+
+use weakgpu_litmus::{FinalExpr, Outcome};
+
+use crate::cache::VerdictCache;
+use crate::enumerate::ModelOutcomes;
+
+/// Version tag of the on-disk cache format; the file's first line.
+pub const SCHEMA: &str = "weakgpu-cache/1";
+
+/// Why a cache file could not be written or restored.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PersistError {
+    /// The underlying file operation failed.
+    Io(String),
+    /// The file's schema tag is not [`SCHEMA`].
+    Version(String),
+    /// A record is malformed (wrong field count, bad number, truncated
+    /// outcome list, …). Carries the 1-based line number.
+    Format(usize, String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "cache file: {msg}"),
+            PersistError::Version(found) => write!(
+                f,
+                "cache file has schema {found:?}, expected {SCHEMA:?} — refusing to load"
+            ),
+            PersistError::Format(line, msg) => {
+                write!(f, "cache file line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn io_err(path: &Path, e: std::io::Error) -> PersistError {
+    PersistError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Escapes the characters that would break the line/tab framing.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\u{0}' => out.push_str("\\0"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str, line: usize) -> Result<String, PersistError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\u{0}'),
+            other => {
+                return Err(PersistError::Format(
+                    line,
+                    format!("bad escape {other:?} (truncated or corrupt record)"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders one outcome in its canonical display form (`0:r1=1; x=2; `),
+/// which [`parse_outcome`] inverts exactly: register and location names
+/// exclude `:`, `=` and `;`, so the rendering is unambiguous.
+fn render_outcome(o: &Outcome) -> String {
+    o.to_string()
+}
+
+fn parse_outcome(s: &str, line: usize) -> Result<Outcome, PersistError> {
+    let mut out = Outcome::new();
+    for binding in s.split_terminator("; ") {
+        let (expr, value) = binding.split_once('=').ok_or_else(|| {
+            PersistError::Format(line, format!("outcome binding {binding:?} has no '='"))
+        })?;
+        let value: i64 = value.parse().map_err(|_| {
+            PersistError::Format(line, format!("outcome value {value:?} is not an integer"))
+        })?;
+        let expr = match expr.split_once(':') {
+            // `t:r` — locations cannot contain ':', so this form is
+            // always a register.
+            Some((tid, reg)) if !reg.is_empty() => {
+                let tid: usize = tid.parse().map_err(|_| {
+                    PersistError::Format(line, format!("bad thread id in {expr:?}"))
+                })?;
+                FinalExpr::reg(tid, reg)
+            }
+            Some(_) => {
+                return Err(PersistError::Format(
+                    line,
+                    format!("bad final expression {expr:?}"),
+                ))
+            }
+            None => {
+                if expr.is_empty() {
+                    return Err(PersistError::Format(line, "empty final expression".into()));
+                }
+                FinalExpr::mem(expr)
+            }
+        };
+        out.set(expr, value);
+    }
+    Ok(out)
+}
+
+/// Renders one `key → verdict` record as a single line (no trailing
+/// newline): tab-separated `key`, `num_candidates`, `num_allowed`,
+/// `condition_witnessed`, `outcome count`, then one field per outcome in
+/// `all_outcomes` order, `*`-prefixed when the outcome is also allowed.
+pub fn render_record(key: &str, v: &ModelOutcomes) -> String {
+    let mut line = format!(
+        "{}\t{}\t{}\t{}\t{}",
+        esc(key),
+        v.num_candidates,
+        v.num_allowed,
+        u8::from(v.condition_witnessed),
+        v.all_outcomes.len()
+    );
+    for o in &v.all_outcomes {
+        line.push('\t');
+        if v.allowed_outcomes.contains(o) {
+            line.push('*');
+        }
+        line.push_str(&esc(&render_outcome(o)));
+    }
+    line
+}
+
+fn parse_record(text: &str, line: usize) -> Result<(String, ModelOutcomes), PersistError> {
+    let fields: Vec<&str> = text.split('\t').collect();
+    if fields.len() < 5 {
+        return Err(PersistError::Format(
+            line,
+            format!(
+                "record has {} fields, expected at least 5 (truncated?)",
+                fields.len()
+            ),
+        ));
+    }
+    let key = unesc(fields[0], line)?;
+    let parse_count = |s: &str, what: &str| -> Result<usize, PersistError> {
+        s.parse().map_err(|_| {
+            PersistError::Format(line, format!("{what} {s:?} is not a non-negative integer"))
+        })
+    };
+    let num_candidates = parse_count(fields[1], "candidate count")?;
+    let num_allowed = parse_count(fields[2], "allowed count")?;
+    let condition_witnessed = match fields[3] {
+        "0" => false,
+        "1" => true,
+        other => {
+            return Err(PersistError::Format(
+                line,
+                format!("witness flag {other:?} is neither 0 nor 1"),
+            ))
+        }
+    };
+    let n_outcomes = parse_count(fields[4], "outcome count")?;
+    if fields.len() != 5 + n_outcomes {
+        return Err(PersistError::Format(
+            line,
+            format!(
+                "record declares {n_outcomes} outcomes but carries {} (truncated?)",
+                fields.len() - 5
+            ),
+        ));
+    }
+    let mut all_outcomes = BTreeSet::new();
+    let mut allowed_outcomes = BTreeSet::new();
+    for field in &fields[5..] {
+        let (allowed, text) = match field.strip_prefix('*') {
+            Some(rest) => (true, rest),
+            None => (false, *field),
+        };
+        let outcome = parse_outcome(&unesc(text, line)?, line)?;
+        if allowed {
+            allowed_outcomes.insert(outcome.clone());
+        }
+        all_outcomes.insert(outcome);
+    }
+    Ok((
+        key,
+        ModelOutcomes {
+            all_outcomes,
+            allowed_outcomes,
+            num_candidates,
+            num_allowed,
+            condition_witnessed,
+        },
+    ))
+}
+
+/// Serialises `cache` to the `weakgpu-cache/1` text format: the schema
+/// header, then one record per entry, sorted by key so equal caches
+/// render byte-identically.
+pub fn render(cache: &VerdictCache) -> String {
+    let mut entries: Vec<(&str, &ModelOutcomes)> = cache.entries().collect();
+    entries.sort_by_key(|(k, _)| *k);
+    let mut out = String::with_capacity(64 * (entries.len() + 1));
+    out.push_str(SCHEMA);
+    out.push('\n');
+    for (key, v) in entries {
+        out.push_str(&render_record(key, v));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a `weakgpu-cache/1` document into a cache of warm entries.
+///
+/// Duplicate keys are allowed (they arise from appending): the **last**
+/// record wins, matching append semantics. Restored entries count as
+/// warm — see [`VerdictCache::warm_hits`](crate::cache::VerdictCache::warm_hits).
+///
+/// # Errors
+///
+/// [`PersistError::Version`] when the header is not [`SCHEMA`];
+/// [`PersistError::Format`] (with the line number) for any malformed or
+/// truncated record. Never panics on corrupt input.
+pub fn parse(src: &str) -> Result<VerdictCache, PersistError> {
+    let mut lines = src.lines();
+    let header = lines.next().unwrap_or("").trim_end();
+    if header != SCHEMA {
+        return Err(PersistError::Version(
+            header.chars().take(64).collect::<String>(),
+        ));
+    }
+    // Later duplicates must win, but `insert_warm` keeps the first
+    // occupant — so collect last-wins into a map first.
+    let mut records: std::collections::BTreeMap<String, ModelOutcomes> = Default::default();
+    for (i, text) in lines.enumerate() {
+        if text.is_empty() {
+            continue;
+        }
+        let (key, outcomes) = parse_record(text, i + 2)?;
+        records.insert(key, outcomes);
+    }
+    let mut cache = VerdictCache::new();
+    for (key, outcomes) in records {
+        cache.insert_warm(key, outcomes);
+    }
+    Ok(cache)
+}
+
+/// Writes `cache` to `path` (atomically: a temp file in the same
+/// directory, then rename), replacing any previous contents.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] with the failing path.
+pub fn save(path: &Path, cache: &VerdictCache) -> Result<(), PersistError> {
+    let tmp = path.with_extension("wgc.tmp");
+    std::fs::write(&tmp, render(cache)).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// Loads a cache file written by [`save`] (or grown by [`CacheWriter`]).
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the file cannot be read, otherwise as
+/// [`parse`].
+pub fn load(path: &Path) -> Result<VerdictCache, PersistError> {
+    let mut src = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut src))
+        .map_err(|e| io_err(path, e))?;
+    parse(&src)
+}
+
+/// Unions `caches` into one, deterministically: entries are taken in
+/// argument order and the **first** cache holding a key wins (for equal
+/// keys the verdicts are equal anyway — enumeration is deterministic —
+/// so the rule only fixes which warm flag survives). Merging the same
+/// inputs in the same order always yields the same cache, and
+/// [`render`] of the result is byte-stable.
+pub fn merge(caches: impl IntoIterator<Item = VerdictCache>) -> VerdictCache {
+    let mut out = VerdictCache::new();
+    for cache in caches {
+        out.absorb(cache);
+    }
+    out
+}
+
+/// An append-friendly incremental writer: create (or reopen) a cache
+/// file and stream records to it as judgements complete, without
+/// rewriting earlier entries. A reader sees every fully-written record;
+/// a torn final line is rejected by [`load`] with a line diagnostic
+/// rather than silently dropped.
+pub struct CacheWriter {
+    out: BufWriter<File>,
+}
+
+impl CacheWriter {
+    /// Creates `path` fresh (truncating any previous file) and writes
+    /// the schema header.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] with the failing path.
+    pub fn create(path: &Path) -> Result<CacheWriter, PersistError> {
+        let mut out = BufWriter::new(File::create(path).map_err(|e| io_err(path, e))?);
+        writeln!(out, "{SCHEMA}").map_err(|e| io_err(path, e))?;
+        Ok(CacheWriter { out })
+    }
+
+    /// Reopens an existing cache file for appending, after checking its
+    /// header really is [`SCHEMA`] — appending records to a file some
+    /// other tool owns would corrupt both.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Version`] on a foreign header, [`PersistError::Io`]
+    /// on file errors.
+    pub fn append(path: &Path) -> Result<CacheWriter, PersistError> {
+        let mut header = String::new();
+        File::open(path)
+            .and_then(|f| {
+                let mut r = std::io::BufReader::new(f);
+                std::io::BufRead::read_line(&mut r, &mut header).map(|_| ())
+            })
+            .map_err(|e| io_err(path, e))?;
+        if header.trim_end() != SCHEMA {
+            return Err(PersistError::Version(
+                header.trim_end().chars().take(64).collect(),
+            ));
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok(CacheWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on write failure.
+    pub fn write_entry(&mut self, key: &str, verdict: &ModelOutcomes) -> Result<(), PersistError> {
+        writeln!(self.out, "{}", render_record(key, verdict))
+            .map_err(|e| PersistError::Io(e.to_string()))
+    }
+
+    /// Flushes buffered records to the file.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on flush failure.
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        self.out
+            .flush()
+            .map_err(|e| PersistError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::EnumConfig;
+    use crate::model::sc_model;
+    use weakgpu_litmus::{corpus, ThreadScope};
+
+    fn judged_cache() -> VerdictCache {
+        let mut cache = VerdictCache::new();
+        let model = sc_model();
+        let cfg = EnumConfig::default();
+        for test in [
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::sb(ThreadScope::InterCta, None),
+            corpus::corr(),
+        ] {
+            cache.outcomes(&test, &model, &cfg).unwrap();
+        }
+        cache
+    }
+
+    #[test]
+    fn outcome_rendering_roundtrips() {
+        let o: Outcome = [
+            (FinalExpr::reg(0, "r1"), 1),
+            (FinalExpr::reg(10, "r2"), -7),
+            (FinalExpr::mem("x"), 42),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(parse_outcome(&render_outcome(&o), 1).unwrap(), o);
+        assert_eq!(parse_outcome("", 1).unwrap(), Outcome::new());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_parses_back() {
+        let cache = judged_cache();
+        let a = render(&cache);
+        let b = render(&judged_cache());
+        assert_eq!(a, b, "equal caches must render byte-identically");
+        let restored = parse(&a).unwrap();
+        assert_eq!(restored.len(), cache.len());
+        assert_eq!(restored.warm_entries(), cache.len() as u64);
+        // Re-rendering the restored cache is a fixed point.
+        assert_eq!(render(&restored), a);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let err = parse("weakgpu-cache/9\n").unwrap_err();
+        assert!(matches!(err, PersistError::Version(_)), "{err}");
+        assert!(err.to_string().contains("weakgpu-cache/1"), "{err}");
+        assert!(parse("").is_err());
+        assert!(parse("garbage").is_err());
+    }
+
+    #[test]
+    fn truncated_records_are_rejected_with_a_line_number() {
+        let full = render(&judged_cache());
+        // Cut the file mid-record: drop the last 10 bytes.
+        let cut = &full[..full.len() - 10];
+        let err = parse(cut).unwrap_err();
+        match &err {
+            PersistError::Format(line, msg) => {
+                assert!(*line >= 2, "line {line}");
+                assert!(!msg.is_empty());
+            }
+            other => panic!("expected Format, got {other:?}"),
+        }
+        // A record claiming more outcomes than it carries is caught.
+        let lying = format!("{SCHEMA}\nkey\t4\t2\t1\t3\t*0:r1=1; \n");
+        let err = parse(&lying).unwrap_err();
+        assert!(err.to_string().contains("declares 3 outcomes"), "{err}");
+    }
+
+    #[test]
+    fn merge_is_deterministic_first_wins() {
+        let mut a = VerdictCache::new();
+        let mut b = VerdictCache::new();
+        let v1 = ModelOutcomes {
+            all_outcomes: BTreeSet::new(),
+            allowed_outcomes: BTreeSet::new(),
+            num_candidates: 1,
+            num_allowed: 1,
+            condition_witnessed: false,
+        };
+        let v2 = ModelOutcomes {
+            num_candidates: 2,
+            ..v1.clone()
+        };
+        a.insert_warm("shared".into(), v1.clone());
+        a.insert_warm("only-a".into(), v1.clone());
+        b.insert_warm("shared".into(), v2.clone());
+        b.insert_warm("only-b".into(), v2.clone());
+        let ab = merge([a, b]);
+        assert_eq!(ab.len(), 3);
+        let shared = ab
+            .entries()
+            .find(|(k, _)| *k == "shared")
+            .map(|(_, v)| v.num_candidates);
+        assert_eq!(shared, Some(1), "first cache must win on conflicts");
+        // Determinism: same inputs, same render.
+        let mut a2 = VerdictCache::new();
+        let mut b2 = VerdictCache::new();
+        a2.insert_warm("shared".into(), v1.clone());
+        a2.insert_warm("only-a".into(), v1);
+        b2.insert_warm("shared".into(), v2.clone());
+        b2.insert_warm("only-b".into(), v2);
+        assert_eq!(render(&ab), render(&merge([a2, b2])));
+    }
+
+    #[test]
+    fn appended_records_load_and_last_wins() {
+        let dir = std::env::temp_dir().join(format!("weakgpu-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("append.wgc");
+        let v1 = ModelOutcomes {
+            all_outcomes: BTreeSet::new(),
+            allowed_outcomes: BTreeSet::new(),
+            num_candidates: 1,
+            num_allowed: 0,
+            condition_witnessed: false,
+        };
+        let v2 = ModelOutcomes {
+            num_candidates: 9,
+            ..v1.clone()
+        };
+        let mut w = CacheWriter::create(&path).unwrap();
+        w.write_entry("k1", &v1).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let mut w = CacheWriter::append(&path).unwrap();
+        w.write_entry("k2", &v1).unwrap();
+        w.write_entry("k1", &v2).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let cache = load(&path).unwrap();
+        assert_eq!(cache.len(), 2);
+        let k1 = cache
+            .entries()
+            .find(|(k, _)| *k == "k1")
+            .map(|(_, v)| v.num_candidates);
+        assert_eq!(k1, Some(9), "later appended record must win");
+        // Appending to a foreign file is refused.
+        let alien = dir.join("alien.txt");
+        std::fs::write(&alien, "something else\n").unwrap();
+        assert!(matches!(
+            CacheWriter::append(&alien),
+            Err(PersistError::Version(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

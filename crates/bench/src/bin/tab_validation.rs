@@ -37,6 +37,8 @@ fn main() {
         seed: args.seed,
         parallelism: args.parallelism,
         pruning: false,
+        cache_file: None,
+        cache_readonly: false,
     };
     let total = tests.len() * cfg.chips.len();
     println!(

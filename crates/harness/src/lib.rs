@@ -24,6 +24,7 @@ pub mod histogram;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod soundness;
 pub mod sweep;
 pub mod tuning;
@@ -34,6 +35,7 @@ pub use campaign::{
 pub use histogram::Histogram;
 pub use report::ObsTable;
 pub use runner::{run_test, RunConfig, TestReport, STREAM_CHUNKS};
+pub use serve::{serve, ServeConfig, ServeSummary};
 pub use soundness::{check_soundness, check_soundness_with, SoundnessReport};
 pub use sweep::{
     run_sweep, run_sweep_with, CellRecord, Shard, SweepConfig, SweepError, SweepReport,

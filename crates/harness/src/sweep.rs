@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use weakgpu_axiom::cache::VerdictCache;
 use weakgpu_axiom::enumerate::{EnumConfig, EnumError};
+use weakgpu_axiom::persist;
 use weakgpu_axiom::plan::EvalContext;
 use weakgpu_litmus::LitmusTest;
 use weakgpu_models::ptx_model;
@@ -125,6 +126,20 @@ pub struct SweepConfig {
     /// and exhaustive arms keep separate verdict-cache entries (the
     /// cache key covers the enumeration config).
     pub pruning: bool,
+    /// Warm-start the verdict cache from this `weakgpu-cache/1` file
+    /// ([`weakgpu_axiom::persist`]) before the run, and write the
+    /// updated cache back after it. A missing file starts the run cold
+    /// and is created at the end (unless [`SweepConfig::cache_readonly`]
+    /// is set, in which case a missing file is an error — a warm-start
+    /// contract that silently ran cold would hide a broken pipeline).
+    /// Preloaded verdicts are semantically invisible: a warm run's
+    /// report is bit-identical in every semantic field to a cold run's
+    /// ([`SweepReport::totals_match`]); only [`CacheStats`] differ.
+    pub cache_file: Option<std::path::PathBuf>,
+    /// With [`SweepConfig::cache_file`]: load only, never write the
+    /// updated cache back — for consumers of a shared cache artifact
+    /// (CI shards) that must not race on the file.
+    pub cache_readonly: bool,
 }
 
 /// Sweep failure.
@@ -140,6 +155,8 @@ pub enum SweepError {
     Merge(String),
     /// A report failed to parse.
     Json(String),
+    /// The persistent verdict cache could not be loaded or saved.
+    Cache(String),
 }
 
 impl fmt::Display for SweepError {
@@ -150,6 +167,7 @@ impl fmt::Display for SweepError {
             SweepError::Config(msg) => write!(f, "invalid sweep config: {msg}"),
             SweepError::Merge(msg) => write!(f, "cannot merge reports: {msg}"),
             SweepError::Json(msg) => write!(f, "invalid report JSON: {msg}"),
+            SweepError::Cache(msg) => write!(f, "verdict cache: {msg}"),
         }
     }
 }
@@ -267,6 +285,13 @@ pub struct CacheStats {
     /// Total wall-clock microseconds spent streaming candidates through
     /// the model on the miss path (this shard; merge sums shards).
     pub enum_micros: u64,
+    /// Entries preloaded from a persistent cache file
+    /// ([`SweepConfig::cache_file`]) rather than judged in this run.
+    pub warm_entries: u64,
+    /// Hits answered by a preloaded entry — the warm-cache contract: a
+    /// shard handed a warm cache artifact must record a nonzero count
+    /// here, or the artifact did nothing.
+    pub warm_hits: u64,
 }
 
 /// The aggregate result of one sweep (or of merging shard sweeps).
@@ -414,8 +439,13 @@ impl SweepReport {
         }
         s.push_str("],\n");
         s.push_str(&format!(
-            "  \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"enum_micros\": {}}}\n",
-            self.cache.entries, self.cache.hits, self.cache.misses, self.cache.enum_micros
+            "  \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"enum_micros\": {}, \"warm_entries\": {}, \"warm_hits\": {}}}\n",
+            self.cache.entries,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.enum_micros,
+            self.cache.warm_entries,
+            self.cache.warm_hits
         ));
         s.push_str("}\n");
         s
@@ -475,6 +505,9 @@ impl SweepReport {
                 // Absent in pre-streaming reports; default rather than
                 // reject so old shard artifacts still merge.
                 enum_micros: c.get("enum_micros").and_then(Json::as_u64).unwrap_or(0),
+                // Absent in pre-persistence reports, same treatment.
+                warm_entries: c.get("warm_entries").and_then(Json::as_u64).unwrap_or(0),
+                warm_hits: c.get("warm_hits").and_then(Json::as_u64).unwrap_or(0),
             },
             None => CacheStats::default(),
         };
@@ -629,6 +662,8 @@ impl SweepReport {
             out.cache.hits += r.cache.hits;
             out.cache.misses += r.cache.misses;
             out.cache.enum_micros += r.cache.enum_micros;
+            out.cache.warm_entries += r.cache.warm_entries;
+            out.cache.warm_hits += r.cache.warm_hits;
         }
         if out.tests_run != out.family_size {
             return Err(SweepError::Merge(format!(
@@ -746,7 +781,19 @@ where
         pruning: cfg.pruning,
         ..EnumConfig::default()
     };
-    let cache = Mutex::new(VerdictCache::new());
+    let initial_cache = match &cfg.cache_file {
+        Some(path) if path.exists() => {
+            persist::load(path).map_err(|e| SweepError::Cache(e.to_string()))?
+        }
+        Some(path) if cfg.cache_readonly => {
+            return Err(SweepError::Cache(format!(
+                "{}: read-only cache file does not exist (a warm-start run must not silently go cold)",
+                path.display()
+            )));
+        }
+        _ => VerdictCache::new(),
+    };
+    let cache = Mutex::new(initial_cache);
     let enum_err: Mutex<Option<(String, EnumError)>> = Mutex::new(None);
     let records: Vec<Mutex<Option<CellRecord>>> = cells.iter().map(|_| Mutex::new(None)).collect();
 
@@ -889,6 +936,11 @@ where
 
     let enum_micros: u64 = records.iter().map(|r| r.enum_micros).sum();
     let cache = cache.into_inner().expect("no poisoned locks");
+    if let Some(path) = &cfg.cache_file {
+        if !cfg.cache_readonly {
+            persist::save(path, &cache).map_err(|e| SweepError::Cache(e.to_string()))?;
+        }
+    }
     Ok(SweepReport {
         family: cfg.family.clone(),
         family_size: family.len() as u64,
@@ -910,6 +962,8 @@ where
             hits: cache.hits(),
             misses: cache.misses(),
             enum_micros,
+            warm_entries: cache.warm_entries(),
+            warm_hits: cache.warm_hits(),
         },
     })
 }
@@ -971,6 +1025,8 @@ mod tests {
                 hits: 0,
                 misses: 5,
                 enum_micros: 120,
+                warm_entries: 2,
+                warm_hits: 1,
             },
         }
     }
@@ -1048,6 +1104,8 @@ mod tests {
         assert_eq!(merged.per_chip[0].runs, 1000);
         assert_eq!(merged.cache.misses, 10);
         assert_eq!(merged.cache.enum_micros, 240);
+        assert_eq!(merged.cache.warm_entries, 4);
+        assert_eq!(merged.cache.warm_hits, 2);
         assert!(merged.is_sound());
     }
 
@@ -1083,10 +1141,18 @@ mod tests {
         let r = tiny_report(1, 2);
         let parsed = SweepReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed.cache.enum_micros, 120);
-        // A pre-streaming report without the timing field still parses.
-        let legacy = r.to_json().replace(", \"enum_micros\": 120", "");
+        assert_eq!(parsed.cache.warm_entries, 2);
+        assert_eq!(parsed.cache.warm_hits, 1);
+        // A pre-streaming report without the timing or warm fields
+        // still parses.
+        let legacy = r
+            .to_json()
+            .replace(", \"enum_micros\": 120", "")
+            .replace(", \"warm_entries\": 2, \"warm_hits\": 1", "");
         let parsed = SweepReport::from_json(&legacy).unwrap();
         assert_eq!(parsed.cache.enum_micros, 0);
+        assert_eq!(parsed.cache.warm_entries, 0);
+        assert_eq!(parsed.cache.warm_hits, 0);
         assert_eq!(parsed.cache.misses, 5);
     }
 }

@@ -17,6 +17,8 @@ fn small_cfg(shard: Option<Shard>) -> SweepConfig {
         seed: 0xabcd,
         parallelism: None,
         pruning: false,
+        cache_file: None,
+        cache_readonly: false,
     }
 }
 
@@ -87,6 +89,8 @@ fn sweep_reports_are_model_sound_and_witness_weak_behaviour() {
         seed: 0x7a11,
         parallelism: None,
         pruning: false,
+        cache_file: None,
+        cache_readonly: false,
     };
     let records = Mutex::new(Vec::new());
     let report = run_sweep_with(&family, &cfg, |rec| {
@@ -131,6 +135,8 @@ fn verdict_cache_collapses_chip_columns() {
         seed: 1,
         parallelism: None,
         pruning: false,
+        cache_file: None,
+        cache_readonly: false,
     };
     let report = run_sweep(&family, &cfg).unwrap();
     let chips = Chip::NVIDIA_TABLED.len() as u64;
@@ -158,6 +164,8 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
         seed: 0x57,
         parallelism: None,
         pruning: false,
+        cache_file: None,
+        cache_readonly: false,
     };
     let report = run_sweep(&family, &cfg).unwrap();
     assert_eq!(
@@ -247,4 +255,47 @@ fn sharded_cells_equal_their_unsharded_counterparts() {
     }
     sharded.sort_by_key(|a| (a.index, a.chip.clone()));
     assert_eq!(whole, sharded);
+}
+
+#[test]
+fn warm_cache_run_is_bit_identical_to_cold() {
+    // The persistent-cache acceptance criterion at small scale: a cold
+    // run persists its verdict cache; a warm run restored from that
+    // file must re-derive nothing (0 misses, every hit warm) and report
+    // bit-identically in every semantic field.
+    let family: Vec<_> = generate(&GenConfig::small()).into_iter().take(40).collect();
+    let dir = std::env::temp_dir().join(format!("weakgpu-sweep-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("verdicts.wgc");
+
+    let cold_cfg = SweepConfig {
+        cache_file: Some(path.clone()),
+        ..small_cfg(None)
+    };
+    let cold = run_sweep(&family, &cold_cfg).unwrap();
+    assert_eq!(cold.cache.warm_entries, 0, "nothing preloaded on disk yet");
+    assert_eq!(cold.cache.misses as usize, family.len());
+
+    let warm_cfg = SweepConfig {
+        cache_file: Some(path.clone()),
+        cache_readonly: true,
+        ..small_cfg(None)
+    };
+    let warm = run_sweep(&family, &warm_cfg).unwrap();
+    assert_eq!(warm.cache.misses, 0, "warm run must not re-enumerate");
+    assert_eq!(warm.cache.warm_entries as usize, family.len());
+    assert_eq!(warm.cache.warm_hits, warm.cache.hits);
+    assert!(warm.cache.warm_hits > 0);
+    assert!(warm.totals_match(&cold));
+    // Field-for-field identity outside the cache statistics.
+    let mut cold_adjusted = cold.clone();
+    cold_adjusted.cache = warm.cache;
+    assert_eq!(warm.to_json(), cold_adjusted.to_json());
+
+    // A read-only warm start with no file is an error, not a silent
+    // cold run.
+    std::fs::remove_file(&path).unwrap();
+    let err = run_sweep(&family, &warm_cfg).unwrap_err();
+    assert!(err.to_string().contains("read-only cache file"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -7,6 +7,7 @@
 //! weakgpu campaign [NAME|FILE ...] [--chips SHORT,..] [--iterations N] [--seed N] [--parallelism N]
 //! weakgpu sweep [--family small|paper] [--shard K/N] [--out FILE.json] [--chips ..] [..]
 //! weakgpu sweep --merge a.json b.json ... [--out FILE.json]
+//! weakgpu serve [--cache-file FILE.wgc] [--cache-readonly] [--model NAME] [--pruned]
 //! weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
 //! weakgpu check <file ...> [--builtin]
 //! weakgpu show <file.litmus> [--dot]
@@ -40,8 +41,9 @@ const USAGE: &str = "usage:
   weakgpu campaign [NAME|FILE ...] [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
   weakgpu sweep [--family small|paper] [--shard K/N] [--out FILE.json]
                 [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
-                [--pruned]
+                [--pruned] [--cache-file FILE.wgc] [--cache-readonly]
   weakgpu sweep --merge FILE.json FILE.json ... [--out FILE.json]
+  weakgpu serve [--cache-file FILE.wgc] [--cache-readonly] [--model NAME] [--pruned]
   weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
   weakgpu check <file ...> [--builtin]
   weakgpu show <file.litmus> [--dot]
@@ -61,7 +63,20 @@ record per cell to FILE.jsonl. --merge recombines shard reports, failing
 on a missing shard or any model-forbidden observation. --pruned judges
 cache-miss cells through the rf-class pruned enumerator (bit-identical
 verdicts; the per-cell JSONL records the classes visited and candidates
-cut). Exit status is non-zero if any observation is unsound.
+cut). --cache-file FILE.wgc warm-starts the verdict cache from a
+persisted `weakgpu-cache/1` file (created by an earlier sweep or serve)
+and writes the updated cache back afterwards; --cache-readonly loads
+without writing back, and fails if the file is missing rather than
+silently running cold. Exit status is non-zero if any observation is
+unsound.
+
+`serve` is a long-running verdict daemon: each stdin line is one JSON
+request ({\"op\": \"verdict\"|\"stats\"|\"shutdown\", \"id\": .., \"test\":
+NAME, \"litmus\": SOURCE, \"model\": NAME, \"pruning\": BOOL}), each
+stdout line the matching JSON response. All requests share one verdict
+cache; --cache-file warm-starts it and persists it on shutdown/EOF
+(unless --cache-readonly). --model picks the default model (ptx);
+--pruned judges through the pruned enumerator by default.
 
 `check` with one .litmus file judges its condition against a model.
 With several files, any .cat file, or --builtin it is a linter instead:
@@ -96,6 +111,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("show") => cmd_show(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
@@ -181,6 +197,36 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
             true
         }
         None => false,
+    }
+}
+
+/// Classic dynamic-programming edit distance, for "did you mean" hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = diag + usize::from(ca != cb);
+            diag = row[j + 1];
+            row[j + 1] = sub.min(diag + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// Error for a leftover argument, naming the closest valid flag when the
+/// argument looks like a misspelt one.
+fn unexpected_arg(cmd: &str, arg: &str, flags: &[&str]) -> String {
+    let nearest = flags
+        .iter()
+        .map(|f| (edit_distance(arg, f), *f))
+        .min()
+        .filter(|&(d, f)| arg.starts_with('-') && d <= f.len() / 2);
+    match nearest {
+        Some((_, flag)) => format!("{cmd}: unexpected argument {arg:?} (did you mean {flag:?}?)"),
+        None => format!("{cmd}: unexpected argument {arg:?}"),
     }
 }
 
@@ -308,6 +354,21 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The flag vocabulary of `sweep`, for "did you mean" hints.
+const SWEEP_FLAGS: &[&str] = &[
+    "--family",
+    "--shard",
+    "--out",
+    "--chips",
+    "--iterations",
+    "--seed",
+    "--parallelism",
+    "--pruned",
+    "--cache-file",
+    "--cache-readonly",
+    "--merge",
+];
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     if take_flag(&mut args, "--merge") {
@@ -343,8 +404,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
         .transpose()?;
     let pruning = take_flag(&mut args, "--pruned");
+    let cache_file = take_opt(&mut args, "--cache-file").map(std::path::PathBuf::from);
+    let cache_readonly = take_flag(&mut args, "--cache-readonly");
     if let Some(extra) = args.first() {
-        return Err(format!("sweep: unexpected argument {extra:?}"));
+        return Err(unexpected_arg("sweep", extra, SWEEP_FLAGS));
     }
 
     let tests = generate(&gen_cfg);
@@ -356,6 +419,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         seed,
         parallelism,
         pruning,
+        cache_file,
+        cache_readonly,
     };
     let shard_tests = (0..tests.len())
         .filter(|&i| shard.is_none_or(|sh| sh.selects(i)))
@@ -452,6 +517,74 @@ fn cmd_sweep_merge(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The flag vocabulary of `serve`, for "did you mean" hints.
+const SERVE_FLAGS: &[&str] = &["--cache-file", "--cache-readonly", "--model", "--pruned"];
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use weakgpu::axiom::cache::VerdictCache;
+    use weakgpu::axiom::persist;
+    use weakgpu::harness::serve::{model_by_name as serve_model, serve, ServeConfig};
+
+    let mut args = args.to_vec();
+    let cache_file = take_opt(&mut args, "--cache-file").map(std::path::PathBuf::from);
+    let cache_readonly = take_flag(&mut args, "--cache-readonly");
+    let default_model = take_opt(&mut args, "--model").unwrap_or_else(|| "ptx".into());
+    let pruning = take_flag(&mut args, "--pruned");
+    if let Some(extra) = args.first() {
+        return Err(unexpected_arg("serve", extra, SERVE_FLAGS));
+    }
+    // Fail on a bad default model before reading any requests.
+    serve_model(&default_model).map_err(|e| format!("serve: {e}"))?;
+
+    let initial = match &cache_file {
+        Some(path) if path.exists() => {
+            persist::load(path).map_err(|e| format!("serve: verdict cache: {e}"))?
+        }
+        Some(path) if cache_readonly => {
+            return Err(format!(
+                "serve: verdict cache: {}: read-only cache file does not exist",
+                path.display()
+            ))
+        }
+        _ => VerdictCache::new(),
+    };
+    eprintln!(
+        "serve: ready ({} cached verdicts, default model {default_model}); one JSON request per line",
+        initial.len()
+    );
+    let cache = Mutex::new(initial);
+    let cfg = ServeConfig {
+        default_model,
+        pruning,
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let summary =
+        serve(stdin.lock(), stdout.lock(), &cfg, &cache).map_err(|e| format!("serve: {e}"))?;
+    let cache = cache.into_inner().expect("no poisoned locks");
+    // Graceful shutdown flushes the cache for the next warm start.
+    if let Some(path) = &cache_file {
+        if !cache_readonly {
+            persist::save(path, &cache).map_err(|e| format!("serve: verdict cache: {e}"))?;
+        }
+    }
+    eprintln!(
+        "serve: {} requests ({} errors), {}; cache {} entries, {} hits ({} warm) / {} misses",
+        summary.requests,
+        summary.errors,
+        if summary.shutdown_requested {
+            "shutdown requested"
+        } else {
+            "input closed"
+        },
+        cache.len(),
+        cache.hits(),
+        cache.warm_hits(),
+        cache.misses()
+    );
+    Ok(())
+}
+
 /// Renders the human-readable summary to stdout, or to stderr when
 /// stdout is carrying the JSON report itself.
 fn print_sweep_summary(report: &SweepReport, to_stderr: bool) {
@@ -487,9 +620,11 @@ fn print_sweep_summary(report: &SweepReport, to_stderr: bool) {
         report.weak_tests, report.tests_run, report.total_runs
     ));
     line(format!(
-        "verdict cache: {} shapes enumerated, {} hits / {} misses, {:.1} ms enumerating",
+        "verdict cache: {} entries ({} preloaded), {} hits ({} warm) / {} misses, {:.1} ms enumerating",
         report.cache.entries,
+        report.cache.warm_entries,
         report.cache.hits,
+        report.cache.warm_hits,
         report.cache.misses,
         report.cache.enum_micros as f64 / 1_000.0
     ));

@@ -160,3 +160,86 @@ fn sweep_shard_and_merge_roundtrip() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn serve_answers_a_jsonl_batch_and_persists_its_cache() {
+    use std::io::Write as _;
+
+    let dir = std::env::temp_dir().join(format!("weakgpu-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("verdicts.wgc");
+    let batch = concat!(
+        "{\"id\": 1, \"test\": \"mp+inter-CTA\"}\n",
+        "{\"id\": 2, \"test\": \"mp+inter-CTA\", \"model\": \"sc\"}\n",
+        "{\"id\": 3, \"op\": \"shutdown\"}\n",
+    );
+    let run = |readonly: bool| {
+        let mut cmd = weakgpu();
+        cmd.arg("serve").arg("--cache-file").arg(&cache);
+        if readonly {
+            cmd.arg("--cache-readonly");
+        }
+        let mut child = cmd
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(batch.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "serve exited {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 3, "one response per request: {stdout}");
+        // mp is PTX-allowed and SC-forbidden; shutdown is acknowledged.
+        assert!(
+            lines[0].contains("\"condition_witnessed\": true"),
+            "{stdout}"
+        );
+        assert!(
+            lines[1].contains("\"condition_witnessed\": false"),
+            "{stdout}"
+        );
+        assert!(lines[2].contains("\"shutting_down\": true"), "{stdout}");
+        stdout
+    };
+
+    let cold = run(false);
+    assert!(cold.contains("\"cached\": false"), "{cold}");
+    assert!(
+        std::fs::read_to_string(&cache)
+            .unwrap()
+            .starts_with("weakgpu-cache/1"),
+        "shutdown must flush a versioned cache file"
+    );
+    // Second daemon warm-starts from the flushed file: same verdicts,
+    // no enumeration.
+    let warm = run(true);
+    assert!(!warm.contains("\"cached\": false"), "{warm}");
+    assert!(warm.contains("\"cached\": true"), "{warm}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn misspelt_flags_get_a_did_you_mean_hint() {
+    let out = weakgpu()
+        .args(["sweep", "--cache-fiel", "x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("did you mean \"--cache-file\"?"), "{err}");
+
+    let out = weakgpu()
+        .args(["serve", "--cache-redonly"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("did you mean \"--cache-readonly\"?"), "{err}");
+}

@@ -28,6 +28,8 @@ fn generated_family_observations_are_model_sound() {
         seed: 0x7a11,
         parallelism: None,
         pruning: false,
+        cache_file: None,
+        cache_readonly: false,
     };
     let report = run_sweep(&tests, &cfg).unwrap();
     assert!(
@@ -71,6 +73,8 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
         seed: 0x57,
         parallelism: None,
         pruning: true,
+        cache_file: None,
+        cache_readonly: false,
     };
     let report = run_sweep(&tests, &cfg).unwrap();
     assert_eq!(
@@ -93,6 +97,8 @@ fn sharded_validation_recombines_exactly() {
         seed: 0xc1,
         parallelism: None,
         pruning: false,
+        cache_file: None,
+        cache_readonly: false,
     };
     let whole = run_sweep(&tests, &cfg(None)).unwrap();
     let shards: Vec<SweepReport> = (1..=4)
@@ -108,4 +114,31 @@ fn sharded_validation_recombines_exactly() {
         .collect();
     let merged2 = SweepReport::merge(&reparsed).unwrap();
     assert_eq!(merged, merged2);
+}
+
+#[test]
+fn small_family_shapes_are_contained_in_the_paper_family() {
+    // The CI warm-start contract: the `cache-warm` job judges the small
+    // family once and ships the cache to the paper-family shards. That
+    // only produces warm hits if every small-family shape key (the
+    // name-independent canonical form the verdict cache keys on) also
+    // appears in the paper family — asserted here so a generator change
+    // that breaks the containment fails in `cargo test`, not as a
+    // silent cold CI run.
+    use std::collections::HashSet;
+    use weakgpu::axiom::cache::shape_key;
+
+    let paper: HashSet<String> = generate(&GenConfig::paper())
+        .iter()
+        .map(shape_key)
+        .collect();
+    let missing: Vec<String> = generate(&GenConfig::small())
+        .iter()
+        .filter(|t| !paper.contains(&shape_key(t)))
+        .map(|t| t.name().to_owned())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "small-family tests absent from the paper family: {missing:?}"
+    );
 }
