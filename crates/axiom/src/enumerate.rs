@@ -34,6 +34,17 @@
 //! [`PrunedClass`] spanning all their candidates — same outcomes, same
 //! counts, exponentially fewer evaluations on conflict-heavy tests. The
 //! exhaustive stream stays available as the differential oracle.
+//!
+//! With [`EnumConfig::batching`] set, trailing subtrees of 2–64 sibling
+//! candidates — overlays differing only in their last rf slots / co
+//! axes — are judged in **one bit-plane pass**: each sibling becomes a
+//! lane of an [`OverlayBatch`] and every
+//! relational operation of the compiled plan covers all lanes per
+//! machine word ([`crate::plan::Plan::allows_batch`]). Batching applies
+//! to both the exhaustive stream ([`for_each_execution_batched`]) and
+//! the pruned walk, where it composes with forced-verdict cuts:
+//! pruning skips subtrees, batching amortises the leaves pruning kept.
+//! Verdicts are bit-identical on every path.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -44,7 +55,9 @@ use weakgpu_litmus::{FinalExpr, Instr, LitmusTest, Loc, Operand, Outcome, Reg};
 use crate::exec::Execution;
 use crate::model::Model;
 use crate::plan::EvalContext;
-use crate::skeleton::{ExecutionSkeleton, ExecutionView, Overlay, PartialView};
+use crate::skeleton::{
+    ExecutionSkeleton, ExecutionView, LaneMask, Overlay, OverlayBatch, PartialView,
+};
 use crate::symbolic::{enumerate_thread_traces, SymError, ThreadTrace};
 
 /// Bounds for the enumeration.
@@ -74,6 +87,16 @@ pub struct EnumConfig {
     /// three-valued check per tree node for skipping entire rf×co
     /// subtrees whose verdict is already forced.
     pub pruning: bool,
+    /// Judge trailing rf×co subtrees of 2–64 sibling candidates in one
+    /// bit-plane pass: each sibling becomes a lane of an
+    /// [`OverlayBatch`] and every relational
+    /// operation of the compiled plan covers all lanes per machine word
+    /// ([`crate::plan::Plan::allows_batch`]). Routes the exhaustive
+    /// verdict paths through [`for_each_execution_batched`] and makes
+    /// the pruned walk batch the subtrees its cuts keep — the two flags
+    /// compose. Verdicts are bit-identical to the scalar paths; models
+    /// without a batched evaluator degrade to per-leaf judgement.
+    pub batching: bool,
 }
 
 impl Default for EnumConfig {
@@ -84,6 +107,7 @@ impl Default for EnumConfig {
             max_traces_per_thread: 4096,
             max_executions: 1_000_000,
             pruning: false,
+            batching: false,
         }
     }
 }
@@ -411,6 +435,9 @@ struct EnumScratch {
     /// subtree below tree level `d` (product of the branch factors at
     /// levels `>= d`).
     suffix: Vec<usize>,
+    /// Bit-plane batch buffer for [`EnumConfig::batching`]; grow-only
+    /// lane planes reused across batches and combinations.
+    batch: OverlayBatch,
     /// Skeleton stamp for which `co_perms` and the overlay sizing were
     /// last built (0 = never).
     working_set_skel: u64,
@@ -430,6 +457,7 @@ impl EnumScratch {
             rf_idx: Vec::new(),
             co_idx: Vec::new(),
             suffix: Vec::new(),
+            batch: OverlayBatch::new(),
             working_set_skel: 0,
         }
     }
@@ -662,6 +690,13 @@ pub struct PruneStats {
     /// Candidates subsumed by forced-cut classes beyond the one
     /// evaluation each cut performed.
     pub candidates_pruned: u64,
+    /// Bit-plane batches formed ([`EnumConfig::batching`]); 0 when
+    /// batching is off.
+    pub batches_formed: u64,
+    /// Lanes occupied across all formed batches —
+    /// `lanes_filled / batches_formed` is the mean lane occupancy, the
+    /// number CI artifacts watch to judge how well sibling leaves pack.
+    pub lanes_filled: u64,
 }
 
 /// One node of the pruned walk handed to the visitor: either a **leaf**
@@ -836,6 +871,32 @@ where
     Ok(None)
 }
 
+/// Adds read `r`'s fr edges for one (rf source, coherence order)
+/// combination to `batch` under `mask`: with no source (reading the
+/// initial state) the read precedes every write of the order; with a
+/// source it precedes exactly the writes after it.
+fn add_fr_axis(batch: &mut OverlayBatch, src: Option<usize>, order: &[usize], r: usize, mask: u64) {
+    if mask == 0 {
+        return;
+    }
+    match src {
+        None => {
+            for &w in order {
+                batch.add_fr_masked(r, w, mask);
+            }
+        }
+        Some(s) => {
+            let pos = order
+                .iter()
+                .position(|&w| w == s)
+                .expect("rf source is in co");
+            for &w in &order[pos + 1..] {
+                batch.add_fr_masked(r, w, mask);
+            }
+        }
+    }
+}
+
 /// Borrowed working set of one combination's pruned walk — the
 /// immutable slices [`PruneWalk::descend`] threads through the
 /// recursion, leaving only the overlay and contexts mutable.
@@ -852,9 +913,11 @@ struct PruneWalk<'a, 'm> {
 }
 
 impl PruneWalk<'_, '_> {
+    #[allow(clippy::too_many_arguments)]
     fn descend<B, F>(
         &self,
         overlay: &mut Overlay,
+        batch: &mut OverlayBatch,
         ctx: &mut EvalContext,
         depth: usize,
         visited: &mut usize,
@@ -892,6 +955,18 @@ impl PruneWalk<'_, '_> {
                 forced: false,
             };
             return Ok(f(&class));
+        }
+
+        if self.cfg.batching {
+            let span = self.suffix[depth];
+            if (2..=64).contains(&span) {
+                // The trailing subtree fits the lane budget: judge all
+                // of its leaves in one bit-plane pass. The parent's
+                // forced-verdict cut already had its chance (cuts fire
+                // before descending), so batches only see subtrees the
+                // pruning kept — the two compose multiplicatively.
+                return self.batch_subtree(overlay, batch, ctx, depth, visited, stats, f);
+            }
         }
 
         let branch = if depth < num_reads {
@@ -939,7 +1014,402 @@ impl PruneWalk<'_, '_> {
                 }
             }
             if let ControlFlow::Break(b) =
-                self.descend(overlay, ctx, depth + 1, visited, stats, f)?
+                self.descend(overlay, batch, ctx, depth + 1, visited, stats, f)?
+            {
+                return Ok(ControlFlow::Break(b));
+            }
+        }
+        Ok(ControlFlow::Continue(()))
+    }
+
+    /// Walks every leaf of the subtree rooted at tree level `depth` in
+    /// lexicographic order — the exhaustive stream's order — rewriting
+    /// `overlay`'s trailing slots in place and calling `g` at each
+    /// leaf. Both passes of the batch protocol use this walker, so the
+    /// lane order of pass 1 provably matches the report order of
+    /// pass 2.
+    fn for_each_leaf<T>(
+        &self,
+        overlay: &mut Overlay,
+        depth: usize,
+        g: &mut impl FnMut(&mut Overlay) -> ControlFlow<T>,
+    ) -> ControlFlow<T> {
+        let num_reads = self.reads.len();
+        let num_levels = num_reads + self.co_perms.len();
+        if depth == num_levels {
+            return g(overlay);
+        }
+        let branch = if depth < num_reads {
+            self.rf_choices[depth].len()
+        } else {
+            self.co_perm_counts[depth - num_reads]
+        };
+        for choice in 0..branch {
+            if depth < num_reads {
+                overlay.set_rf(self.reads[depth], self.rf_choices[depth][choice]);
+            } else {
+                let li = depth - num_reads;
+                overlay.set_co(li, &self.co_perms[li][choice]);
+            }
+            if let ControlFlow::Break(b) = self.for_each_leaf(overlay, depth + 1, g) {
+                return ControlFlow::Break(b);
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Branching factor of tree level `level` (rf choices for read
+    /// axes, permutation count for coherence axes).
+    fn branch_count(&self, level: usize) -> usize {
+        if level < self.reads.len() {
+            self.rf_choices[level].len()
+        } else {
+            self.co_perm_counts[level - self.reads.len()]
+        }
+    }
+
+    /// Axis-masked packing: fills `batch` with every leaf of the
+    /// subtree rooted at tree level `depth` without walking the leaves.
+    ///
+    /// Lane `j` is the subtree's `j`-th leaf in lexicographic order —
+    /// exactly [`PruneWalk::for_each_leaf`]'s order, so pass 2's lane
+    /// counter still lines up. Because that order is a mixed-radix
+    /// count over the trailing axes, the leaves sharing choice `c` of
+    /// an axis form a periodic lane mask (`stride` = product of the
+    /// later axes' spans): each trailing edge is added **once per
+    /// (axis, choice)** under that mask, and each committed prefix edge
+    /// once under the all-lanes mask, instead of once per lane. Packing
+    /// cost drops from O(lanes × edges) scalar adds to O(choices ×
+    /// edges) word ORs — on read-fan shapes this is the difference
+    /// between packing dominating the batch pass and packing being
+    /// noise.
+    fn pack_axes(&self, overlay: &Overlay, batch: &mut OverlayBatch, depth: usize) {
+        let span = self.suffix[depth];
+        let num_reads = self.reads.len();
+        debug_assert!((2..=64).contains(&span));
+        debug_assert_eq!(self.suffix.len(), num_reads + self.co_perms.len() + 1);
+        batch.set_lane_count(span);
+        let live = LaneMask::all(span).bits();
+        // The lanes taking choice `choice` at `level`: a `stride`-wide
+        // block repeating with the axis's period. Both divide `span`,
+        // so the blocks tile the live lanes exactly.
+        let axis_mask = |level: usize, choice: usize| -> u64 {
+            let stride = self.suffix[level + 1];
+            let period = stride * self.branch_count(level);
+            let block = if stride >= 64 {
+                !0u64
+            } else {
+                (1u64 << stride) - 1
+            };
+            let mut mask = 0u64;
+            let mut start = choice * stride;
+            while start < span {
+                mask |= block << start;
+                start += period;
+            }
+            mask
+        };
+        // rf planes: prefix reads carry the overlay's committed source
+        // in every lane; trailing reads one masked edge per choice.
+        for (k, &r) in self.reads.iter().enumerate() {
+            if k < depth {
+                if let Some(w) = overlay.rf_of(r) {
+                    batch.add_rf_masked(w, r, live);
+                }
+            } else {
+                for (c, &src) in self.rf_choices[k].iter().enumerate() {
+                    if let Some(w) = src {
+                        batch.add_rf_masked(w, r, axis_mask(k, c));
+                    }
+                }
+            }
+        }
+        // co planes: transitive pairs of the committed order (prefix
+        // axes) or of each permutation (trailing axes).
+        for li in 0..self.co_perms.len() {
+            let level = num_reads + li;
+            if level < depth {
+                let order = overlay.co_order(li);
+                for i in 0..order.len() {
+                    for j in (i + 1)..order.len() {
+                        batch.add_co_pair_masked(order[i], order[j], live);
+                    }
+                }
+            } else {
+                for p in 0..self.co_perm_counts[li] {
+                    let order: &[usize] = &self.co_perms[li][p];
+                    let mask = axis_mask(level, p);
+                    for i in 0..order.len() {
+                        for j in (i + 1)..order.len() {
+                            batch.add_co_pair_masked(order[i], order[j], mask);
+                        }
+                    }
+                }
+            }
+        }
+        // fr planes: a read's fr edges depend on its rf choice and its
+        // location's coherence order — each may be committed (prefix)
+        // or a trailing axis, giving four mask combinations.
+        for (k, &r) in self.reads.iter().enumerate() {
+            let li = self.skel.loc_index(r);
+            if li == usize::MAX {
+                continue; // the location is never written: no fr edges
+            }
+            let lc = num_reads + li;
+            match (k < depth, lc < depth) {
+                (true, true) => {
+                    add_fr_axis(batch, overlay.rf_of(r), overlay.co_order(li), r, live);
+                }
+                (true, false) => {
+                    let src = overlay.rf_of(r);
+                    for p in 0..self.co_perm_counts[li] {
+                        add_fr_axis(batch, src, &self.co_perms[li][p], r, axis_mask(lc, p));
+                    }
+                }
+                (false, true) => {
+                    let order = overlay.co_order(li);
+                    for (c, &src) in self.rf_choices[k].iter().enumerate() {
+                        add_fr_axis(batch, src, order, r, axis_mask(k, c));
+                    }
+                }
+                (false, false) => {
+                    for (c, &src) in self.rf_choices[k].iter().enumerate() {
+                        let rf_mask = axis_mask(k, c);
+                        for p in 0..self.co_perm_counts[li] {
+                            add_fr_axis(
+                                batch,
+                                src,
+                                &self.co_perms[li][p],
+                                r,
+                                rf_mask & axis_mask(lc, p),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pass 1 of the two-pass batch protocol: packs every leaf of the
+    /// subtree rooted at `depth` into `batch` (lexicographic order, one
+    /// lane per leaf) and evaluates the model once over all lanes.
+    /// Returns the per-lane verdict mask, or `None` when the model has
+    /// no batched evaluator — pass 2 then judges each leaf scalar.
+    fn batch_verdicts(
+        &self,
+        overlay: &mut Overlay,
+        batch: &mut OverlayBatch,
+        ctx: &mut EvalContext,
+        depth: usize,
+        stats: &mut PruneStats,
+    ) -> Option<LaneMask> {
+        batch.begin(self.skel);
+        if batch.needs_lane_walk() {
+            // RMW exclusivity is a per-lane verdict: pack by walking
+            // the leaves (the closure always continues, so the walk
+            // never breaks).
+            let _ = self.for_each_leaf(overlay, depth, &mut |ov: &mut Overlay| {
+                let view = ExecutionView::new(self.skel, ov);
+                batch.push_lane(&view);
+                ControlFlow::<()>::Continue(())
+            });
+        } else {
+            self.pack_axes(overlay, batch, depth);
+        }
+        stats.batches_formed += 1;
+        stats.lanes_filled += batch.lanes() as u64;
+        // The view only feeds skeleton-derived queries in the batched
+        // evaluator; its overlay (left at the last leaf's state) is
+        // never read — lanes carry the per-leaf rf/co planes.
+        let view = ExecutionView::new(self.skel, overlay);
+        self.model.allows_batch(ctx, &view, batch)
+    }
+
+    /// Judges the whole subtree rooted at `depth` as one bit-plane
+    /// batch. When every lane agrees the subtree is reported as a
+    /// single multi-candidate [`PrunedClass`] (the shape a forced cut
+    /// produces); a mixed batch reports each leaf as a size-1 class in
+    /// the exact order the scalar walk would have produced, with
+    /// per-leaf budget accounting so a budget exhausted mid-batch errs
+    /// exactly where the scalar walk would.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_subtree<B, F>(
+        &self,
+        overlay: &mut Overlay,
+        batch: &mut OverlayBatch,
+        ctx: &mut EvalContext,
+        depth: usize,
+        visited: &mut usize,
+        stats: &mut PruneStats,
+        f: &mut F,
+    ) -> Result<ControlFlow<B>, EnumError>
+    where
+        F: FnMut(&PrunedClass<'_>) -> ControlFlow<B>,
+    {
+        let mask = self.batch_verdicts(overlay, batch, ctx, depth, stats);
+        let num_reads = self.reads.len();
+        let span = self.suffix[depth];
+        if let Some(m) = mask {
+            let live = LaneMask::all(span).bits();
+            let bits = m.bits() & live;
+            if bits == live || bits == 0 {
+                // Every lane agrees: report the subtree as one class,
+                // exactly like a forced cut would — the fold expands a
+                // class's observed combinations without per-candidate
+                // views, so a uniform batch skips the whole per-leaf
+                // report walk. The non-representative lanes count as
+                // pruned (covered without an individual visit), keeping
+                // the partition invariant.
+                overlay.stamp();
+                *visited += 1;
+                if *visited > self.cfg.max_executions {
+                    return Err(EnumError::TooManyExecutions);
+                }
+                stats.classes_visited += 1;
+                stats.candidates_pruned += (span - 1) as u64;
+                let partial = PartialView::new(
+                    self.skel,
+                    overlay,
+                    self.reads,
+                    self.rf_choices,
+                    depth.min(num_reads),
+                    depth.saturating_sub(num_reads),
+                );
+                let class = PrunedClass {
+                    partial,
+                    size: span,
+                    allowed: bits == live,
+                    forced: false,
+                };
+                return Ok(f(&class));
+            }
+        }
+        let mut lane = 0usize;
+        let mut err = None;
+        let flow = self.for_each_leaf(overlay, depth, &mut |ov: &mut Overlay| {
+            ov.stamp();
+            *visited += 1;
+            if *visited > self.cfg.max_executions {
+                err = Some(EnumError::TooManyExecutions);
+                return ControlFlow::Break(None);
+            }
+            stats.classes_visited += 1;
+            let allowed = match mask {
+                Some(m) => m.contains(lane),
+                None => {
+                    let view = ExecutionView::new(self.skel, ov);
+                    self.model.allows_view(ctx, &view)
+                }
+            };
+            lane += 1;
+            let partial = PartialView::new(
+                self.skel,
+                ov,
+                self.reads,
+                self.rf_choices,
+                num_reads,
+                self.co_perms.len(),
+            );
+            let class = PrunedClass {
+                partial,
+                size: 1,
+                allowed,
+                forced: false,
+            };
+            match f(&class) {
+                ControlFlow::Break(b) => ControlFlow::Break(Some(b)),
+                ControlFlow::Continue(()) => ControlFlow::Continue(()),
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(match flow {
+            ControlFlow::Break(Some(b)) => ControlFlow::Break(b),
+            _ => ControlFlow::Continue(()),
+        })
+    }
+
+    /// The exhaustive batched walk: the same decision tree as
+    /// [`PruneWalk::descend`] but with no partial-verdict cuts — every
+    /// candidate is judged, trailing subtrees of 2–64 leaves as one
+    /// bit-plane batch, the rest scalar. Visits candidates in the
+    /// exhaustive stream's order with its visited-count accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn descend_exhaustive<B, F>(
+        &self,
+        overlay: &mut Overlay,
+        batch: &mut OverlayBatch,
+        ctx: &mut EvalContext,
+        depth: usize,
+        visited: &mut usize,
+        stats: &mut PruneStats,
+        f: &mut F,
+    ) -> Result<ControlFlow<B>, EnumError>
+    where
+        F: FnMut(&ExecutionView<'_>, bool) -> ControlFlow<B>,
+    {
+        let num_reads = self.reads.len();
+        let num_levels = num_reads + self.co_perms.len();
+        if depth == num_levels {
+            overlay.stamp();
+            *visited += 1;
+            if *visited > self.cfg.max_executions {
+                return Err(EnumError::TooManyExecutions);
+            }
+            stats.classes_visited += 1;
+            let view = ExecutionView::new(self.skel, overlay);
+            let allowed = self.model.allows_view(ctx, &view);
+            return Ok(f(&view, allowed));
+        }
+
+        let span = self.suffix[depth];
+        if (2..=64).contains(&span) {
+            let mask = self.batch_verdicts(overlay, batch, ctx, depth, stats);
+            let mut lane = 0usize;
+            let mut err = None;
+            let flow = self.for_each_leaf(overlay, depth, &mut |ov: &mut Overlay| {
+                ov.stamp();
+                *visited += 1;
+                if *visited > self.cfg.max_executions {
+                    err = Some(EnumError::TooManyExecutions);
+                    return ControlFlow::Break(None);
+                }
+                stats.classes_visited += 1;
+                let view = ExecutionView::new(self.skel, ov);
+                let allowed = match mask {
+                    Some(m) => m.contains(lane),
+                    None => self.model.allows_view(ctx, &view),
+                };
+                lane += 1;
+                match f(&view, allowed) {
+                    ControlFlow::Break(b) => ControlFlow::Break(Some(b)),
+                    ControlFlow::Continue(()) => ControlFlow::Continue(()),
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            return Ok(match flow {
+                ControlFlow::Break(Some(b)) => ControlFlow::Break(b),
+                _ => ControlFlow::Continue(()),
+            });
+        }
+
+        let branch = if depth < num_reads {
+            self.rf_choices[depth].len()
+        } else {
+            self.co_perm_counts[depth - num_reads]
+        };
+        for choice in 0..branch {
+            if depth < num_reads {
+                overlay.set_rf(self.reads[depth], self.rf_choices[depth][choice]);
+            } else {
+                let li = depth - num_reads;
+                overlay.set_co(li, &self.co_perms[li][choice]);
+            }
+            if let ControlFlow::Break(b) =
+                self.descend_exhaustive(overlay, batch, ctx, depth + 1, visited, stats, f)?
             {
                 return Ok(ControlFlow::Break(b));
             }
@@ -963,23 +1433,7 @@ fn visit_combination_pruned<B, F>(
 where
     F: FnMut(&PrunedClass<'_>) -> ControlFlow<B>,
 {
-    let num_reads = scratch.reads.len();
-    let num_locs = scratch.skel.writes_per_loc().len();
-    let num_levels = num_reads + num_locs;
-
-    // Subtree sizes per level (saturating: only compared against
-    // CUT_MIN and added into u64 counters after subtraction of the one
-    // candidate actually evaluated).
-    scratch.suffix.clear();
-    scratch.suffix.resize(num_levels + 1, 1);
-    for d in (0..num_levels).rev() {
-        let branch = if d < num_reads {
-            scratch.rf_choices[d].len()
-        } else {
-            scratch.co_perm_counts[d - num_reads]
-        };
-        scratch.suffix[d] = scratch.suffix[d + 1].saturating_mul(branch);
-    }
+    let (num_reads, num_locs) = fill_suffix(scratch);
 
     let EnumScratch {
         skel,
@@ -989,6 +1443,7 @@ where
         co_perms,
         co_perm_counts,
         suffix,
+        batch,
         ..
     } = scratch;
     let walk = PruneWalk {
@@ -1024,7 +1479,166 @@ where
             return Ok(f(&class));
         }
     }
-    walk.descend(overlay, ctx, 0, visited, stats, f)
+    walk.descend(overlay, batch, ctx, 0, visited, stats, f)
+}
+
+/// Computes `scratch.suffix` — subtree sizes per tree level, saturating
+/// (only compared against thresholds and added into u64 counters after
+/// subtraction of the one candidate actually evaluated) — for the
+/// prepared combination. Returns `(num_reads, num_locs)`.
+fn fill_suffix(scratch: &mut EnumScratch) -> (usize, usize) {
+    let num_reads = scratch.reads.len();
+    let num_locs = scratch.skel.writes_per_loc().len();
+    let num_levels = num_reads + num_locs;
+    scratch.suffix.clear();
+    scratch.suffix.resize(num_levels + 1, 1);
+    for d in (0..num_levels).rev() {
+        let branch = if d < num_reads {
+            scratch.rf_choices[d].len()
+        } else {
+            scratch.co_perm_counts[d - num_reads]
+        };
+        scratch.suffix[d] = scratch.suffix[d + 1].saturating_mul(branch);
+    }
+    (num_reads, num_locs)
+}
+
+/// Streams every candidate of `test` through `f` together with
+/// `model`'s verdict, judging trailing sibling groups of 2–64
+/// candidates in one bit-plane pass — the batched counterpart of
+/// running [`crate::model::Model::allows_view`] inside a
+/// [`for_each_execution`] visitor.
+///
+/// Candidates arrive in the exhaustive stream's deterministic order
+/// with its visited-count accounting: each candidate handed to `f`
+/// counts one visit against [`EnumConfig::max_executions`], including
+/// mid-batch (a budget exhausted inside a batch errs exactly where the
+/// scalar stream would). `stats` accumulates the batch counters
+/// ([`PruneStats::batches_formed`] / [`PruneStats::lanes_filled`];
+/// `classes_visited` counts candidates here, `candidates_pruned` stays
+/// 0). Models without a batched evaluator
+/// ([`crate::model::Model::allows_batch`] returning `None`) degrade to
+/// per-candidate judgement with identical results.
+///
+/// # Errors
+///
+/// Fails if symbolic execution fails or more than
+/// [`EnumConfig::max_executions`] candidates are visited.
+pub fn for_each_execution_batched<B, F>(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+    stats: &mut PruneStats,
+    mut f: F,
+) -> Result<Option<B>, EnumError>
+where
+    F: FnMut(&ExecutionView<'_>, bool) -> ControlFlow<B>,
+{
+    ENUM_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            for_each_execution_batched_with(test, model, cfg, ctx, &mut scratch, stats, &mut f)
+        }
+        Err(_) => for_each_execution_batched_with(
+            test,
+            model,
+            cfg,
+            ctx,
+            &mut EnumScratch::new(),
+            stats,
+            &mut f,
+        ),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn for_each_execution_batched_with<B, F>(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+    scratch: &mut EnumScratch,
+    stats: &mut PruneStats,
+    f: &mut F,
+) -> Result<Option<B>, EnumError>
+where
+    F: FnMut(&ExecutionView<'_>, bool) -> ControlFlow<B>,
+{
+    let (_domains, per_thread) = fixed_point_traces(test, cfg)?;
+
+    let thread_cta: Vec<usize> = (0..test.num_threads())
+        .map(|t| test.scope_tree().placement(t).cta)
+        .collect();
+    let init_mem: BTreeMap<Loc, i64> = test
+        .memory()
+        .iter()
+        .map(|(l, mi)| (l.clone(), mi.init))
+        .collect();
+    let observed = test.observed();
+
+    let mut visited = 0usize;
+    let mut traces: Vec<&ThreadTrace> = Vec::with_capacity(per_thread.len());
+    let mut combo = vec![0usize; per_thread.len()];
+    'combos: loop {
+        traces.clear();
+        traces.extend(combo.iter().zip(&per_thread).map(|(&i, ts)| &ts[i]));
+        if prepare_combination(&traces, &thread_cta, &init_mem, &observed, scratch) {
+            if let ControlFlow::Break(b) =
+                visit_combination_batched(model, ctx, cfg, scratch, &mut visited, stats, f)?
+            {
+                return Ok(Some(b));
+            }
+        }
+
+        for t in (0..combo.len()).rev() {
+            combo[t] += 1;
+            if combo[t] < per_thread[t].len() {
+                continue 'combos;
+            }
+            combo[t] = 0;
+        }
+        break;
+    }
+    Ok(None)
+}
+
+/// Runs the batched exhaustive walk over one prepared combination.
+fn visit_combination_batched<B, F>(
+    model: &dyn Model,
+    ctx: &mut EvalContext,
+    cfg: &EnumConfig,
+    scratch: &mut EnumScratch,
+    visited: &mut usize,
+    stats: &mut PruneStats,
+    f: &mut F,
+) -> Result<ControlFlow<B>, EnumError>
+where
+    F: FnMut(&ExecutionView<'_>, bool) -> ControlFlow<B>,
+{
+    let (num_reads, num_locs) = fill_suffix(scratch);
+
+    let EnumScratch {
+        skel,
+        overlay,
+        reads,
+        rf_choices,
+        co_perms,
+        co_perm_counts,
+        suffix,
+        batch,
+        ..
+    } = scratch;
+    let walk = PruneWalk {
+        skel,
+        reads,
+        rf_choices: &rf_choices[..num_reads],
+        co_perms: &co_perms[..num_locs],
+        co_perm_counts: &co_perm_counts[..num_locs],
+        suffix,
+        model,
+        cfg,
+    };
+    walk.descend_exhaustive(overlay, batch, ctx, 0, visited, stats, f)
 }
 
 /// Materialises all candidate executions of `test` — a thin wrapper over
@@ -1128,10 +1742,13 @@ pub fn model_outcomes_counted(
     ctx: &mut EvalContext,
 ) -> Result<(ModelOutcomes, PruneStats), EnumError> {
     if !cfg.pruning {
+        if cfg.batching {
+            return model_outcomes_batched(test, model, cfg, ctx);
+        }
         let outcomes = model_outcomes_exhaustive(test, model, cfg, ctx)?;
         let stats = PruneStats {
             classes_visited: outcomes.num_candidates as u64,
-            candidates_pruned: 0,
+            ..PruneStats::default()
         };
         return Ok((outcomes, stats));
     }
@@ -1200,81 +1817,137 @@ fn model_outcomes_exhaustive(
     cfg: &EnumConfig,
     ctx: &mut EvalContext,
 ) -> Result<ModelOutcomes, EnumError> {
-    let cond = test.cond();
-    let mut all = BTreeSet::new();
-    let mut allowed: BTreeSet<Outcome> = BTreeSet::new();
-    let mut num_candidates = 0usize;
-    let mut num_allowed = 0usize;
-    let mut witnessed = false;
-    // Dedup by observed-value vector: `vals` is refilled per candidate
-    // and matched against the distinct vectors seen so far (a handful
-    // per test, so a linear scan beats hashing). The interner allocates
-    // only on first sight of a vector, never per candidate.
-    let mut vals: Vec<i64> = Vec::new();
-    let mut seen = SeenOutcomes::new();
-    let mut allowed_seen: Vec<bool> = Vec::new();
-    // When a test observes only registers, the outcome is fixed per
-    // trace combination: probe the interner once per combination. For
-    // memory-observing tests a single-entry memo still answers most
-    // probes — consecutive candidates usually share their outcome.
-    let mut fixed: Option<(u64, usize)> = None;
-    let mut last: Option<(Vec<i64>, usize)> = None;
+    let mut fold = OutcomeFold::new(test.cond());
     for_each_execution(test, cfg, |view| {
-        num_candidates += 1;
-        let idx = match fixed {
+        let allowed = model.allows_view(ctx, view);
+        fold.candidate(view, allowed);
+        ControlFlow::<()>::Continue(())
+    })?;
+    Ok(fold.finish())
+}
+
+/// The batched exhaustive judgement loop: the same fold as
+/// [`model_outcomes_exhaustive`] fed by [`for_each_execution_batched`],
+/// which delivers each candidate's verdict precomputed — lane-parallel
+/// for trailing sibling groups. Same `ModelOutcomes`, bit for bit.
+fn model_outcomes_batched(
+    test: &LitmusTest,
+    model: &dyn Model,
+    cfg: &EnumConfig,
+    ctx: &mut EvalContext,
+) -> Result<(ModelOutcomes, PruneStats), EnumError> {
+    let mut fold = OutcomeFold::new(test.cond());
+    let mut stats = PruneStats::default();
+    for_each_execution_batched(test, model, cfg, ctx, &mut stats, |view, allowed| {
+        fold.candidate(view, allowed);
+        ControlFlow::<()>::Continue(())
+    })?;
+    Ok((fold.finish(), stats))
+}
+
+/// The exhaustive fold shared by the scalar and batched judgement
+/// loops: accumulates a [`ModelOutcomes`] one `(candidate, verdict)`
+/// pair at a time.
+///
+/// Dedup is by observed-value vector: `vals` is refilled per candidate
+/// and matched against the distinct vectors seen so far (a handful per
+/// test, so a sorted probe beats hashing). Two memos keep the
+/// steady-state loop allocation-free: when a test observes only
+/// registers the outcome is fixed per trace combination (`fixed`
+/// answers with one stamp comparison), and for memory-observing tests a
+/// single-entry memo (`last`) still answers most probes — consecutive
+/// candidates usually share their outcome.
+struct OutcomeFold<'t> {
+    cond: &'t weakgpu_litmus::FinalCond,
+    all: BTreeSet<Outcome>,
+    allowed: BTreeSet<Outcome>,
+    num_candidates: usize,
+    num_allowed: usize,
+    witnessed: bool,
+    vals: Vec<i64>,
+    seen: SeenOutcomes,
+    allowed_seen: Vec<bool>,
+    fixed: Option<(u64, usize)>,
+    last: Option<(Vec<i64>, usize)>,
+}
+
+impl<'t> OutcomeFold<'t> {
+    fn new(cond: &'t weakgpu_litmus::FinalCond) -> Self {
+        OutcomeFold {
+            cond,
+            all: BTreeSet::new(),
+            allowed: BTreeSet::new(),
+            num_candidates: 0,
+            num_allowed: 0,
+            witnessed: false,
+            vals: Vec::new(),
+            seen: SeenOutcomes::new(),
+            allowed_seen: Vec::new(),
+            fixed: None,
+            last: None,
+        }
+    }
+
+    /// Folds one candidate with its verdict into the running totals.
+    fn candidate(&mut self, view: &ExecutionView<'_>, is_allowed: bool) {
+        self.num_candidates += 1;
+        let idx = match self.fixed {
             Some((combo, i)) if combo == view.combination_id() => i,
             _ => {
-                view.fill_observed(&mut vals);
-                let i = match &last {
-                    Some((lv, li)) if *lv == vals => *li,
+                view.fill_observed(&mut self.vals);
+                let i = match &self.last {
+                    Some((lv, li)) if *lv == self.vals => *li,
                     _ => {
-                        let i = match seen.find(&vals) {
+                        let i = match self.seen.find(&self.vals) {
                             Some(i) => i,
                             None => {
                                 let outcome = view.outcome();
-                                let witnesses = cond.witnessed_by(&outcome);
-                                all.insert(outcome.clone());
-                                allowed_seen.push(false);
-                                seen.insert(&vals, outcome, witnesses)
+                                let witnesses = self.cond.witnessed_by(&outcome);
+                                self.all.insert(outcome.clone());
+                                self.allowed_seen.push(false);
+                                self.seen.insert(&self.vals, outcome, witnesses)
                             }
                         };
-                        match &mut last {
+                        match &mut self.last {
                             Some((lv, li)) => {
                                 lv.clear();
-                                lv.extend_from_slice(&vals);
+                                lv.extend_from_slice(&self.vals);
                                 *li = i;
                             }
-                            None => last = Some((vals.clone(), i)),
+                            None => self.last = Some((self.vals.clone(), i)),
                         }
                         i
                     }
                 };
                 if view.observed_is_skeleton_fixed() {
-                    fixed = Some((view.combination_id(), i));
+                    self.fixed = Some((view.combination_id(), i));
                 }
                 i
             }
         };
-        if model.allows_view(ctx, view) {
-            num_allowed += 1;
-            let (outcome, witnesses) = seen.get(idx);
+        if is_allowed {
+            self.num_allowed += 1;
+            let (outcome, witnesses) = self.seen.get(idx);
             if witnesses {
-                witnessed = true;
+                self.witnessed = true;
             }
-            if !allowed_seen[idx] {
-                allowed_seen[idx] = true;
-                allowed.insert(outcome.clone());
+            if !self.allowed_seen[idx] {
+                self.allowed_seen[idx] = true;
+                let outcome = outcome.clone();
+                self.allowed.insert(outcome);
             }
         }
-        ControlFlow::<()>::Continue(())
-    })?;
-    Ok(ModelOutcomes {
-        all_outcomes: all,
-        allowed_outcomes: allowed,
-        num_candidates,
-        num_allowed,
-        condition_witnessed: witnessed,
-    })
+    }
+
+    fn finish(self) -> ModelOutcomes {
+        ModelOutcomes {
+            all_outcomes: self.all,
+            allowed_outcomes: self.allowed,
+            num_candidates: self.num_candidates,
+            num_allowed: self.num_allowed,
+            condition_witnessed: self.witnessed,
+        }
+    }
 }
 
 /// Interner over observed-value vectors: entries are kept sorted by
@@ -1356,6 +2029,36 @@ pub fn condition_witnessed_with(
             }
             ControlFlow::Continue(())
         })?;
+        return Ok(hit.is_some());
+    }
+    if cfg.batching {
+        // Batched exhaustive arm: verdicts arrive precomputed (lane-
+        // parallel for sibling groups), so the witness probe only runs
+        // on allowed candidates — the walk breaks at the same first
+        // allowed witness the scalar stream would.
+        let mut vals: Vec<i64> = Vec::new();
+        let mut seen = SeenOutcomes::new();
+        let mut stats = PruneStats::default();
+        let hit =
+            for_each_execution_batched(test, model, cfg, ctx, &mut stats, |view, allowed| {
+                if !allowed {
+                    return ControlFlow::Continue(());
+                }
+                view.fill_observed(&mut vals);
+                let idx = match seen.find(&vals) {
+                    Some(i) => i,
+                    None => {
+                        let outcome = view.outcome();
+                        let witnesses = cond.witnessed_by(&outcome);
+                        seen.insert(&vals, outcome, witnesses)
+                    }
+                };
+                if seen.witnesses(idx) {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })?;
         return Ok(hit.is_some());
     }
     let mut vals: Vec<i64> = Vec::new();
@@ -1705,5 +2408,158 @@ mod tests {
         })
         .unwrap();
         assert_eq!(broke, Some(7));
+    }
+
+    #[test]
+    fn batched_outcomes_match_exhaustive() {
+        let model = crate::model::sc_model();
+        for test in [
+            corpus::corr(),
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::dlb_mp(false),
+        ] {
+            let mut ctx = EvalContext::new();
+            let exhaustive =
+                model_outcomes_with(&test, &model, &EnumConfig::default(), &mut ctx).unwrap();
+            for pruning in [false, true] {
+                let cfg = EnumConfig {
+                    pruning,
+                    batching: true,
+                    ..EnumConfig::default()
+                };
+                let (got, stats) = model_outcomes_counted(&test, &model, &cfg, &mut ctx).unwrap();
+                assert_eq!(got, exhaustive, "{} pruning={pruning}", test.name());
+                assert_eq!(
+                    stats.classes_visited + stats.candidates_pruned,
+                    exhaustive.num_candidates as u64,
+                    "{} pruning={pruning}",
+                    test.name()
+                );
+                assert_eq!(
+                    condition_witnessed_with(&test, &model, &cfg, &mut ctx).unwrap(),
+                    exhaustive.condition_witnessed,
+                    "{} pruning={pruning}",
+                    test.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_limit_counts_visits_including_mid_batch() {
+        // `max_executions` under batching follows the pruned-walk
+        // convention: every node handed to the visitor counts one
+        // visit, and a budget exhausted mid-batch errs on the exact
+        // leaf the scalar walk would have erred on.
+        let model = crate::model::sc_model();
+        let test = weakgpu_litmus::corpus_extra::corr_fan(2, 6);
+        let candidates = enumerate_executions(&test, &EnumConfig::default())
+            .unwrap()
+            .len();
+        let mut ctx = EvalContext::new();
+
+        // The batched exhaustive stream visits every candidate once.
+        let cfg = EnumConfig {
+            batching: true,
+            ..EnumConfig::default()
+        };
+        let mut stats = PruneStats::default();
+        let mut visits = 0usize;
+        for_each_execution_batched(&test, &model, &cfg, &mut ctx, &mut stats, |_, _| {
+            visits += 1;
+            ControlFlow::<()>::Continue(())
+        })
+        .unwrap();
+        assert_eq!(visits, candidates);
+        assert_eq!(stats.classes_visited, candidates as u64);
+        assert!(stats.batches_formed > 0, "fan tests must form batches");
+        assert!(stats.lanes_filled >= 2 * stats.batches_formed);
+
+        // A budget one short trips mid-walk — inside a batch …
+        let tight = EnumConfig {
+            max_executions: candidates - 1,
+            batching: true,
+            ..EnumConfig::default()
+        };
+        let mut stats = PruneStats::default();
+        assert_eq!(
+            for_each_execution_batched(&test, &model, &tight, &mut ctx, &mut stats, |_, _| {
+                ControlFlow::<()>::Continue(())
+            })
+            .unwrap_err(),
+            EnumError::TooManyExecutions
+        );
+        // … unless the visitor breaks mid-batch first.
+        let mut stats = PruneStats::default();
+        let mut visits = 0usize;
+        let broke = for_each_execution_batched(&test, &model, &tight, &mut ctx, &mut stats, {
+            let visits = &mut visits;
+            move |_, _| {
+                *visits += 1;
+                if *visits == 3 {
+                    ControlFlow::Break(9)
+                } else {
+                    ControlFlow::Continue(())
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(broke, Some(9));
+        assert_eq!(visits, 3);
+
+        // Pruned + batched: visited nodes (cut classes + batch leaves)
+        // still partition the candidate space, and the budget counts
+        // exactly those nodes.
+        let pcfg = EnumConfig {
+            pruning: true,
+            batching: true,
+            ..EnumConfig::default()
+        };
+        let mut stats = PruneStats::default();
+        let mut spanned = 0usize;
+        for_each_execution_pruned(&test, &model, &pcfg, &mut ctx, &mut stats, |class| {
+            spanned += class.size();
+            ControlFlow::<()>::Continue(())
+        })
+        .unwrap();
+        assert_eq!(spanned, candidates);
+        assert_eq!(
+            stats.classes_visited + stats.candidates_pruned,
+            candidates as u64
+        );
+        assert!(stats.batches_formed > 0);
+        let nodes = stats.classes_visited as usize;
+        let tight = EnumConfig {
+            max_executions: nodes - 1,
+            pruning: true,
+            batching: true,
+            ..EnumConfig::default()
+        };
+        let mut stats = PruneStats::default();
+        assert_eq!(
+            for_each_execution_pruned(&test, &model, &tight, &mut ctx, &mut stats, |_| {
+                ControlFlow::<()>::Continue(())
+            })
+            .unwrap_err(),
+            EnumError::TooManyExecutions
+        );
+        let exact = EnumConfig {
+            max_executions: nodes,
+            pruning: true,
+            batching: true,
+            ..EnumConfig::default()
+        };
+        let mut stats = PruneStats::default();
+        assert!(
+            for_each_execution_pruned(
+                &test,
+                &model,
+                &exact,
+                &mut ctx,
+                &mut stats,
+                |_| ControlFlow::<()>::Continue(())
+            )
+            .is_ok()
+        );
     }
 }

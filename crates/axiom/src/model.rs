@@ -15,7 +15,7 @@ use crate::cat::{CatError, CatProgram, CheckOutcome};
 use crate::exec::Execution;
 pub use crate::exec::RmwAtomicity;
 use crate::plan::{EvalContext, Plan};
-use crate::skeleton::{ExecutionView, PartialView};
+use crate::skeleton::{ExecutionView, LaneMask, OverlayBatch, PartialView};
 
 /// A memory consistency model: a predicate on candidate executions
 /// (paper Sec. 5.2).
@@ -58,6 +58,24 @@ pub trait Model {
         let _ = (ctx, partial);
         None
     }
+
+    /// Judges up to 64 sibling candidates packed into an
+    /// [`OverlayBatch`] in one pass: `Some(mask)` with bit `i` set iff
+    /// lane `i`'s candidate is allowed. The default returns `None` —
+    /// "no batched path, judge each lane individually" — so third-party
+    /// models degrade gracefully to per-leaf [`Model::allows_view`]
+    /// calls; plan-backed models override it with the bit-plane
+    /// evaluation of [`Plan::allows_batch`]. `view` borrows the batch's
+    /// skeleton (its overlay contents are unspecified).
+    fn allows_batch(
+        &self,
+        ctx: &mut EvalContext,
+        view: &ExecutionView<'_>,
+        batch: &OverlayBatch,
+    ) -> Option<LaneMask> {
+        let _ = (ctx, view, batch);
+        None
+    }
 }
 
 /// Models pass through [`std::sync::Arc`], so registry-shared models
@@ -82,6 +100,15 @@ impl<M: Model + ?Sized> Model for std::sync::Arc<M> {
 
     fn partial_verdict(&self, ctx: &mut EvalContext, partial: &PartialView<'_>) -> Option<bool> {
         (**self).partial_verdict(ctx, partial)
+    }
+
+    fn allows_batch(
+        &self,
+        ctx: &mut EvalContext,
+        view: &ExecutionView<'_>,
+        batch: &OverlayBatch,
+    ) -> Option<LaneMask> {
+        (**self).allows_batch(ctx, view, batch)
     }
 }
 
@@ -233,6 +260,33 @@ impl CatModel {
         }
     }
 
+    /// The batched form of [`CatModel::allows_view`]: the RMW side
+    /// condition (precomputed per lane by the batch at pack time) ANDed
+    /// with the compiled plan's bit-plane evaluation
+    /// ([`Plan::allows_batch`]). When every lane already fails the RMW
+    /// condition the plan is not evaluated at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `.cat` program references relations the execution
+    /// layer does not define — a defect in the model source.
+    pub fn allows_batch(
+        &self,
+        ctx: &mut EvalContext,
+        view: &ExecutionView<'_>,
+        batch: &OverlayBatch,
+    ) -> LaneMask {
+        let rmw = batch.rmw_mask(self.rmw).bits() & batch.live_mask().bits();
+        if rmw == 0 {
+            return LaneMask::EMPTY;
+        }
+        let plan = self
+            .plan
+            .allows_batch(ctx, view, batch)
+            .unwrap_or_else(|e| panic!("model {:?} failed to evaluate: {e}", self.name));
+        LaneMask::from_bits(rmw & plan.bits())
+    }
+
     /// The legacy tree-walking evaluation of the same verdict (RMW side
     /// condition plus [`CatProgram::allows`] over
     /// [`Execution::base_relations`]). Retained purely as the
@@ -288,6 +342,15 @@ impl Model for CatModel {
 
     fn partial_verdict(&self, ctx: &mut EvalContext, partial: &PartialView<'_>) -> Option<bool> {
         CatModel::partial_verdict(self, ctx, partial)
+    }
+
+    fn allows_batch(
+        &self,
+        ctx: &mut EvalContext,
+        view: &ExecutionView<'_>,
+        batch: &OverlayBatch,
+    ) -> Option<LaneMask> {
+        Some(CatModel::allows_batch(self, ctx, view, batch))
     }
 }
 

@@ -60,8 +60,8 @@ use weakgpu_litmus::FenceScope;
 
 use crate::cat::{CatError, CatProgram, CheckKind, CheckOutcome, Expr, Stmt};
 use crate::exec::Execution;
-use crate::relation::{EventSet, Relation};
-use crate::skeleton::{next_stamp, ExecutionView, PartialView};
+use crate::relation::{EventSet, LaneRel, Relation};
+use crate::skeleton::{next_stamp, ExecutionView, LaneMask, OverlayBatch, PartialView};
 
 /// Maximum function-inlining depth; beyond this the program is assumed to
 /// be (mutually) recursive, which the interpreter cannot evaluate either.
@@ -249,6 +249,22 @@ pub struct EvalContext {
     /// so partial and concrete evaluations never share an epoch.
     bases_hi: Vec<Relation>,
     regs_hi: Vec<Relation>,
+    /// Bit-plane companions of `bases`/`regs` for batched evaluation
+    /// ([`Plan::allows_batch`]): overlay-dependent slots hold one lane
+    /// per batched candidate, skeleton-derived ones hold the scalar
+    /// relation broadcast into all lanes (filled once per skeleton and
+    /// shared by every batch of it). Sized lazily on the first batched
+    /// evaluation; separate epoch vectors because the scalar and lane
+    /// fills of one slot are independent.
+    lane_bases: Vec<LaneRel>,
+    lane_base_epoch: Vec<u64>,
+    lane_regs: Vec<LaneRel>,
+    lane_reg_epoch: Vec<u64>,
+    lane_scratch: LaneRel,
+    /// Per-node active-lane masks for the lane-parallel acyclicity check.
+    lane_active: Vec<u64>,
+    /// Stamp of the overlay batch last evaluated; 0 = none.
+    batch_gen: u64,
     reads: EventSet,
     writes: EventSet,
     scratch_a: Relation,
@@ -279,6 +295,7 @@ impl EvalContext {
         self.plan_id = 0;
         self.skel_id = 0;
         self.overlay_gen = 0;
+        self.batch_gen = 0;
         self.n = n;
         if self.bases.len() < plan.base_names.len() {
             self.bases
@@ -307,6 +324,29 @@ impl EvalContext {
         }
         if self.regs_hi.len() < plan.ops.len() {
             self.regs_hi.resize_with(plan.ops.len(), Relation::default);
+        }
+    }
+
+    /// Grows the bit-plane buffers to `plan`'s slot counts (no-op once
+    /// warm).
+    fn size_lanes(&mut self, plan: &Plan) {
+        if self.lane_bases.len() < plan.base_names.len() {
+            self.lane_bases
+                .resize_with(plan.base_names.len(), LaneRel::default);
+        }
+        self.lane_base_epoch.resize(self.lane_bases.len(), 0);
+        if self.lane_regs.len() < plan.ops.len() {
+            self.lane_regs.resize_with(plan.ops.len(), LaneRel::default);
+        }
+        self.lane_reg_epoch.resize(self.lane_regs.len(), 0);
+    }
+
+    /// The bit-plane operand buffer of `s` (valid only after the slot's
+    /// lane fill or broadcast this batch/skeleton).
+    fn lane_src(&self, s: Src) -> &LaneRel {
+        match s {
+            Src::Base(i) => &self.lane_bases[i],
+            Src::Reg(i) => &self.lane_regs[i],
         }
     }
 }
@@ -1114,6 +1154,266 @@ impl Plan {
         ctx.colour = colour;
         ctx.stack = stack;
         verdict
+    }
+
+    /// `true` when `s` depends on the rf/co overlay (and therefore
+    /// varies across a batch's lanes).
+    fn src_is_overlay(&self, s: Src) -> bool {
+        match s {
+            Src::Base(i) => self.base_overlay[i],
+            Src::Reg(i) => self.op_overlay[i],
+        }
+    }
+
+    /// Bit-plane variant of [`Plan::ensure_base`]: overlay bases copy
+    /// (or derive) their lane planes from the batch, skeleton-derived
+    /// ones are evaluated scalar once per skeleton and broadcast into
+    /// all lanes (the broadcast itself is also reused across batches of
+    /// one skeleton).
+    fn ensure_lane_base(
+        &self,
+        ctx: &mut EvalContext,
+        slot: usize,
+        batch: &OverlayBatch,
+        view: &ExecutionView<'_>,
+    ) -> Result<(), CatError> {
+        let required = if self.base_overlay[slot] {
+            ctx.epoch
+        } else {
+            ctx.skel_epoch
+        };
+        if ctx.lane_base_epoch[slot] >= required {
+            return Ok(());
+        }
+        let name = self.base_names[slot].as_str();
+        let mut dst = mem::take(&mut ctx.lane_bases[slot]);
+        if self.base_overlay[slot] {
+            match name {
+                "rf" => dst.copy_from(batch.rf_planes()),
+                "co" => dst.copy_from(batch.co_planes()),
+                "fr" => dst.copy_from(batch.fr_planes()),
+                "rfe" | "rfi" | "coe" | "coi" | "fre" | "fri" => {
+                    let planes = match &name[..2] {
+                        "rf" => batch.rf_planes(),
+                        "co" => batch.co_planes(),
+                        _ => batch.fr_planes(),
+                    };
+                    let other = if name.ends_with('e') {
+                        view.ext()
+                    } else {
+                        view.int()
+                    };
+                    dst.inter_rel_from(planes, other);
+                }
+                _ => unreachable!("overlay bases are rf/co/fr and their variants"),
+            }
+        } else {
+            self.ensure_base(ctx, slot, &EnvSource::View(view))?;
+            dst.broadcast_from(&ctx.bases[slot]);
+        }
+        ctx.lane_bases[slot] = dst;
+        ctx.lane_base_epoch[slot] = ctx.epoch;
+        Ok(())
+    }
+
+    /// Makes operand `s` available as bit-planes: overlay registers must
+    /// already have been run through [`Plan::run_op_batch`] (deps are
+    /// topologically ordered); skeleton-derived registers are broadcast
+    /// from their (already computed) scalar value on first lane use.
+    fn ensure_lane_operand(
+        &self,
+        ctx: &mut EvalContext,
+        s: Src,
+        batch: &OverlayBatch,
+        view: &ExecutionView<'_>,
+    ) -> Result<(), CatError> {
+        match s {
+            Src::Base(slot) => self.ensure_lane_base(ctx, slot, batch, view),
+            Src::Reg(r) => {
+                if self.op_overlay[r] {
+                    debug_assert!(ctx.lane_reg_epoch[r] >= ctx.epoch, "deps run in topo order");
+                } else if ctx.lane_reg_epoch[r] < ctx.skel_epoch {
+                    self.run_op(ctx, r, &EnvSource::View(view))?;
+                    let mut dst = mem::take(&mut ctx.lane_regs[r]);
+                    dst.broadcast_from(&ctx.regs[r]);
+                    ctx.lane_regs[r] = dst;
+                    ctx.lane_reg_epoch[r] = ctx.epoch;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Bit-plane variant of [`Plan::run_op`], for overlay-dependent
+    /// instructions only: computes register `i` in every lane at once.
+    /// Skeleton-derived instructions keep their scalar evaluation (one
+    /// run per skeleton serves all lanes of all batches).
+    fn run_op_batch(
+        &self,
+        ctx: &mut EvalContext,
+        i: usize,
+        batch: &OverlayBatch,
+        view: &ExecutionView<'_>,
+    ) -> Result<(), CatError> {
+        debug_assert!(self.op_overlay[i], "scalar ops run through run_op");
+        if ctx.lane_reg_epoch[i] >= ctx.epoch {
+            return Ok(());
+        }
+        let op = self.ops[i];
+        let mut src_err = Ok(());
+        op.for_each_src(&self.operands, |s| {
+            if src_err.is_ok() {
+                src_err = self.ensure_lane_operand(ctx, s, batch, view);
+            }
+        });
+        src_err?;
+        let mut dst = mem::take(&mut ctx.lane_regs[i]);
+        match op {
+            Op::Zero => dst.reset(ctx.n),
+            Op::Union(a, b) => dst.union_from(ctx.lane_src(a), ctx.lane_src(b)),
+            Op::UnionN { start, len } => {
+                let operands = &self.operands[start as usize..(start + len) as usize];
+                dst.copy_from(ctx.lane_src(operands[0]));
+                for &s in &operands[1..] {
+                    dst.or_in_place(ctx.lane_src(s));
+                }
+            }
+            Op::Inter(a, b) => dst.inter_from(ctx.lane_src(a), ctx.lane_src(b)),
+            Op::Diff(a, b) => dst.diff_from(ctx.lane_src(a), ctx.lane_src(b)),
+            Op::Seq(a, b) => dst.seq_from(ctx.lane_src(a), ctx.lane_src(b)),
+            Op::Inverse(a) => dst.inverse_from(ctx.lane_src(a)),
+            Op::Opt(a) => dst.opt_from(ctx.lane_src(a)),
+            Op::Plus(a) => {
+                let mut scratch = mem::take(&mut ctx.lane_scratch);
+                dst.plus_from(ctx.lane_src(a), &mut scratch);
+                ctx.lane_scratch = scratch;
+            }
+            Op::Star(a) => {
+                let mut scratch = mem::take(&mut ctx.lane_scratch);
+                dst.star_from(ctx.lane_src(a), &mut scratch);
+                ctx.lane_scratch = scratch;
+            }
+            Op::Restrict(a, dom, rng) => {
+                let dom = match dom {
+                    Sort::Reads => &ctx.reads,
+                    Sort::Writes => &ctx.writes,
+                };
+                let rng = match rng {
+                    Sort::Reads => &ctx.reads,
+                    Sort::Writes => &ctx.writes,
+                };
+                dst.restrict_from(ctx.lane_src(a), dom, rng);
+            }
+        }
+        ctx.lane_regs[i] = dst;
+        ctx.lane_reg_epoch[i] = ctx.epoch;
+        Ok(())
+    }
+
+    /// Per-lane check verdict: bit `i` set iff lane `i` passes `check`.
+    /// Bits of dead lanes are garbage (broadcasts fill all 64 lanes);
+    /// the caller masks with the live mask.
+    fn check_passes_batch(&self, ctx: &mut EvalContext, check: &PlanCheck, live: u64) -> u64 {
+        match check.kind {
+            CheckKind::Empty => !self.lane_src_ctx(ctx, check.src).nonempty_lanes(),
+            CheckKind::Irreflexive => !self.lane_src_ctx(ctx, check.src).reflexive_lanes(),
+            CheckKind::Acyclic => {
+                let mut active = mem::take(&mut ctx.lane_active);
+                let cyclic = self
+                    .lane_src_ctx(ctx, check.src)
+                    .cyclic_lanes(live, &mut active);
+                ctx.lane_active = active;
+                !cyclic
+            }
+        }
+    }
+
+    /// [`EvalContext::lane_src`] spelled as a plan method (keeps the
+    /// call sites symmetric with `src_rel`/`src_hi`).
+    fn lane_src_ctx<'c>(&self, ctx: &'c EvalContext, s: Src) -> &'c LaneRel {
+        ctx.lane_src(s)
+    }
+
+    /// Prologue of the batch entry point, mirroring [`Plan::begin_view`]:
+    /// full invalidation on a new plan or skeleton, epoch-only bump on a
+    /// new batch of the same skeleton (batches and overlays share one
+    /// stamp space, so the generations never collide).
+    fn begin_batch(&self, ctx: &mut EvalContext, view: &ExecutionView<'_>, batch: &OverlayBatch) {
+        if ctx.plan_id != self.id || ctx.skel_id != view.skeleton_id() {
+            ctx.begin(self, view.len());
+            ctx.plan_id = self.id;
+            ctx.skel_id = view.skeleton_id();
+            ctx.reads.copy_from(view.read_set());
+            ctx.writes.copy_from(view.write_set());
+        } else if ctx.batch_gen != batch.gen() {
+            ctx.epoch += 1;
+        }
+        ctx.batch_gen = batch.gen();
+        ctx.overlay_gen = 0;
+        ctx.size_lanes(self);
+    }
+
+    /// Judges up to 64 sibling candidates in one pass: bit `i` of the
+    /// returned mask is set iff lane `i` of `batch` passes every check.
+    ///
+    /// Skeleton-derived registers are evaluated scalar (once per
+    /// skeleton, exactly as on the view path) and broadcast into lanes
+    /// only where an overlay-dependent instruction consumes them;
+    /// checks that do not depend on the overlay at all are judged
+    /// scalar, one verdict covering every lane. Overlay-dependent
+    /// registers are computed as bit-planes, one word op covering all
+    /// 64 lanes. The check schedule is the plan's static cheapest-first
+    /// order (the adaptive rotation of the scalar path buys nothing
+    /// when one evaluation already covers the whole sibling set), and
+    /// evaluation stops as soon as every live lane has failed some
+    /// check.
+    ///
+    /// `view` must borrow the same skeleton the batch was
+    /// [`begun`](OverlayBatch::begin) on; its overlay contents are only
+    /// read by skeleton-derived queries, so any lane's (or a stale)
+    /// overlay is fine.
+    ///
+    /// # Errors
+    ///
+    /// See [`Plan::allows_exec`].
+    pub fn allows_batch(
+        &self,
+        ctx: &mut EvalContext,
+        view: &ExecutionView<'_>,
+        batch: &OverlayBatch,
+    ) -> Result<LaneMask, CatError> {
+        self.begin_batch(ctx, view, batch);
+        let live = batch.live_mask().bits();
+        let mut allowed = live;
+        let env = EnvSource::View(view);
+        for &ci in &self.fast_order {
+            let check = &self.checks[ci];
+            if !self.src_is_overlay(check.src) {
+                // A communication-independent check: one scalar verdict
+                // covers every lane of every batch of this skeleton.
+                for &op in &check.deps {
+                    self.run_op(ctx, op, &env)?;
+                }
+                self.ensure_src(ctx, check.src, &env)?;
+                if !self.check_passes(ctx, check) {
+                    return Ok(LaneMask::EMPTY);
+                }
+                continue;
+            }
+            for &op in &check.deps {
+                if self.op_overlay[op] {
+                    self.run_op_batch(ctx, op, batch, view)?;
+                } else {
+                    self.run_op(ctx, op, &env)?;
+                }
+            }
+            self.ensure_lane_operand(ctx, check.src, batch, view)?;
+            allowed &= self.check_passes_batch(ctx, check, live);
+            if allowed == 0 {
+                return Ok(LaneMask::EMPTY);
+            }
+        }
+        Ok(LaneMask::from_bits(allowed))
     }
 
     /// Prologue of the view entry points: full invalidation on a new

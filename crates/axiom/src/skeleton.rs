@@ -34,7 +34,7 @@ use weakgpu_litmus::{FenceScope, FinalExpr, Loc, Outcome};
 
 use crate::event::Event;
 use crate::exec::{self, Execution, RmwAtomicity};
-use crate::relation::{EventSet, Relation};
+use crate::relation::{EventSet, LaneRel, Relation};
 use crate::symbolic::ThreadTrace;
 
 /// Process-unique stamps for skeletons, overlays and compiled plans.
@@ -491,6 +491,269 @@ impl Overlay {
     /// rf/co-derived state in evaluation contexts.
     pub(crate) fn stamp(&mut self) {
         self.gen = next_stamp();
+    }
+
+    /// Read `r`'s current rf source (`None` = initial state).
+    pub(crate) fn rf_of(&self, r: usize) -> Option<usize> {
+        self.rf[r]
+    }
+
+    /// Location `loc_idx`'s current coherence order.
+    pub(crate) fn co_order(&self, loc_idx: usize) -> &[usize] {
+        &self.co[loc_idx]
+    }
+}
+
+/// A set of lanes in a candidate batch: one bit per lane, lane `i` at
+/// bit `i`. Lanes index the up-to-64 sibling candidates packed into an
+/// [`OverlayBatch`]; masks flow through the bit-plane evaluation path
+/// ([`crate::plan::Plan::allows_batch`]) as plain `u64` words, with this
+/// newtype marking the API boundaries.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct LaneMask(u64);
+
+impl LaneMask {
+    /// The empty lane set.
+    pub const EMPTY: LaneMask = LaneMask(0);
+
+    /// The mask with the low `lanes` bits set (`lanes <= 64`).
+    pub fn all(lanes: usize) -> LaneMask {
+        debug_assert!(lanes <= 64);
+        if lanes >= 64 {
+            LaneMask(!0)
+        } else {
+            LaneMask((1u64 << lanes) - 1)
+        }
+    }
+
+    /// Wraps a raw bit mask.
+    pub fn from_bits(bits: u64) -> LaneMask {
+        LaneMask(bits)
+    }
+
+    /// The raw bit mask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// `true` iff lane `lane` is in the set.
+    pub fn contains(self, lane: usize) -> bool {
+        lane < 64 && (self.0 >> lane) & 1 != 0
+    }
+
+    /// Number of lanes in the set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` when no lane is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Up to 64 sibling candidates of one skeleton packed as bit-planes:
+/// lane `i` of every [`LaneRel`] plane holds candidate `i`'s edge bit.
+/// The batched enumeration driver fills one lane per surviving leaf of
+/// a subtree (candidates that share an rf/co prefix and differ only in
+/// the trailing choices), then judges all of them in one
+/// [`crate::plan::Plan::allows_batch`] pass — skeleton-derived
+/// registers are shared across lanes as broadcasts, and every word-level
+/// relational op covers all 64 lanes at once.
+///
+/// Like [`Overlay`], one batch buffer is rewritten in place for every
+/// batch ([`OverlayBatch::begin`] + [`OverlayBatch::push_lane`]); after
+/// the first batch has sized the planes, refills allocate nothing.
+#[derive(Debug, Default)]
+pub struct OverlayBatch {
+    gen: u64,
+    n: usize,
+    lanes: usize,
+    rf: LaneRel,
+    co: LaneRel,
+    fr: LaneRel,
+    /// Per-lane RMW exclusivity verdicts, precomputed at
+    /// [`OverlayBatch::push_lane`] time for both checking modes (the
+    /// batch former does not know which model will judge the batch).
+    rmw_full: u64,
+    rmw_atomics: u64,
+    has_rmw: bool,
+}
+
+impl OverlayBatch {
+    /// A fresh batch buffer with empty planes.
+    pub fn new() -> OverlayBatch {
+        OverlayBatch::default()
+    }
+
+    /// Re-arms the buffer for a new batch of candidates of `skel`:
+    /// clears every plane, resets the lane count and stamps a fresh
+    /// batch generation (shared stamp space with overlays and
+    /// skeletons, so evaluation contexts can key cached lane planes on
+    /// it without colliding with per-candidate stamps).
+    pub fn begin(&mut self, skel: &ExecutionSkeleton) {
+        self.gen = next_stamp();
+        self.n = skel.len();
+        self.lanes = 0;
+        self.rf.reset(self.n);
+        self.co.reset(self.n);
+        self.fr.reset(self.n);
+        self.has_rmw = !skel.rmw.is_empty();
+        self.rmw_full = 0;
+        self.rmw_atomics = 0;
+    }
+
+    /// Packs the candidate currently described by `view` into the next
+    /// free lane: its rf edges, transitive coherence edges and from-read
+    /// edges land in lane `i` of the respective planes, and its RMW
+    /// exclusivity verdicts (when the skeleton has RMW pairs at all) in
+    /// bit `i` of the per-mode masks. Returns the lane index.
+    ///
+    /// Panics when the batch is full (64 lanes) or `view` belongs to a
+    /// different skeleton than [`OverlayBatch::begin`] saw.
+    pub fn push_lane(&mut self, view: &ExecutionView<'_>) -> usize {
+        assert!(self.lanes < 64, "OverlayBatch is full");
+        assert_eq!(view.len(), self.n, "view belongs to a different skeleton");
+        let lane = self.lanes;
+        self.lanes += 1;
+        let skel = view.skel;
+        let overlay = view.overlay;
+        for (read, src) in overlay.rf.iter().enumerate() {
+            if let Some(w) = src {
+                self.rf.add(*w, read, lane);
+            }
+        }
+        for order in &overlay.co[..overlay.co_active] {
+            for i in 0..order.len() {
+                for j in (i + 1)..order.len() {
+                    self.co.add(order[i], order[j], lane);
+                }
+            }
+        }
+        for e in &skel.events {
+            if !e.is_read() {
+                continue;
+            }
+            let li = skel.loc_idx[e.id];
+            if li == usize::MAX {
+                continue; // the location is never written: no fr edges
+            }
+            let order = &overlay.co[li];
+            match overlay.rf[e.id] {
+                None => {
+                    for &w in order {
+                        self.fr.add(e.id, w, lane);
+                    }
+                }
+                Some(src) => {
+                    let pos = order
+                        .iter()
+                        .position(|&w| w == src)
+                        .expect("rf source is in co");
+                    for &w in &order[pos + 1..] {
+                        self.fr.add(e.id, w, lane);
+                    }
+                }
+            }
+        }
+        if self.has_rmw {
+            if view.rmw_atomicity_holds(RmwAtomicity::Full) {
+                self.rmw_full |= 1 << lane;
+            }
+            if view.rmw_atomicity_holds(RmwAtomicity::AmongAtomics) {
+                self.rmw_atomics |= 1 << lane;
+            }
+        }
+        lane
+    }
+
+    /// `true` when batches of this skeleton must be packed by walking
+    /// leaves ([`OverlayBatch::push_lane`]): RMW exclusivity is a
+    /// per-lane verdict the axis-masked packing path cannot derive from
+    /// edge masks alone.
+    pub(crate) fn needs_lane_walk(&self) -> bool {
+        self.has_rmw
+    }
+
+    /// Declares the batch's lane count without per-lane pushes. The
+    /// axis-masked packing path fills whole planes with
+    /// [`OverlayBatch::add_rf_masked`]-family bulk ORs and then claims
+    /// all `lanes` lanes at once.
+    pub(crate) fn set_lane_count(&mut self, lanes: usize) {
+        debug_assert!(lanes <= 64, "OverlayBatch holds at most 64 lanes");
+        self.lanes = lanes;
+    }
+
+    /// ORs `mask` into the rf plane at `(w, r)`: read `r` takes write
+    /// `w` as its source in every lane of `mask`.
+    pub(crate) fn add_rf_masked(&mut self, w: usize, r: usize, mask: u64) {
+        self.rf.or_pair(w, r, mask);
+    }
+
+    /// ORs `mask` into the coherence plane at `(a, b)` (`a` before `b`
+    /// in their location's order, transitively).
+    pub(crate) fn add_co_pair_masked(&mut self, a: usize, b: usize, mask: u64) {
+        self.co.or_pair(a, b, mask);
+    }
+
+    /// ORs `mask` into the from-read plane at `(r, w)`: read `r`
+    /// precedes write `w` in coherence in every lane of `mask`.
+    pub(crate) fn add_fr_masked(&mut self, r: usize, w: usize, mask: u64) {
+        self.fr.or_pair(r, w, mask);
+    }
+
+    /// The batch's stamp: changes on every [`OverlayBatch::begin`].
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// Number of events of the batched skeleton.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no lane has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.lanes == 0
+    }
+
+    /// Number of filled lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The filled lanes as a mask (lanes `0..lanes()`).
+    pub fn live_mask(&self) -> LaneMask {
+        LaneMask::all(self.lanes)
+    }
+
+    /// The lanes whose candidate satisfies RMW exclusivity under
+    /// `mode`. All-ones (every lane passes) when the skeleton has no
+    /// RMW pairs or the mode never fails.
+    pub fn rmw_mask(&self, mode: RmwAtomicity) -> LaneMask {
+        if !self.has_rmw || mode == RmwAtomicity::None {
+            return LaneMask::from_bits(!0);
+        }
+        match mode {
+            RmwAtomicity::Full => LaneMask::from_bits(self.rmw_full),
+            RmwAtomicity::AmongAtomics => LaneMask::from_bits(self.rmw_atomics),
+            RmwAtomicity::None => unreachable!(),
+        }
+    }
+
+    /// The read-from planes (lane `i` = lane `i`'s rf edges).
+    pub(crate) fn rf_planes(&self) -> &LaneRel {
+        &self.rf
+    }
+
+    /// The coherence planes (transitive per-location orders).
+    pub(crate) fn co_planes(&self) -> &LaneRel {
+        &self.co
+    }
+
+    /// The from-read planes.
+    pub(crate) fn fr_planes(&self) -> &LaneRel {
+        &self.fr
     }
 }
 

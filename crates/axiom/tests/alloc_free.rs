@@ -42,7 +42,8 @@ unsafe impl GlobalAlloc for Counting {
 static COUNTER: Counting = Counting;
 
 use weakgpu_axiom::enumerate::{
-    for_each_execution, for_each_execution_pruned, EnumConfig, PruneStats,
+    for_each_execution, for_each_execution_batched, for_each_execution_pruned, EnumConfig,
+    PruneStats,
 };
 use weakgpu_axiom::model::sc_model;
 use weakgpu_axiom::plan::EvalContext;
@@ -149,5 +150,77 @@ fn steady_state_pruned_walk_is_allocation_free() {
              in the steady-state pruned walk",
             test.name()
         );
+    }
+}
+
+#[test]
+fn steady_state_batched_walk_is_allocation_free() {
+    // The bit-plane batch loop must allocate nothing per batch once the
+    // lane planes have grown to the skeleton's size: packing lanes,
+    // broadcasting skeleton-derived relations, the lane-parallel plan
+    // pass and the per-leaf report pass all run in reused buffers —
+    // on the exhaustive stream and composed with pruning alike.
+    let model = sc_model();
+    let mut ctx = EvalContext::new();
+    for pruning in [false, true] {
+        let cfg = EnumConfig {
+            pruning,
+            batching: true,
+            ..EnumConfig::default()
+        };
+        for test in [
+            // The fan shape forms dense multi-lane batches; the corpus
+            // tests cover small batches mixed with scalar leaves.
+            corpus_extra::corr_fan(2, 6),
+            corpus::corr(),
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::dlb_lb(false),
+        ] {
+            let mut run = |stats: &mut PruneStats, visit: &mut dyn FnMut()| {
+                if pruning {
+                    for_each_execution_pruned(&test, &model, &cfg, &mut ctx, stats, |_| {
+                        visit();
+                        ControlFlow::<()>::Continue(())
+                    })
+                    .unwrap();
+                } else {
+                    for_each_execution_batched(&test, &model, &cfg, &mut ctx, stats, |_, _| {
+                        visit();
+                        ControlFlow::<()>::Continue(())
+                    })
+                    .unwrap();
+                }
+            };
+            // Warm the enumeration scratch, the batch's lane planes and
+            // the evaluation context's lane registers.
+            for _ in 0..2 {
+                let mut stats = PruneStats::default();
+                run(&mut stats, &mut || {});
+            }
+
+            let mut stats = PruneStats::default();
+            let (nodes, allocs) = allocs_across_visits(|visit| run(&mut stats, visit));
+
+            assert!(nodes > 1, "{} must visit several nodes", test.name());
+            assert_eq!(nodes as u64, stats.classes_visited, "{}", test.name());
+            // Only shapes with multi-choice trailing axes batch; the
+            // single-choice corpus tests degenerate to scalar leaves
+            // (and must still allocate nothing).
+            if test.name().contains("fan") {
+                assert!(
+                    stats.batches_formed > 0,
+                    "{} (pruning={pruning}) must form batches",
+                    test.name()
+                );
+            }
+            assert_eq!(
+                allocs,
+                0,
+                "{} (pruning={pruning}): {allocs} heap allocations across {nodes} \
+                 visits and {} batches in the steady-state batched walk",
+                test.name(),
+                stats.batches_formed
+            );
+        }
     }
 }

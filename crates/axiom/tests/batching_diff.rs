@@ -1,0 +1,331 @@
+//! Batched ≡ scalar, proven differentially.
+//!
+//! The bit-plane batch evaluator behind [`EnumConfig::batching`] packs
+//! up to 64 sibling candidates — overlays differing only in trailing
+//! rf slots / co axes — into the lanes of an `OverlayBatch` and judges
+//! them with one pass over the compiled plan, every relational op
+//! covering all lanes per machine word. Like the pruner before it, the
+//! only safe way to ship it is to prove, bit for bit, that it changes
+//! nothing observable: for **every** built-in model (PTX, SC, TSO,
+//! RMO, the operational baseline, the no-LLH ablation, and the
+//! natively-implemented PTX model, which exercises the `allows_batch`
+//! default fallback), over the full hand-written corpus **and** the
+//! whole generated `small` family, the batched [`ModelOutcomes`] must
+//! equal the scalar one — on the exhaustive stream *and* composed with
+//! pruning, where batches amortise exactly the leaves the cuts kept.
+//! Proptests extend the battery to random corpus variants × random
+//! `.cat` programs, mirroring `pruning_diff.rs`.
+
+use std::ops::ControlFlow;
+
+use proptest::prelude::*;
+use weakgpu_axiom::enumerate::{
+    condition_witnessed_with, for_each_execution_batched, for_each_execution_pruned,
+    model_outcomes_counted, EnumConfig, PruneStats,
+};
+use weakgpu_axiom::plan::EvalContext;
+use weakgpu_axiom::{model_outcomes, CatModel, Model, ModelOutcomes};
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_litmus::{corpus, corpus_extra, FenceScope, LitmusTest, ThreadScope};
+use weakgpu_models::{all_models, native::NativePtxModel, ptx_model_without_llh};
+
+fn batching_cfg() -> EnumConfig {
+    EnumConfig {
+        batching: true,
+        ..EnumConfig::default()
+    }
+}
+
+fn batched_pruning_cfg() -> EnumConfig {
+    EnumConfig {
+        pruning: true,
+        batching: true,
+        ..EnumConfig::default()
+    }
+}
+
+/// Asserts the headline property for one (test, model) pair on both
+/// batched arms — exhaustive and composed with pruning — and returns
+/// the stats of each for invariant checks on top.
+fn assert_batched_matches_scalar(
+    test: &LitmusTest,
+    model: &dyn Model,
+    ctx: &mut EvalContext,
+) -> (ModelOutcomes, PruneStats, PruneStats) {
+    let (scalar, _) = model_outcomes_counted(test, model, &EnumConfig::default(), ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+
+    let (batched, bstats) = model_outcomes_counted(test, model, &batching_cfg(), ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    assert_eq!(
+        batched,
+        scalar,
+        "{} under {}: batched-exhaustive and scalar ModelOutcomes diverge",
+        test.name(),
+        model.name()
+    );
+    assert_eq!(
+        bstats.classes_visited as usize,
+        scalar.num_candidates,
+        "{} under {}: batched-exhaustive must visit every candidate",
+        test.name(),
+        model.name()
+    );
+    assert_eq!(bstats.candidates_pruned, 0, "{}", test.name());
+    assert!(
+        bstats.lanes_filled >= 2 * bstats.batches_formed,
+        "{} under {}: batches must hold at least two lanes",
+        test.name(),
+        model.name()
+    );
+
+    let (both, pstats) = model_outcomes_counted(test, model, &batched_pruning_cfg(), ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    assert_eq!(
+        both,
+        scalar,
+        "{} under {}: pruned+batched and scalar ModelOutcomes diverge",
+        test.name(),
+        model.name()
+    );
+    assert_eq!(
+        pstats.classes_visited + pstats.candidates_pruned,
+        scalar.num_candidates as u64,
+        "{} under {}: classes, cuts and batch leaves must partition the space",
+        test.name(),
+        model.name()
+    );
+    (scalar, bstats, pstats)
+}
+
+fn test_suite() -> Vec<LitmusTest> {
+    let mut tests = corpus::all();
+    tests.extend([
+        corpus::mp(ThreadScope::IntraCta, Some(FenceScope::Cta)),
+        corpus::sb(ThreadScope::IntraCta, None),
+        corpus::lb(ThreadScope::InterCta, Some(FenceScope::Cta)),
+        corpus::mp_dep(ThreadScope::InterCta, FenceScope::Gl),
+    ]);
+    tests
+}
+
+#[test]
+fn batched_matches_scalar_for_every_builtin_model() {
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in test_suite() {
+            assert_batched_matches_scalar(&test, &model, &mut ctx);
+        }
+    }
+}
+
+#[test]
+fn batched_matches_scalar_for_the_ablation_and_native_models() {
+    let mut ctx = EvalContext::new();
+    for test in test_suite() {
+        assert_batched_matches_scalar(&test, &ptx_model_without_llh(), &mut ctx);
+        // The native model has no plan, so `allows_batch` stays at the
+        // trait default (`None`): batches still form, but pass 2
+        // degrades to per-leaf evaluation and must agree bit for bit.
+        assert_batched_matches_scalar(&test, &NativePtxModel::new(), &mut ctx);
+    }
+}
+
+#[test]
+fn batched_matches_scalar_over_the_small_family() {
+    let family = generate(&GenConfig::small());
+    assert!(!family.is_empty());
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in &family {
+            assert_batched_matches_scalar(test, &model, &mut ctx);
+        }
+    }
+}
+
+#[test]
+fn batched_witness_query_matches_scalar() {
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in test_suite() {
+            let full = model_outcomes(&test, &model, &EnumConfig::default()).unwrap();
+            for cfg in [batching_cfg(), batched_pruning_cfg()] {
+                let fast = condition_witnessed_with(&test, &model, &cfg, &mut ctx).unwrap();
+                assert_eq!(
+                    fast,
+                    full.condition_witnessed,
+                    "{} under {} (pruning={})",
+                    test.name(),
+                    Model::name(&model),
+                    cfg.pruning
+                );
+            }
+        }
+    }
+}
+
+/// The capability check: on the read-fan shape the trailing co axes and
+/// rf slots multiply into large sibling groups, so batches must pack
+/// well past two lanes — this is the lane occupancy the benchmark (and
+/// sweep JSONL artifacts) rely on.
+#[test]
+fn fan_shapes_fill_lanes_densely() {
+    let model = weakgpu_models::sc_model();
+    let test = corpus_extra::corr_fan(2, 8);
+    let mut ctx = EvalContext::new();
+    let (_, bstats, pstats) = assert_batched_matches_scalar(&test, &model, &mut ctx);
+    for (arm, stats) in [("exhaustive", bstats), ("pruned", pstats)] {
+        assert!(stats.batches_formed > 0, "{arm}: no batches formed");
+        let occupancy = stats.lanes_filled as f64 / stats.batches_formed as f64;
+        assert!(
+            occupancy >= 8.0,
+            "{arm}: fan batches should pack densely, got {occupancy:.1} lanes/batch"
+        );
+    }
+}
+
+#[test]
+fn batched_early_exit_stops_the_walk() {
+    let model = weakgpu_models::sc_model();
+    let test = corpus_extra::corr_fan(2, 5);
+    let mut ctx = EvalContext::new();
+
+    // Exhaustive batched stream: breaking mid-batch stops immediately.
+    let mut stats = PruneStats::default();
+    let mut total = 0u64;
+    for_each_execution_batched(
+        &test,
+        &model,
+        &batching_cfg(),
+        &mut ctx,
+        &mut stats,
+        |_, _| {
+            total += 1;
+            ControlFlow::<()>::Continue(())
+        },
+    )
+    .unwrap();
+    assert!(total > 3);
+    for stop_at in [1u64, 2, total] {
+        let mut stats = PruneStats::default();
+        let mut visits = 0u64;
+        let out = for_each_execution_batched(
+            &test,
+            &model,
+            &batching_cfg(),
+            &mut ctx,
+            &mut stats,
+            |_, _| {
+                visits += 1;
+                if visits == stop_at {
+                    ControlFlow::Break(visits)
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out, Some(stop_at));
+        assert_eq!(visits, stop_at, "the visitor ran past its break");
+        assert_eq!(stats.classes_visited, stop_at);
+    }
+
+    // Pruned + batched walk: same discipline over visited nodes.
+    let mut visits = 0u64;
+    let mut stats = PruneStats::default();
+    let out = for_each_execution_pruned(
+        &test,
+        &model,
+        &batched_pruning_cfg(),
+        &mut ctx,
+        &mut stats,
+        |_| {
+            visits += 1;
+            ControlFlow::Break(visits)
+        },
+    )
+    .unwrap();
+    assert_eq!(out, Some(1));
+    assert_eq!(stats.classes_visited, 1);
+}
+
+/// Random corpus variant: idiom × scope × fence (the `pruning_diff.rs`
+/// shape, shared so the batteries sample the same space).
+fn arb_corpus_test() -> impl Strategy<Value = LitmusTest> {
+    let scopes = [ThreadScope::IntraCta, ThreadScope::InterCta];
+    let fences = [
+        None,
+        Some(FenceScope::Cta),
+        Some(FenceScope::Gl),
+        Some(FenceScope::Sys),
+    ];
+    (0..5usize, 0..2usize, 0..4usize).prop_map(move |(idiom, s, f)| {
+        let (scope, fence) = (scopes[s], fences[f]);
+        match idiom {
+            0 => corpus::mp(scope, fence),
+            1 => corpus::sb(scope, fence),
+            2 => corpus::lb(scope, fence),
+            3 => match fence {
+                Some(fs) => corpus::corr_fenced(fs),
+                None => corpus::corr(),
+            },
+            _ => corpus::dlb_mp(f % 2 == 0),
+        }
+    })
+}
+
+/// A random scoped `.cat` model over overlay- and skeleton-derived
+/// bases alike — including a `Diff` axiom and an `empty` check, so the
+/// batch evaluator's lane checks see every check kind.
+fn arb_model() -> impl Strategy<Value = CatModel> {
+    let axioms = [
+        "acyclic (po | rf | co | fr) as sc",
+        "acyclic (po-loc | rf | co | fr) as coherence",
+        "irreflexive (fre ; coe ; rfi?) as obs",
+        "acyclic ((addr | data | ctrl) | rfe | membar.gl) & cta as scoped",
+        "empty rmw \\ rmw as trivial",
+        "irreflexive ((rf | co) \\ po) ; fr as mixed",
+    ];
+    prop::collection::vec(0..axioms.len(), 1..3).prop_map(move |picks| {
+        let src: Vec<&str> = picks.iter().map(|&i| axioms[i]).collect();
+        // Duplicate axiom names are fine for `allows`; rename per line.
+        let src = src
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.replace(" as ", &format!(" as a{i}-")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        CatModel::new("random", &src).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The headline batching property over random corpus variants and
+    /// random models: both batched arms are bit-identical to the scalar
+    /// stream and the counters account for every candidate.
+    #[test]
+    fn batched_outcomes_match_scalar_on_random_pairs(
+        test in arb_corpus_test(),
+        model in arb_model(),
+    ) {
+        let mut ctx = EvalContext::new();
+        assert_batched_matches_scalar(&test, &model, &mut ctx);
+    }
+
+    /// The early-exit witness query agrees between the arms on random
+    /// pairs too.
+    #[test]
+    fn batched_witness_query_matches_on_random_pairs(
+        test in arb_corpus_test(),
+        model in arb_model(),
+    ) {
+        let mut ctx = EvalContext::new();
+        let full = model_outcomes(&test, &model, &EnumConfig::default()).unwrap();
+        for cfg in [batching_cfg(), batched_pruning_cfg()] {
+            let fast = condition_witnessed_with(&test, &model, &cfg, &mut ctx).unwrap();
+            prop_assert_eq!(fast, full.condition_witnessed);
+        }
+    }
+}

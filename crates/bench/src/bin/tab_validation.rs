@@ -37,6 +37,7 @@ fn main() {
         seed: args.seed,
         parallelism: args.parallelism,
         pruning: false,
+        batching: false,
         cache_file: None,
         cache_readonly: false,
     };

@@ -126,6 +126,13 @@ pub struct SweepConfig {
     /// and exhaustive arms keep separate verdict-cache entries (the
     /// cache key covers the enumeration config).
     pub pruning: bool,
+    /// Judge cache-miss cells with bit-plane batch evaluation
+    /// ([`weakgpu_axiom::enumerate::EnumConfig::batching`]): trailing
+    /// sibling groups of 2–64 candidates share one lane-parallel plan
+    /// pass. Composes with [`SweepConfig::pruning`]. Verdicts are
+    /// bit-identical; the batched arms keep their own verdict-cache
+    /// entries.
+    pub batching: bool,
     /// Warm-start the verdict cache from this `weakgpu-cache/1` file
     /// ([`weakgpu_axiom::persist`]) before the run, and write the
     /// updated cache back after it. A missing file starts the run cold
@@ -215,13 +222,20 @@ pub struct CellRecord {
     /// Candidate executions skipped by forced-verdict subtree cuts on a
     /// verdict-cache miss (always 0 without `SweepConfig::pruning`).
     pub candidates_pruned: u64,
+    /// Bit-plane batches formed while judging this cell's shape on a
+    /// verdict-cache miss (always 0 without `SweepConfig::batching`).
+    pub batches_formed: u64,
+    /// Lanes occupied across those batches — `lanes_filled /
+    /// batches_formed` is the cell's mean lane occupancy, the number CI
+    /// artifacts watch to judge how well sibling candidates pack.
+    pub lanes_filled: u64,
 }
 
 impl CellRecord {
     /// One JSONL line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
         format!(
-            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}], \"cache_hits\": {}, \"cache_misses\": {}, \"enum_micros\": {}, \"classes_visited\": {}, \"candidates_pruned\": {}}}",
+            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}], \"cache_hits\": {}, \"cache_misses\": {}, \"enum_micros\": {}, \"classes_visited\": {}, \"candidates_pruned\": {}, \"batches_formed\": {}, \"lanes_filled\": {}}}",
             json::escape(&self.test),
             self.index,
             json::escape(&self.chip),
@@ -238,6 +252,8 @@ impl CellRecord {
             self.enum_micros,
             self.classes_visited,
             self.candidates_pruned,
+            self.batches_formed,
+            self.lanes_filled,
         )
     }
 }
@@ -779,6 +795,7 @@ where
     let model = ptx_model();
     let enum_cfg = EnumConfig {
         pruning: cfg.pruning,
+        batching: cfg.batching,
         ..EnumConfig::default()
     };
     let initial_cache = match &cfg.cache_file {
@@ -821,6 +838,8 @@ where
             let mut enum_micros = 0u64;
             let mut classes_visited = 0u64;
             let mut candidates_pruned = 0u64;
+            let mut batches_formed = 0u64;
+            let mut lanes_filled = 0u64;
             let verdict = match probed {
                 Some(v) => v,
                 None => {
@@ -838,6 +857,8 @@ where
                         Ok((v, stats)) => {
                             (classes_visited, candidates_pruned) =
                                 (stats.classes_visited, stats.candidates_pruned);
+                            (batches_formed, lanes_filled) =
+                                (stats.batches_formed, stats.lanes_filled);
                             let mut c = cache.lock().expect("no poisoned locks");
                             let published = c.publish(test, &model, &enum_cfg, v);
                             (cache_hits, cache_misses) = (c.hits(), c.misses());
@@ -872,6 +893,8 @@ where
                 enum_micros,
                 classes_visited,
                 candidates_pruned,
+                batches_formed,
+                lanes_filled,
             };
             on_cell(&record);
             *records[ci].lock().expect("no poisoned locks") = Some(record);
@@ -1124,6 +1147,8 @@ mod tests {
             enum_micros: 42,
             classes_visited: 17,
             candidates_pruned: 5,
+            batches_formed: 2,
+            lanes_filled: 48,
         };
         let v = json::parse(&rec.to_jsonl()).unwrap();
         assert_eq!(v.get("index").unwrap().as_u64(), Some(12));
@@ -1134,6 +1159,8 @@ mod tests {
         assert_eq!(v.get("enum_micros").unwrap().as_u64(), Some(42));
         assert_eq!(v.get("classes_visited").unwrap().as_u64(), Some(17));
         assert_eq!(v.get("candidates_pruned").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("batches_formed").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("lanes_filled").unwrap().as_u64(), Some(48));
     }
 
     #[test]

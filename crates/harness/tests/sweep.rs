@@ -17,6 +17,7 @@ fn small_cfg(shard: Option<Shard>) -> SweepConfig {
         seed: 0xabcd,
         parallelism: None,
         pruning: false,
+        batching: false,
         cache_file: None,
         cache_readonly: false,
     }
@@ -89,6 +90,7 @@ fn sweep_reports_are_model_sound_and_witness_weak_behaviour() {
         seed: 0x7a11,
         parallelism: None,
         pruning: false,
+        batching: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -135,6 +137,7 @@ fn verdict_cache_collapses_chip_columns() {
         seed: 1,
         parallelism: None,
         pruning: false,
+        batching: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -164,6 +167,7 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
         seed: 0x57,
         parallelism: None,
         pruning: false,
+        batching: false,
         cache_file: None,
         cache_readonly: false,
     };

@@ -41,7 +41,7 @@ const USAGE: &str = "usage:
   weakgpu campaign [NAME|FILE ...] [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
   weakgpu sweep [--family small|paper] [--shard K/N] [--out FILE.json]
                 [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
-                [--pruned] [--cache-file FILE.wgc] [--cache-readonly]
+                [--pruned] [--batched] [--cache-file FILE.wgc] [--cache-readonly]
   weakgpu sweep --merge FILE.json FILE.json ... [--out FILE.json]
   weakgpu serve [--cache-file FILE.wgc] [--cache-readonly] [--model NAME] [--pruned]
   weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
@@ -63,7 +63,9 @@ record per cell to FILE.jsonl. --merge recombines shard reports, failing
 on a missing shard or any model-forbidden observation. --pruned judges
 cache-miss cells through the rf-class pruned enumerator (bit-identical
 verdicts; the per-cell JSONL records the classes visited and candidates
-cut). --cache-file FILE.wgc warm-starts the verdict cache from a
+cut). --batched additionally packs up to 64 sibling candidates into one
+bit-plane plan pass (composes with --pruned; the JSONL records the
+batches formed and lanes filled). --cache-file FILE.wgc warm-starts the verdict cache from a
 persisted `weakgpu-cache/1` file (created by an earlier sweep or serve)
 and writes the updated cache back afterwards; --cache-readonly loads
 without writing back, and fails if the file is missing rather than
@@ -280,6 +282,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The flag vocabulary of `campaign`, for "did you mean" hints.
+const CAMPAIGN_FLAGS: &[&str] = &["--chips", "--iterations", "--seed", "--parallelism"];
+
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let chips: Vec<Chip> = match take_opt(&mut args, "--chips") {
@@ -300,6 +305,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let parallelism = take_opt(&mut args, "--parallelism")
         .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
         .transpose()?;
+    // Leftovers are test names/files; anything still dashed is a
+    // misspelt flag that would otherwise fail as a missing file.
+    if let Some(extra) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(unexpected_arg("campaign", extra, CAMPAIGN_FLAGS));
+    }
 
     let tests: Vec<LitmusTest> = if args.is_empty() {
         all_corpus()
@@ -364,6 +374,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "--seed",
     "--parallelism",
     "--pruned",
+    "--batched",
     "--cache-file",
     "--cache-readonly",
     "--merge",
@@ -404,6 +415,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
         .transpose()?;
     let pruning = take_flag(&mut args, "--pruned");
+    let batching = take_flag(&mut args, "--batched");
     let cache_file = take_opt(&mut args, "--cache-file").map(std::path::PathBuf::from);
     let cache_readonly = take_flag(&mut args, "--cache-readonly");
     if let Some(extra) = args.first() {
@@ -419,6 +431,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         seed,
         parallelism,
         pruning,
+        batching,
         cache_file,
         cache_readonly,
     };
@@ -646,10 +659,18 @@ fn print_sweep_summary(report: &SweepReport, to_stderr: bool) {
     }
 }
 
+/// The flag vocabulary of `check`, for "did you mean" hints.
+const CHECK_FLAGS: &[&str] = &["--builtin", "--model"];
+
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let builtin = take_flag(&mut args, "--builtin");
     let model_opt = take_opt(&mut args, "--model");
+    // Leftovers are file paths; anything still dashed is a misspelt
+    // flag that would otherwise fail as a missing file.
+    if let Some(extra) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(unexpected_arg("check", extra, CHECK_FLAGS));
+    }
     // Lint mode: several files, any .cat file, or --builtin.
     if builtin || args.len() > 1 || args.iter().any(|a| a.ends_with(".cat")) {
         if model_opt.is_some() {

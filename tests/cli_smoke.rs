@@ -242,4 +242,27 @@ fn misspelt_flags_get_a_did_you_mean_hint() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("did you mean \"--cache-readonly\"?"), "{err}");
+
+    // `campaign` and `check` take positional names/paths, so only
+    // dashed leftovers are treated as misspelt flags.
+    let out = weakgpu()
+        .args(["campaign", "--iterashuns", "10"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("did you mean \"--iterations\"?"), "{err}");
+
+    let out = weakgpu().args(["check", "--bultin"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("did you mean \"--builtin\"?"), "{err}");
+
+    let out = weakgpu()
+        .args(["sweep", "--bathced", "--family", "small"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("did you mean \"--batched\"?"), "{err}");
 }

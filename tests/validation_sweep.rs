@@ -28,6 +28,7 @@ fn generated_family_observations_are_model_sound() {
         seed: 0x7a11,
         parallelism: None,
         pruning: false,
+        batching: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -73,6 +74,7 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
         seed: 0x57,
         parallelism: None,
         pruning: true,
+        batching: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -97,6 +99,7 @@ fn sharded_validation_recombines_exactly() {
         seed: 0xc1,
         parallelism: None,
         pruning: false,
+        batching: false,
         cache_file: None,
         cache_readonly: false,
     };
