@@ -46,9 +46,11 @@
 //! pruning skips subtrees, batching amortises the leaves pruning kept.
 //! Verdicts are bit-identical on every path.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 use weakgpu_litmus::{FinalExpr, Instr, LitmusTest, Loc, Operand, Outcome, Reg};
 
@@ -97,6 +99,18 @@ pub struct EnumConfig {
     /// compose. Verdicts are bit-identical to the scalar paths; models
     /// without a batched evaluator degrade to per-leaf judgement.
     pub batching: bool,
+    /// Evaluate the pruned walk's cut attempts by delta: plan state
+    /// (overlay-dependent interval registers plus a Pearce–Kelly
+    /// maintained topological order per acyclicity check) is pushed and
+    /// popped along the decision-tree path through a word-level undo
+    /// journal instead of being refilled from scratch at every node
+    /// ([`crate::plan::EvalContext::set_incremental`]). Implies the
+    /// tree walk (`pruning`); composes with `batching`, whose lane
+    /// cyclicity sweeps are then seeded from the same maintained order.
+    /// Verdicts and [`PruneStats`] are bit-identical either way; plans
+    /// with non-row-local overlay operators (e.g. sequencing under the
+    /// overlay) transparently fall back to the from-scratch evaluation.
+    pub incremental: bool,
 }
 
 impl Default for EnumConfig {
@@ -108,6 +122,7 @@ impl Default for EnumConfig {
             max_executions: 1_000_000,
             pruning: false,
             batching: false,
+            incremental: false,
         }
     }
 }
@@ -356,6 +371,68 @@ thread_local! {
         std::cell::RefCell::new(EnumScratch::new());
 }
 
+/// One memoised [`fixed_point_traces`] result. Trace enumeration
+/// depends only on the test and the enumeration caps, yet every
+/// judgement pass re-derived it from scratch — in a sweep each
+/// (test, model) cell pays it again, and on small-tree workloads it
+/// rivals the walk itself. A single-entry cache keyed by test equality
+/// covers the hot pattern (consecutive passes over one test) without
+/// growing per extra test.
+struct TraceCache {
+    test: LitmusTest,
+    max_steps: usize,
+    max_traces: usize,
+    domain_iters: usize,
+    domains: std::rc::Rc<BTreeMap<Loc, BTreeSet<i64>>>,
+    per_thread: std::rc::Rc<Vec<Vec<ThreadTrace>>>,
+}
+
+thread_local! {
+    static TRACE_CACHE: std::cell::RefCell<Option<TraceCache>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// [`fixed_point_traces`] behind the thread-local single-entry cache:
+/// a hit is one `LitmusTest` equality check instead of a full
+/// enumeration. The caps are part of the key — a budget change must
+/// re-enumerate (and re-raise any budget error).
+#[allow(clippy::type_complexity)]
+fn fixed_point_traces_cached(
+    test: &LitmusTest,
+    cfg: &EnumConfig,
+) -> Result<
+    (
+        std::rc::Rc<BTreeMap<Loc, BTreeSet<i64>>>,
+        std::rc::Rc<Vec<Vec<ThreadTrace>>>,
+    ),
+    EnumError,
+> {
+    TRACE_CACHE.with(|cell| {
+        let mut cached = cell.borrow_mut();
+        if let Some(e) = cached.as_ref() {
+            if e.max_steps == cfg.max_steps_per_thread
+                && e.max_traces == cfg.max_traces_per_thread
+                && e.domain_iters == cfg.domain_iters
+                && e.test == *test
+            {
+                return Ok((e.domains.clone(), e.per_thread.clone()));
+            }
+        }
+        let (domains, per_thread) = fixed_point_traces(test, cfg)?;
+        let domains = std::rc::Rc::new(domains);
+        let per_thread = std::rc::Rc::new(per_thread);
+        *cached = Some(TraceCache {
+            test: test.clone(),
+            max_steps: cfg.max_steps_per_thread,
+            max_traces: cfg.max_traces_per_thread,
+            domain_iters: cfg.domain_iters,
+            domains: domains.clone(),
+            per_thread: per_thread.clone(),
+        });
+        Ok((domains, per_thread))
+    })
+}
+
 fn for_each_execution_with<B, F>(
     test: &LitmusTest,
     cfg: &EnumConfig,
@@ -365,7 +442,7 @@ fn for_each_execution_with<B, F>(
 where
     F: FnMut(&ExecutionView<'_>) -> ControlFlow<B>,
 {
-    let (_domains, per_thread) = fixed_point_traces(test, cfg)?;
+    let (_domains, per_thread) = fixed_point_traces_cached(test, cfg)?;
 
     let thread_cta: Vec<usize> = (0..test.num_threads())
         .map(|t| test.scope_tree().placement(t).cta)
@@ -382,7 +459,7 @@ where
     let mut combo = vec![0usize; per_thread.len()];
     'combos: loop {
         traces.clear();
-        traces.extend(combo.iter().zip(&per_thread).map(|(&i, ts)| &ts[i]));
+        traces.extend(combo.iter().zip(&*per_thread).map(|(&i, ts)| &ts[i]));
         if let ControlFlow::Break(b) = visit_combination(
             &traces,
             &thread_cta,
@@ -683,7 +760,7 @@ const CUT_MIN: usize = 4;
 /// by forced-verdict cuts. `classes_visited + candidates_pruned` equals
 /// the exhaustive candidate count — cut classes and leaves partition
 /// the candidate space exactly.
-#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, Default, Debug)]
 pub struct PruneStats {
     /// Tree nodes handed to the visitor (forced-cut classes + leaves).
     pub classes_visited: u64,
@@ -697,7 +774,36 @@ pub struct PruneStats {
     /// `lanes_filled / batches_formed` is the mean lane occupancy, the
     /// number CI artifacts watch to judge how well sibling leaves pack.
     pub lanes_filled: u64,
+    /// Wall time spent inside the three-valued partial verdicts of the
+    /// walk's cut attempts, in microseconds. A measurement, not part of
+    /// the walk shape — equality (see [`PartialEq`][Self]) ignores it.
+    pub cut_attempt_micros: u64,
+    /// Overlay-dependent plan registers filled from scratch while
+    /// judging this walk. The from-scratch walk refills its whole
+    /// overlay register tier at every cut attempt and leaf; under
+    /// [`EnumConfig::incremental`] only the per-combination baseline
+    /// fills count — path moves are journalled delta updates, not
+    /// refills — so this counter's collapse is the direct witness of
+    /// the asymptotic win. Equality ignores it.
+    pub registers_refilled: u64,
 }
+
+/// Equality compares only the walk-shape counters (`classes_visited`,
+/// `candidates_pruned`, `batches_formed`, `lanes_filled`); the timing
+/// and work measurements (`cut_attempt_micros`, `registers_refilled`)
+/// legitimately differ between evaluation strategies that are
+/// verdict-identical, and the differential suites assert exactly that
+/// shape equality.
+impl PartialEq for PruneStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.classes_visited == other.classes_visited
+            && self.candidates_pruned == other.candidates_pruned
+            && self.batches_formed == other.batches_formed
+            && self.lanes_filled == other.lanes_filled
+    }
+}
+
+impl Eq for PruneStats {}
 
 /// One node of the pruned walk handed to the visitor: either a **leaf**
 /// (a single fully-assigned candidate, judged concretely) or a
@@ -833,7 +939,10 @@ fn for_each_execution_pruned_with<B, F>(
 where
     F: FnMut(&PrunedClass<'_>) -> ControlFlow<B>,
 {
-    let (_domains, per_thread) = fixed_point_traces(test, cfg)?;
+    let (_domains, per_thread) = fixed_point_traces_cached(test, cfg)?;
+    // Refills accrued outside this walk (e.g. a prior exhaustive pass
+    // over the same context) are not this walk's work.
+    ctx.take_registers_refilled();
 
     let thread_cta: Vec<usize> = (0..test.num_threads())
         .map(|t| test.scope_tree().placement(t).cta)
@@ -850,7 +959,7 @@ where
     let mut combo = vec![0usize; per_thread.len()];
     'combos: loop {
         traces.clear();
-        traces.extend(combo.iter().zip(&per_thread).map(|(&i, ts)| &ts[i]));
+        traces.extend(combo.iter().zip(&*per_thread).map(|(&i, ts)| &ts[i]));
         if prepare_combination(&traces, &thread_cta, &init_mem, &observed, scratch) {
             if let ControlFlow::Break(b) =
                 visit_combination_pruned(model, ctx, cfg, scratch, &mut visited, stats, f)?
@@ -910,6 +1019,11 @@ struct PruneWalk<'a, 'm> {
     suffix: &'a [usize],
     model: &'m dyn Model,
     cfg: &'m EnumConfig,
+    /// Nanoseconds spent inside partial verdicts, accumulated here and
+    /// folded into [`PruneStats::cut_attempt_micros`] once per
+    /// combination (per-attempt truncation to µs would round the
+    /// sub-microsecond incremental attempts to zero).
+    cut_nanos: Cell<u64>,
 }
 
 impl PruneWalk<'_, '_> {
@@ -938,8 +1052,6 @@ impl PruneWalk<'_, '_> {
                 return Err(EnumError::TooManyExecutions);
             }
             stats.classes_visited += 1;
-            let view = ExecutionView::new(self.skel, overlay);
-            let allowed = self.model.allows_view(ctx, &view);
             let partial = PartialView::new(
                 self.skel,
                 overlay,
@@ -948,6 +1060,22 @@ impl PruneWalk<'_, '_> {
                 num_reads,
                 self.co_perms.len(),
             );
+            // Under incremental evaluation the maintained path state
+            // already holds this leaf: at full depth the interval
+            // degenerates (`lo == hi`), the partial verdict is definite
+            // for every plan-backed model, and reading it off the
+            // journalled state costs one level delta instead of a full
+            // overlay-register refill. Models without a partial path
+            // (`None`) fall back to the concrete judgement.
+            let allowed = if self.cfg.incremental {
+                self.model.partial_verdict(ctx, &partial)
+            } else {
+                None
+            }
+            .unwrap_or_else(|| {
+                let view = ExecutionView::new(self.skel, overlay);
+                self.model.allows_view(ctx, &view)
+            });
             let class = PrunedClass {
                 partial,
                 size: 1,
@@ -992,7 +1120,11 @@ impl PruneWalk<'_, '_> {
                     (depth + 1).min(num_reads),
                     (depth + 1).saturating_sub(num_reads),
                 );
-                if let Some(allowed) = self.model.partial_verdict(ctx, &partial) {
+                let t0 = Instant::now();
+                let verdict = self.model.partial_verdict(ctx, &partial);
+                self.cut_nanos
+                    .set(self.cut_nanos.get() + t0.elapsed().as_nanos() as u64);
+                if let Some(allowed) = verdict {
                     // Forced: no extension can change the verdict — cut
                     // the subtree and report it as one class.
                     *visited += 1;
@@ -1455,31 +1587,45 @@ where
         suffix,
         model,
         cfg,
+        cut_nanos: Cell::new(0),
     };
+    ctx.set_incremental(cfg.incremental);
 
-    // Root check: the combination may be forced before anything is
-    // committed (e.g. single-candidate rf slots inducing a definite
-    // conflict) — then the whole combination is one class.
-    if walk.suffix[0] >= CUT_MIN {
-        overlay.stamp();
-        let partial = PartialView::new(walk.skel, overlay, walk.reads, walk.rf_choices, 0, 0);
-        if let Some(allowed) = model.partial_verdict(ctx, &partial) {
-            *visited += 1;
-            if *visited > cfg.max_executions {
-                return Err(EnumError::TooManyExecutions);
+    let result = (|| {
+        // Root check: the combination may be forced before anything is
+        // committed (e.g. single-candidate rf slots inducing a definite
+        // conflict) — then the whole combination is one class.
+        if walk.suffix[0] >= CUT_MIN {
+            overlay.stamp();
+            let partial = PartialView::new(walk.skel, overlay, walk.reads, walk.rf_choices, 0, 0);
+            let t0 = Instant::now();
+            let verdict = model.partial_verdict(ctx, &partial);
+            walk.cut_nanos
+                .set(walk.cut_nanos.get() + t0.elapsed().as_nanos() as u64);
+            if let Some(allowed) = verdict {
+                *visited += 1;
+                if *visited > cfg.max_executions {
+                    return Err(EnumError::TooManyExecutions);
+                }
+                stats.classes_visited += 1;
+                stats.candidates_pruned += (walk.suffix[0] - 1) as u64;
+                let class = PrunedClass {
+                    partial,
+                    size: walk.suffix[0],
+                    allowed,
+                    forced: true,
+                };
+                return Ok(f(&class));
             }
-            stats.classes_visited += 1;
-            stats.candidates_pruned += (walk.suffix[0] - 1) as u64;
-            let class = PrunedClass {
-                partial,
-                size: walk.suffix[0],
-                allowed,
-                forced: true,
-            };
-            return Ok(f(&class));
         }
-    }
-    walk.descend(overlay, batch, ctx, 0, visited, stats, f)
+        walk.descend(overlay, batch, ctx, 0, visited, stats, f)
+    })();
+    // Fold the measurements on every exit path (including budget errors
+    // and visitor breaks) so partially walked combinations still report
+    // their work.
+    stats.cut_attempt_micros += walk.cut_nanos.get() / 1000;
+    stats.registers_refilled += ctx.take_registers_refilled();
+    result
 }
 
 /// Computes `scratch.suffix` — subtree sizes per tree level, saturating
@@ -1564,7 +1710,8 @@ fn for_each_execution_batched_with<B, F>(
 where
     F: FnMut(&ExecutionView<'_>, bool) -> ControlFlow<B>,
 {
-    let (_domains, per_thread) = fixed_point_traces(test, cfg)?;
+    let (_domains, per_thread) = fixed_point_traces_cached(test, cfg)?;
+    ctx.take_registers_refilled();
 
     let thread_cta: Vec<usize> = (0..test.num_threads())
         .map(|t| test.scope_tree().placement(t).cta)
@@ -1581,7 +1728,7 @@ where
     let mut combo = vec![0usize; per_thread.len()];
     'combos: loop {
         traces.clear();
-        traces.extend(combo.iter().zip(&per_thread).map(|(&i, ts)| &ts[i]));
+        traces.extend(combo.iter().zip(&*per_thread).map(|(&i, ts)| &ts[i]));
         if prepare_combination(&traces, &thread_cta, &init_mem, &observed, scratch) {
             if let ControlFlow::Break(b) =
                 visit_combination_batched(model, ctx, cfg, scratch, &mut visited, stats, f)?
@@ -1637,8 +1784,11 @@ where
         suffix,
         model,
         cfg,
+        cut_nanos: Cell::new(0),
     };
-    walk.descend_exhaustive(overlay, batch, ctx, 0, visited, stats, f)
+    let result = walk.descend_exhaustive(overlay, batch, ctx, 0, visited, stats, f);
+    stats.registers_refilled += ctx.take_registers_refilled();
+    result
 }
 
 /// Materialises all candidate executions of `test` — a thin wrapper over

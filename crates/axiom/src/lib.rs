@@ -58,7 +58,7 @@ pub use event::{Event, EventKind};
 pub use exec::Execution;
 pub use model::{CatModel, Model, RmwAtomicity};
 pub use plan::{EvalContext, Plan};
-pub use relation::{EventSet, LaneRel, Relation};
+pub use relation::{EdgeJournal, EventSet, LaneRel, Relation};
 pub use skeleton::{
     ExecutionSkeleton, ExecutionView, LaneMask, Overlay, OverlayBatch, PartialView,
 };

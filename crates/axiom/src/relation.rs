@@ -109,8 +109,70 @@ impl EventSet {
     }
 
     /// The `w`-th 64-bit word of the membership mask (0 past the end).
-    fn word(&self, w: usize) -> u64 {
+    pub(crate) fn word(&self, w: usize) -> u64 {
         self.bits.get(w).copied().unwrap_or(0)
+    }
+}
+
+/// A word-level undo log shared by any number of relations: before a
+/// journaled mutation overwrites a 64-bit word, the word's previous
+/// value is recorded together with a caller-chosen `tag` identifying
+/// which relation it belongs to. Popping to a [`EdgeJournal::mark`]
+/// replays the records in reverse, restoring every touched relation to
+/// its state at the mark in O(words actually changed) — the delta
+/// journal the incremental decision-tree walk pushes and pops along
+/// the path (one mark per tree level).
+///
+/// The journal never dedupes: the same word may be recorded several
+/// times between two marks, and reversed replay still restores the
+/// oldest value last. Entries are `(tag, flat word index, old value)`.
+#[derive(Clone, Default, Debug)]
+pub struct EdgeJournal {
+    entries: Vec<(u32, u32, u64)>,
+}
+
+impl EdgeJournal {
+    /// A fresh, empty journal.
+    pub fn new() -> Self {
+        EdgeJournal::default()
+    }
+
+    /// The current position — pass it back to `pop_to` to undo
+    /// everything recorded after this call.
+    pub fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets every record, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Records that word `word` of the relation labelled `tag` held
+    /// `old` before the mutation about to happen.
+    pub(crate) fn record(&mut self, tag: u32, word: u32, old: u64) {
+        self.entries.push((tag, word, old));
+    }
+
+    /// The records from `mark` onward, oldest first (callers replay
+    /// them reversed).
+    pub(crate) fn entries_from(&self, mark: usize) -> &[(u32, u32, u64)] {
+        &self.entries[mark..]
+    }
+
+    /// Drops every record from `mark` onward (after replaying them).
+    pub(crate) fn truncate(&mut self, mark: usize) {
+        self.entries.truncate(mark);
     }
 }
 
@@ -315,8 +377,112 @@ impl Relation {
         }
     }
 
+    /// Words per row segment.
+    pub(crate) fn words_per_row(&self) -> usize {
+        self.words
+    }
+
+    /// Row `a` as its word slice.
+    pub(crate) fn row(&self, a: usize) -> &[u64] {
+        &self.rows[a * self.words..(a + 1) * self.words]
+    }
+
+    /// The word at flat index `idx` (`row * words_per_row + word`).
+    pub(crate) fn word_at(&self, idx: usize) -> u64 {
+        self.rows[idx]
+    }
+
+    /// Overwrites the word at flat index `idx` — the undo primitive
+    /// [`EdgeJournal`] replay dispatches to.
+    pub(crate) fn set_word(&mut self, idx: usize, val: u64) {
+        self.rows[idx] = val;
+    }
+
+    /// Adds `pairs`, journaling each changed word under `tag` so
+    /// [`Relation::pop_to`] (or a caller-side tag dispatch) can undo the
+    /// delta exactly. Pairs already present record nothing.
+    pub fn push_edges(
+        &mut self,
+        journal: &mut EdgeJournal,
+        tag: u32,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) {
+        for (a, b) in pairs {
+            debug_assert!(a < self.n && b < self.n, "pair ({a},{b}) out of universe");
+            let idx = a * self.words + b / 64;
+            let old = self.rows[idx];
+            let new = old | 1 << (b % 64);
+            if new != old {
+                journal.record(tag, idx as u32, old);
+                self.rows[idx] = new;
+            }
+        }
+    }
+
+    /// Removes `pairs`, journaling each changed word under `tag` — the
+    /// complement of [`Relation::push_edges`], used to shrink an upper
+    /// bound when a tree level commits a choice.
+    pub fn clear_edges(
+        &mut self,
+        journal: &mut EdgeJournal,
+        tag: u32,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) {
+        for (a, b) in pairs {
+            debug_assert!(a < self.n && b < self.n, "pair ({a},{b}) out of universe");
+            let idx = a * self.words + b / 64;
+            let old = self.rows[idx];
+            let new = old & !(1 << (b % 64));
+            if new != old {
+                journal.record(tag, idx as u32, old);
+                self.rows[idx] = new;
+            }
+        }
+    }
+
+    /// Replaces row `a` with `new_row`, no journaling — the incremental
+    /// evaluator's baseline (root) fills, which are never popped.
+    pub(crate) fn set_row(&mut self, a: usize, new_row: &[u64]) {
+        debug_assert_eq!(new_row.len(), self.words);
+        self.rows[a * self.words..(a + 1) * self.words].copy_from_slice(new_row);
+    }
+
+    /// Replaces row `a` with `new_row`, journaling only the words that
+    /// actually differ. Returns `true` when the row changed.
+    pub(crate) fn set_row_journaled(
+        &mut self,
+        journal: &mut EdgeJournal,
+        tag: u32,
+        a: usize,
+        new_row: &[u64],
+    ) -> bool {
+        debug_assert_eq!(new_row.len(), self.words);
+        let base = a * self.words;
+        let mut changed = false;
+        for (w, &val) in new_row.iter().enumerate() {
+            let old = self.rows[base + w];
+            if old != val {
+                journal.record(tag, (base + w) as u32, old);
+                self.rows[base + w] = val;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Undoes every record after `mark`, restoring this relation to its
+    /// state when the mark was taken. Only valid when the journal was
+    /// used for this relation alone — multi-relation journals dispatch
+    /// on the tag at the call site instead.
+    pub fn pop_to(&mut self, journal: &mut EdgeJournal, mark: usize) {
+        for &(_tag, idx, old) in journal.entries_from(mark).iter().rev() {
+            self.rows[idx as usize] = old;
+        }
+        journal.truncate(mark);
+    }
+
     /// The smallest successor of `node` that is `>= from`, scanning words.
-    fn next_succ(&self, node: usize, from: usize) -> Option<usize> {
+    pub(crate) fn next_succ(&self, node: usize, from: usize) -> Option<usize> {
         if from >= self.n {
             return None;
         }
@@ -620,6 +786,70 @@ impl Relation {
             }
         }
         None
+    }
+
+    /// Like [`Relation::find_cycle`] but iterative and allocation-free
+    /// in steady state: scratch buffers are caller-owned and the cycle
+    /// comes back as its **edge list** in `out_edges` (cleared first).
+    /// Returns `true` iff a cycle was found. The incremental evaluator
+    /// caches the witness edges so the next node can confirm "still
+    /// cyclic" by membership probes instead of a fresh search.
+    pub fn find_cycle_with(
+        &self,
+        colour: &mut Vec<u8>,
+        stack: &mut Vec<(usize, usize)>,
+        out_edges: &mut Vec<(u32, u32)>,
+    ) -> bool {
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        out_edges.clear();
+        colour.clear();
+        colour.resize(self.n, WHITE);
+        stack.clear();
+        for start in 0..self.n {
+            if colour[start] != WHITE {
+                continue;
+            }
+            colour[start] = GREY;
+            stack.push((start, 0));
+            while let Some(&(node, frame_next)) = stack.last() {
+                let mut next = frame_next;
+                let mut pushed = false;
+                while let Some(succ) = self.next_succ(node, next) {
+                    next = succ + 1;
+                    match colour[succ] {
+                        GREY => {
+                            // The stack *is* the grey path: the cycle
+                            // runs from succ's frame to the top, plus
+                            // the closing edge just probed.
+                            let at = stack
+                                .iter()
+                                .position(|&(x, _)| x == succ)
+                                .expect("grey nodes are on the stack");
+                            for w in stack[at..].windows(2) {
+                                out_edges.push((w[0].0 as u32, w[1].0 as u32));
+                            }
+                            out_edges.push((node as u32, succ as u32));
+                            return true;
+                        }
+                        WHITE => {
+                            colour[succ] = GREY;
+                            stack.last_mut().expect("frame exists").1 = next;
+                            stack.push((succ, 0));
+                            pushed = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if !pushed {
+                    colour[node] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        false
     }
 }
 
@@ -937,6 +1167,96 @@ impl LaneRel {
                 return active.iter().fold(0, |m, &a| m | a);
             }
         }
+    }
+
+    /// [`LaneRel::cyclic_lanes`] sweeping nodes in `order` instead of id
+    /// order. The result is identical — chaotic descending iteration of
+    /// a monotone operator from the top reaches the same greatest
+    /// fixpoint in any order — but seeding with a maintained
+    /// topological order of the definite-edge bound discharges long
+    /// chains in one sweep instead of one node per sweep, which is how
+    /// the lane verdicts share the incremental walk's cycle state.
+    ///
+    /// `order` must be a permutation of `0..universe()`.
+    pub fn cyclic_lanes_seeded(&self, live: u64, active: &mut Vec<u64>, order: &[u32]) -> u64 {
+        debug_assert_eq!(order.len(), self.n);
+        active.clear();
+        active.resize(self.n, live);
+        loop {
+            let mut changed = false;
+            for &v32 in order {
+                let v = v32 as usize;
+                let cur = active[v];
+                if cur == 0 {
+                    continue;
+                }
+                let mut incoming = 0u64;
+                for (u, &au) in active.iter().enumerate() {
+                    incoming |= self.planes[u * self.n + v] & au;
+                    if incoming == cur {
+                        break;
+                    }
+                }
+                let next = cur & incoming;
+                if next != cur {
+                    active[v] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return active.iter().fold(0, |m, &a| m | a);
+            }
+        }
+    }
+
+    /// ORs lane-mask edges `(a, b, mask)` into the planes, journaling
+    /// each changed plane word under `tag` — [`Relation::push_edges`]'s
+    /// lane-parallel analog.
+    pub fn push_edges(
+        &mut self,
+        journal: &mut EdgeJournal,
+        tag: u32,
+        edges: impl IntoIterator<Item = (usize, usize, u64)>,
+    ) {
+        for (a, b, mask) in edges {
+            debug_assert!(a < self.n && b < self.n, "pair ({a},{b}) out of universe");
+            let idx = a * self.n + b;
+            let old = self.planes[idx];
+            let new = old | mask;
+            if new != old {
+                journal.record(tag, idx as u32, old);
+                self.planes[idx] = new;
+            }
+        }
+    }
+
+    /// Clears lane-mask edges `(a, b, mask)` from the planes,
+    /// journaling each changed plane word under `tag`.
+    pub fn clear_edges(
+        &mut self,
+        journal: &mut EdgeJournal,
+        tag: u32,
+        edges: impl IntoIterator<Item = (usize, usize, u64)>,
+    ) {
+        for (a, b, mask) in edges {
+            debug_assert!(a < self.n && b < self.n, "pair ({a},{b}) out of universe");
+            let idx = a * self.n + b;
+            let old = self.planes[idx];
+            let new = old & !mask;
+            if new != old {
+                journal.record(tag, idx as u32, old);
+                self.planes[idx] = new;
+            }
+        }
+    }
+
+    /// Undoes every record after `mark` — see [`Relation::pop_to`];
+    /// the same single-relation-journal caveat applies.
+    pub fn pop_to(&mut self, journal: &mut EdgeJournal, mark: usize) {
+        for &(_tag, idx, old) in journal.entries_from(mark).iter().rev() {
+            self.planes[idx as usize] = old;
+        }
+        journal.truncate(mark);
     }
 }
 
@@ -1284,6 +1604,124 @@ mod tests {
         assert_eq!(lr.nonempty_lanes(), 0);
         lr.add(3, 3, 63);
         assert!(lr.contains(3, 3, 63));
+    }
+
+    #[test]
+    fn journal_push_pop_restores_relation() {
+        let mut r = Relation::from_pairs(70, [(0, 1), (65, 2)]);
+        let snapshot = r.clone();
+        let mut j = EdgeJournal::new();
+        let m0 = j.mark();
+        r.push_edges(&mut j, 7, [(1, 65), (69, 69), (0, 1)]);
+        assert!(r.contains(1, 65) && r.contains(69, 69));
+        // Re-adding (0,1) recorded nothing: only two words changed.
+        assert_eq!(j.len(), 2);
+        let m1 = j.mark();
+        r.clear_edges(&mut j, 7, [(0, 1), (2, 3)]);
+        assert!(!r.contains(0, 1));
+        r.pop_to(&mut j, m1);
+        assert!(r.contains(0, 1), "inner pop restores the cleared edge");
+        assert!(r.contains(1, 65), "inner pop keeps the outer push");
+        r.pop_to(&mut j, m0);
+        assert_eq!(r, snapshot, "outer pop restores the snapshot");
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn journal_same_word_twice_restores_oldest() {
+        // Two mutations of one word between marks: reversed replay must
+        // land on the original value, not the intermediate one.
+        let mut r = Relation::empty(4);
+        let mut j = EdgeJournal::new();
+        let m = j.mark();
+        r.push_edges(&mut j, 0, [(1, 2)]);
+        r.clear_edges(&mut j, 0, [(1, 2)]);
+        r.push_edges(&mut j, 0, [(1, 3)]);
+        r.pop_to(&mut j, m);
+        assert_eq!(r, Relation::empty(4));
+    }
+
+    #[test]
+    fn set_row_journaled_roundtrip() {
+        let mut r = Relation::from_pairs(70, [(3, 0), (3, 69)]);
+        let snapshot = r.clone();
+        let mut j = EdgeJournal::new();
+        let m = j.mark();
+        let new_row = vec![0b1010u64, 0];
+        r.set_row_journaled(&mut j, 1, 3, &new_row);
+        assert!(r.contains(3, 1) && r.contains(3, 3));
+        assert!(!r.contains(3, 0) && !r.contains(3, 69));
+        r.pop_to(&mut j, m);
+        assert_eq!(r, snapshot);
+    }
+
+    #[test]
+    fn lane_rel_journal_push_pop_restores() {
+        let (mut lr, _) = lane_family(6, 8, 3, 4);
+        let snapshot = lr.clone();
+        let mut j = EdgeJournal::new();
+        let m = j.mark();
+        lr.push_edges(&mut j, 2, [(0, 5, 0xff00), (5, 0, !0)]);
+        lr.clear_edges(&mut j, 2, [(0, 0, 0xf)]);
+        assert_eq!(lr.lanes_of(0, 5) & 0xff00, 0xff00);
+        lr.pop_to(&mut j, m);
+        assert_eq!(lr, snapshot);
+    }
+
+    #[test]
+    fn seeded_cyclic_lanes_matches_unseeded() {
+        let n = 8;
+        let (la, _) = lane_family(n, 64, 5, 6);
+        let mut active = Vec::new();
+        let want = la.cyclic_lanes(!0, &mut active);
+        let orders: Vec<Vec<u32>> = vec![
+            (0..n as u32).collect(),
+            (0..n as u32).rev().collect(),
+            vec![3, 1, 4, 0, 5, 2, 7, 6],
+        ];
+        for order in orders {
+            assert_eq!(
+                la.cyclic_lanes_seeded(!0, &mut active, &order),
+                want,
+                "order {order:?}"
+            );
+        }
+        assert_eq!(
+            la.cyclic_lanes_seeded(0b101, &mut active, &[3, 1, 4, 0, 5, 2, 7, 6]),
+            la.cyclic_lanes(0b101, &mut active)
+        );
+    }
+
+    #[test]
+    fn find_cycle_with_returns_real_edges() {
+        let mut colour = Vec::new();
+        let mut stack = Vec::new();
+        let mut edges = Vec::new();
+        let acyclic = Relation::from_pairs(70, [(0, 69), (69, 65)]);
+        assert!(!acyclic.find_cycle_with(&mut colour, &mut stack, &mut edges));
+        assert!(edges.is_empty());
+        let cases = [
+            Relation::from_pairs(70, [(0, 69), (69, 0)]),
+            Relation::from_pairs(5, [(2, 2)]),
+            Relation::from_pairs(6, [(0, 1), (1, 2), (2, 3), (3, 1), (4, 5)]),
+        ];
+        for rel in &cases {
+            assert!(rel.find_cycle_with(&mut colour, &mut stack, &mut edges));
+            assert!(!edges.is_empty());
+            // Every reported edge is in the relation, and the edges
+            // chain into a closed walk.
+            for w in edges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "edges chain");
+            }
+            assert_eq!(
+                edges.last().unwrap().1,
+                edges[0].0,
+                "the walk closes: {edges:?}"
+            );
+            for &(a, b) in &edges {
+                assert!(rel.contains(a as usize, b as usize), "({a},{b}) is real");
+            }
+        }
     }
 
     #[test]

@@ -1138,6 +1138,37 @@ impl<'a> PartialView<'a> {
         ExecutionView::new(self.skel, self.overlay)
     }
 
+    /// The underlying skeleton.
+    pub(crate) fn skel(&self) -> &'a ExecutionSkeleton {
+        self.skel
+    }
+
+    /// The underlying overlay.
+    pub(crate) fn overlay(&self) -> &'a Overlay {
+        self.overlay
+    }
+
+    /// The tree's read slots (ascending read-event order).
+    pub(crate) fn reads_list(&self) -> &'a [usize] {
+        self.reads
+    }
+
+    /// Read slot `k`'s value-consistent rf candidates.
+    pub(crate) fn rf_candidates(&self, k: usize) -> &'a [Option<usize>] {
+        &self.rf_choices[k]
+    }
+
+    /// A copy of this view re-rooted at explicit depths — how the
+    /// incremental evaluator replays fills for intermediate tree levels
+    /// while syncing its maintained state to a deeper node.
+    pub(crate) fn at_depth(&self, rf_depth: usize, co_depth: usize) -> PartialView<'a> {
+        PartialView {
+            rf_depth,
+            co_depth,
+            ..*self
+        }
+    }
+
     /// Bounds on the read-from relation: `lo` holds edges of committed
     /// slots (plus forced single-candidate open slots), `hi` adds every
     /// candidate edge of the open slots.
@@ -1204,73 +1235,95 @@ impl<'a> PartialView<'a> {
         lo.reset(n);
         hi.reset(n);
         for (k, &r) in self.reads.iter().enumerate() {
-            let li = self.skel.loc_idx[r];
-            if li == usize::MAX {
-                continue; // the location is never written: no fr edges
-            }
-            let ws = &self.skel.writes_by_loc[li];
-            if k < self.rf_depth {
-                match self.overlay.rf[r] {
-                    None => {
-                        for &w in ws {
-                            lo.add(r, w);
-                            hi.add(r, w);
-                        }
+            self.fr_slot_each(k, self.rf_depth, self.co_depth, |w, definite| {
+                if definite {
+                    lo.add(r, w);
+                }
+                hi.add(r, w);
+            });
+        }
+    }
+
+    /// Read slot `k`'s contribution to the from-read bounds at explicit
+    /// depths: calls `edge(w, definite)` for every write `w` the slot's
+    /// read may precede — `definite` when the edge is in every extension
+    /// (the `lo` bound), otherwise `hi`-only. All of a slot's fr edges
+    /// share the read as source, so one callback sweep rebuilds exactly
+    /// one row — which is how the incremental evaluator recomputes only
+    /// the rows an axis commit touched while [`fill_fr_bounds`] (the
+    /// full fill, looping this helper over every slot) stays the single
+    /// source of the fr semantics.
+    ///
+    /// [`fill_fr_bounds`]: PartialView::fill_fr_bounds
+    pub(crate) fn fr_slot_each(
+        &self,
+        k: usize,
+        rf_depth: usize,
+        co_depth: usize,
+        mut edge: impl FnMut(usize, bool),
+    ) {
+        let r = self.reads[k];
+        let li = self.skel.loc_idx[r];
+        if li == usize::MAX {
+            return; // the location is never written: no fr edges
+        }
+        let ws = &self.skel.writes_by_loc[li];
+        if k < rf_depth {
+            match self.overlay.rf[r] {
+                None => {
+                    for &w in ws {
+                        edge(w, true);
                     }
-                    Some(src) => {
-                        if li < self.co_depth {
-                            let order = &self.overlay.co[li];
-                            let pos = order
-                                .iter()
-                                .position(|&w| w == src)
-                                .expect("rf source is in co");
-                            for &w in &order[pos + 1..] {
-                                lo.add(r, w);
-                                hi.add(r, w);
-                            }
-                        } else {
-                            for &w in ws {
-                                if w != src {
-                                    hi.add(r, w);
-                                }
+                }
+                Some(src) => {
+                    if li < co_depth {
+                        let order = &self.overlay.co[li];
+                        let pos = order
+                            .iter()
+                            .position(|&w| w == src)
+                            .expect("rf source is in co");
+                        for &w in &order[pos + 1..] {
+                            edge(w, true);
+                        }
+                    } else {
+                        for &w in ws {
+                            if w != src {
+                                edge(w, false);
                             }
                         }
                     }
                 }
-            } else {
-                let cands = &self.rf_choices[k];
-                for &w in ws {
-                    let mut in_all = true;
-                    let mut in_any = false;
-                    for c in cands {
-                        let (all, any) = match c {
-                            None => (true, true),
-                            Some(src) if *src == w => (false, false),
-                            Some(src) => {
-                                if li < self.co_depth {
-                                    let order = &self.overlay.co[li];
-                                    let spos = order
-                                        .iter()
-                                        .position(|&x| x == *src)
-                                        .expect("rf source is in co");
-                                    let wpos =
-                                        order.iter().position(|&x| x == w).expect("write is in co");
-                                    let after = spos < wpos;
-                                    (after, after)
-                                } else {
-                                    (false, true)
-                                }
+            }
+        } else {
+            let cands = &self.rf_choices[k];
+            for &w in ws {
+                let mut in_all = true;
+                let mut in_any = false;
+                for c in cands {
+                    let (all, any) = match c {
+                        None => (true, true),
+                        Some(src) if *src == w => (false, false),
+                        Some(src) => {
+                            if li < co_depth {
+                                let order = &self.overlay.co[li];
+                                let spos = order
+                                    .iter()
+                                    .position(|&x| x == *src)
+                                    .expect("rf source is in co");
+                                let wpos =
+                                    order.iter().position(|&x| x == w).expect("write is in co");
+                                let after = spos < wpos;
+                                (after, after)
+                            } else {
+                                (false, true)
                             }
-                        };
-                        in_all &= all;
-                        in_any |= any;
-                    }
-                    if in_all {
-                        lo.add(r, w);
-                    }
-                    if in_any {
-                        hi.add(r, w);
-                    }
+                        }
+                    };
+                    in_all &= all;
+                    in_any |= any;
+                }
+                if in_any {
+                    edge(w, in_all);
                 }
             }
         }

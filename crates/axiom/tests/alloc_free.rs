@@ -154,6 +154,61 @@ fn steady_state_pruned_walk_is_allocation_free() {
 }
 
 #[test]
+fn steady_state_incremental_walk_is_allocation_free() {
+    // The incremental engine pushes and pops path deltas through a
+    // word-level undo journal. Once the journal, the per-level stack,
+    // the maintained relations and the Pearce-Kelly scratch have grown
+    // to the walk's high-water mark (the warm-up runs), a steady-state
+    // walk must not allocate per node: every push records into reused
+    // buffers and every pop replays them in place — across combination
+    // resets included.
+    let model = sc_model();
+    let mut ctx = EvalContext::new();
+    for batching in [false, true] {
+        let cfg = EnumConfig {
+            pruning: true,
+            incremental: true,
+            batching,
+            ..EnumConfig::default()
+        };
+        for test in [
+            corpus_extra::corr_fan(2, 6),
+            corpus::corr(),
+            corpus::mp(ThreadScope::InterCta, None),
+            corpus::dlb_lb(false),
+        ] {
+            // Warm the enumeration scratch, the trace cache, the
+            // interval buffers and the incremental journal.
+            for _ in 0..2 {
+                let mut stats = PruneStats::default();
+                for_each_execution_pruned(&test, &model, &cfg, &mut ctx, &mut stats, |_| {
+                    ControlFlow::<()>::Continue(())
+                })
+                .unwrap();
+            }
+
+            let mut stats = PruneStats::default();
+            let (classes, allocs) = allocs_across_visits(|visit| {
+                for_each_execution_pruned(&test, &model, &cfg, &mut ctx, &mut stats, |_| {
+                    visit();
+                    ControlFlow::<()>::Continue(())
+                })
+                .unwrap();
+            });
+
+            assert!(classes > 1, "{} must visit several classes", test.name());
+            assert_eq!(classes as u64, stats.classes_visited, "{}", test.name());
+            assert_eq!(
+                allocs,
+                0,
+                "{} (batching={batching}): {allocs} heap allocations across                  {classes} classes in the steady-state incremental walk",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn steady_state_batched_walk_is_allocation_free() {
     // The bit-plane batch loop must allocate nothing per batch once the
     // lane planes have grown to the skeleton's size: packing lanes,

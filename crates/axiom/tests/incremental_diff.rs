@@ -1,0 +1,361 @@
+//! Incremental ≡ from-scratch, proven differentially.
+//!
+//! [`EnumConfig::incremental`] replaces the pruned walk's per-node
+//! interval refills and from-scratch cycle searches with push/pop
+//! deltas along the decision-tree path (a word-level undo journal over
+//! the maintained plan state plus a Pearce–Kelly topological order per
+//! acyclicity check). The only safe way to ship that is the same
+//! discipline `pruning_diff.rs` and `batching_diff.rs` established:
+//! prove, bit for bit, that nothing observable changes. For **every**
+//! built-in model (plus the ablation and the native model, which takes
+//! the `partial_verdict` default fallback), over the full corpus, the
+//! generated `small` family and random corpus × `.cat` pairs, the
+//! incremental [`ModelOutcomes`] and the walk-shape [`PruneStats`]
+//! must equal the from-scratch pruned ones — with and without batching
+//! stacked on top — and budget/early-exit semantics must trip at
+//! exactly the same visit.
+
+use std::ops::ControlFlow;
+
+use proptest::prelude::*;
+use weakgpu_axiom::enumerate::{
+    condition_witnessed_with, for_each_execution_pruned, model_outcomes_counted, EnumConfig,
+    EnumError, ModelOutcomes, PruneStats,
+};
+use weakgpu_axiom::plan::EvalContext;
+use weakgpu_axiom::{CatModel, Model};
+use weakgpu_diy::{generate, GenConfig};
+use weakgpu_litmus::{corpus, corpus_extra, FenceScope, LitmusTest, ThreadScope};
+use weakgpu_models::{all_models, native::NativePtxModel, ptx_model_without_llh};
+
+fn pruned_cfg() -> EnumConfig {
+    EnumConfig {
+        pruning: true,
+        ..EnumConfig::default()
+    }
+}
+
+fn incremental_cfg() -> EnumConfig {
+    EnumConfig {
+        pruning: true,
+        incremental: true,
+        ..EnumConfig::default()
+    }
+}
+
+/// Runs one (test, model) pair under the from-scratch pruned walk and
+/// the incremental walk (both with and without batching) and asserts
+/// the outcomes and walk shapes are identical.
+fn assert_incremental_matches(
+    test: &LitmusTest,
+    model: &dyn Model,
+    ctx: &mut EvalContext,
+) -> (ModelOutcomes, PruneStats) {
+    let (baseline, base_stats) = model_outcomes_counted(test, model, &pruned_cfg(), ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    let (incremental, inc_stats) = model_outcomes_counted(test, model, &incremental_cfg(), ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    assert_eq!(
+        incremental,
+        baseline,
+        "{} under {}: incremental and from-scratch ModelOutcomes diverge",
+        test.name(),
+        model.name()
+    );
+    // PruneStats equality is walk-shape equality (the measurement
+    // fields are excluded by its PartialEq): identical cuts at
+    // identical nodes.
+    assert_eq!(
+        inc_stats,
+        base_stats,
+        "{} under {}: incremental walk took different cuts",
+        test.name(),
+        model.name()
+    );
+    // Batching stacked on top must not perturb anything either — the
+    // lane sweeps are seeded from the maintained order, and seeding
+    // must be invisible.
+    let batched = EnumConfig {
+        batching: true,
+        ..pruned_cfg()
+    };
+    let inc_batched = EnumConfig {
+        batching: true,
+        ..incremental_cfg()
+    };
+    let (b_out, b_stats) = model_outcomes_counted(test, model, &batched, ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    let (ib_out, ib_stats) = model_outcomes_counted(test, model, &inc_batched, ctx)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    assert_eq!(
+        ib_out,
+        b_out,
+        "{} under {}: incremental+batched outcomes diverge",
+        test.name(),
+        model.name()
+    );
+    assert_eq!(
+        ib_stats,
+        b_stats,
+        "{} under {}: incremental+batched walk shape diverges",
+        test.name(),
+        model.name()
+    );
+    (incremental, inc_stats)
+}
+
+fn test_suite() -> Vec<LitmusTest> {
+    let mut tests = corpus::all();
+    tests.extend([
+        corpus::mp(ThreadScope::IntraCta, Some(FenceScope::Cta)),
+        corpus::sb(ThreadScope::IntraCta, None),
+        corpus::lb(ThreadScope::InterCta, Some(FenceScope::Cta)),
+        corpus::mp_dep(ThreadScope::InterCta, FenceScope::Gl),
+    ]);
+    tests
+}
+
+#[test]
+fn incremental_matches_for_every_builtin_model() {
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in test_suite() {
+            assert_incremental_matches(&test, &model, &mut ctx);
+        }
+    }
+}
+
+#[test]
+fn incremental_matches_for_the_ablation_and_native_models() {
+    let mut ctx = EvalContext::new();
+    for test in test_suite() {
+        assert_incremental_matches(&test, &ptx_model_without_llh(), &mut ctx);
+        // No plan at all: `partial_verdict` stays at the trait default,
+        // the incremental flag has nothing to latch onto, and the walk
+        // must still agree bit for bit.
+        assert_incremental_matches(&test, &NativePtxModel::new(), &mut ctx);
+    }
+}
+
+#[test]
+fn incremental_matches_over_the_small_family() {
+    let family = generate(&GenConfig::small());
+    assert!(!family.is_empty());
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in &family {
+            assert_incremental_matches(test, &model, &mut ctx);
+        }
+    }
+}
+
+#[test]
+fn incremental_witness_query_matches() {
+    let mut ctx = EvalContext::new();
+    for model in all_models() {
+        for test in test_suite() {
+            let slow = condition_witnessed_with(&test, &model, &pruned_cfg(), &mut ctx).unwrap();
+            let fast =
+                condition_witnessed_with(&test, &model, &incremental_cfg(), &mut ctx).unwrap();
+            assert_eq!(fast, slow, "{} under {}", test.name(), Model::name(&model));
+        }
+    }
+}
+
+/// The `corr-fan` capability shape: SC's single acyclicity check over
+/// row-local compositions is exactly what the incremental engine
+/// maintains, so the deep fan must produce the identical collapsed walk
+/// — and actually exercise the delta path (register refills far below
+/// one full refill per cut attempt).
+#[test]
+fn incremental_handles_the_oversized_fan() {
+    let test = corpus_extra::corr_fan(2, 9);
+    let model = weakgpu_models::sc_model();
+    let budget = EnumConfig {
+        max_traces_per_thread: 1 << 13,
+        max_executions: 200_000,
+        pruning: true,
+        ..EnumConfig::default()
+    };
+    let inc_budget = EnumConfig {
+        incremental: true,
+        ..budget
+    };
+    let mut ctx = EvalContext::new();
+    let (baseline, base_stats) = model_outcomes_counted(&test, &model, &budget, &mut ctx).unwrap();
+    let (incremental, inc_stats) =
+        model_outcomes_counted(&test, &model, &inc_budget, &mut ctx).unwrap();
+    assert_eq!(incremental, baseline);
+    assert_eq!(inc_stats, base_stats);
+    assert!(!incremental.condition_witnessed);
+    // The from-scratch walk refills every overlay register of the plan
+    // at every attempt; the incremental walk pays per-level deltas. On
+    // a shape this cut-heavy the counter must collapse by a wide
+    // margin.
+    assert!(
+        inc_stats.registers_refilled * 2 < base_stats.registers_refilled,
+        "delta evaluation did not reduce refills: {} (incremental) vs {} (from scratch)",
+        inc_stats.registers_refilled,
+        base_stats.registers_refilled
+    );
+}
+
+/// Budget semantics are node-accurate: a `max_executions` that trips
+/// mid-walk must trip at exactly the same visit under incremental
+/// evaluation.
+#[test]
+fn incremental_budget_trips_at_the_same_visit() {
+    let test = corpus_extra::corr_fan(2, 6);
+    let model = weakgpu_models::sc_model();
+    let mut ctx = EvalContext::new();
+    let (_, full) = model_outcomes_counted(&test, &model, &pruned_cfg(), &mut ctx).unwrap();
+    assert!(full.classes_visited > 4);
+    for budget in [1usize, 2, full.classes_visited as usize - 1] {
+        let cut = EnumConfig {
+            max_executions: budget,
+            ..pruned_cfg()
+        };
+        let inc_cut = EnumConfig {
+            incremental: true,
+            ..cut
+        };
+        let base = model_outcomes_counted(&test, &model, &cut, &mut ctx).unwrap_err();
+        let inc = model_outcomes_counted(&test, &model, &inc_cut, &mut ctx).unwrap_err();
+        assert_eq!(base, EnumError::TooManyExecutions);
+        assert_eq!(inc, base, "budget {budget} tripped differently");
+    }
+}
+
+/// Early exit (`ControlFlow::Break`) stops the incremental walk at the
+/// same class, with the same partial counters.
+#[test]
+fn incremental_early_exit_stops_the_walk() {
+    let model = weakgpu_models::sc_model();
+    let test = corpus_extra::corr_fan(2, 5);
+    let mut ctx = EvalContext::new();
+    let mut total = 0u64;
+    let mut stats = PruneStats::default();
+    for_each_execution_pruned(&test, &model, &incremental_cfg(), &mut ctx, &mut stats, |_| {
+        total += 1;
+        ControlFlow::<()>::Continue(())
+    })
+    .unwrap();
+    assert!(total > 3);
+    for stop_at in [1u64, 2, total] {
+        let mut stats = PruneStats::default();
+        let mut visits = 0u64;
+        let out = for_each_execution_pruned(
+            &test,
+            &model,
+            &incremental_cfg(),
+            &mut ctx,
+            &mut stats,
+            |_| {
+                visits += 1;
+                if visits == stop_at {
+                    ControlFlow::Break(visits)
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out, Some(stop_at));
+        assert_eq!(visits, stop_at, "the visitor ran past its break");
+        assert_eq!(stats.classes_visited, stop_at);
+    }
+}
+
+/// One evaluation context serving interleaved incremental and
+/// from-scratch runs across *different* models must never leak state:
+/// the maintained journal is keyed on (plan, skeleton, combination) and
+/// re-seeds itself on any mismatch.
+#[test]
+fn shared_context_survives_interleaved_models() {
+    let mut ctx = EvalContext::new();
+    let models = all_models();
+    let mut baselines = Vec::new();
+    for model in &models {
+        for test in test_suite() {
+            baselines.push(model_outcomes_counted(&test, model, &pruned_cfg(), &mut ctx).unwrap());
+        }
+    }
+    let mut at = 0;
+    for model in &models {
+        for test in test_suite() {
+            let got = model_outcomes_counted(&test, model, &incremental_cfg(), &mut ctx).unwrap();
+            assert_eq!(
+                got,
+                baselines[at],
+                "{} under {} diverged on a shared context",
+                test.name(),
+                model.name()
+            );
+            at += 1;
+        }
+    }
+}
+
+/// Random corpus variant: idiom × scope × fence (the shape shared by
+/// the other differential batteries).
+fn arb_corpus_test() -> impl Strategy<Value = LitmusTest> {
+    let scopes = [ThreadScope::IntraCta, ThreadScope::InterCta];
+    let fences = [
+        None,
+        Some(FenceScope::Cta),
+        Some(FenceScope::Gl),
+        Some(FenceScope::Sys),
+    ];
+    (0..5usize, 0..2usize, 0..4usize).prop_map(move |(idiom, s, f)| {
+        let (scope, fence) = (scopes[s], fences[f]);
+        match idiom {
+            0 => corpus::mp(scope, fence),
+            1 => corpus::sb(scope, fence),
+            2 => corpus::lb(scope, fence),
+            3 => match fence {
+                Some(fs) => corpus::corr_fenced(fs),
+                None => corpus::corr(),
+            },
+            _ => corpus::dlb_mp(f % 2 == 0),
+        }
+    })
+}
+
+/// Random `.cat` programs mixing row-local axioms (which take the
+/// incremental path) with sequencing/closure axioms (which must fall
+/// back to from-scratch partial evaluation, transparently).
+fn arb_model() -> impl Strategy<Value = CatModel> {
+    let axioms = [
+        "acyclic (po | rf | co | fr) as sc",
+        "acyclic (po-loc | rf | co | fr) as coherence",
+        "irreflexive (fre ; coe ; rfi?) as obs",
+        "acyclic ((addr | data | ctrl) | rfe | membar.gl) & cta as scoped",
+        "empty rmw \\ rmw as trivial",
+        "irreflexive ((rf | co) \\ po) ; fr as mixed",
+    ];
+    prop::collection::vec(0..axioms.len(), 1..3).prop_map(move |picks| {
+        let src: Vec<&str> = picks.iter().map(|&i| axioms[i]).collect();
+        let src = src
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.replace(" as ", &format!(" as a{i}-")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        CatModel::new("random", &src).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The headline property over random corpus variants × random
+    /// models, row-local and fallback plans alike.
+    #[test]
+    fn incremental_matches_on_random_pairs(
+        test in arb_corpus_test(),
+        model in arb_model(),
+    ) {
+        let mut ctx = EvalContext::new();
+        assert_incremental_matches(&test, &model, &mut ctx);
+    }
+}

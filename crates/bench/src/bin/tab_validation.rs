@@ -38,6 +38,7 @@ fn main() {
         parallelism: args.parallelism,
         pruning: false,
         batching: false,
+        incremental: false,
         cache_file: None,
         cache_readonly: false,
     };

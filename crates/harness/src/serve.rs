@@ -20,6 +20,7 @@
 //! | `litmus`  | inline litmus source (always parsed, never name-looked-up) |
 //! | `model`   | model name (default from [`ServeConfig::default_model`])   |
 //! | `pruning` | judge via the rf-class pruned enumerator (default config)  |
+//! | `incremental` | judge the tree walk by overlay delta (implies pruning) |
 //!
 //! A `verdict` response carries `ok`, the resolved `test`/`model` names,
 //! `num_candidates`, `num_allowed`, `condition_witnessed`, the rendered
@@ -254,8 +255,17 @@ fn verdict_response(
         Some(Json::Bool(b)) => *b,
         Some(_) => return error_response(id, "pruning must be a boolean"),
     };
+    let incremental = match request.get("incremental") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return error_response(id, "incremental must be a boolean"),
+    };
     let enum_cfg = EnumConfig {
-        pruning,
+        // Incremental evaluation only exists on the tree walk, so it
+        // drags pruning in with it. Verdict-cache keys cover the whole
+        // config, so the two request shapes cache separately.
+        pruning: pruning || incremental,
+        incremental,
         ..EnumConfig::default()
     };
     // Probe under the lock, enumerate outside it, publish the result —

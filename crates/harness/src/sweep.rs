@@ -133,6 +133,16 @@ pub struct SweepConfig {
     /// bit-identical; the batched arms keep their own verdict-cache
     /// entries.
     pub batching: bool,
+    /// Judge cache-miss cells with incremental overlay-delta evaluation
+    /// ([`weakgpu_axiom::enumerate::EnumConfig::incremental`]): plan
+    /// register state and the per-acyclicity-check topological order
+    /// are pushed and popped along the decision-tree path instead of
+    /// being refilled from scratch at every cut attempt. Implies
+    /// [`SweepConfig::pruning`] (the delta journal only exists on the
+    /// tree walk) and composes with [`SweepConfig::batching`]. Verdicts
+    /// are bit-identical; the incremental arms keep their own
+    /// verdict-cache entries.
+    pub incremental: bool,
     /// Warm-start the verdict cache from this `weakgpu-cache/1` file
     /// ([`weakgpu_axiom::persist`]) before the run, and write the
     /// updated cache back after it. A missing file starts the run cold
@@ -229,13 +239,25 @@ pub struct CellRecord {
     /// batches_formed` is the cell's mean lane occupancy, the number CI
     /// artifacts watch to judge how well sibling candidates pack.
     pub lanes_filled: u64,
+    /// Wall-clock microseconds spent inside the walk's forced-verdict
+    /// cut attempts on a verdict-cache miss (always 0 without
+    /// `SweepConfig::pruning`) — the denominator the incremental delta
+    /// journal attacks.
+    pub cut_attempt_micros: u64,
+    /// Overlay-dependent plan registers filled from scratch while
+    /// judging this cell's shape on a verdict-cache miss. Without
+    /// `SweepConfig::incremental` every cut attempt and leaf refills;
+    /// with it only per-combination baselines count, so this
+    /// counter's collapse is the direct witness that the delta
+    /// journal is engaged.
+    pub registers_refilled: u64,
 }
 
 impl CellRecord {
     /// One JSONL line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
         format!(
-            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}], \"cache_hits\": {}, \"cache_misses\": {}, \"enum_micros\": {}, \"classes_visited\": {}, \"candidates_pruned\": {}, \"batches_formed\": {}, \"lanes_filled\": {}}}",
+            "{{\"test\": {}, \"index\": {}, \"chip\": {}, \"runs\": {}, \"witnesses\": {}, \"distinct\": {}, \"unsound\": [{}], \"cache_hits\": {}, \"cache_misses\": {}, \"enum_micros\": {}, \"classes_visited\": {}, \"candidates_pruned\": {}, \"batches_formed\": {}, \"lanes_filled\": {}, \"cut_attempt_micros\": {}, \"registers_refilled\": {}}}",
             json::escape(&self.test),
             self.index,
             json::escape(&self.chip),
@@ -254,6 +276,8 @@ impl CellRecord {
             self.candidates_pruned,
             self.batches_formed,
             self.lanes_filled,
+            self.cut_attempt_micros,
+            self.registers_refilled,
         )
     }
 }
@@ -308,6 +332,16 @@ pub struct CacheStats {
     /// shard handed a warm cache artifact must record a nonzero count
     /// here, or the artifact did nothing.
     pub warm_hits: u64,
+    /// Total wall-clock microseconds the miss path spent inside
+    /// forced-verdict cut attempts (this shard; merge sums shards).
+    /// Always 0 without [`SweepConfig::pruning`].
+    pub cut_attempt_micros: u64,
+    /// Total plan registers refilled from scratch on the miss path
+    /// (this shard; merge sums shards). Compared against a
+    /// non-incremental run of the same family, the collapse of this
+    /// total is the sweep-level witness that
+    /// [`SweepConfig::incremental`] is doing delta work.
+    pub registers_refilled: u64,
 }
 
 /// The aggregate result of one sweep (or of merging shard sweeps).
@@ -455,13 +489,15 @@ impl SweepReport {
         }
         s.push_str("],\n");
         s.push_str(&format!(
-            "  \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"enum_micros\": {}, \"warm_entries\": {}, \"warm_hits\": {}}}\n",
+            "  \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"enum_micros\": {}, \"warm_entries\": {}, \"warm_hits\": {}, \"cut_attempt_micros\": {}, \"registers_refilled\": {}}}\n",
             self.cache.entries,
             self.cache.hits,
             self.cache.misses,
             self.cache.enum_micros,
             self.cache.warm_entries,
-            self.cache.warm_hits
+            self.cache.warm_hits,
+            self.cache.cut_attempt_micros,
+            self.cache.registers_refilled
         ));
         s.push_str("}\n");
         s
@@ -524,6 +560,15 @@ impl SweepReport {
                 // Absent in pre-persistence reports, same treatment.
                 warm_entries: c.get("warm_entries").and_then(Json::as_u64).unwrap_or(0),
                 warm_hits: c.get("warm_hits").and_then(Json::as_u64).unwrap_or(0),
+                // Absent in pre-incremental reports, same treatment.
+                cut_attempt_micros: c
+                    .get("cut_attempt_micros")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                registers_refilled: c
+                    .get("registers_refilled")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
             },
             None => CacheStats::default(),
         };
@@ -680,6 +725,8 @@ impl SweepReport {
             out.cache.enum_micros += r.cache.enum_micros;
             out.cache.warm_entries += r.cache.warm_entries;
             out.cache.warm_hits += r.cache.warm_hits;
+            out.cache.cut_attempt_micros += r.cache.cut_attempt_micros;
+            out.cache.registers_refilled += r.cache.registers_refilled;
         }
         if out.tests_run != out.family_size {
             return Err(SweepError::Merge(format!(
@@ -794,8 +841,11 @@ where
 
     let model = ptx_model();
     let enum_cfg = EnumConfig {
-        pruning: cfg.pruning,
+        // Incremental evaluation only exists on the tree walk, so it
+        // drags pruning in with it.
+        pruning: cfg.pruning || cfg.incremental,
         batching: cfg.batching,
+        incremental: cfg.incremental,
         ..EnumConfig::default()
     };
     let initial_cache = match &cfg.cache_file {
@@ -840,6 +890,8 @@ where
             let mut candidates_pruned = 0u64;
             let mut batches_formed = 0u64;
             let mut lanes_filled = 0u64;
+            let mut cut_attempt_micros = 0u64;
+            let mut registers_refilled = 0u64;
             let verdict = match probed {
                 Some(v) => v,
                 None => {
@@ -859,6 +911,8 @@ where
                                 (stats.classes_visited, stats.candidates_pruned);
                             (batches_formed, lanes_filled) =
                                 (stats.batches_formed, stats.lanes_filled);
+                            (cut_attempt_micros, registers_refilled) =
+                                (stats.cut_attempt_micros, stats.registers_refilled);
                             let mut c = cache.lock().expect("no poisoned locks");
                             let published = c.publish(test, &model, &enum_cfg, v);
                             (cache_hits, cache_misses) = (c.hits(), c.misses());
@@ -895,6 +949,8 @@ where
                 candidates_pruned,
                 batches_formed,
                 lanes_filled,
+                cut_attempt_micros,
+                registers_refilled,
             };
             on_cell(&record);
             *records[ci].lock().expect("no poisoned locks") = Some(record);
@@ -958,6 +1014,8 @@ where
     }
 
     let enum_micros: u64 = records.iter().map(|r| r.enum_micros).sum();
+    let cut_attempt_micros: u64 = records.iter().map(|r| r.cut_attempt_micros).sum();
+    let registers_refilled: u64 = records.iter().map(|r| r.registers_refilled).sum();
     let cache = cache.into_inner().expect("no poisoned locks");
     if let Some(path) = &cfg.cache_file {
         if !cfg.cache_readonly {
@@ -987,6 +1045,8 @@ where
             enum_micros,
             warm_entries: cache.warm_entries(),
             warm_hits: cache.warm_hits(),
+            cut_attempt_micros,
+            registers_refilled,
         },
     })
 }
@@ -1050,6 +1110,8 @@ mod tests {
                 enum_micros: 120,
                 warm_entries: 2,
                 warm_hits: 1,
+                cut_attempt_micros: 30,
+                registers_refilled: 9,
             },
         }
     }
@@ -1129,6 +1191,8 @@ mod tests {
         assert_eq!(merged.cache.enum_micros, 240);
         assert_eq!(merged.cache.warm_entries, 4);
         assert_eq!(merged.cache.warm_hits, 2);
+        assert_eq!(merged.cache.cut_attempt_micros, 60);
+        assert_eq!(merged.cache.registers_refilled, 18);
         assert!(merged.is_sound());
     }
 
@@ -1149,6 +1213,8 @@ mod tests {
             candidates_pruned: 5,
             batches_formed: 2,
             lanes_filled: 48,
+            cut_attempt_micros: 7,
+            registers_refilled: 21,
         };
         let v = json::parse(&rec.to_jsonl()).unwrap();
         assert_eq!(v.get("index").unwrap().as_u64(), Some(12));
@@ -1161,6 +1227,8 @@ mod tests {
         assert_eq!(v.get("candidates_pruned").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("batches_formed").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("lanes_filled").unwrap().as_u64(), Some(48));
+        assert_eq!(v.get("cut_attempt_micros").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("registers_refilled").unwrap().as_u64(), Some(21));
     }
 
     #[test]
@@ -1170,16 +1238,21 @@ mod tests {
         assert_eq!(parsed.cache.enum_micros, 120);
         assert_eq!(parsed.cache.warm_entries, 2);
         assert_eq!(parsed.cache.warm_hits, 1);
-        // A pre-streaming report without the timing or warm fields
-        // still parses.
+        assert_eq!(parsed.cache.cut_attempt_micros, 30);
+        assert_eq!(parsed.cache.registers_refilled, 9);
+        // A pre-streaming report without the timing, warm, or
+        // incremental fields still parses.
         let legacy = r
             .to_json()
             .replace(", \"enum_micros\": 120", "")
-            .replace(", \"warm_entries\": 2, \"warm_hits\": 1", "");
+            .replace(", \"warm_entries\": 2, \"warm_hits\": 1", "")
+            .replace(", \"cut_attempt_micros\": 30, \"registers_refilled\": 9", "");
         let parsed = SweepReport::from_json(&legacy).unwrap();
         assert_eq!(parsed.cache.enum_micros, 0);
         assert_eq!(parsed.cache.warm_entries, 0);
         assert_eq!(parsed.cache.warm_hits, 0);
+        assert_eq!(parsed.cache.cut_attempt_micros, 0);
+        assert_eq!(parsed.cache.registers_refilled, 0);
         assert_eq!(parsed.cache.misses, 5);
     }
 }

@@ -18,6 +18,7 @@ fn small_cfg(shard: Option<Shard>) -> SweepConfig {
         parallelism: None,
         pruning: false,
         batching: false,
+        incremental: false,
         cache_file: None,
         cache_readonly: false,
     }
@@ -91,6 +92,7 @@ fn sweep_reports_are_model_sound_and_witness_weak_behaviour() {
         parallelism: None,
         pruning: false,
         batching: false,
+        incremental: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -138,6 +140,7 @@ fn verdict_cache_collapses_chip_columns() {
         parallelism: None,
         pruning: false,
         batching: false,
+        incremental: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -168,6 +171,7 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
         parallelism: None,
         pruning: false,
         batching: false,
+        incremental: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -187,9 +191,10 @@ fn pruned_sweep_is_bit_identical_to_the_exhaustive_sweep() {
     // every cell record agrees once the pruning counters and cache
     // bookkeeping are normalised.
     let family: Vec<_> = generate(&GenConfig::small()).into_iter().take(30).collect();
-    let collect = |pruning| {
+    let collect = |pruning, incremental| {
         let mut cfg = small_cfg(None);
         cfg.pruning = pruning;
+        cfg.incremental = incremental;
         let records = Mutex::new(Vec::new());
         let report = run_sweep_with(&family, &cfg, |rec| {
             records.lock().unwrap().push(rec.clone());
@@ -199,23 +204,38 @@ fn pruned_sweep_is_bit_identical_to_the_exhaustive_sweep() {
         recs.sort_by_key(|a| (a.index, a.chip.clone()));
         (report, recs)
     };
-    let (ex_report, mut exhaustive) = collect(false);
-    let (pr_report, mut pruned) = collect(true);
-    assert_eq!(ex_report.is_sound(), pr_report.is_sound());
-    assert_eq!(ex_report.total_witnesses, pr_report.total_witnesses);
-    assert_eq!(ex_report.weak_tests, pr_report.weak_tests);
+    let (ex_report, mut exhaustive) = collect(false, false);
+    let (pr_report, mut pruned) = collect(true, false);
+    // `incremental` implies the tree walk, so pruning need not be set.
+    let (inc_report, mut incremental) = collect(false, true);
+    for r in [&pr_report, &inc_report] {
+        assert_eq!(ex_report.is_sound(), r.is_sound());
+        assert_eq!(ex_report.total_witnesses, r.total_witnesses);
+        assert_eq!(ex_report.weak_tests, r.weak_tests);
+    }
     // Miss cells really went through the counted enumeration, and the
     // exhaustive arm never cuts.
     assert!(pruned.iter().any(|r| r.classes_visited > 0));
     assert!(exhaustive.iter().all(|r| r.candidates_pruned == 0));
-    for r in exhaustive.iter_mut().chain(pruned.iter_mut()) {
+    // The delta journal keeps the walk's register tier alive across
+    // path moves: the incremental arm must refill no more often than
+    // the from-scratch walk over the identical family.
+    assert!(inc_report.cache.registers_refilled <= pr_report.cache.registers_refilled);
+    for r in exhaustive
+        .iter_mut()
+        .chain(pruned.iter_mut())
+        .chain(incremental.iter_mut())
+    {
         r.cache_hits = 0;
         r.cache_misses = 0;
         r.enum_micros = 0;
         r.classes_visited = 0;
         r.candidates_pruned = 0;
+        r.cut_attempt_micros = 0;
+        r.registers_refilled = 0;
     }
     assert_eq!(exhaustive, pruned);
+    assert_eq!(exhaustive, incremental);
 }
 
 #[test]
@@ -248,6 +268,8 @@ fn sharded_cells_equal_their_unsharded_counterparts() {
             r.enum_micros = 0;
             r.classes_visited = 0;
             r.candidates_pruned = 0;
+            r.cut_attempt_micros = 0;
+            r.registers_refilled = 0;
         }
         recs.sort_by_key(|a| (a.index, a.chip.clone()));
         recs

@@ -41,7 +41,8 @@ const USAGE: &str = "usage:
   weakgpu campaign [NAME|FILE ...] [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
   weakgpu sweep [--family small|paper] [--shard K/N] [--out FILE.json]
                 [--chips SHORT[,SHORT...]] [--iterations N] [--seed N] [--parallelism N]
-                [--pruned] [--batched] [--cache-file FILE.wgc] [--cache-readonly]
+                [--pruned] [--batched] [--incremental]
+                [--cache-file FILE.wgc] [--cache-readonly]
   weakgpu sweep --merge FILE.json FILE.json ... [--out FILE.json]
   weakgpu serve [--cache-file FILE.wgc] [--cache-readonly] [--model NAME] [--pruned]
   weakgpu check <file.litmus> [--model ptx|sc|tso|rmo|operational]
@@ -65,7 +66,11 @@ cache-miss cells through the rf-class pruned enumerator (bit-identical
 verdicts; the per-cell JSONL records the classes visited and candidates
 cut). --batched additionally packs up to 64 sibling candidates into one
 bit-plane plan pass (composes with --pruned; the JSONL records the
-batches formed and lanes filled). --cache-file FILE.wgc warm-starts the verdict cache from a
+batches formed and lanes filled). --incremental maintains plan registers
+and cycle detection as push/pop deltas along the walk instead of
+refilling per cut attempt (implies --pruned, composes with --batched;
+the JSONL records the cut-attempt time and register refills).
+--cache-file FILE.wgc warm-starts the verdict cache from a
 persisted `weakgpu-cache/1` file (created by an earlier sweep or serve)
 and writes the updated cache back afterwards; --cache-readonly loads
 without writing back, and fails if the file is missing rather than
@@ -375,6 +380,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "--parallelism",
     "--pruned",
     "--batched",
+    "--incremental",
     "--cache-file",
     "--cache-readonly",
     "--merge",
@@ -416,6 +422,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .transpose()?;
     let pruning = take_flag(&mut args, "--pruned");
     let batching = take_flag(&mut args, "--batched");
+    let incremental = take_flag(&mut args, "--incremental");
     let cache_file = take_opt(&mut args, "--cache-file").map(std::path::PathBuf::from);
     let cache_readonly = take_flag(&mut args, "--cache-readonly");
     if let Some(extra) = args.first() {
@@ -432,6 +439,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         parallelism,
         pruning,
         batching,
+        incremental,
         cache_file,
         cache_readonly,
     };

@@ -16,6 +16,50 @@ fn help_exits_zero() {
 }
 
 #[test]
+fn help_documents_the_enumeration_arms() {
+    // The sweep's three judging strategies are part of the advertised
+    // surface; losing one from the help text is a regression.
+    let out = weakgpu().arg("--help").output().unwrap();
+    assert!(out.status.success(), "--help exited {:?}", out.status);
+    let text = String::from_utf8(out.stdout).unwrap();
+    for flag in ["--pruned", "--batched", "--incremental"] {
+        assert!(text.contains(flag), "help text missing {flag}: {text}");
+    }
+}
+
+#[test]
+fn incremental_sweep_streams_delta_counters() {
+    // One tiny shard judged incrementally: exits 0 and the streamed
+    // JSONL carries the delta-evaluation bookkeeping fields.
+    let dir = std::env::temp_dir().join(format!("weakgpu-inc-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("inc.json");
+    let out = weakgpu()
+        .args([
+            "sweep",
+            "--incremental",
+            "--shard",
+            "1/4",
+            "--chips",
+            "titan",
+            "--iterations",
+            "60",
+            "--out",
+        ])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "incremental sweep exited {:?}", out.status);
+    let jsonl = std::fs::read_to_string(out_path.with_extension("jsonl")).unwrap();
+    assert!(jsonl.contains("\"cut_attempt_micros\""), "{jsonl}");
+    assert!(jsonl.contains("\"registers_refilled\""), "{jsonl}");
+    let report = std::fs::read_to_string(&out_path).unwrap();
+    assert!(report.contains("\"cut_attempt_micros\""), "{report}");
+    assert!(report.contains("\"registers_refilled\""), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn corpus_listing_exits_zero() {
     let out = weakgpu().arg("corpus").output().unwrap();
     assert!(out.status.success(), "corpus exited {:?}", out.status);

@@ -29,6 +29,7 @@ fn generated_family_observations_are_model_sound() {
         parallelism: None,
         pruning: false,
         batching: false,
+        incremental: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -75,6 +76,7 @@ fn strong_chip_never_witnesses_any_generated_cycle() {
         parallelism: None,
         pruning: true,
         batching: false,
+        incremental: false,
         cache_file: None,
         cache_readonly: false,
     };
@@ -100,6 +102,7 @@ fn sharded_validation_recombines_exactly() {
         parallelism: None,
         pruning: false,
         batching: false,
+        incremental: false,
         cache_file: None,
         cache_readonly: false,
     };
